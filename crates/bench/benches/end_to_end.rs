@@ -1,0 +1,105 @@
+//! End-to-end iteration benchmark of every training algorithm at a
+//! functional scale (the Fig. 10 comparison, live).
+//!
+//! The table here is small enough to run under Criterion but large
+//! enough (256k rows) that the eager algorithms' dense noisy update
+//! visibly dominates, while SGD, EANA and LazyDP stay batch-bound —
+//! the same ordering as the paper's Figure 10.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lazydp_core::{LazyDpConfig, LazyDpOptimizer};
+use lazydp_data::{MiniBatch, SyntheticConfig, SyntheticDataset};
+use lazydp_dpsgd::{ClipStyle, DpConfig, EagerDpSgd, EanaOptimizer, Optimizer, SgdOptimizer};
+use lazydp_model::{Dlrm, DlrmConfig};
+use lazydp_rng::counter::CounterNoise;
+use lazydp_rng::Xoshiro256PlusPlus;
+use std::hint::black_box;
+use std::time::Duration;
+
+const TABLES: usize = 4;
+const ROWS: u64 = 65_536;
+const DIM: usize = 32;
+const BATCH: usize = 64;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn setup() -> (Dlrm, Vec<MiniBatch>) {
+    let mut rng = Xoshiro256PlusPlus::seed_from(42);
+    let model = Dlrm::new(DlrmConfig::tiny(TABLES, ROWS, DIM), &mut rng);
+    let ds = SyntheticDataset::new(SyntheticConfig::small(TABLES, ROWS, BATCH * 8));
+    let batches = (0..8)
+        .map(|i| ds.batch_of(&(i * BATCH..(i + 1) * BATCH).collect::<Vec<_>>()))
+        .collect();
+    (model, batches)
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_iteration");
+    let dp = DpConfig::paper_default(BATCH);
+
+    group.bench_function("SGD", |b| {
+        let (mut model, batches) = setup();
+        let mut opt = SgdOptimizer::new(0.05);
+        let mut i = 0usize;
+        b.iter(|| {
+            opt.step(black_box(&mut model), &batches[i % 8], None);
+            i += 1;
+        });
+    });
+
+    group.bench_function("LazyDP", |b| {
+        let (mut model, batches) = setup();
+        let cfg = LazyDpConfig { dp, ans: true };
+        let mut opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(1));
+        let mut i = 0usize;
+        b.iter(|| {
+            opt.step(black_box(&mut model), &batches[i % 8], Some(&batches[(i + 1) % 8]));
+            i += 1;
+        });
+    });
+
+    group.bench_function("LazyDP_no_ANS", |b| {
+        let (mut model, batches) = setup();
+        let cfg = LazyDpConfig { dp, ans: false };
+        let mut opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(1));
+        let mut i = 0usize;
+        b.iter(|| {
+            opt.step(black_box(&mut model), &batches[i % 8], Some(&batches[(i + 1) % 8]));
+            i += 1;
+        });
+    });
+
+    group.bench_function("EANA", |b| {
+        let (mut model, batches) = setup();
+        let mut opt = EanaOptimizer::new(dp, CounterNoise::new(1));
+        let mut i = 0usize;
+        b.iter(|| {
+            opt.step(black_box(&mut model), &batches[i % 8], None);
+            i += 1;
+        });
+    });
+
+    group.bench_function("DP-SGD_F", |b| {
+        let (mut model, batches) = setup();
+        let mut opt = EagerDpSgd::new(dp, ClipStyle::Fast, CounterNoise::new(1));
+        let mut i = 0usize;
+        b.iter(|| {
+            opt.step(black_box(&mut model), &batches[i % 8], None);
+            i += 1;
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Real-hardware analogue of the paper's Fig. 6 microbenchmark:
+//! load each element of a large buffer, perform `N` FMA operations on
+//! it, store it back — memory-bound for small `N`, compute-bound for
+//! large `N`. The absolute GFLOPS differ from the paper's 20-core Xeon,
+//! but the camel-curve *shape* (linear ramp → plateau) and the relative
+//! position of the noise-sampling (N≈101) vs update (N=2) kernels
+//! reproduce on any machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+/// `N` chained FMAs per element. The multiplier/addend are chosen to
+/// keep values bounded so the loop cannot be folded away.
+#[inline(never)]
+fn stream_n_ops(buf: &mut [f32], n_ops: u32) {
+    let a = 0.999_f32;
+    let b = 1e-7_f32;
+    for x in buf.iter_mut() {
+        let mut v = *x;
+        for _ in 0..n_ops {
+            v = v.mul_add(a, b);
+        }
+        *x = v;
+    }
+}
+
+fn bench_roofline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roofline");
+    // 32 MiB buffer: larger than any LLC here, so small-N runs are
+    // genuinely memory-bound.
+    let elements = 8 * 1024 * 1024usize;
+    let mut buf = vec![1.0f32; elements];
+    for &n in &[1u32, 2, 4, 8, 16, 32, 64, 101, 124] {
+        group.throughput(Throughput::Elements(elements as u64 * u64::from(n)));
+        group.bench_with_input(BenchmarkId::new("n_ops", n), &n, |bch, &n| {
+            bch.iter(|| {
+                stream_n_ops(black_box(&mut buf), n);
+                black_box(buf[0]);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_roofline
+}
+criterion_main!(benches);

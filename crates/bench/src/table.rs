@@ -1,0 +1,162 @@
+//! Minimal result-table rendering (markdown + CSV), dependency-free.
+
+/// A labeled result table produced by an experiment runner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Experiment id (e.g. `"fig10"`).
+    pub id: String,
+    /// Human title, including the paper artifact it reproduces.
+    pub title: String,
+    /// One-paragraph interpretation note printed under the table.
+    pub note: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            note: String::new(),
+            headers: headers.iter().map(|&h| h.to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the interpretation note.
+    #[must_use]
+    pub fn with_note(mut self, note: &str) -> Self {
+        self.note = note.to_owned();
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch in {}", self.id);
+        self.rows.push(row);
+    }
+
+    /// Renders GitHub-flavored markdown.
+    #[must_use]
+    pub fn markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        out.push('|');
+        for h in &self.headers {
+            out.push_str(&format!(" {h} |"));
+        }
+        out.push_str("\n|");
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push('|');
+            for cell in row {
+                out.push_str(&format!(" {cell} |"));
+            }
+            out.push('\n');
+        }
+        if !self.note.is_empty() {
+            out.push_str(&format!("\n{}\n", self.note));
+        }
+        out
+    }
+
+    /// Renders CSV (headers + rows).
+    #[must_use]
+    pub fn csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = self
+            .headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats seconds compactly (µs/ms/s).
+#[must_use]
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Formats a ratio with sensible precision.
+#[must_use]
+pub fn fmt_ratio(r: f64) -> String {
+    if r >= 100.0 {
+        format!("{r:.0}")
+    } else if r >= 10.0 {
+        format!("{r:.1}")
+    } else {
+        format!("{r:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv_render() {
+        let mut t = Table::new("t1", "demo", &["a", "b"]).with_note("note here");
+        t.push_row(vec!["1".into(), "2".into()]);
+        let md = t.markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("note here"));
+        let csv = t.csv();
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("t2", "demo", &["x"]);
+        t.push_row(vec!["a,b".into()]);
+        assert_eq!(t.csv(), "x\n\"a,b\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("t3", "demo", &["x", "y"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_seconds(2.5), "2.50 s");
+        assert_eq!(fmt_seconds(0.0025), "2.50 ms");
+        assert_eq!(fmt_seconds(2.5e-6), "2.5 µs");
+        assert_eq!(fmt_ratio(259.2), "259");
+        assert_eq!(fmt_ratio(16.7), "16.7");
+        assert_eq!(fmt_ratio(2.2), "2.20");
+    }
+}

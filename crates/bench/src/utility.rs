@@ -1,0 +1,137 @@
+//! Privacy–utility trade-off (functional).
+//!
+//! The paper's §2.5 points to Denison et al.'s demonstration that
+//! DP-SGD "can provide both privacy and good model accuracy for
+//! RecSys"; LazyDP's role is to make that training *fast* without
+//! moving a single point on the trade-off curve (the model is
+//! mathematically equivalent). This experiment traces the curve on the
+//! synthetic planted-ground-truth workload: noise multiplier σ vs ROC
+//! AUC / log-loss, with the resulting ε from the RDP accountant.
+
+use crate::table::Table;
+use lazydp_core::{LazyDpConfig, LazyDpOptimizer};
+use lazydp_data::{SyntheticConfig, SyntheticDataset};
+use lazydp_dpsgd::{DpConfig, Optimizer, SgdOptimizer};
+use lazydp_model::{auc, log_loss, Dlrm, DlrmConfig};
+use lazydp_privacy::RdpAccountant;
+use lazydp_rng::counter::CounterNoise;
+use lazydp_rng::Xoshiro256PlusPlus;
+
+const TABLES: usize = 3;
+const ROWS: u64 = 80;
+const DIM: usize = 8;
+const BATCH: usize = 48;
+const STEPS: usize = 60;
+const EVAL: usize = 256;
+
+fn evaluate(model: &Dlrm, ds: &SyntheticDataset) -> (f64, f64) {
+    let eval = ds.batch_of(&(0..EVAL).collect::<Vec<_>>());
+    let cache = model.forward(&eval);
+    let probs: Vec<f32> = cache
+        .logits()
+        .iter()
+        .map(|&z| lazydp_tensor::ops::sigmoid(z))
+        .collect();
+    (auc(&eval.labels, &probs), log_loss(&eval.labels, &probs))
+}
+
+/// Trains LazyDP at noise multiplier `sigma` and returns
+/// `(auc, log_loss)` on the held-in evaluation set. `sigma = 0` is
+/// allowed (clipping only, no noise).
+fn train_at(sigma: f64) -> (f64, f64) {
+    let mut rng = Xoshiro256PlusPlus::seed_from(202);
+    let mut model = Dlrm::new(DlrmConfig::tiny(TABLES, ROWS, DIM), &mut rng);
+    let ds = SyntheticDataset::new(SyntheticConfig::small(TABLES, ROWS, EVAL));
+    let dp = DpConfig::new(sigma, 4.0, 0.1, BATCH);
+    let cfg = LazyDpConfig { dp, ans: true };
+    let mut opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(77));
+    let batches: Vec<_> = (0..=STEPS)
+        .map(|i| {
+            let ids: Vec<usize> = (0..BATCH).map(|k| (i * BATCH + k) % EVAL).collect();
+            ds.batch_of(&ids)
+        })
+        .collect();
+    for i in 0..STEPS {
+        opt.step(&mut model, &batches[i], Some(&batches[i + 1]));
+    }
+    opt.finalize_model(&mut model);
+    evaluate(&model, &ds)
+}
+
+/// Runs the σ sweep and renders the trade-off table.
+#[must_use]
+pub fn utility_tradeoff() -> Table {
+    let mut t = Table::new(
+        "utility",
+        "Privacy–utility trade-off — σ vs AUC / log-loss (functional LazyDP)",
+        &["σ", "ε (60 steps, δ=1e-6)", "ROC AUC", "log-loss"],
+    )
+    .with_note(
+        "LazyDP trains the *same* model DP-SGD would (equivalence tests), so this curve \
+         is the DP-SGD trade-off, reached ~100× faster at paper scale. Untrained AUC is \
+         0.5; the planted ground truth caps achievable AUC well below 1.0 (labels are \
+         sampled, not deterministic).",
+    );
+    // Non-private reference.
+    {
+        let mut rng = Xoshiro256PlusPlus::seed_from(202);
+        let mut model = Dlrm::new(DlrmConfig::tiny(TABLES, ROWS, DIM), &mut rng);
+        let ds = SyntheticDataset::new(SyntheticConfig::small(TABLES, ROWS, EVAL));
+        let mut opt = SgdOptimizer::new(0.1);
+        for i in 0..STEPS {
+            let ids: Vec<usize> = (0..BATCH).map(|k| (i * BATCH + k) % EVAL).collect();
+            opt.step(&mut model, &ds.batch_of(&ids), None);
+        }
+        let (a, l) = evaluate(&model, &ds);
+        t.push_row(vec![
+            "— (SGD)".into(),
+            "∞".into(),
+            format!("{a:.3}"),
+            format!("{l:.4}"),
+        ]);
+    }
+    let q = BATCH as f64 / EVAL as f64;
+    for sigma in [0.1f64, 0.5, 2.0, 8.0] {
+        let (a, l) = train_at(sigma);
+        let mut acc = RdpAccountant::new();
+        acc.compose(sigma, q, STEPS as u64);
+        let (eps, _) = acc.epsilon(1e-6);
+        t.push_row(vec![
+            format!("{sigma}"),
+            format!("{eps:.2}"),
+            format!("{a:.3}"),
+            format!("{l:.4}"),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_noise_beats_high_noise_and_training_beats_chance() {
+        let (auc_low, loss_low) = train_at(0.1);
+        let (auc_high, loss_high) = train_at(8.0);
+        assert!(auc_low > 0.55, "low-noise AUC {auc_low} must beat chance");
+        assert!(
+            loss_low < loss_high,
+            "σ=0.1 loss {loss_low} must beat σ=8 loss {loss_high}"
+        );
+        assert!(auc_low > auc_high - 0.02, "AUC should not improve with noise");
+    }
+
+    #[test]
+    fn tradeoff_table_has_monotone_epsilon() {
+        let t = utility_tradeoff();
+        // Rows after the SGD reference: ε strictly decreasing in σ.
+        let eps: Vec<f64> = t.rows[1..]
+            .iter()
+            .map(|r| r[1].parse().expect("numeric"))
+            .collect();
+        for w in eps.windows(2) {
+            assert!(w[1] < w[0], "ε must fall as σ grows: {eps:?}");
+        }
+    }
+}

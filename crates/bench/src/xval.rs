@@ -1,0 +1,179 @@
+//! Cross-validation of the performance model against the functional
+//! optimizers' instrumented work counters.
+//!
+//! The performance model is only credible if its op counts are the real
+//! algorithms' op counts. This experiment runs the functional stack at a
+//! small scale, averages the per-step [`KernelCounters`], and compares
+//! them with the model's formulas for the *same* configuration: Gaussian
+//! samples (eager = table elements + MLP params; LazyDP+ANS ≈ unique
+//! next rows × dim + MLP params) and embedding rows written.
+
+use crate::table::Table;
+use lazydp_core::{LazyDpConfig, LazyDpOptimizer};
+use lazydp_data::{SyntheticConfig, SyntheticDataset};
+use lazydp_dpsgd::{ClipStyle, DpConfig, EagerDpSgd, KernelCounters, Optimizer};
+use lazydp_model::{Dlrm, DlrmConfig};
+use lazydp_rng::counter::CounterNoise;
+use lazydp_rng::Xoshiro256PlusPlus;
+use lazydp_sysmodel::Workload;
+
+/// Scale of the functional run (kept small so the test suite stays
+/// fast; the counter identities are scale-free).
+const TABLES: usize = 4;
+const ROWS: u64 = 2_000;
+const DIM: usize = 16;
+const BATCH: usize = 64;
+const STEPS: usize = 6;
+
+struct FunctionalRun {
+    per_step: KernelCounters,
+    mlp_params: u64,
+}
+
+fn run_functional(lazy: bool) -> FunctionalRun {
+    let mut rng = Xoshiro256PlusPlus::seed_from(123);
+    let cfg = DlrmConfig::tiny(TABLES, ROWS, DIM);
+    let mut model = Dlrm::new(cfg, &mut rng);
+    let ds = SyntheticDataset::new(SyntheticConfig::small(TABLES, ROWS, BATCH * (STEPS + 1)));
+    let batches: Vec<_> = (0..=STEPS)
+        .map(|i| ds.batch_of(&(i * BATCH..(i + 1) * BATCH).collect::<Vec<_>>()))
+        .collect();
+    let dp = DpConfig::paper_default(BATCH);
+    let mlp_params = (model.bottom.params() + model.top.params()) as u64;
+    let counters = if lazy {
+        let mut opt = LazyDpOptimizer::new(
+            LazyDpConfig { dp, ans: true },
+            &model,
+            CounterNoise::new(9),
+        );
+        for i in 0..STEPS {
+            opt.step(&mut model, &batches[i], Some(&batches[i + 1]));
+        }
+        opt.counters()
+    } else {
+        let mut opt = EagerDpSgd::new(dp, ClipStyle::Fast, CounterNoise::new(9));
+        for i in 0..STEPS {
+            opt.step(&mut model, &batches[i], None);
+        }
+        opt.counters()
+    };
+    let steps = counters.steps;
+    FunctionalRun {
+        per_step: KernelCounters {
+            gaussian_samples: counters.gaussian_samples / steps,
+            table_rows_written: counters.table_rows_written / steps,
+            table_rows_read: counters.table_rows_read / steps,
+            rows_gathered: counters.rows_gathered / steps,
+            duplicates_removed: counters.duplicates_removed / steps,
+            history_reads: counters.history_reads / steps,
+            history_writes: counters.history_writes / steps,
+            steps: 1,
+        },
+        mlp_params,
+    }
+}
+
+/// Runs the cross-validation and renders the comparison table.
+#[must_use]
+pub fn cross_validation() -> Table {
+    let mut t = Table::new(
+        "xval",
+        "Cross-validation — functional kernel counters vs performance-model op counts",
+        &["quantity", "functional (measured/step)", "model (predicted/step)", "rel. err"],
+    )
+    .with_note(
+        "The functional optimizers (lazydp-dpsgd / lazydp-core) count their real work; \
+         the performance model prices the same formulas. Exact agreement for eager \
+         DP-SGD; LazyDP rows match in expectation (realized unique rows fluctuate \
+         around the analytic E[unique]).",
+    );
+    let wl = Workload {
+        config: DlrmConfig::tiny(TABLES, ROWS, DIM),
+        batch: BATCH,
+        skew: lazydp_data::SkewLevel::Random,
+    };
+
+    let eager = run_functional(false);
+    let model_eager_gauss = wl.embedding_elements() + eager.mlp_params;
+    push_cmp(
+        &mut t,
+        "DP-SGD(F): Gaussian samples",
+        eager.per_step.gaussian_samples as f64,
+        model_eager_gauss as f64,
+    );
+    push_cmp(
+        &mut t,
+        "DP-SGD(F): table rows written",
+        eager.per_step.table_rows_written as f64,
+        wl.config.total_rows() as f64,
+    );
+
+    let lazy = run_functional(true);
+    let unique = wl.total_expected_unique();
+    let model_lazy_gauss = unique * DIM as f64 + eager.mlp_params as f64;
+    push_cmp(
+        &mut t,
+        "LazyDP(ANS): Gaussian samples",
+        lazy.per_step.gaussian_samples as f64,
+        model_lazy_gauss,
+    );
+    // Rows written per step: current grad rows + next noise rows ≈ 2×unique
+    // (minus overlap, which the expectation formula ignores — documented).
+    push_cmp(
+        &mut t,
+        "LazyDP(ANS): table rows written",
+        lazy.per_step.table_rows_written as f64,
+        2.0 * unique,
+    );
+    push_cmp(
+        &mut t,
+        "LazyDP(ANS): history reads",
+        lazy.per_step.history_reads as f64,
+        unique,
+    );
+    // The headline asymmetry: eager noise work / lazy noise work.
+    push_cmp(
+        &mut t,
+        "noise-sampling ratio eager/lazy",
+        eager.per_step.gaussian_samples as f64 / lazy.per_step.gaussian_samples as f64,
+        model_eager_gauss as f64 / model_lazy_gauss,
+    );
+    t
+}
+
+fn push_cmp(t: &mut Table, label: &str, measured: f64, predicted: f64) {
+    let rel = if predicted == 0.0 {
+        0.0
+    } else {
+        (measured - predicted).abs() / predicted
+    };
+    t.push_row(vec![
+        label.to_owned(),
+        format!("{measured:.1}"),
+        format!("{predicted:.1}"),
+        format!("{:.1}%", rel * 100.0),
+    ]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_match_model_within_tolerance() {
+        let t = cross_validation();
+        for row in &t.rows {
+            let rel: f64 = row[3].trim_end_matches('%').parse().expect("numeric");
+            // Eager rows are exact; LazyDP expectation rows allowed 15%.
+            let bound = if row[0].starts_with("DP-SGD") { 0.5 } else { 16.0 };
+            assert!(
+                rel <= bound,
+                "{}: measured {} vs predicted {} ({}% off)",
+                row[0],
+                row[1],
+                row[2],
+                row[3]
+            );
+        }
+    }
+}

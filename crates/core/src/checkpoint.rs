@@ -1,0 +1,401 @@
+//! Checkpointing for LazyDP training.
+//!
+//! LazyDP adds a subtlety that eager DP-SGD does not have: at any point
+//! mid-training, the embedding tables are missing their **pending**
+//! noise — the model on the heap is *not* the DP-protected model. A
+//! correct checkpoint must therefore persist the [`HistoryTable`]s and
+//! the iteration counter along with the weights, so that a resumed run
+//! continues to owe exactly the same noise. Dropping the history and
+//! resuming with a fresh one would double-charge noise (a fresh history
+//! says "nothing applied since iteration 0") — corrupting the model and,
+//! worse, silently breaking the eager-equivalence guarantee. The tests
+//! below demonstrate both the correct round-trip and that failure mode.
+//!
+//! The format is a simple little-endian binary stream (no external
+//! serialization dependency), versioned and magic-tagged.
+
+use crate::history::HistoryTable;
+use crate::optimizer::{LazyDpConfig, LazyDpOptimizer};
+use lazydp_model::{Dlrm, DlrmConfig, InteractionKind};
+use lazydp_rng::RowNoise;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"LAZYDP\x01\x00";
+const VERSION: u32 = 1;
+
+// ---------- primitive IO helpers ----------------------------------------
+
+fn w_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_f32s<W: Write>(w: &mut W, vs: &[f32]) -> io::Result<()> {
+    w_u64(w, vs.len() as u64)?;
+    for &v in vs {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+fn w_u32s<W: Write>(w: &mut W, vs: &[u32]) -> io::Result<()> {
+    w_u64(w, vs.len() as u64)?;
+    for &v in vs {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+fn w_u64s<W: Write>(w: &mut W, vs: &[u64]) -> io::Result<()> {
+    w_u64(w, vs.len() as u64)?;
+    for &v in vs {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn r_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+fn r_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+fn r_len<R: Read>(r: &mut R) -> io::Result<usize> {
+    let n = r_u64(r)?;
+    usize::try_from(n).map_err(|_| bad("length overflows usize"))
+}
+fn r_f32s<R: Read>(r: &mut R) -> io::Result<Vec<f32>> {
+    let n = r_len(r)?;
+    let mut out = Vec::with_capacity(n);
+    let mut b = [0u8; 4];
+    for _ in 0..n {
+        r.read_exact(&mut b)?;
+        out.push(f32::from_le_bytes(b));
+    }
+    Ok(out)
+}
+fn r_u32s<R: Read>(r: &mut R) -> io::Result<Vec<u32>> {
+    let n = r_len(r)?;
+    (0..n).map(|_| r_u32(r)).collect()
+}
+fn r_u64s<R: Read>(r: &mut R) -> io::Result<Vec<u64>> {
+    let n = r_len(r)?;
+    (0..n).map(|_| r_u64(r)).collect()
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+// ---------- checkpoint payload -------------------------------------------
+
+/// Everything a resumed LazyDP run needs (weights + pending-noise
+/// bookkeeping). The noise source and hyper-parameters are provided by
+/// the caller at restore time (key material does not belong in model
+/// checkpoints).
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The model configuration (shape metadata).
+    pub config: DlrmConfig,
+    /// Flat weights: bottom layers, top layers, embedding tables.
+    weights: Vec<Vec<f32>>,
+    /// Per-table last-noise-applied iterations.
+    history: Vec<Vec<u32>>,
+    /// Training iteration at capture time.
+    pub iteration: u64,
+}
+
+impl Checkpoint {
+    /// Captures a checkpoint from a model and its LazyDP optimizer.
+    #[must_use]
+    pub fn capture<N: RowNoise>(model: &Dlrm, opt: &LazyDpOptimizer<N>) -> Self {
+        let mut weights = Vec::new();
+        for layer in model.bottom.layers().iter().chain(model.top.layers()) {
+            weights.push(layer.weight.as_slice().to_vec());
+            weights.push(layer.bias.clone());
+        }
+        for t in &model.tables {
+            weights.push(t.as_slice().to_vec());
+        }
+        Self {
+            config: model.config().clone(),
+            weights,
+            history: opt
+                .history_tables()
+                .iter()
+                .map(|h| (0..h.rows()).map(|r| h.last_flushed(r as u64)).collect())
+                .collect(),
+            iteration: opt.iteration(),
+        }
+    }
+
+    /// Restores the model and optimizer. `noise` must be the same
+    /// source (same seed) as the interrupted run for exact continuation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's shapes are internally inconsistent.
+    #[must_use]
+    pub fn restore<N: RowNoise>(&self, cfg: LazyDpConfig, noise: N) -> (Dlrm, LazyDpOptimizer<N>) {
+        // Rebuild the model skeleton, then overwrite every weight.
+        let mut seed_rng = lazydp_rng::Xoshiro256PlusPlus::seed_from(0);
+        let mut model = Dlrm::new(self.config.clone(), &mut seed_rng);
+        let mut it = self.weights.iter();
+        let mut take = || it.next().expect("checkpoint weight tensors").clone();
+        for layer in model
+            .bottom
+            .layers_mut()
+            .iter_mut()
+            .chain(model.top.layers_mut())
+        {
+            let w = take();
+            assert_eq!(w.len(), layer.weight.len(), "weight shape mismatch");
+            layer.weight.as_mut_slice().copy_from_slice(&w);
+            let b = take();
+            assert_eq!(b.len(), layer.bias.len(), "bias shape mismatch");
+            layer.bias.copy_from_slice(&b);
+        }
+        for t in &mut model.tables {
+            let w = take();
+            assert_eq!(w.len(), t.elements(), "table shape mismatch");
+            t.as_mut_slice().copy_from_slice(&w);
+        }
+        let history: Vec<HistoryTable> = self
+            .history
+            .iter()
+            .map(|h| HistoryTable::from_raw(h.clone()))
+            .collect();
+        let opt = LazyDpOptimizer::from_state(cfg, noise, history, self.iteration);
+        (model, opt)
+    }
+
+    /// Serializes to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors from `w`.
+    pub fn save<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w_u32(w, VERSION)?;
+        // Config.
+        w_u64(w, self.config.num_dense as u64)?;
+        w_u64(w, self.config.embedding_dim as u64)?;
+        w_u64(w, self.config.pooling as u64)?;
+        w_u32(
+            w,
+            match self.config.interaction {
+                InteractionKind::Dot => 0,
+                InteractionKind::Concat => 1,
+            },
+        )?;
+        w_u64s(w, &self.config.table_rows)?;
+        w_u64s(w, &self.config.bottom_layers.iter().map(|&x| x as u64).collect::<Vec<_>>())?;
+        w_u64s(w, &self.config.top_layers.iter().map(|&x| x as u64).collect::<Vec<_>>())?;
+        // Payload.
+        w_u64(w, self.iteration)?;
+        w_u64(w, self.weights.len() as u64)?;
+        for t in &self.weights {
+            w_f32s(w, t)?;
+        }
+        w_u64(w, self.history.len() as u64)?;
+        for h in &self.history {
+            w_u32s(w, h)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes from a reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on magic/version mismatch or malformed
+    /// payload, and propagates IO errors.
+    pub fn load<R: Read>(r: &mut R) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not a LazyDP checkpoint"));
+        }
+        if r_u32(r)? != VERSION {
+            return Err(bad("unsupported checkpoint version"));
+        }
+        let num_dense = r_u64(r)? as usize;
+        let embedding_dim = r_u64(r)? as usize;
+        let pooling = r_u64(r)? as usize;
+        let interaction = match r_u32(r)? {
+            0 => InteractionKind::Dot,
+            1 => InteractionKind::Concat,
+            _ => return Err(bad("unknown interaction kind")),
+        };
+        let table_rows = r_u64s(r)?;
+        let bottom_layers: Vec<usize> = r_u64s(r)?.into_iter().map(|x| x as usize).collect();
+        let top_layers: Vec<usize> = r_u64s(r)?.into_iter().map(|x| x as usize).collect();
+        let config = DlrmConfig {
+            num_dense,
+            embedding_dim,
+            table_rows,
+            pooling,
+            bottom_layers,
+            top_layers,
+            interaction,
+        };
+        config.validate().map_err(|e| bad(&e))?;
+        let iteration = r_u64(r)?;
+        let n_tensors = r_len(r)?;
+        let weights = (0..n_tensors)
+            .map(|_| r_f32s(r))
+            .collect::<io::Result<Vec<_>>>()?;
+        let n_hist = r_len(r)?;
+        let history = (0..n_hist)
+            .map(|_| r_u32s(r))
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Self {
+            config,
+            weights,
+            history,
+            iteration,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazydp_data::{SyntheticConfig, SyntheticDataset};
+    use lazydp_dpsgd::{DpConfig, Optimizer};
+    use lazydp_rng::counter::CounterNoise;
+    use lazydp_rng::Xoshiro256PlusPlus;
+
+    fn setup() -> (Dlrm, SyntheticDataset, LazyDpConfig) {
+        let mut rng = Xoshiro256PlusPlus::seed_from(55);
+        let model = Dlrm::new(DlrmConfig::tiny(2, 48, 8), &mut rng);
+        let ds = SyntheticDataset::new(SyntheticConfig::small(2, 48, 160));
+        let cfg = LazyDpConfig {
+            dp: DpConfig::new(0.8, 1.0, 0.05, 16),
+            ans: false, // exact continuation check below
+        };
+        (model, ds, cfg)
+    }
+
+    fn batches(ds: &SyntheticDataset, n: usize) -> Vec<lazydp_data::MiniBatch> {
+        (0..n)
+            .map(|i| ds.batch_of(&(i * 16..(i + 1) * 16).collect::<Vec<_>>()))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything_bitwise() {
+        let (mut model, ds, cfg) = setup();
+        let mut opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(8));
+        let bs = batches(&ds, 4);
+        for i in 0..3 {
+            opt.step(&mut model, &bs[i], Some(&bs[i + 1]));
+        }
+        let ck = Checkpoint::capture(&model, &opt);
+        let mut buf = Vec::new();
+        ck.save(&mut buf).expect("save");
+        let ck2 = Checkpoint::load(&mut buf.as_slice()).expect("load");
+        let (model2, opt2) = ck2.restore(cfg, CounterNoise::new(8));
+        assert_eq!(model.tables, model2.tables, "tables bitwise equal");
+        for (a, b) in model.top.layers().iter().zip(model2.top.layers()) {
+            assert_eq!(a.weight, b.weight);
+            assert_eq!(a.bias, b.bias);
+        }
+        assert_eq!(opt2.iteration(), 3);
+        for (h1, h2) in opt.history_tables().iter().zip(opt2.history_tables()) {
+            assert_eq!(h1, h2, "history preserved");
+        }
+    }
+
+    #[test]
+    fn resumed_run_equals_uninterrupted_run_exactly() {
+        let (model0, ds, cfg) = setup();
+        let bs = batches(&ds, 9);
+        let steps = 8usize;
+        // Uninterrupted.
+        let mut m_full = model0.clone();
+        let mut o_full = LazyDpOptimizer::new(cfg, &m_full, CounterNoise::new(4));
+        for i in 0..steps {
+            o_full.step(&mut m_full, &bs[i], Some(&bs[i + 1]));
+        }
+        o_full.finalize_model(&mut m_full);
+        // Interrupted at step 4, checkpointed through bytes, resumed.
+        let mut m = model0;
+        let mut o = LazyDpOptimizer::new(cfg, &m, CounterNoise::new(4));
+        for i in 0..4 {
+            o.step(&mut m, &bs[i], Some(&bs[i + 1]));
+        }
+        let mut buf = Vec::new();
+        Checkpoint::capture(&m, &o).save(&mut buf).expect("save");
+        let ck = Checkpoint::load(&mut buf.as_slice()).expect("load");
+        let (mut m2, mut o2) = ck.restore(cfg, CounterNoise::new(4));
+        for i in 4..steps {
+            o2.step(&mut m2, &bs[i], Some(&bs[i + 1]));
+        }
+        o2.finalize_model(&mut m2);
+        for (a, b) in m_full.tables.iter().zip(m2.tables.iter()) {
+            assert!(a.max_abs_diff(b) < 1e-6, "resume must be exact");
+        }
+    }
+
+    #[test]
+    fn dropping_history_corrupts_the_resumed_model() {
+        // The failure mode the module docs warn about: resuming with a
+        // fresh HistoryTable (all zeros) double-charges noise.
+        let (model0, ds, cfg) = setup();
+        let bs = batches(&ds, 9);
+        let mut m_full = model0.clone();
+        let mut o_full = LazyDpOptimizer::new(cfg, &m_full, CounterNoise::new(4));
+        for i in 0..8 {
+            o_full.step(&mut m_full, &bs[i], Some(&bs[i + 1]));
+        }
+        o_full.finalize_model(&mut m_full);
+
+        let mut m = model0;
+        let mut o = LazyDpOptimizer::new(cfg, &m, CounterNoise::new(4));
+        for i in 0..4 {
+            o.step(&mut m, &bs[i], Some(&bs[i + 1]));
+        }
+        // "Checkpoint" only the weights; resume with a FRESH optimizer
+        // whose history claims nothing has been applied since iter 0 …
+        let mut o_bad = LazyDpOptimizer::from_state(
+            cfg,
+            CounterNoise::new(4),
+            m.tables.iter().map(|t| HistoryTable::new(t.rows())).collect(),
+            4,
+        );
+        let mut m_bad = m;
+        for i in 4..8 {
+            o_bad.step(&mut m_bad, &bs[i], Some(&bs[i + 1]));
+        }
+        o_bad.finalize_model(&mut m_bad);
+        let diff = m_full
+            .tables
+            .iter()
+            .zip(m_bad.tables.iter())
+            .map(|(a, b)| a.max_abs_diff(b))
+            .fold(0.0f32, f32::max);
+        assert!(
+            diff > 1e-4,
+            "dropping the history must visibly corrupt the model (diff {diff})"
+        );
+    }
+
+    #[test]
+    fn load_rejects_garbage_and_wrong_magic() {
+        let mut r: &[u8] = b"definitely not a checkpoint at all";
+        assert!(Checkpoint::load(&mut r).is_err());
+        let mut short: &[u8] = b"LA";
+        assert!(Checkpoint::load(&mut short).is_err());
+        // Corrupt version.
+        let (model, _, cfg) = setup();
+        let opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(1));
+        let mut buf = Vec::new();
+        Checkpoint::capture(&model, &opt).save(&mut buf).expect("save");
+        buf[8] = 0xFF;
+        assert!(Checkpoint::load(&mut buf.as_slice()).is_err());
+    }
+}

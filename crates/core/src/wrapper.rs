@@ -1,0 +1,207 @@
+//! The `make_private` user interface (paper Fig. 9).
+//!
+//! The paper packages LazyDP as a wrapper that transforms a (model,
+//! optimizer, data_loader) triple into LazyDP-enabled instances.
+//! [`PrivateTrainer`] is the Rust equivalent: it owns the model, a
+//! [`LazyDpOptimizer`], a [`LookaheadLoader`] (the Fig. 9(b) "LazyDP
+//! data loader" with its input queue), and an [`RdpAccountant`] that
+//! tracks the (ε, δ) budget as training proceeds.
+
+use crate::optimizer::{LazyDpConfig, LazyDpOptimizer};
+use lazydp_data::{BatchSource, LookaheadLoader};
+use lazydp_dpsgd::{KernelCounters, Optimizer, StepStats};
+use lazydp_model::Dlrm;
+use lazydp_privacy::RdpAccountant;
+use lazydp_rng::RowNoise;
+
+/// A private training session created by
+/// [`make_private`](Self::make_private).
+#[derive(Debug)]
+pub struct PrivateTrainer<S, N> {
+    model: Dlrm,
+    optimizer: LazyDpOptimizer<N>,
+    loader: LookaheadLoader<S>,
+    accountant: RdpAccountant,
+    sampling_rate: f64,
+    finalized: bool,
+}
+
+impl<S: BatchSource, N: RowNoise> PrivateTrainer<S, N> {
+    /// Wraps a model, batch source, and noise source into a LazyDP
+    /// training session (the Fig. 9(a) `LazyDP.make_private` call).
+    ///
+    /// `sampling_rate` is the Poisson inclusion probability `q` used for
+    /// privacy accounting (`batch / dataset_len`; see
+    /// `PoissonLoader::sampling_rate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sampling_rate ∉ (0, 1]`.
+    #[must_use]
+    pub fn make_private(
+        model: Dlrm,
+        cfg: LazyDpConfig,
+        source: S,
+        noise: N,
+        sampling_rate: f64,
+    ) -> Self {
+        assert!(
+            sampling_rate > 0.0 && sampling_rate <= 1.0,
+            "sampling rate must be in (0,1], got {sampling_rate}"
+        );
+        let optimizer = LazyDpOptimizer::new(cfg, &model, noise);
+        Self {
+            model,
+            optimizer,
+            loader: LookaheadLoader::new(source),
+            accountant: RdpAccountant::new(),
+            sampling_rate,
+            finalized: false,
+        }
+    }
+
+    /// Runs `n` training iterations, returning per-step diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`finish`](Self::finish)-style
+    /// finalization via [`finalize`](Self::finalize).
+    pub fn train_steps(&mut self, n: usize) -> Vec<StepStats> {
+        assert!(!self.finalized, "trainer already finalized");
+        let sigma = self.optimizer.config().dp.noise_multiplier;
+        let mut stats = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (cur, next) = self.loader.advance();
+            let (cur, next) = (cur.clone(), next.clone());
+            stats.push(self.optimizer.step(&mut self.model, &cur, Some(&next)));
+            let _ = self.loader.finish_iteration();
+            self.accountant.compose(sigma, self.sampling_rate, 1);
+        }
+        stats
+    }
+
+    /// The (ε, best-order) privacy guarantee spent so far at `delta`.
+    #[must_use]
+    pub fn epsilon(&self, delta: f64) -> (f64, u32) {
+        self.accountant.epsilon(delta)
+    }
+
+    /// The model as currently trained (pending noise **not** yet
+    /// flushed — for evaluation *inside* the training loop only; never
+    /// release this state).
+    #[must_use]
+    pub fn model(&self) -> &Dlrm {
+        &self.model
+    }
+
+    /// The optimizer's work counters.
+    #[must_use]
+    pub fn counters(&self) -> KernelCounters {
+        self.optimizer.counters()
+    }
+
+    /// Flushes all pending noise in place (threat model §3). Training
+    /// may not continue afterwards.
+    pub fn finalize(&mut self) {
+        if !self.finalized {
+            self.optimizer.finalize(&mut self.model);
+            self.finalized = true;
+        }
+    }
+
+    /// Finalizes and returns the releasable model.
+    #[must_use]
+    pub fn finish(mut self) -> Dlrm {
+        self.finalize();
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazydp_data::{FixedBatchLoader, PoissonLoader, SyntheticConfig, SyntheticDataset};
+    use lazydp_rng::counter::CounterNoise;
+    use lazydp_rng::Xoshiro256PlusPlus;
+    use lazydp_model::DlrmConfig;
+
+    fn dataset(samples: usize) -> SyntheticDataset {
+        SyntheticDataset::new(SyntheticConfig::small(2, 64, samples))
+    }
+
+    fn model() -> Dlrm {
+        let mut rng = Xoshiro256PlusPlus::seed_from(17);
+        Dlrm::new(DlrmConfig::tiny(2, 64, 8), &mut rng)
+    }
+
+    #[test]
+    fn make_private_trains_and_accounts() {
+        let ds = dataset(256);
+        let loader = PoissonLoader::new(ds, 32, 5);
+        let q = loader.sampling_rate();
+        let cfg = LazyDpConfig {
+            dp: lazydp_dpsgd::DpConfig::new(0.5, 2.0, 0.05, 32),
+            ans: true,
+        };
+        let mut trainer =
+            PrivateTrainer::make_private(model(), cfg, loader, CounterNoise::new(3), q);
+        let stats = trainer.train_steps(10);
+        assert_eq!(stats.len(), 10);
+        let (eps, order) = trainer.epsilon(1e-6);
+        assert!(eps > 0.0 && eps.is_finite(), "ε = {eps} (order {order})");
+        // More steps strictly increase the spent budget.
+        let _ = trainer.train_steps(10);
+        let (eps2, _) = trainer.epsilon(1e-6);
+        assert!(eps2 > eps);
+        let final_model = trainer.finish();
+        assert!(final_model.tables[0].frob_norm().is_finite());
+    }
+
+    #[test]
+    fn accounting_is_independent_of_ans() {
+        // The privacy budget depends on (σ, q, T) only — LazyDP's lazy
+        // timing and ANS change nothing (paper §5: "mathematically
+        // equivalent, differentially private RecSys models").
+        let run = |ans: bool| -> f64 {
+            let ds = dataset(256);
+            let loader = FixedBatchLoader::new(ds, 32);
+            let cfg = LazyDpConfig {
+                dp: lazydp_dpsgd::DpConfig::paper_default(32),
+                ans,
+            };
+            let mut t = PrivateTrainer::make_private(
+                model(),
+                cfg,
+                loader,
+                CounterNoise::new(3),
+                32.0 / 256.0,
+            );
+            let _ = t.train_steps(20);
+            t.epsilon(1e-6).0
+        };
+        let with_ans = run(true);
+        let without = run(false);
+        assert_eq!(with_ans, without, "ε must not depend on ANS");
+    }
+
+    #[test]
+    fn finalize_is_required_once_and_blocks_training() {
+        let ds = dataset(128);
+        let loader = FixedBatchLoader::new(ds, 16);
+        let cfg = LazyDpConfig::paper_default(16);
+        let mut trainer = PrivateTrainer::make_private(
+            model(),
+            cfg,
+            loader,
+            CounterNoise::new(1),
+            16.0 / 128.0,
+        );
+        let _ = trainer.train_steps(3);
+        trainer.finalize();
+        trainer.finalize(); // idempotent
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = trainer.train_steps(1);
+        }));
+        assert!(result.is_err(), "training after finalize must panic");
+    }
+}

@@ -1,0 +1,202 @@
+//! Walker alias method: O(1) sampling from arbitrary discrete
+//! distributions.
+//!
+//! The skewed-trace generators draw millions of Zipf-distributed row ids
+//! (Fig. 13(d) workloads). Inverse-CDF sampling costs `O(log n)` per
+//! draw; the alias method (Walker 1977, Vose 1991) preprocesses the
+//! probability vector into two tables and then draws with one uniform
+//! and one comparison — a constant-time kernel that also vectorizes
+//! well. [`AliasTable`] is used by
+//! [`AccessDistribution::zipf_fast`](crate::trace::AccessDistribution)
+//! and validated against the exact probabilities.
+
+use lazydp_rng::Prng;
+
+/// Preprocessed alias table over `n` outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    /// Acceptance probability of each bucket (scaled to u64 for a
+    /// branch-cheap integer comparison).
+    accept: Vec<u64>,
+    /// Alias outcome taken when the acceptance test fails.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from (unnormalized, non-negative) weights with
+    /// Vose's O(n) stack construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, longer than `u32::MAX`, contains a
+    /// negative/non-finite value, or sums to zero.
+    #[must_use]
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs outcomes");
+        assert!(
+            weights.len() <= u32::MAX as usize,
+            "alias table outcome count exceeds u32"
+        );
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "weight must be finite and >= 0, got {w}");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let n = weights.len();
+        // Scaled probabilities p_i * n, partitioned into small/large.
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w / total * n as f64).collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        let mut accept = vec![u64::MAX; n];
+        let mut alias = vec![0u32; n];
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            accept[s as usize] = (scaled[s as usize].min(1.0) * (u64::MAX as f64)) as u64;
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers (numerical dust) accept unconditionally.
+        for i in small.into_iter().chain(large) {
+            accept[i as usize] = u64::MAX;
+            alias[i as usize] = i;
+        }
+        Self { accept, alias }
+    }
+
+    /// Number of outcomes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// Whether the table is empty (never true post-construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.accept.is_empty()
+    }
+
+    /// Draws one outcome in O(1).
+    pub fn sample<R: Prng>(&self, rng: &mut R) -> u64 {
+        let n = self.accept.len() as u64;
+        let bucket = rng.next_below(n) as usize;
+        if rng.next_u64() <= self.accept[bucket] {
+            bucket as u64
+        } else {
+            u64::from(self.alias[bucket])
+        }
+    }
+
+    /// Draws `count` outcomes.
+    pub fn sample_many<R: Prng>(&self, rng: &mut R, count: usize) -> Vec<u64> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazydp_rng::Xoshiro256PlusPlus;
+
+    fn empirical(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let t = AliasTable::new(weights);
+        let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+        let mut counts = vec![0u64; weights.len()];
+        for _ in 0..draws {
+            counts[t.sample(&mut rng) as usize] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn matches_target_distribution() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let total = 10.0;
+        let freq = empirical(&weights, 400_000, 1);
+        for (i, (&w, &f)) in weights.iter().zip(freq.iter()).enumerate() {
+            let expect = w / total;
+            assert!(
+                (f - expect).abs() < 0.004,
+                "outcome {i}: {f} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_extreme_skew_and_zero_weights() {
+        let weights = [0.0, 1e-6, 0.999_999, 0.0];
+        let freq = empirical(&weights, 200_000, 2);
+        assert_eq!(freq[0], 0.0, "zero-weight outcome never drawn");
+        assert_eq!(freq[3], 0.0);
+        assert!(freq[2] > 0.999);
+    }
+
+    #[test]
+    fn single_outcome_degenerate() {
+        let t = AliasTable::new(&[42.0]);
+        let mut rng = Xoshiro256PlusPlus::seed_from(3);
+        for _ in 0..10 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn uniform_weights_stay_uniform() {
+        let freq = empirical(&[1.0; 16], 320_000, 4);
+        for (i, &f) in freq.iter().enumerate() {
+            assert!((f - 1.0 / 16.0).abs() < 0.003, "outcome {i}: {f}");
+        }
+    }
+
+    #[test]
+    fn zipf_alias_matches_zipf_cdf_sampler() {
+        use crate::trace::AccessDistribution;
+        let rows = 500u64;
+        let exponent = 1.1;
+        let cdf = AccessDistribution::zipf(rows, exponent);
+        let weights: Vec<f64> = (0..rows).map(|r| ((r + 1) as f64).powf(-exponent)).collect();
+        let alias = AliasTable::new(&weights);
+        let mut rng = Xoshiro256PlusPlus::seed_from(5);
+        let draws = 200_000;
+        let mut cdf_counts = vec![0u64; rows as usize];
+        let mut alias_counts = vec![0u64; rows as usize];
+        for _ in 0..draws {
+            cdf_counts[cdf.sample(&mut rng) as usize] += 1;
+            alias_counts[alias.sample(&mut rng) as usize] += 1;
+        }
+        // The two samplers must agree on the head of the distribution.
+        for r in 0..20 {
+            let a = cdf_counts[r] as f64 / draws as f64;
+            let b = alias_counts[r] as f64 / draws as f64;
+            assert!(
+                (a - b).abs() < 5.0 * (a / draws as f64).sqrt() + 0.004,
+                "rank {r}: cdf {a} alias {b}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must not all be zero")]
+    fn rejects_all_zero() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let _ = AliasTable::new(&[1.0, f64::NAN]);
+    }
+}

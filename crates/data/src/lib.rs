@@ -1,0 +1,36 @@
+//! Workload substrate: synthetic datasets, access traces, batch loaders,
+//! and the LazyDP `InputQueue`.
+//!
+//! The paper trains MLPerf DLRM on embedding traces "drawn from a uniform
+//! distribution" (§6) and studies skewed traces built from the Kaggle DAC
+//! dataset where 90% of accesses concentrate on 36% / 10% / 0.6% of
+//! entries (Fig. 13(d)). Real Criteo data is not redistributable, so this
+//! crate generates synthetic equivalents (see DESIGN.md, substitution 3):
+//!
+//! * [`trace`] — per-table row distributions (uniform / calibrated Zipf),
+//!   including the skew-calibration solver and the expected-unique-rows
+//!   analysis used by the performance model;
+//! * [`dataset`] — a deterministic synthetic Criteo-style dataset with a
+//!   planted logistic ground truth (so training measurably learns);
+//! * [`batch`] — the [`MiniBatch`] container;
+//! * [`loader`] — fixed-size and Poisson-sampling batch sources
+//!   (Opacus-style `DPDataLoader`);
+//! * [`queue`] — the two-entry [`InputQueue`] of
+//!   Algorithm 1 (lines 3–5) that gives LazyDP one-batch lookahead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod batch;
+pub mod dataset;
+pub mod loader;
+pub mod queue;
+pub mod trace;
+
+pub use alias::AliasTable;
+pub use batch::MiniBatch;
+pub use dataset::{SyntheticConfig, SyntheticDataset};
+pub use loader::{BatchSource, FixedBatchLoader, PoissonLoader};
+pub use queue::{InputQueue, LookaheadLoader};
+pub use trace::{AccessDistribution, SkewLevel};

@@ -1,0 +1,137 @@
+//! Multi-threaded dense noisy update.
+//!
+//! The eager baseline's model-update sweep is embarrassingly parallel
+//! over rows; the paper's tuned implementation multi-threads it with
+//! TBB/OpenMP (§6). This is the Rust analogue, built on counter-based
+//! noise so the result is *identical* to the sequential
+//! [`dense_noisy_update`](crate::noise_update::dense_noisy_update) —
+//! verified by the tests — regardless of thread count.
+
+use crate::counters::KernelCounters;
+use lazydp_embedding::{EmbeddingTable, SparseGrad};
+use lazydp_rng::RowNoise;
+use std::collections::HashMap;
+
+/// Parallel dense noisy update over `threads` workers. Semantically
+/// identical to the sequential kernel for any `RowNoise` whose output is
+/// a pure function of `(table, row, iter)` (e.g.
+/// [`CounterNoise`](lazydp_rng::counter::CounterNoise)); sequential
+/// sources would give a thread-count-dependent (but distributionally
+/// identical) result.
+///
+/// # Panics
+///
+/// Panics if `grad` is not coalesced, dimensions mismatch, or
+/// `threads == 0`.
+pub fn par_dense_noisy_update<N>(
+    table_id: u32,
+    table: &mut EmbeddingTable,
+    grad: &SparseGrad,
+    noise: &N,
+    iter: u64,
+    noise_std: f32,
+    lr: f32,
+    threads: usize,
+    counters: &mut KernelCounters,
+) where
+    N: RowNoise + Clone + Send,
+{
+    assert!(threads > 0, "need at least one thread");
+    assert_eq!(grad.dim(), table.dim(), "grad dim mismatch");
+    let dim = table.dim();
+    let rows = table.rows();
+    let mut map: HashMap<u64, &[f32]> = HashMap::with_capacity(grad.len());
+    for (idx, vals) in grad.iter() {
+        let prev = map.insert(idx, vals);
+        assert!(prev.is_none(), "gradient must be coalesced (duplicate row {idx})");
+    }
+    let map = &map;
+    let rows_per_chunk = rows.div_ceil(threads).max(1);
+    let data = table.as_mut_slice();
+    crossbeam::thread::scope(|scope| {
+        for (c, chunk) in data.chunks_mut(rows_per_chunk * dim).enumerate() {
+            let mut worker_noise = noise.clone();
+            scope.spawn(move |_| {
+                let first_row = c * rows_per_chunk;
+                let mut buf = vec![0.0f32; dim];
+                for (k, row) in chunk.chunks_mut(dim).enumerate() {
+                    let r = (first_row + k) as u64;
+                    worker_noise.fill_unit(table_id, r, iter, &mut buf);
+                    if let Some(g) = map.get(&r) {
+                        for ((w, &n), &gv) in row.iter_mut().zip(buf.iter()).zip(g.iter()) {
+                            *w -= lr * (noise_std * n + gv);
+                        }
+                    } else {
+                        for (w, &n) in row.iter_mut().zip(buf.iter()) {
+                            *w -= lr * noise_std * n;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    counters.gaussian_samples += (rows * dim) as u64;
+    counters.table_rows_read += rows as u64;
+    counters.table_rows_written += rows as u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise_update::dense_noisy_update;
+    use lazydp_rng::counter::CounterNoise;
+
+    fn grad() -> SparseGrad {
+        let mut g = SparseGrad::from_entries(
+            4,
+            vec![(0, vec![1.0; 4]), (17, vec![-0.5; 4]), (63, vec![2.0; 4])],
+        );
+        let _ = g.coalesce();
+        g
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let g = grad();
+        let mut seq = EmbeddingTable::zeros(64, 4);
+        let mut c1 = KernelCounters::new();
+        let mut n1 = CounterNoise::new(12);
+        dense_noisy_update(3, &mut seq, &g, &mut n1, 9, 0.25, 0.1, &mut c1);
+        for threads in [1usize, 2, 3, 7] {
+            let mut par = EmbeddingTable::zeros(64, 4);
+            let mut c2 = KernelCounters::new();
+            let n2 = CounterNoise::new(12);
+            par_dense_noisy_update(3, &mut par, &g, &n2, 9, 0.25, 0.1, threads, &mut c2);
+            assert_eq!(seq, par, "thread count {threads} changed the result");
+            assert_eq!(c1.gaussian_samples, c2.gaussian_samples);
+        }
+    }
+
+    #[test]
+    fn handles_row_counts_not_divisible_by_threads() {
+        let g = {
+            let mut g = SparseGrad::from_entries(2, vec![(6, vec![1.0, 1.0])]);
+            let _ = g.coalesce();
+            g
+        };
+        let mut seq = EmbeddingTable::zeros(7, 2);
+        let mut par = EmbeddingTable::zeros(7, 2);
+        let mut c = KernelCounters::new();
+        let mut n1 = CounterNoise::new(1);
+        dense_noisy_update(0, &mut seq, &g, &mut n1, 1, 0.5, 0.1, &mut c);
+        let n2 = CounterNoise::new(1);
+        par_dense_noisy_update(0, &mut par, &g, &n2, 1, 0.5, 0.1, 3, &mut c);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let mut t = EmbeddingTable::zeros(4, 2);
+        let g = SparseGrad::new(2);
+        let n = CounterNoise::new(1);
+        let mut c = KernelCounters::new();
+        par_dense_noisy_update(0, &mut t, &g, &n, 1, 0.1, 0.1, 0, &mut c);
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-row access statistics.
+//!
+//! The paper's skew study (Fig. 13(d)) defines workloads by how
+//! concentrated table accesses are: "90% of the embedding table accesses
+//! are concentrated on 36% / 10% / 0.6% of table entries" for the
+//! low/medium/high-skew datasets. [`AccessTracker`] measures exactly that
+//! statistic from an observed trace, which the tests in `lazydp-data` use
+//! to validate the calibrated Zipf generators.
+
+/// Records how many times each row of one table has been accessed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessTracker {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl AccessTracker {
+    /// Creates a tracker for a table with `rows` rows.
+    #[must_use]
+    pub fn new(rows: usize) -> Self {
+        Self {
+            counts: vec![0; rows],
+            total: 0,
+        }
+    }
+
+    /// Records one access to `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn record(&mut self, row: u64) {
+        self.counts[row as usize] += 1;
+        self.total += 1;
+    }
+
+    /// Records a batch of accesses.
+    pub fn record_all(&mut self, rows: &[u64]) {
+        for &r in rows {
+            self.record(r);
+        }
+    }
+
+    /// Total number of recorded accesses.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of rows accessed at least once.
+    #[must_use]
+    pub fn touched_rows(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Fraction of all accesses captured by the most-accessed
+    /// `fraction` of rows (the paper's skew metric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn mass_of_top_fraction(&self, fraction: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&fraction), "fraction outside [0,1]");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let k = ((self.counts.len() as f64) * fraction).round() as usize;
+        let mut sorted = self.counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top: u64 = sorted.iter().take(k).sum();
+        top as f64 / self.total as f64
+    }
+
+    /// Smallest fraction of rows that captures at least `mass` of all
+    /// accesses (inverse of [`mass_of_top_fraction`](Self::mass_of_top_fraction)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mass` is outside `[0, 1]`.
+    #[must_use]
+    pub fn fraction_for_mass(&self, mass: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&mass), "mass outside [0,1]");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (self.total as f64) * mass;
+        let mut sorted = self.counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let mut acc = 0u64;
+        for (i, &c) in sorted.iter().enumerate() {
+            acc += c;
+            if acc as f64 >= target {
+                return (i + 1) as f64 / self.counts.len() as f64;
+            }
+        }
+        1.0
+    }
+
+    /// The raw per-row counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_totals() {
+        let mut t = AccessTracker::new(4);
+        t.record_all(&[0, 0, 1, 3]);
+        assert_eq!(t.total(), 4);
+        assert_eq!(t.touched_rows(), 3);
+        assert_eq!(t.counts(), &[2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn top_fraction_mass_on_uniform_counts() {
+        let mut t = AccessTracker::new(10);
+        for r in 0..10 {
+            t.record(r);
+        }
+        assert!((t.mass_of_top_fraction(0.5) - 0.5).abs() < 1e-12);
+        assert!((t.mass_of_top_fraction(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_fraction_mass_on_skewed_counts() {
+        let mut t = AccessTracker::new(10);
+        // Row 0 gets 90 accesses, the rest 10 in total.
+        for _ in 0..90 {
+            t.record(0);
+        }
+        for r in 1..10 {
+            t.record(r);
+        }
+        t.record(1); // 100 total
+        assert!(t.mass_of_top_fraction(0.1) >= 0.9);
+        let f = t.fraction_for_mass(0.9);
+        assert!((f - 0.1).abs() < 1e-9, "fraction {f}");
+    }
+
+    #[test]
+    fn fraction_for_mass_inverts_mass_of_top_fraction() {
+        let mut t = AccessTracker::new(100);
+        for r in 0..100u64 {
+            for _ in 0..(101 - r) {
+                t.record(r);
+            }
+        }
+        for mass in [0.3, 0.5, 0.9] {
+            let f = t.fraction_for_mass(mass);
+            assert!(t.mass_of_top_fraction(f) >= mass - 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_tracker_edge_cases() {
+        let t = AccessTracker::new(5);
+        assert_eq!(t.mass_of_top_fraction(0.5), 0.0);
+        assert_eq!(t.fraction_for_mass(0.5), 0.0);
+        assert_eq!(t.touched_rows(), 0);
+    }
+}

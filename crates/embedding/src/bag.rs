@@ -1,0 +1,335 @@
+//! Embedding-bag forward/backward: gather + pooling.
+//!
+//! A DLRM embedding layer gathers `pooling` rows per sample and reduces
+//! them to a single vector (paper §2.1: "multiple embedding vectors can
+//! be gathered from the embedding table, all of which are pooled into a
+//! single vector using a reduction operation").
+
+use crate::sparse::SparseGrad;
+use crate::table::EmbeddingTable;
+use lazydp_tensor::Matrix;
+
+/// Reduction applied to the gathered vectors of one sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Pooling {
+    /// Element-wise sum (the DLRM/MLPerf default).
+    #[default]
+    Sum,
+    /// Element-wise mean.
+    Mean,
+}
+
+/// Batched lookup structure for one table: CSR-style offsets into a flat
+/// index list. Sample `i` gathers `indices[offsets[i]..offsets[i+1]]`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BagIndices {
+    offsets: Vec<u32>,
+    indices: Vec<u64>,
+}
+
+impl BagIndices {
+    /// Builds from per-sample index lists.
+    #[must_use]
+    pub fn from_samples(samples: &[Vec<u64>]) -> Self {
+        let mut offsets = Vec::with_capacity(samples.len() + 1);
+        let mut indices = Vec::new();
+        offsets.push(0u32);
+        for s in samples {
+            indices.extend_from_slice(s);
+            offsets.push(indices.len() as u32);
+        }
+        Self { offsets, indices }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn batch_size(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total number of lookups across the batch.
+    #[must_use]
+    pub fn total_lookups(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The flat index list.
+    #[must_use]
+    pub fn flat_indices(&self) -> &[u64] {
+        &self.indices
+    }
+
+    /// Index list of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= batch_size()`.
+    #[must_use]
+    pub fn sample(&self, i: usize) -> &[u64] {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.indices[lo..hi]
+    }
+
+    /// Sorted unique indices of the whole batch and duplicate count.
+    #[must_use]
+    pub fn unique_indices(&self) -> (Vec<u64>, usize) {
+        crate::sparse::dedup_indices(&self.indices)
+    }
+}
+
+/// Forward/backward of one embedding-bag layer over one table.
+///
+/// Stateless: the table is passed explicitly so the optimizers own the
+/// weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct EmbeddingBag {
+    pooling: Pooling,
+}
+
+impl EmbeddingBag {
+    /// Creates a bag with the given pooling reduction.
+    #[must_use]
+    pub fn new(pooling: Pooling) -> Self {
+        Self { pooling }
+    }
+
+    /// The configured pooling.
+    #[must_use]
+    pub fn pooling(&self) -> Pooling {
+        self.pooling
+    }
+
+    /// Forward: pooled output, one row per sample (`B × dim`).
+    ///
+    /// Samples with an empty index list produce a zero vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range for `table`.
+    #[must_use]
+    pub fn forward(&self, table: &EmbeddingTable, batch: &BagIndices) -> Matrix {
+        let mut out = Matrix::zeros(batch.batch_size(), table.dim());
+        for i in 0..batch.batch_size() {
+            let idxs = batch.sample(i);
+            if idxs.is_empty() {
+                continue;
+            }
+            let row = out.row_mut(i);
+            for &idx in idxs {
+                for (o, &w) in row.iter_mut().zip(table.row(idx as usize).iter()) {
+                    *o += w;
+                }
+            }
+            if self.pooling == Pooling::Mean {
+                let inv = 1.0 / idxs.len() as f32;
+                for o in row.iter_mut() {
+                    *o *= inv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward: per-row sparse gradient from the pooled-output gradient
+    /// (`B × dim`). The result is **un-coalesced** (one entry per lookup)
+    /// so callers can decide when to pay for coalescing — mirroring the
+    /// paper's separation of "gradient coalescing" as its own stage
+    /// (Fig. 11).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_out` has the wrong shape.
+    #[must_use]
+    pub fn backward(&self, grad_out: &Matrix, batch: &BagIndices, dim: usize) -> SparseGrad {
+        assert_eq!(
+            grad_out.shape(),
+            (batch.batch_size(), dim),
+            "grad_out shape mismatch"
+        );
+        let mut grad = SparseGrad::new(dim);
+        for i in 0..batch.batch_size() {
+            let idxs = batch.sample(i);
+            if idxs.is_empty() {
+                continue;
+            }
+            let g = grad_out.row(i);
+            let scale = match self.pooling {
+                Pooling::Sum => 1.0,
+                Pooling::Mean => 1.0 / idxs.len() as f32,
+            };
+            for &idx in idxs {
+                let entry = grad.push_zeros(idx);
+                for (e, &gv) in entry.iter_mut().zip(g.iter()) {
+                    *e = scale * gv;
+                }
+            }
+        }
+        grad
+    }
+
+    /// Per-example squared gradient norm of this bag's weights, without
+    /// materializing per-example gradients — the embedding half of the
+    /// DP-SGD(F) *ghost norm* trick (paper §2.5, Denison et al.).
+    ///
+    /// For sum pooling, example `i`'s gradient w.r.t. row `r` is
+    /// `c_{i,r} · δ_i` where `c_{i,r}` is the number of times `r` occurs
+    /// in the sample's lookups, so
+    /// `‖g_i‖² = (Σ_r c_{i,r}²) · ‖δ_i‖²`. Mean pooling scales by
+    /// `1/L_i²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_out` has the wrong number of rows.
+    #[must_use]
+    pub fn per_example_norm_sq(&self, grad_out: &Matrix, batch: &BagIndices) -> Vec<f64> {
+        assert_eq!(grad_out.rows(), batch.batch_size(), "grad_out rows mismatch");
+        let mut out = Vec::with_capacity(batch.batch_size());
+        let mut counts: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for i in 0..batch.batch_size() {
+            let idxs = batch.sample(i);
+            counts.clear();
+            for &idx in idxs {
+                *counts.entry(idx).or_insert(0) += 1;
+            }
+            let c_sq: f64 = counts.values().map(|&c| f64::from(c) * f64::from(c)).sum();
+            let delta_sq: f64 = grad_out
+                .row(i)
+                .iter()
+                .map(|&x| f64::from(x) * f64::from(x))
+                .sum();
+            let scale = match self.pooling {
+                Pooling::Sum => 1.0,
+                Pooling::Mean => {
+                    let l = idxs.len() as f64;
+                    if l == 0.0 {
+                        0.0
+                    } else {
+                        1.0 / (l * l)
+                    }
+                }
+            };
+            out.push(c_sq * delta_sq * scale);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with_rows(rows: &[&[f32]]) -> EmbeddingTable {
+        let dim = rows[0].len();
+        let mut t = EmbeddingTable::zeros(rows.len(), dim);
+        for (r, vals) in rows.iter().enumerate() {
+            t.row_mut(r).copy_from_slice(vals);
+        }
+        t
+    }
+
+    #[test]
+    fn forward_sum_and_mean() {
+        let t = table_with_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[4.0, 4.0]]);
+        let batch = BagIndices::from_samples(&[vec![0, 1], vec![2], vec![]]);
+        let sum = EmbeddingBag::new(Pooling::Sum).forward(&t, &batch);
+        assert_eq!(sum.row(0), &[1.0, 2.0]);
+        assert_eq!(sum.row(1), &[4.0, 4.0]);
+        assert_eq!(sum.row(2), &[0.0, 0.0]);
+        let mean = EmbeddingBag::new(Pooling::Mean).forward(&t, &batch);
+        assert_eq!(mean.row(0), &[0.5, 1.0]);
+        assert_eq!(mean.row(1), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn backward_scatter_matches_forward_structure() {
+        let batch = BagIndices::from_samples(&[vec![0, 1], vec![1, 1]]);
+        let grad_out = Matrix::from_rows(&[&[1.0, 2.0], &[10.0, 20.0]]);
+        let mut g = EmbeddingBag::new(Pooling::Sum).backward(&grad_out, &batch, 2);
+        assert_eq!(g.len(), 4, "one entry per lookup before coalescing");
+        g.coalesce();
+        let dense = g.to_dense_map();
+        assert_eq!(dense[&0], vec![1.0, 2.0]);
+        // Row 1 gets sample 0's grad once and sample 1's grad twice.
+        assert_eq!(dense[&1], vec![21.0, 42.0]);
+    }
+
+    #[test]
+    fn backward_mean_scales_by_bag_length() {
+        let batch = BagIndices::from_samples(&[vec![0, 1, 2, 3]]);
+        let grad_out = Matrix::from_rows(&[&[4.0]]);
+        let g = EmbeddingBag::new(Pooling::Mean).backward(&grad_out, &batch, 1);
+        for (_, v) in g.iter() {
+            assert_eq!(v, &[1.0]);
+        }
+    }
+
+    #[test]
+    fn forward_backward_finite_difference() {
+        // dL/dW check with L = sum(output): each gathered row's grad is 1.
+        let mut t = table_with_rows(&[&[0.5, -0.5], &[1.5, 2.5]]);
+        let batch = BagIndices::from_samples(&[vec![0, 1, 1]]);
+        let bag = EmbeddingBag::new(Pooling::Sum);
+        let grad_out = Matrix::filled(1, 2, 1.0);
+        let mut g = bag.backward(&grad_out, &batch, 2);
+        g.coalesce();
+        let eps = 1e-3f32;
+        for (idx, gvals) in g.iter() {
+            for d in 0..2 {
+                let orig = t.row(idx as usize)[d];
+                t.row_mut(idx as usize)[d] = orig + eps;
+                let up: f32 = bag.forward(&t, &batch).as_slice().iter().sum();
+                t.row_mut(idx as usize)[d] = orig - eps;
+                let down: f32 = bag.forward(&t, &batch).as_slice().iter().sum();
+                t.row_mut(idx as usize)[d] = orig;
+                let fd = (up - down) / (2.0 * eps);
+                assert!((gvals[d] - fd).abs() < 1e-2, "row {idx} dim {d}: {} vs {fd}", gvals[d]);
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_norm_matches_explicit_per_example_norm() {
+        let batch = BagIndices::from_samples(&[vec![0, 1], vec![2, 2, 3]]);
+        let grad_out = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 0.5]]);
+        let bag = EmbeddingBag::new(Pooling::Sum);
+        let ghost = bag.per_example_norm_sq(&grad_out, &batch);
+        // Explicit: materialize each example's sparse grad and take its norm.
+        for i in 0..2 {
+            let single = BagIndices::from_samples(&[batch.sample(i).to_vec()]);
+            let g_i = Matrix::from_vec(1, 2, grad_out.row(i).to_vec());
+            let mut sg = bag.backward(&g_i, &single, 2);
+            sg.coalesce();
+            let explicit = sg.norm_sq();
+            assert!(
+                (ghost[i] - explicit).abs() < 1e-9,
+                "example {i}: ghost {} explicit {explicit}",
+                ghost[i]
+            );
+        }
+    }
+
+    #[test]
+    fn ghost_norm_mean_pooling() {
+        let batch = BagIndices::from_samples(&[vec![0, 1, 1]]);
+        let grad_out = Matrix::from_rows(&[&[3.0]]);
+        let bag = EmbeddingBag::new(Pooling::Mean);
+        let ghost = bag.per_example_norm_sq(&grad_out, &batch);
+        let single = BagIndices::from_samples(&[batch.sample(0).to_vec()]);
+        let mut sg = bag.backward(&grad_out, &single, 1);
+        sg.coalesce();
+        assert!((ghost[0] - sg.norm_sq()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bag_indices_accessors() {
+        let batch = BagIndices::from_samples(&[vec![5, 5, 2], vec![9]]);
+        assert_eq!(batch.batch_size(), 2);
+        assert_eq!(batch.total_lookups(), 4);
+        assert_eq!(batch.sample(0), &[5, 5, 2]);
+        assert_eq!(batch.sample(1), &[9]);
+        let (uniq, dups) = batch.unique_indices();
+        assert_eq!(uniq, vec![2, 5, 9]);
+        assert_eq!(dups, 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! Embedding-layer substrate: tables, bags, pooling, sparse gradients.
+//!
+//! Embedding layers are the heart of the LazyDP paper. A table is an array
+//! of `dim`-wide vectors indexed by a categorical feature; a training
+//! iteration *gathers* a handful of rows (0.03% of MLPerf DLRM's table per
+//! iteration, paper §1), pools them, and — under non-private SGD —
+//! *sparsely* updates only the gathered rows (paper Fig. 4(a)). DP-SGD
+//! instead turns that into a dense noisy update of every row
+//! (Fig. 4(b)), which is the bottleneck LazyDP removes.
+//!
+//! This crate provides the functional pieces:
+//!
+//! * [`EmbeddingTable`] — the weight storage with sparse/dense update
+//!   primitives,
+//! * [`EmbeddingBag`] — gather + pooling forward/backward,
+//! * [`SparseGrad`] — per-row gradients with coalescing (the "gradient
+//!   coalescing" stage of Fig. 11),
+//! * [`AccessTracker`] — per-row access statistics used to validate the
+//!   skewed-workload generators against Fig. 13(d)'s definitions,
+//! * [`VirtualTable`] — a lazily-materialized table that lets the
+//!   functional LazyDP stack run at the paper's true 96 GB+ logical
+//!   scale (only touched rows are resident; see `lazydp-core::scale`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod bag;
+pub mod sparse;
+pub mod table;
+pub mod virtual_table;
+
+pub use access::AccessTracker;
+pub use bag::{EmbeddingBag, Pooling};
+pub use sparse::SparseGrad;
+pub use table::EmbeddingTable;
+pub use virtual_table::VirtualTable;

@@ -1,0 +1,309 @@
+//! Sparse per-row gradients and coalescing.
+//!
+//! A mini-batch's embedding gradient only touches the gathered rows. The
+//! *coalescing* step (dedup + accumulate per distinct row) is what LazyDP
+//! reports as part of its 15% overhead (paper Fig. 11: "removing
+//! duplicated embedding indices" is 61% of the overhead), so it is a
+//! first-class, instrumentable operation here.
+
+use std::collections::HashMap;
+
+/// A sparse gradient over an embedding table: a list of `(row, values)`
+/// entries, each `values` being a `dim`-wide vector.
+///
+/// Entries may contain duplicate rows until [`coalesce`](Self::coalesce)
+/// is called.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseGrad {
+    dim: usize,
+    indices: Vec<u64>,
+    /// Row-major `indices.len() × dim` values.
+    values: Vec<f32>,
+}
+
+impl SparseGrad {
+    /// Creates an empty gradient for dimension `dim`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds from `(row, values)` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry's length differs from `dim`.
+    #[must_use]
+    pub fn from_entries(dim: usize, entries: Vec<(u64, Vec<f32>)>) -> Self {
+        let mut g = Self::new(dim);
+        for (idx, vals) in entries {
+            g.push(idx, &vals);
+        }
+        g
+    }
+
+    /// Appends an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != dim`.
+    pub fn push(&mut self, index: u64, values: &[f32]) {
+        assert_eq!(values.len(), self.dim, "sparse entry dim mismatch");
+        self.indices.push(index);
+        self.values.extend_from_slice(values);
+    }
+
+    /// Appends a zero entry and returns a mutable slice to fill it.
+    pub fn push_zeros(&mut self, index: u64) -> &mut [f32] {
+        self.indices.push(index);
+        let start = self.values.len();
+        self.values.resize(start + self.dim, 0.0);
+        &mut self.values[start..]
+    }
+
+    /// Accumulates `alpha * values` into the entry for `index`, creating
+    /// it if absent. O(n) scan — use [`coalesce`](Self::coalesce) for
+    /// bulk merging instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != dim`.
+    pub fn accumulate(&mut self, index: u64, alpha: f32, values: &[f32]) {
+        assert_eq!(values.len(), self.dim, "sparse entry dim mismatch");
+        if let Some(pos) = self.indices.iter().position(|&i| i == index) {
+            let row = &mut self.values[pos * self.dim..(pos + 1) * self.dim];
+            for (r, &v) in row.iter_mut().zip(values.iter()) {
+                *r += alpha * v;
+            }
+        } else {
+            let row = self.push_zeros(index);
+            for (r, &v) in row.iter_mut().zip(values.iter()) {
+                *r = alpha * v;
+            }
+        }
+    }
+
+    /// The embedding dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of entries (including duplicates before coalescing).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the gradient has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// The row indices (possibly with duplicates).
+    #[must_use]
+    pub fn indices(&self) -> &[u64] {
+        &self.indices
+    }
+
+    /// Iterates over `(row, values)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[f32])> {
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.chunks_exact(self.dim.max(1)))
+    }
+
+    /// Values of entry `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn entry(&self, i: usize) -> (u64, &[f32]) {
+        (self.indices[i], &self.values[i * self.dim..(i + 1) * self.dim])
+    }
+
+    /// Mutable values of entry `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn entry_mut(&mut self, i: usize) -> &mut [f32] {
+        let d = self.dim;
+        &mut self.values[i * d..(i + 1) * d]
+    }
+
+    /// In-place scaling of every value.
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.values {
+            *v *= alpha;
+        }
+    }
+
+    /// Merges duplicate rows by summation and sorts entries by row index.
+    ///
+    /// Returns the number of duplicate entries that were merged away —
+    /// the quantity LazyDP's overhead accounting tracks (Fig. 11).
+    pub fn coalesce(&mut self) -> usize {
+        if self.indices.len() <= 1 {
+            return 0;
+        }
+        let before = self.indices.len();
+        let mut order: Vec<usize> = (0..self.indices.len()).collect();
+        order.sort_by_key(|&i| self.indices[i]);
+        let mut new_indices: Vec<u64> = Vec::with_capacity(before);
+        let mut new_values: Vec<f32> = Vec::with_capacity(before * self.dim);
+        for &src in &order {
+            let idx = self.indices[src];
+            let vals = &self.values[src * self.dim..(src + 1) * self.dim];
+            if new_indices.last() == Some(&idx) {
+                let start = new_values.len() - self.dim;
+                for (acc, &v) in new_values[start..].iter_mut().zip(vals.iter()) {
+                    *acc += v;
+                }
+            } else {
+                new_indices.push(idx);
+                new_values.extend_from_slice(vals);
+            }
+        }
+        self.indices = new_indices;
+        self.values = new_values;
+        before - self.indices.len()
+    }
+
+    /// Sums the squared L2 norms of all entries (in `f64`).
+    #[must_use]
+    pub fn norm_sq(&self) -> f64 {
+        self.values
+            .iter()
+            .map(|&x| f64::from(x) * f64::from(x))
+            .sum()
+    }
+
+    /// Converts to a dense map for test comparisons.
+    #[must_use]
+    pub fn to_dense_map(&self) -> HashMap<u64, Vec<f32>> {
+        let mut m: HashMap<u64, Vec<f32>> = HashMap::new();
+        for (idx, vals) in self.iter() {
+            let e = m.entry(idx).or_insert_with(|| vec![0.0; self.dim]);
+            for (a, &v) in e.iter_mut().zip(vals.iter()) {
+                *a += v;
+            }
+        }
+        m
+    }
+}
+
+/// Deduplicates a list of row indices, returning the sorted unique set
+/// and the number of duplicates removed.
+///
+/// This is the standalone "remove duplicated embedding indices among the
+/// embeddings accessed next" operation of LazyDP (61% of its overhead,
+/// Fig. 11) — split out so `lazydp-core` can instrument it separately
+/// from gradient coalescing.
+#[must_use]
+pub fn dedup_indices(indices: &[u64]) -> (Vec<u64>, usize) {
+    let mut sorted = indices.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let dups = indices.len() - sorted.len();
+    (sorted, dups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_iter_roundtrip() {
+        let mut g = SparseGrad::new(2);
+        g.push(5, &[1.0, 2.0]);
+        g.push(3, &[3.0, 4.0]);
+        let entries: Vec<_> = g.iter().map(|(i, v)| (i, v.to_vec())).collect();
+        assert_eq!(entries, vec![(5, vec![1.0, 2.0]), (3, vec![3.0, 4.0])]);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn coalesce_merges_sorts_and_counts() {
+        let mut g = SparseGrad::from_entries(
+            2,
+            vec![
+                (7, vec![1.0, 1.0]),
+                (2, vec![2.0, 2.0]),
+                (7, vec![10.0, 10.0]),
+                (2, vec![0.5, 0.5]),
+                (1, vec![9.0, 9.0]),
+            ],
+        );
+        let merged = g.coalesce();
+        assert_eq!(merged, 2);
+        assert_eq!(g.indices(), &[1, 2, 7]);
+        assert_eq!(g.entry(0).1, &[9.0, 9.0]);
+        assert_eq!(g.entry(1).1, &[2.5, 2.5]);
+        assert_eq!(g.entry(2).1, &[11.0, 11.0]);
+    }
+
+    #[test]
+    fn coalesce_preserves_total_mass() {
+        let mut g = SparseGrad::from_entries(
+            1,
+            vec![(0, vec![1.0]), (1, vec![2.0]), (0, vec![3.0]), (1, vec![4.0])],
+        );
+        let sum_before: f32 = g.iter().map(|(_, v)| v[0]).sum();
+        g.coalesce();
+        let sum_after: f32 = g.iter().map(|(_, v)| v[0]).sum();
+        assert_eq!(sum_before, sum_after);
+    }
+
+    #[test]
+    fn accumulate_creates_or_adds() {
+        let mut g = SparseGrad::new(2);
+        g.accumulate(4, 1.0, &[1.0, 1.0]);
+        g.accumulate(4, 2.0, &[1.0, 2.0]);
+        g.accumulate(9, 1.0, &[5.0, 5.0]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.to_dense_map()[&4], vec![3.0, 5.0]);
+        assert_eq!(g.to_dense_map()[&9], vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn scale_and_norm() {
+        let mut g = SparseGrad::from_entries(2, vec![(0, vec![3.0, 4.0])]);
+        assert!((g.norm_sq() - 25.0).abs() < 1e-9);
+        g.scale(2.0);
+        assert!((g.norm_sq() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dedup_indices_counts_duplicates() {
+        let (uniq, dups) = dedup_indices(&[5, 1, 5, 3, 1, 1]);
+        assert_eq!(uniq, vec![1, 3, 5]);
+        assert_eq!(dups, 3);
+        let (empty, zero) = dedup_indices(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(zero, 0);
+    }
+
+    #[test]
+    fn coalesce_on_empty_and_singleton() {
+        let mut empty = SparseGrad::new(4);
+        assert_eq!(empty.coalesce(), 0);
+        let mut single = SparseGrad::from_entries(1, vec![(3, vec![1.0])]);
+        assert_eq!(single.coalesce(), 0);
+        assert_eq!(single.indices(), &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparse entry dim mismatch")]
+    fn push_rejects_wrong_dim() {
+        let mut g = SparseGrad::new(3);
+        g.push(0, &[1.0]);
+    }
+}

@@ -1,0 +1,259 @@
+//! Virtual (lazily materialized) embedding tables.
+//!
+//! The paper's whole point is that LazyDP touches only `O(batch)` rows
+//! per iteration while eager DP-SGD touches *all* of them. A
+//! [`VirtualTable`] exploits that asymmetry to let the **functional**
+//! stack run at the paper's true scale: rows are materialized on first
+//! touch — untouched rows are pure functions of `(seed, row)` — so a
+//! logically-96 GB table costs physical memory proportional only to the
+//! rows training has actually visited. Algorithms that must touch every
+//! row (eager DP-SGD's dense noisy update) are *physically impossible*
+//! to run this way, which is exactly the paper's Fig. 4 asymmetry.
+
+use crate::sparse::SparseGrad;
+use lazydp_rng::counter::CounterRng;
+use std::collections::HashMap;
+
+/// An embedding table with lazily materialized rows.
+///
+/// Unmaterialized rows hold their deterministic initialization value
+/// (uniform `±1/√rows`, matching
+/// [`EmbeddingTable::init_uniform`](crate::EmbeddingTable::init_uniform)'s
+/// distribution but addressed per-row so any row can be produced in
+/// isolation).
+#[derive(Debug, Clone)]
+pub struct VirtualTable {
+    logical_rows: u64,
+    dim: usize,
+    init: CounterRng,
+    init_bound: f32,
+    materialized: HashMap<u64, Vec<f32>>,
+}
+
+impl VirtualTable {
+    /// Creates a virtual table with `logical_rows × dim` logical
+    /// parameters and zero physical rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical_rows == 0` or `dim == 0`.
+    #[must_use]
+    pub fn new(logical_rows: u64, dim: usize, seed: u64) -> Self {
+        assert!(logical_rows > 0 && dim > 0, "table must be non-empty");
+        Self {
+            logical_rows,
+            dim,
+            init: CounterRng::new(seed ^ 0x7fe1_57ab_1e00_cafe),
+            init_bound: 1.0 / (logical_rows as f64).sqrt() as f32,
+            materialized: HashMap::new(),
+        }
+    }
+
+    /// Logical row count.
+    #[must_use]
+    pub fn logical_rows(&self) -> u64 {
+        self.logical_rows
+    }
+
+    /// Embedding dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Logical size in bytes (what an eager algorithm would have to
+    /// allocate and stream).
+    #[must_use]
+    pub fn logical_bytes(&self) -> u64 {
+        self.logical_rows * self.dim as u64 * 4
+    }
+
+    /// Number of physically materialized rows.
+    #[must_use]
+    pub fn materialized_rows(&self) -> usize {
+        self.materialized.len()
+    }
+
+    /// Physical weight bytes actually resident.
+    #[must_use]
+    pub fn physical_bytes(&self) -> u64 {
+        (self.materialized.len() * self.dim * 4) as u64
+    }
+
+    /// The deterministic initialization value of row `r` (whether or not
+    /// it is materialized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn init_row(&self, r: u64) -> Vec<f32> {
+        assert!(r < self.logical_rows, "row {r} out of {}", self.logical_rows);
+        let mut stream = self.init.derive(r).stream(0);
+        let mut out = vec![0.0f32; self.dim];
+        for x in &mut out {
+            use lazydp_rng::Prng;
+            *x = (stream.next_f32() * 2.0 - 1.0) * self.init_bound;
+        }
+        out
+    }
+
+    /// Reads row `r` into a freshly allocated vector (init value if
+    /// never written).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn read_row(&self, r: u64) -> Vec<f32> {
+        match self.materialized.get(&r) {
+            Some(v) => v.clone(),
+            None => self.init_row(r),
+        }
+    }
+
+    /// Mutable access to row `r`, materializing it on first touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row_mut(&mut self, r: u64) -> &mut [f32] {
+        assert!(r < self.logical_rows, "row {r} out of {}", self.logical_rows);
+        if !self.materialized.contains_key(&r) {
+            let init = self.init_row(r);
+            self.materialized.insert(r, init);
+        }
+        self.materialized.get_mut(&r).expect("just inserted")
+    }
+
+    /// Sum-pools the rows of `indices` into a `dim`-wide vector (the
+    /// embedding-bag forward for one sample).
+    #[must_use]
+    pub fn pool(&self, indices: &[u64]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        for &idx in indices {
+            let row = self.read_row(idx);
+            for (o, &w) in out.iter_mut().zip(row.iter()) {
+                *o += w;
+            }
+        }
+        out
+    }
+
+    /// Sparse update `row[idx] -= lr · g` — identical semantics to
+    /// [`EmbeddingTable::sparse_update`](crate::EmbeddingTable::sparse_update).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or out-of-range rows.
+    pub fn sparse_update(&mut self, grad: &SparseGrad, lr: f32) {
+        assert_eq!(grad.dim(), self.dim, "sparse grad dim mismatch");
+        for (idx, values) in grad.iter() {
+            let row = self.row_mut(idx);
+            for (w, &g) in row.iter_mut().zip(values.iter()) {
+                *w -= lr * g;
+            }
+        }
+    }
+
+    /// Materializes into a dense [`EmbeddingTable`](crate::EmbeddingTable)
+    /// — test helper for small logical sizes; panics by design if the
+    /// table would not reasonably fit (> 2^28 elements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical_rows × dim > 2^28`.
+    #[must_use]
+    pub fn to_dense(&self) -> crate::EmbeddingTable {
+        let elements = self.logical_rows * self.dim as u64;
+        assert!(elements <= 1 << 28, "refusing to densify {elements} elements");
+        let mut t = crate::EmbeddingTable::zeros(self.logical_rows as usize, self.dim);
+        for r in 0..self.logical_rows {
+            t.row_mut(r as usize).copy_from_slice(&self.read_row(r));
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_rows_cost_nothing() {
+        let t = VirtualTable::new(1u64 << 40, 128, 7); // logical 512 TB
+        assert_eq!(t.materialized_rows(), 0);
+        assert_eq!(t.physical_bytes(), 0);
+        assert_eq!(t.logical_bytes(), (1u64 << 40) * 512);
+        // Reading does not materialize.
+        let _ = t.read_row(123_456_789_000);
+        assert_eq!(t.materialized_rows(), 0);
+    }
+
+    #[test]
+    fn init_rows_are_deterministic_and_bounded() {
+        let t1 = VirtualTable::new(10_000, 16, 42);
+        let t2 = VirtualTable::new(10_000, 16, 42);
+        assert_eq!(t1.init_row(777), t2.init_row(777));
+        assert_ne!(t1.init_row(777), t1.init_row(778));
+        let bound = 1.0 / (10_000f64).sqrt() as f32;
+        assert!(t1.init_row(5).iter().all(|x| x.abs() <= bound));
+        let t3 = VirtualTable::new(10_000, 16, 43);
+        assert_ne!(t1.init_row(777), t3.init_row(777), "seed-sensitive");
+    }
+
+    #[test]
+    fn writes_materialize_and_persist() {
+        let mut t = VirtualTable::new(1_000_000, 4, 1);
+        let before = t.read_row(99);
+        t.row_mut(99)[0] += 1.0;
+        assert_eq!(t.materialized_rows(), 1);
+        let after = t.read_row(99);
+        assert!((after[0] - before[0] - 1.0).abs() < 1e-7);
+        assert_eq!(&after[1..], &before[1..]);
+        // Other rows untouched.
+        assert_eq!(t.read_row(98), t.init_row(98));
+    }
+
+    #[test]
+    fn sparse_update_matches_dense_table_semantics() {
+        let mut v = VirtualTable::new(64, 4, 5);
+        let mut d = v.to_dense();
+        let mut grad = SparseGrad::from_entries(
+            4,
+            vec![(3, vec![1.0, 2.0, 3.0, 4.0]), (60, vec![-1.0, 0.0, 0.5, 2.0])],
+        );
+        let _ = grad.coalesce();
+        v.sparse_update(&grad, 0.1);
+        d.sparse_update(&grad, 0.1);
+        for r in 0..64u64 {
+            let vr = v.read_row(r);
+            let dr = d.row(r as usize);
+            for (a, b) in vr.iter().zip(dr.iter()) {
+                assert!((a - b).abs() < 1e-7, "row {r}");
+            }
+        }
+        assert_eq!(v.materialized_rows(), 2, "only updated rows resident");
+    }
+
+    #[test]
+    fn pool_sums_rows() {
+        let t = VirtualTable::new(100, 3, 9);
+        let pooled = t.pool(&[1, 2]);
+        let expect: Vec<f32> = t
+            .init_row(1)
+            .iter()
+            .zip(t.init_row(2).iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        assert_eq!(pooled, expect);
+        assert_eq!(t.pool(&[]), vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to densify")]
+    fn densify_guard() {
+        let t = VirtualTable::new(1 << 30, 512, 1);
+        let _ = t.to_dense();
+    }
+}

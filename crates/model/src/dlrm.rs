@@ -1,0 +1,506 @@
+//! The full DLRM model: bottom MLP + embedding bags + feature
+//! interaction + top MLP (paper Fig. 1).
+
+use crate::config::DlrmConfig;
+use crate::interaction::{interaction_backward, interaction_forward};
+use crate::mlp::{Mlp, MlpCache, MlpGrads};
+use lazydp_data::MiniBatch;
+use lazydp_embedding::{EmbeddingBag, EmbeddingTable, Pooling, SparseGrad};
+use lazydp_rng::Prng;
+use lazydp_tensor::{bce_with_logits, bce_with_logits_grad, Matrix};
+
+/// Forward-pass cache for one mini-batch.
+#[derive(Debug, Clone)]
+pub struct DlrmCache {
+    /// Bottom-MLP cache.
+    pub bottom: MlpCache,
+    /// Interaction inputs: `[bottom output, emb table 0, …]`, each `B × d`.
+    pub inter_inputs: Vec<Matrix>,
+    /// Top-MLP cache (its input is the interaction output).
+    pub top: MlpCache,
+}
+
+impl DlrmCache {
+    /// The output logits (one per example).
+    #[must_use]
+    pub fn logits(&self) -> Vec<f32> {
+        self.top.output().as_slice().to_vec()
+    }
+}
+
+/// Gradients of every trainable tensor in the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DlrmGrads {
+    /// Bottom-MLP gradients.
+    pub bottom: MlpGrads,
+    /// Top-MLP gradients.
+    pub top: MlpGrads,
+    /// Per-table sparse embedding gradients.
+    pub tables: Vec<SparseGrad>,
+}
+
+impl DlrmGrads {
+    /// Total squared L2 norm across all tensors.
+    #[must_use]
+    pub fn norm_sq(&self) -> f64 {
+        self.bottom.norm_sq()
+            + self.top.norm_sq()
+            + self.tables.iter().map(SparseGrad::norm_sq).sum::<f64>()
+    }
+
+    /// Total L2 norm.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// In-place scaling of every gradient value.
+    pub fn scale(&mut self, alpha: f32) {
+        self.bottom.scale(alpha);
+        self.top.scale(alpha);
+        for t in &mut self.tables {
+            t.scale(alpha);
+        }
+    }
+
+    /// Coalesces every table gradient, returning total duplicates merged.
+    pub fn coalesce(&mut self) -> usize {
+        self.tables.iter_mut().map(SparseGrad::coalesce).sum()
+    }
+}
+
+/// The DLRM model.
+#[derive(Debug, Clone)]
+pub struct Dlrm {
+    config: DlrmConfig,
+    /// Bottom (dense-feature) MLP.
+    pub bottom: Mlp,
+    /// One embedding table per categorical feature.
+    pub tables: Vec<EmbeddingTable>,
+    /// One bag (gather+pool) per table.
+    pub bags: Vec<EmbeddingBag>,
+    /// Top (interaction) MLP ending in the click logit.
+    pub top: Mlp,
+}
+
+impl Dlrm {
+    /// Builds and initializes a model from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`DlrmConfig::validate`]).
+    #[must_use]
+    pub fn new<R: Prng>(config: DlrmConfig, rng: &mut R) -> Self {
+        config.validate().expect("invalid DLRM config");
+        let bottom = Mlp::new(config.num_dense, &config.bottom_layers, rng);
+        let top = Mlp::new(config.top_input_dim(), &config.top_layers, rng);
+        let tables = config
+            .table_rows
+            .iter()
+            .map(|&rows| EmbeddingTable::init_uniform(rows as usize, config.embedding_dim, rng))
+            .collect();
+        let bags = vec![EmbeddingBag::new(Pooling::Sum); config.table_rows.len()];
+        Self {
+            config,
+            bottom,
+            tables,
+            bags,
+            top,
+        }
+    }
+
+    /// The model configuration.
+    #[must_use]
+    pub fn config(&self) -> &DlrmConfig {
+        &self.config
+    }
+
+    /// Forward pass over a mini-batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is inconsistent or empty.
+    #[must_use]
+    pub fn forward(&self, batch: &MiniBatch) -> DlrmCache {
+        assert!(batch.is_consistent(), "inconsistent mini-batch");
+        assert!(!batch.is_empty(), "empty mini-batch");
+        let x = Matrix::from_vec(batch.batch_size(), batch.num_dense, batch.dense.clone());
+        let bottom = self.bottom.forward(&x);
+        let mut inter_inputs = Vec::with_capacity(1 + self.tables.len());
+        inter_inputs.push(bottom.output().clone());
+        for (t, table) in self.tables.iter().enumerate() {
+            inter_inputs.push(self.bags[t].forward(table, &batch.sparse[t]));
+        }
+        let top_in = interaction_forward(self.config.interaction, &inter_inputs);
+        let top = self.top.forward(&top_in);
+        DlrmCache {
+            bottom,
+            inter_inputs,
+            top,
+        }
+    }
+
+    /// Mean BCE loss of a batch (convenience for tests/examples).
+    #[must_use]
+    pub fn loss(&self, batch: &MiniBatch) -> f64 {
+        let cache = self.forward(batch);
+        bce_with_logits(&cache.logits(), &batch.labels)
+    }
+
+    /// Per-example logit gradients of the BCE loss.
+    ///
+    /// `mean = true` gives ∂(mean loss)/∂z (plain SGD); `mean = false`
+    /// gives per-example ∂loss_i/∂z_i (the DP clipping convention —
+    /// DP-SGD averages *after* clipping).
+    #[must_use]
+    pub fn logit_grads(cache: &DlrmCache, labels: &[f32], mean: bool) -> Vec<f32> {
+        bce_with_logits_grad(&cache.logits(), labels, mean)
+    }
+
+    /// Per-batch backward pass.
+    ///
+    /// `grad_logits[i]` is ∂L/∂logit_i; pass `weights` to compute the
+    /// reweighted sum `Σ_i w_i·grad_i` instead (the DP-SGD(R)/(F)
+    /// second pass) — valid because the backward graph is linear in the
+    /// logit gradient.
+    ///
+    /// The returned table gradients are **un-coalesced**.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree with the cached batch size.
+    #[must_use]
+    pub fn backward(
+        &self,
+        cache: &DlrmCache,
+        batch: &MiniBatch,
+        grad_logits: &[f32],
+        weights: Option<&[f32]>,
+    ) -> DlrmGrads {
+        let b = batch.batch_size();
+        assert_eq!(grad_logits.len(), b, "one logit grad per example");
+        let mut g = Matrix::from_vec(b, 1, grad_logits.to_vec());
+        if let Some(w) = weights {
+            assert_eq!(w.len(), b, "one weight per example");
+            for (i, &wi) in w.iter().enumerate() {
+                g.row_mut(i)[0] *= wi;
+            }
+        }
+        let (top_grads, grad_top_in) = self.top.backward(&cache.top, &g);
+        let inter_grads =
+            interaction_backward(self.config.interaction, &cache.inter_inputs, &grad_top_in);
+        let (bottom_grads, _) = self.bottom.backward(&cache.bottom, &inter_grads[0]);
+        let tables = (0..self.tables.len())
+            .map(|t| {
+                self.bags[t].backward(
+                    &inter_grads[t + 1],
+                    &batch.sparse[t],
+                    self.config.embedding_dim,
+                )
+            })
+            .collect();
+        DlrmGrads {
+            bottom: bottom_grads,
+            top: top_grads,
+            tables,
+        }
+    }
+
+    /// Per-example gradient L2 norms via ghost norms (DP-SGD(F) style):
+    /// no per-example weight gradient is materialized anywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree with the cached batch size.
+    #[must_use]
+    pub fn per_example_grad_norms(
+        &self,
+        cache: &DlrmCache,
+        batch: &MiniBatch,
+        grad_logits: &[f32],
+    ) -> Vec<f64> {
+        let b = batch.batch_size();
+        assert_eq!(grad_logits.len(), b, "one logit grad per example");
+        let g = Matrix::from_vec(b, 1, grad_logits.to_vec());
+        let (mut norms, grad_top_in) = self.top.backward_ghost_norms(&cache.top, &g);
+        let inter_grads =
+            interaction_backward(self.config.interaction, &cache.inter_inputs, &grad_top_in);
+        let (bottom_norms, _) = self
+            .bottom
+            .backward_ghost_norms(&cache.bottom, &inter_grads[0]);
+        for (n, bn) in norms.iter_mut().zip(bottom_norms.iter()) {
+            *n += bn;
+        }
+        for t in 0..self.tables.len() {
+            let emb_norms = self.bags[t].per_example_norm_sq(&inter_grads[t + 1], &batch.sparse[t]);
+            for (n, en) in norms.iter_mut().zip(emb_norms.iter()) {
+                *n += en;
+            }
+        }
+        norms
+    }
+
+    /// Materialized per-example gradients (DP-SGD(B) style). Memory is
+    /// `O(B × params)` for the MLP part — exactly the overhead the paper
+    /// describes in §2.5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree with the cached batch size.
+    #[must_use]
+    pub fn per_example_grads(
+        &self,
+        cache: &DlrmCache,
+        batch: &MiniBatch,
+        grad_logits: &[f32],
+    ) -> Vec<DlrmGrads> {
+        let b = batch.batch_size();
+        assert_eq!(grad_logits.len(), b, "one logit grad per example");
+        let g = Matrix::from_vec(b, 1, grad_logits.to_vec());
+        let (_, grad_top_in) = self.top.backward(&cache.top, &g);
+        let inter_grads =
+            interaction_backward(self.config.interaction, &cache.inter_inputs, &grad_top_in);
+        let top_per_ex = self.top.per_example_grads(&cache.top, &g);
+        let bottom_per_ex = self
+            .bottom
+            .per_example_grads(&cache.bottom, &inter_grads[0]);
+        (0..b)
+            .map(|i| {
+                let tables = (0..self.tables.len())
+                    .map(|t| {
+                        let dim = self.config.embedding_dim;
+                        let single = lazydp_embedding::bag::BagIndices::from_samples(&[batch
+                            .sparse[t]
+                            .sample(i)
+                            .to_vec()]);
+                        let gi = Matrix::from_vec(1, dim, inter_grads[t + 1].row(i).to_vec());
+                        self.bags[t].backward(&gi, &single, dim)
+                    })
+                    .collect();
+                DlrmGrads {
+                    bottom: bottom_per_ex[i].clone(),
+                    top: top_per_ex[i].clone(),
+                    tables,
+                }
+            })
+            .collect()
+    }
+
+    /// Applies gradients: `θ -= lr · g` on MLPs and sparse updates on
+    /// embedding tables (non-private SGD's model-update stage,
+    /// Fig. 4(a)).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn apply(&mut self, grads: &DlrmGrads, lr: f32) {
+        self.bottom.apply(&grads.bottom, lr);
+        self.top.apply(&grads.top, lr);
+        assert_eq!(grads.tables.len(), self.tables.len(), "table count mismatch");
+        for (table, g) in self.tables.iter_mut().zip(grads.tables.iter()) {
+            table.sparse_update(g, lr);
+        }
+    }
+
+    /// Total trainable parameters.
+    #[must_use]
+    pub fn params(&self) -> u64 {
+        self.bottom.params() as u64
+            + self.top.params() as u64
+            + self
+                .tables
+                .iter()
+                .map(|t| t.elements() as u64)
+                .sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazydp_data::{SyntheticConfig, SyntheticDataset};
+    use lazydp_rng::Xoshiro256PlusPlus;
+
+    fn tiny_setup(batch: usize) -> (Dlrm, MiniBatch, SyntheticDataset) {
+        let mut rng = Xoshiro256PlusPlus::seed_from(7);
+        let cfg = DlrmConfig::tiny(3, 50, 8);
+        let model = Dlrm::new(cfg, &mut rng);
+        let ds = SyntheticDataset::new(SyntheticConfig::small(3, 50, 256));
+        let b = ds.batch_of(&(0..batch).collect::<Vec<_>>());
+        (model, b, ds)
+    }
+
+    #[test]
+    fn forward_produces_one_logit_per_example() {
+        let (model, batch, _) = tiny_setup(5);
+        let cache = model.forward(&batch);
+        assert_eq!(cache.logits().len(), 5);
+        assert!(cache.logits().iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_difference_on_embedding() {
+        let (mut model, batch, _) = tiny_setup(4);
+        let cache = model.forward(&batch);
+        let gl = Dlrm::logit_grads(&cache, &batch.labels, true);
+        let mut grads = model.backward(&cache, &batch, &gl, None);
+        grads.coalesce();
+        let eps = 1e-3f32;
+        // Probe the first nonzero embedding-grad coordinate of table 0.
+        let (row, vals) = grads.tables[0].entry(0);
+        let d = vals.iter().position(|&v| v.abs() > 1e-6).unwrap_or(0);
+        let expect = vals[d];
+        let orig = model.tables[0].row(row as usize)[d];
+        model.tables[0].row_mut(row as usize)[d] = orig + eps;
+        let up = model.loss(&batch);
+        model.tables[0].row_mut(row as usize)[d] = orig - eps;
+        let down = model.loss(&batch);
+        model.tables[0].row_mut(row as usize)[d] = orig;
+        let fd = ((up - down) / (2.0 * f64::from(eps))) as f32;
+        assert!(
+            (expect - fd).abs() < 1e-2,
+            "emb grad {expect} vs finite diff {fd}"
+        );
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_difference_on_mlp() {
+        let (mut model, batch, _) = tiny_setup(4);
+        let cache = model.forward(&batch);
+        let gl = Dlrm::logit_grads(&cache, &batch.labels, true);
+        let grads = model.backward(&cache, &batch, &gl, None);
+        let eps = 1e-3f32;
+        let expect = grads.top.layers[0].dw[(0, 0)];
+        let orig = model.top.layers()[0].weight[(0, 0)];
+        model.top.layers_mut()[0].weight[(0, 0)] = orig + eps;
+        let up = model.loss(&batch);
+        model.top.layers_mut()[0].weight[(0, 0)] = orig - eps;
+        let down = model.loss(&batch);
+        model.top.layers_mut()[0].weight[(0, 0)] = orig;
+        let fd = ((up - down) / (2.0 * f64::from(eps))) as f32;
+        assert!((expect - fd).abs() < 1e-2, "top w grad {expect} vs {fd}");
+    }
+
+    #[test]
+    fn per_example_grads_sum_to_batch_grads() {
+        let (model, batch, _) = tiny_setup(4);
+        let cache = model.forward(&batch);
+        let gl = Dlrm::logit_grads(&cache, &batch.labels, false);
+        let mut batch_grads = model.backward(&cache, &batch, &gl, None);
+        batch_grads.coalesce();
+        let per_ex = model.per_example_grads(&cache, &batch, &gl);
+        // Sum the per-example grads and compare (MLP part).
+        let mut sum_bottom = MlpGrads::zeros_like(&model.bottom);
+        let mut sum_top = MlpGrads::zeros_like(&model.top);
+        for g in &per_ex {
+            sum_bottom.axpy(1.0, &g.bottom);
+            sum_top.axpy(1.0, &g.top);
+        }
+        for (a, b) in sum_bottom.layers.iter().zip(batch_grads.bottom.layers.iter()) {
+            assert!(a.dw.max_abs_diff(&b.dw) < 1e-4);
+        }
+        for (a, b) in sum_top.layers.iter().zip(batch_grads.top.layers.iter()) {
+            assert!(a.dw.max_abs_diff(&b.dw) < 1e-4);
+        }
+        // Embedding part: sum of per-example dense maps equals batch map.
+        for t in 0..3 {
+            let mut sum_map: std::collections::HashMap<u64, Vec<f32>> = Default::default();
+            for g in &per_ex {
+                for (idx, vals) in g.tables[t].to_dense_map() {
+                    let e = sum_map.entry(idx).or_insert_with(|| vec![0.0; 8]);
+                    for (a, v) in e.iter_mut().zip(vals.iter()) {
+                        *a += v;
+                    }
+                }
+            }
+            let batch_map = batch_grads.tables[t].to_dense_map();
+            assert_eq!(sum_map.len(), batch_map.len(), "table {t} rows");
+            for (idx, vals) in &batch_map {
+                for (a, b) in sum_map[idx].iter().zip(vals.iter()) {
+                    assert!((a - b).abs() < 1e-4, "table {t} row {idx}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_norms_match_materialized_norms() {
+        let (model, batch, _) = tiny_setup(6);
+        let cache = model.forward(&batch);
+        let gl = Dlrm::logit_grads(&cache, &batch.labels, false);
+        let ghost = model.per_example_grad_norms(&cache, &batch, &gl);
+        let per_ex = model.per_example_grads(&cache, &batch, &gl);
+        for (i, g) in per_ex.iter().enumerate() {
+            let mut materialized = g.clone();
+            materialized.coalesce(); // per-example norms need coalesced rows
+            let explicit = materialized.norm_sq();
+            let rel = (ghost[i] - explicit).abs() / explicit.max(1e-12);
+            assert!(
+                rel < 1e-6,
+                "example {i}: ghost {} explicit {explicit}",
+                ghost[i]
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_backward_equals_weighted_per_example_sum() {
+        let (model, batch, _) = tiny_setup(4);
+        let cache = model.forward(&batch);
+        let gl = Dlrm::logit_grads(&cache, &batch.labels, false);
+        let weights = [0.25f32, 1.0, 0.0, 0.5];
+        let mut weighted = model.backward(&cache, &batch, &gl, Some(&weights));
+        weighted.coalesce();
+        let per_ex = model.per_example_grads(&cache, &batch, &gl);
+        let mut sum_top = MlpGrads::zeros_like(&model.top);
+        for (g, &w) in per_ex.iter().zip(weights.iter()) {
+            sum_top.axpy(w, &g.top);
+        }
+        for (a, b) in sum_top.layers.iter().zip(weighted.top.layers.iter()) {
+            assert!(a.dw.max_abs_diff(&b.dw) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sgd_training_reduces_loss() {
+        let (mut model, _, ds) = tiny_setup(4);
+        let ids: Vec<usize> = (0..64).collect();
+        let batch = ds.batch_of(&ids);
+        let before = model.loss(&batch);
+        for _ in 0..60 {
+            let cache = model.forward(&batch);
+            let gl = Dlrm::logit_grads(&cache, &batch.labels, true);
+            let mut grads = model.backward(&cache, &batch, &gl, None);
+            grads.coalesce();
+            model.apply(&grads, 0.1);
+        }
+        let after = model.loss(&batch);
+        assert!(
+            after < before - 0.05,
+            "training must reduce loss: {before:.4} -> {after:.4}"
+        );
+    }
+
+    #[test]
+    fn apply_respects_sparsity() {
+        let (mut model, batch, _) = tiny_setup(3);
+        let before = model.tables[0].clone();
+        let cache = model.forward(&batch);
+        let gl = Dlrm::logit_grads(&cache, &batch.labels, true);
+        let mut grads = model.backward(&cache, &batch, &gl, None);
+        grads.coalesce();
+        model.apply(&grads, 0.5);
+        let touched: std::collections::HashSet<u64> =
+            batch.table_indices(0).iter().copied().collect();
+        for r in 0..model.tables[0].rows() {
+            let changed = model.tables[0].row(r) != before.row(r);
+            if touched.contains(&(r as u64)) {
+                // May legitimately be unchanged if the gradient is ~0,
+                // but untouched rows must never change:
+                continue;
+            }
+            assert!(!changed, "untouched row {r} changed");
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Feature interaction: combining the bottom-MLP output with the pooled
+//! embedding vectors (paper Fig. 1).
+
+use crate::config::InteractionKind;
+use lazydp_tensor::Matrix;
+
+/// Forward pass of the interaction.
+///
+/// `inputs` holds `n = T+1` matrices of identical shape `B × d`:
+/// `inputs[0]` is the bottom-MLP output, `inputs[1..]` the pooled
+/// embeddings. For [`InteractionKind::Dot`] the output is
+/// `[bottom | pairwise dot products]` of width `d + n(n−1)/2`; for
+/// [`InteractionKind::Concat`] it is all inputs side by side.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or shapes disagree.
+#[must_use]
+pub fn interaction_forward(kind: InteractionKind, inputs: &[Matrix]) -> Matrix {
+    assert!(!inputs.is_empty(), "interaction needs at least one input");
+    let (batch, dim) = inputs[0].shape();
+    for m in inputs {
+        assert_eq!(m.shape(), (batch, dim), "interaction inputs must share shape");
+    }
+    match kind {
+        InteractionKind::Concat => {
+            let mut out = inputs[0].clone();
+            for m in &inputs[1..] {
+                out = out.hcat(m);
+            }
+            out
+        }
+        InteractionKind::Dot => {
+            let n = inputs.len();
+            let pairs = n * (n - 1) / 2;
+            let mut out = Matrix::zeros(batch, dim + pairs);
+            for b in 0..batch {
+                let row = out.row_mut(b);
+                row[..dim].copy_from_slice(inputs[0].row(b));
+                let mut k = dim;
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        let mut acc = 0.0f32;
+                        for (x, y) in inputs[i].row(b).iter().zip(inputs[j].row(b)) {
+                            acc += x * y;
+                        }
+                        row[k] = acc;
+                        k += 1;
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Backward pass: gradient of each interaction input given the gradient
+/// of the interaction output.
+///
+/// # Panics
+///
+/// Panics if shapes disagree with what [`interaction_forward`] produced.
+#[must_use]
+pub fn interaction_backward(
+    kind: InteractionKind,
+    inputs: &[Matrix],
+    grad_out: &Matrix,
+) -> Vec<Matrix> {
+    assert!(!inputs.is_empty(), "interaction needs at least one input");
+    let (batch, dim) = inputs[0].shape();
+    match kind {
+        InteractionKind::Concat => {
+            assert_eq!(grad_out.shape(), (batch, dim * inputs.len()), "grad shape");
+            (0..inputs.len())
+                .map(|i| grad_out.col_slice(i * dim, dim))
+                .collect()
+        }
+        InteractionKind::Dot => {
+            let n = inputs.len();
+            let pairs = n * (n - 1) / 2;
+            assert_eq!(grad_out.shape(), (batch, dim + pairs), "grad shape");
+            let mut grads = vec![Matrix::zeros(batch, dim); n];
+            for b in 0..batch {
+                let g = grad_out.row(b);
+                // Pass-through part for the bottom vector.
+                grads[0].row_mut(b).copy_from_slice(&g[..dim]);
+                let mut k = dim;
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        let gk = g[k];
+                        if gk != 0.0 {
+                            // d(z_i·z_j)/dz_i = z_j and vice versa.
+                            for d in 0..dim {
+                                grads[i].row_mut(b)[d] += gk * inputs[j].row(b)[d];
+                                grads[j].row_mut(b)[d] += gk * inputs[i].row(b)[d];
+                            }
+                        }
+                        k += 1;
+                    }
+                }
+            }
+            grads
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(n: usize, batch: usize, dim: usize) -> Vec<Matrix> {
+        (0..n)
+            .map(|t| {
+                Matrix::from_fn(batch, dim, |i, j| {
+                    ((t * 13 + i * 7 + j * 3) as f32 % 9.0 - 4.0) / 4.0
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dot_forward_shape_and_values() {
+        let ins = inputs(3, 2, 4);
+        let out = interaction_forward(InteractionKind::Dot, &ins);
+        assert_eq!(out.shape(), (2, 4 + 3));
+        // First dim columns replicate the bottom vector.
+        assert_eq!(&out.row(0)[..4], ins[0].row(0));
+        // Pair (0,1) dot check for sample 1.
+        let expect: f32 = ins[0]
+            .row(1)
+            .iter()
+            .zip(ins[1].row(1))
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((out[(1, 4)] - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concat_forward_roundtrip() {
+        let ins = inputs(3, 2, 4);
+        let out = interaction_forward(InteractionKind::Concat, &ins);
+        assert_eq!(out.shape(), (2, 12));
+        let back = interaction_backward(InteractionKind::Concat, &ins, &out);
+        for (b, i) in back.iter().zip(ins.iter()) {
+            assert_eq!(b, i, "concat backward is a split");
+        }
+    }
+
+    #[test]
+    fn dot_backward_matches_finite_difference() {
+        let ins = inputs(3, 2, 3);
+        let grad_out = Matrix::from_fn(2, 3 + 3, |i, j| ((i + j) as f32 * 0.37).cos());
+        let grads = interaction_backward(InteractionKind::Dot, &ins, &grad_out);
+        // Scalar loss: sum(grad_out ⊙ forward(inputs)).
+        let loss = |ins: &[Matrix]| -> f32 {
+            interaction_forward(InteractionKind::Dot, ins)
+                .as_slice()
+                .iter()
+                .zip(grad_out.as_slice())
+                .map(|(a, g)| a * g)
+                .sum()
+        };
+        let eps = 1e-3f32;
+        for t in 0..3 {
+            for b in 0..2 {
+                for d in 0..3 {
+                    let mut pert = ins.clone();
+                    pert[t].row_mut(b)[d] += eps;
+                    let up = loss(&pert);
+                    pert[t].row_mut(b)[d] -= 2.0 * eps;
+                    let down = loss(&pert);
+                    let fd = (up - down) / (2.0 * eps);
+                    let got = grads[t][(b, d)];
+                    assert!(
+                        (got - fd).abs() < 1e-2,
+                        "input {t} sample {b} dim {d}: {got} vs {fd}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_input_dot_has_no_pairs() {
+        let ins = inputs(1, 3, 4);
+        let out = interaction_forward(InteractionKind::Dot, &ins);
+        assert_eq!(out.shape(), (3, 4));
+        assert_eq!(out, ins[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share shape")]
+    fn rejects_mismatched_inputs() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 4);
+        let _ = interaction_forward(InteractionKind::Dot, &[a, b]);
+    }
+}

@@ -1,0 +1,34 @@
+//! DLRM: the deep learning recommendation model the paper trains.
+//!
+//! Architecture (paper Fig. 1): a bottom MLP embeds the dense features, a
+//! set of embedding tables embeds the categorical features, a pairwise
+//! dot-product **feature interaction** combines them, and a top MLP
+//! produces the click logit. The MLPerf (v2.1) DLRM configuration used as
+//! the paper's default — 26 Criteo embedding tables, 128-dim embeddings,
+//! bottom MLP 13-512-256-128, top MLP 479-1024-1024-512-256-1 ("8 MLP
+//! layers … total model size of 96 GB", §6) — is available as
+//! [`DlrmConfig::mlperf`], along with the RMC1/2/3 variants of
+//! Fig. 13(c) and arbitrarily scaled-down versions for functional runs.
+//!
+//! The crate supports the three gradient-derivation styles the paper
+//! compares (§2.5):
+//!
+//! * per-batch gradients (plain SGD),
+//! * materialized **per-example** gradients (DP-SGD(B)),
+//! * **ghost norms** — per-example gradient L2 norms computed without
+//!   materializing per-example weight gradients (DP-SGD(F)), plus the
+//!   reweighted batch pass that both DP-SGD(R) and DP-SGD(F) share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dlrm;
+pub mod interaction;
+pub mod metrics;
+pub mod mlp;
+
+pub use config::{DlrmConfig, InteractionKind};
+pub use dlrm::{Dlrm, DlrmCache, DlrmGrads};
+pub use metrics::{accuracy, auc, calibration, log_loss};
+pub use mlp::{LayerGrad, Mlp, MlpCache, MlpGrads};

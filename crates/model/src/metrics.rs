@@ -1,0 +1,176 @@
+//! Click-through-rate evaluation metrics.
+//!
+//! The RecSys literature (and the MLPerf DLRM benchmark the paper's
+//! workload comes from) reports **ROC-AUC** as the primary quality
+//! metric, alongside log-loss. These are the metrics the
+//! privacy-vs-utility experiments use to show that DP training — with or
+//! without LazyDP — pays in utility as σ grows, while LazyDP's speedups
+//! are utility-neutral (the model is mathematically equivalent).
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney U)
+/// formulation with midrank tie handling.
+///
+/// Returns 0.5 for degenerate inputs (all-positive or all-negative
+/// labels), which is the convention that keeps training-loop telemetry
+/// total.
+///
+/// # Panics
+///
+/// Panics if lengths differ, inputs are empty, or a label is outside
+/// `[0, 1]`.
+#[must_use]
+pub fn auc(labels: &[f32], scores: &[f32]) -> f64 {
+    assert_eq!(labels.len(), scores.len(), "label/score length mismatch");
+    assert!(!labels.is_empty(), "empty evaluation set");
+    let n_pos = labels.iter().filter(|&&y| y >= 0.5).count();
+    let n_neg = labels.len() - n_pos;
+    for &y in labels {
+        assert!((0.0..=1.0).contains(&y), "label {y} outside [0,1]");
+    }
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Midranks over the scores.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0usize;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = midrank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = labels
+        .iter()
+        .zip(ranks.iter())
+        .filter(|(&y, _)| y >= 0.5)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Mean log-loss of probability predictions (clamped to avoid infinite
+/// penalties at exactly 0/1).
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+#[must_use]
+pub fn log_loss(labels: &[f32], probs: &[f32]) -> f64 {
+    assert_eq!(labels.len(), probs.len(), "label/prob length mismatch");
+    assert!(!labels.is_empty(), "empty evaluation set");
+    let eps = 1e-7f64;
+    labels
+        .iter()
+        .zip(probs.iter())
+        .map(|(&y, &p)| {
+            let p = f64::from(p).clamp(eps, 1.0 - eps);
+            let y = f64::from(y);
+            -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+        })
+        .sum::<f64>()
+        / labels.len() as f64
+}
+
+/// Calibration ratio: mean predicted probability / empirical click rate.
+/// 1.0 is perfectly calibrated; ads systems track this closely.
+///
+/// # Panics
+///
+/// Panics if lengths differ, inputs are empty, or no positives exist.
+#[must_use]
+pub fn calibration(labels: &[f32], probs: &[f32]) -> f64 {
+    assert_eq!(labels.len(), probs.len(), "label/prob length mismatch");
+    assert!(!labels.is_empty(), "empty evaluation set");
+    let mean_pred = probs.iter().map(|&p| f64::from(p)).sum::<f64>() / probs.len() as f64;
+    let ctr = labels.iter().map(|&y| f64::from(y)).sum::<f64>() / labels.len() as f64;
+    assert!(ctr > 0.0, "no positive labels — calibration undefined");
+    mean_pred / ctr
+}
+
+/// Accuracy at the 0.5 threshold.
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+#[must_use]
+pub fn accuracy(labels: &[f32], probs: &[f32]) -> f64 {
+    assert_eq!(labels.len(), probs.len(), "label/prob length mismatch");
+    assert!(!labels.is_empty(), "empty evaluation set");
+    let correct = labels
+        .iter()
+        .zip(probs.iter())
+        .filter(|(&y, &p)| (p >= 0.5) == (y >= 0.5))
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let labels = [0.0f32, 0.0, 1.0, 1.0];
+        assert_eq!(auc(&labels, &[0.1, 0.2, 0.8, 0.9]), 1.0);
+        assert_eq!(auc(&labels, &[0.9, 0.8, 0.2, 0.1]), 0.0);
+    }
+
+    #[test]
+    fn auc_known_value_with_tie() {
+        // scores: pos {0.8, 0.5}, neg {0.5, 0.2}. Pairs: (0.8>0.5)=1,
+        // (0.8>0.2)=1, (0.5=0.5)=0.5, (0.5>0.2)=1 → AUC = 3.5/4.
+        let labels = [1.0f32, 1.0, 0.0, 0.0];
+        let scores = [0.8f32, 0.5, 0.5, 0.2];
+        assert!((auc(&labels, &scores) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_degenerate_inputs_return_half() {
+        assert_eq!(auc(&[1.0, 1.0], &[0.3, 0.9]), 0.5);
+        assert_eq!(auc(&[0.0, 0.0], &[0.3, 0.9]), 0.5);
+    }
+
+    #[test]
+    fn auc_is_threshold_free() {
+        // Any strictly monotone transform of the scores preserves AUC.
+        let labels = [0.0f32, 1.0, 0.0, 1.0, 1.0, 0.0];
+        let scores = [0.2f32, 0.7, 0.4, 0.6, 0.9, 0.1];
+        let shifted: Vec<f32> = scores.iter().map(|s| s * 10.0 - 3.0).collect();
+        assert!((auc(&labels, &scores) - auc(&labels, &shifted)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_basics() {
+        // Perfect confident predictions → ~0; uninformative 0.5 → ln 2.
+        assert!(log_loss(&[1.0, 0.0], &[1.0, 0.0]) < 1e-5);
+        let l = log_loss(&[1.0, 0.0], &[0.5, 0.5]);
+        assert!((l - std::f64::consts::LN_2).abs() < 1e-9);
+        // Clamping keeps confident-wrong finite.
+        assert!(log_loss(&[1.0], &[0.0]).is_finite());
+    }
+
+    #[test]
+    fn calibration_and_accuracy() {
+        let labels = [1.0f32, 0.0, 0.0, 0.0];
+        let probs = [0.5f32, 0.2, 0.2, 0.1];
+        assert!((calibration(&labels, &probs) - 1.0).abs() < 1e-6);
+        assert!((accuracy(&labels, &probs) - 1.0).abs() < 1e-12);
+        let bad = [0.9f32, 0.9, 0.9, 0.9];
+        assert!(calibration(&labels, &bad) > 3.0);
+        assert!((accuracy(&labels, &bad) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn auc_rejects_mismatch() {
+        let _ = auc(&[1.0], &[0.5, 0.5]);
+    }
+}

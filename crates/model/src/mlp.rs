@@ -1,0 +1,542 @@
+//! Multi-layer perceptron with the three gradient-derivation styles of
+//! the paper's DP-SGD variants.
+//!
+//! The crucial structural fact (paper §2.5, Denison et al.): activation
+//! gradients are *already per-example* — each row of a `B × d` gradient
+//! matrix belongs to one example. Only the weight-gradient GEMM
+//! (`aᵀ·δ`) sums over examples. Therefore:
+//!
+//! * plain SGD / the reweighted pass run one weight-grad GEMM,
+//! * DP-SGD(B) materializes `B` outer products (`a_i δ_iᵀ`),
+//! * DP-SGD(F) reads per-example norms straight off the activations and
+//!   activation gradients: `‖grad_W L_i‖² = ‖a_i‖²·‖δ_i‖²` per linear
+//!   layer (the *ghost norm*), never materializing per-example grads.
+
+use lazydp_rng::{Prng, RowNoise};
+use lazydp_tensor::ops::add_bias;
+use lazydp_tensor::{Activation, InitKind, Matrix};
+
+/// One linear layer `y = act(x·W + b)` with `W: in × out`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearLayer {
+    /// Weight matrix, `in_dim × out_dim`.
+    pub weight: Matrix,
+    /// Bias, length `out_dim`.
+    pub bias: Vec<f32>,
+    /// Activation applied to the affine output.
+    pub activation: Activation,
+}
+
+impl LinearLayer {
+    /// Creates a Xavier-initialized layer.
+    #[must_use]
+    pub fn new<R: Prng>(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut R) -> Self {
+        Self {
+            weight: InitKind::XavierUniform.matrix(rng, in_dim, out_dim),
+            bias: vec![0.0; out_dim],
+            activation,
+        }
+    }
+
+    /// Input width.
+    #[must_use]
+    pub fn in_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output width.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Parameter count (weights + bias).
+    #[must_use]
+    pub fn params(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+}
+
+/// Gradient of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerGrad {
+    /// `∂L/∂W`, same shape as the weight.
+    pub dw: Matrix,
+    /// `∂L/∂b`, same length as the bias.
+    pub db: Vec<f32>,
+}
+
+impl LayerGrad {
+    /// Squared L2 norm of the layer gradient.
+    #[must_use]
+    pub fn norm_sq(&self) -> f64 {
+        self.dw.frob_norm_sq() + self.db.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>()
+    }
+
+    /// In-place `self += alpha * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Self) {
+        self.dw.axpy(alpha, &other.dw);
+        for (a, &b) in self.db.iter_mut().zip(other.db.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place scaling.
+    pub fn scale(&mut self, alpha: f32) {
+        self.dw.scale(alpha);
+        for b in &mut self.db {
+            *b *= alpha;
+        }
+    }
+}
+
+/// Gradients of a whole MLP (one [`LayerGrad`] per layer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpGrads {
+    /// Per-layer gradients, front to back.
+    pub layers: Vec<LayerGrad>,
+}
+
+impl MlpGrads {
+    /// Zero gradients shaped like `mlp`.
+    #[must_use]
+    pub fn zeros_like(mlp: &Mlp) -> Self {
+        Self {
+            layers: mlp
+                .layers
+                .iter()
+                .map(|l| LayerGrad {
+                    dw: Matrix::zeros(l.in_dim(), l.out_dim()),
+                    db: vec![0.0; l.out_dim()],
+                })
+                .collect(),
+        }
+    }
+
+    /// Total squared L2 norm.
+    #[must_use]
+    pub fn norm_sq(&self) -> f64 {
+        self.layers.iter().map(LayerGrad::norm_sq).sum()
+    }
+
+    /// In-place `self += alpha * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Self) {
+        assert_eq!(self.layers.len(), other.layers.len(), "layer count mismatch");
+        for (a, b) in self.layers.iter_mut().zip(other.layers.iter()) {
+            a.axpy(alpha, b);
+        }
+    }
+
+    /// In-place scaling.
+    pub fn scale(&mut self, alpha: f32) {
+        for l in &mut self.layers {
+            l.scale(alpha);
+        }
+    }
+}
+
+/// Forward cache: the input and every layer's post-activation output.
+#[derive(Debug, Clone)]
+pub struct MlpCache {
+    /// `activations[0]` is the input; `activations[l+1]` is layer `l`'s
+    /// output.
+    pub activations: Vec<Matrix>,
+}
+
+impl MlpCache {
+    /// The MLP output (last activation).
+    #[must_use]
+    pub fn output(&self) -> &Matrix {
+        self.activations.last().expect("cache is non-empty")
+    }
+}
+
+/// A stack of [`LinearLayer`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<LinearLayer>,
+}
+
+impl Mlp {
+    /// Builds an MLP `in_dim → widths[0] → … → widths.last()` with ReLU
+    /// on hidden layers and a linear output layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `widths` is empty.
+    #[must_use]
+    pub fn new<R: Prng>(in_dim: usize, widths: &[usize], rng: &mut R) -> Self {
+        assert!(!widths.is_empty(), "MLP needs at least one layer");
+        let mut layers = Vec::with_capacity(widths.len());
+        let mut prev = in_dim;
+        for (i, &w) in widths.iter().enumerate() {
+            let act = if i + 1 == widths.len() {
+                Activation::Linear
+            } else {
+                Activation::Relu
+            };
+            layers.push(LinearLayer::new(prev, w, act, rng));
+            prev = w;
+        }
+        Self { layers }
+    }
+
+    /// The layers.
+    #[must_use]
+    pub fn layers(&self) -> &[LinearLayer] {
+        &self.layers
+    }
+
+    /// Mutable layer access (used by optimizers).
+    pub fn layers_mut(&mut self) -> &mut [LinearLayer] {
+        &mut self.layers
+    }
+
+    /// Total parameter count.
+    #[must_use]
+    pub fn params(&self) -> usize {
+        self.layers.iter().map(LinearLayer::params).sum()
+    }
+
+    /// Forward pass, caching all activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` differs from the first layer's input width.
+    #[must_use]
+    pub fn forward(&self, x: &Matrix) -> MlpCache {
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(x.clone());
+        for layer in &self.layers {
+            let mut z = activations.last().expect("non-empty").matmul(&layer.weight);
+            add_bias(&mut z, &layer.bias);
+            layer.activation.forward_inplace(&mut z);
+            activations.push(z);
+        }
+        MlpCache { activations }
+    }
+
+    /// Standard per-batch backward pass.
+    ///
+    /// Returns the weight gradients and the gradient with respect to the
+    /// MLP input. `grad_out` is `∂L/∂output` (post-activation).
+    #[must_use]
+    pub fn backward(&self, cache: &MlpCache, grad_out: &Matrix) -> (MlpGrads, Matrix) {
+        let mut grads = Vec::with_capacity(self.layers.len());
+        let mut grad = grad_out.clone();
+        for (l, layer) in self.layers.iter().enumerate().rev() {
+            let a_out = &cache.activations[l + 1];
+            let a_in = &cache.activations[l];
+            let dz = layer.activation.backward(a_out, &grad);
+            let dw = a_in.t_matmul(&dz);
+            let db = dz.col_sums();
+            grad = dz.matmul_t(&layer.weight);
+            grads.push(LayerGrad { dw, db });
+        }
+        grads.reverse();
+        (MlpGrads { layers: grads }, grad)
+    }
+
+    /// Ghost-norm backward pass (DP-SGD(F), §2.5): per-example squared
+    /// gradient norms without materializing per-example weight grads.
+    ///
+    /// Returns `(per_example_norm_sq, grad_input)`; the input gradient is
+    /// per-example (rows), so callers can keep propagating (e.g. into
+    /// embedding ghost norms).
+    #[must_use]
+    pub fn backward_ghost_norms(&self, cache: &MlpCache, grad_out: &Matrix) -> (Vec<f64>, Matrix) {
+        let batch = grad_out.rows();
+        let mut norms = vec![0.0f64; batch];
+        let mut grad = grad_out.clone();
+        for (l, layer) in self.layers.iter().enumerate().rev() {
+            let a_out = &cache.activations[l + 1];
+            let a_in = &cache.activations[l];
+            let dz = layer.activation.backward(a_out, &grad);
+            let a_norms = a_in.row_norms_sq();
+            let d_norms = dz.row_norms_sq();
+            for i in 0..batch {
+                // ‖a_i δ_iᵀ‖² = ‖a_i‖²·‖δ_i‖²; bias grad adds ‖δ_i‖².
+                norms[i] += a_norms[i] * d_norms[i] + d_norms[i];
+            }
+            grad = dz.matmul_t(&layer.weight);
+        }
+        (norms, grad)
+    }
+
+    /// Reweighted backward pass (the second pass of DP-SGD(R)/(F)):
+    /// computes `Σ_i w_i · grad_i` in a single per-batch GEMM by scaling
+    /// each example's output gradient row by `w_i` — valid because the
+    /// backward graph is linear in the output gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != grad_out.rows()`.
+    #[must_use]
+    pub fn backward_weighted(
+        &self,
+        cache: &MlpCache,
+        grad_out: &Matrix,
+        weights: &[f32],
+    ) -> (MlpGrads, Matrix) {
+        assert_eq!(weights.len(), grad_out.rows(), "one weight per example");
+        let mut scaled = grad_out.clone();
+        for (i, &w) in weights.iter().enumerate() {
+            for v in scaled.row_mut(i) {
+                *v *= w;
+            }
+        }
+        self.backward(cache, &scaled)
+    }
+
+    /// Materialized per-example gradients (DP-SGD(B), §2.4): one
+    /// [`MlpGrads`] per example. Memory scales with `B × params` — the
+    /// very overhead DP-SGD(R) exists to avoid (§2.5).
+    #[must_use]
+    pub fn per_example_grads(&self, cache: &MlpCache, grad_out: &Matrix) -> Vec<MlpGrads> {
+        let batch = grad_out.rows();
+        // Run the standard backward chain once to get per-layer dz
+        // (rows are per-example), then outer-product per example.
+        let mut dzs: Vec<Matrix> = Vec::with_capacity(self.layers.len());
+        let mut grad = grad_out.clone();
+        for (l, layer) in self.layers.iter().enumerate().rev() {
+            let a_out = &cache.activations[l + 1];
+            let dz = layer.activation.backward(a_out, &grad);
+            grad = dz.matmul_t(&layer.weight);
+            dzs.push(dz);
+        }
+        dzs.reverse();
+        (0..batch)
+            .map(|i| {
+                let layers = self
+                    .layers
+                    .iter()
+                    .enumerate()
+                    .map(|(l, _)| {
+                        let a_i = cache.activations[l].row_matrix(i);
+                        let dz_i = dzs[l].row_matrix(i);
+                        LayerGrad {
+                            dw: a_i.t_matmul(&dz_i),
+                            db: dz_i.row(0).to_vec(),
+                        }
+                    })
+                    .collect();
+                MlpGrads { layers }
+            })
+            .collect()
+    }
+
+    /// Applies a gradient: `θ -= lr · g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn apply(&mut self, grads: &MlpGrads, lr: f32) {
+        assert_eq!(grads.layers.len(), self.layers.len(), "layer count mismatch");
+        for (layer, g) in self.layers.iter_mut().zip(grads.layers.iter()) {
+            layer.weight.axpy(-lr, &g.dw);
+            for (b, &db) in layer.bias.iter_mut().zip(g.db.iter()) {
+                *b -= lr * db;
+            }
+        }
+    }
+
+    /// Adds `−lr · scale · n` Gaussian noise (`n ~ N(0,1)` element-wise)
+    /// to every parameter — the dense DP noise step both DP-SGD and
+    /// LazyDP apply identically to MLP layers (Algorithm 1 note: "both
+    /// DP-SGD(F) and LazyDP apply the identical DP protection for MLP
+    /// layers").
+    ///
+    /// `param_base` namespaces this MLP's layers inside the noise
+    /// source's dense-parameter address space.
+    pub fn apply_dense_noise<N: RowNoise>(
+        &mut self,
+        noise: &mut N,
+        iter: u64,
+        param_base: u32,
+        scale: f32,
+        lr: f32,
+    ) {
+        for (l, layer) in self.layers.iter_mut().enumerate() {
+            let param = param_base + l as u32;
+            let w = layer.weight.as_mut_slice();
+            let mut buf = vec![0.0f32; w.len() + layer.bias.len()];
+            noise.fill_unit_dense(param, iter, 0, &mut buf);
+            for (x, &n) in w.iter_mut().zip(buf.iter()) {
+                *x -= lr * scale * n;
+            }
+            for (b, &n) in layer.bias.iter_mut().zip(buf[w.len()..].iter()) {
+                *b -= lr * scale * n;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazydp_rng::Xoshiro256PlusPlus;
+
+    fn mlp_and_input(widths: &[usize]) -> (Mlp, Matrix) {
+        let mut rng = Xoshiro256PlusPlus::seed_from(42);
+        let mlp = Mlp::new(5, widths, &mut rng);
+        let x = Matrix::from_fn(4, 5, |i, j| ((i * 7 + j * 3) as f32 % 5.0 - 2.0) / 3.0);
+        (mlp, x)
+    }
+
+    /// Scalar loss for gradient checking: sum of outputs.
+    fn loss_of(mlp: &Mlp, x: &Matrix) -> f32 {
+        mlp.forward(x).output().as_slice().iter().sum()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (mlp, x) = mlp_and_input(&[8, 3]);
+        let cache = mlp.forward(&x);
+        assert_eq!(cache.activations.len(), 3);
+        assert_eq!(cache.output().shape(), (4, 3));
+        assert_eq!(mlp.params(), 5 * 8 + 8 + 8 * 3 + 3);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let (mut mlp, x) = mlp_and_input(&[6, 2]);
+        let cache = mlp.forward(&x);
+        let grad_out = Matrix::filled(4, 2, 1.0); // d(sum)/d(out) = 1
+        let (grads, grad_in) = mlp.backward(&cache, &grad_out);
+        let eps = 1e-3f32;
+        // Check a scattering of weight coordinates in both layers.
+        for l in 0..2 {
+            for &(r, c) in &[(0usize, 0usize), (1, 1), (2, 0)] {
+                if r >= mlp.layers[l].weight.rows() || c >= mlp.layers[l].weight.cols() {
+                    continue;
+                }
+                let orig = mlp.layers[l].weight[(r, c)];
+                mlp.layers[l].weight[(r, c)] = orig + eps;
+                let up = loss_of(&mlp, &x);
+                mlp.layers[l].weight[(r, c)] = orig - eps;
+                let down = loss_of(&mlp, &x);
+                mlp.layers[l].weight[(r, c)] = orig;
+                let fd = (up - down) / (2.0 * eps);
+                let got = grads.layers[l].dw[(r, c)];
+                assert!((got - fd).abs() < 2e-2, "layer {l} w[{r},{c}]: {got} vs {fd}");
+            }
+            // Bias check.
+            let orig = mlp.layers[l].bias[0];
+            mlp.layers[l].bias[0] = orig + eps;
+            let up = loss_of(&mlp, &x);
+            mlp.layers[l].bias[0] = orig - eps;
+            let down = loss_of(&mlp, &x);
+            mlp.layers[l].bias[0] = orig;
+            let fd = (up - down) / (2.0 * eps);
+            assert!((grads.layers[l].db[0] - fd).abs() < 2e-2, "layer {l} bias");
+        }
+        // Input gradient check.
+        let mut x2 = x.clone();
+        let orig = x2[(1, 2)];
+        x2[(1, 2)] = orig + eps;
+        let up = loss_of(&mlp, &x2);
+        x2[(1, 2)] = orig - eps;
+        let down = loss_of(&mlp, &x2);
+        let fd = (up - down) / (2.0 * eps);
+        assert!((grad_in[(1, 2)] - fd).abs() < 2e-2, "input grad");
+    }
+
+    #[test]
+    fn per_example_grads_sum_to_batch_grad() {
+        let (mlp, x) = mlp_and_input(&[7, 4, 2]);
+        let cache = mlp.forward(&x);
+        let grad_out = Matrix::from_fn(4, 2, |i, j| (i as f32 - 1.5) * (j as f32 + 0.5));
+        let (batch_grads, _) = mlp.backward(&cache, &grad_out);
+        let per_ex = mlp.per_example_grads(&cache, &grad_out);
+        assert_eq!(per_ex.len(), 4);
+        let mut sum = MlpGrads::zeros_like(&mlp);
+        for g in &per_ex {
+            sum.axpy(1.0, g);
+        }
+        for (s, b) in sum.layers.iter().zip(batch_grads.layers.iter()) {
+            assert!(s.dw.max_abs_diff(&b.dw) < 1e-4, "weight grads sum");
+            for (x, y) in s.db.iter().zip(b.db.iter()) {
+                assert!((x - y).abs() < 1e-4, "bias grads sum");
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_norms_match_materialized_per_example_norms() {
+        let (mlp, x) = mlp_and_input(&[6, 3, 2]);
+        let cache = mlp.forward(&x);
+        let grad_out = Matrix::from_fn(4, 2, |i, j| ((i + 2 * j) as f32).sin());
+        let (ghost, _) = mlp.backward_ghost_norms(&cache, &grad_out);
+        let per_ex = mlp.per_example_grads(&cache, &grad_out);
+        for (i, g) in per_ex.iter().enumerate() {
+            let explicit = g.norm_sq();
+            assert!(
+                (ghost[i] - explicit).abs() < 1e-6 * explicit.max(1.0),
+                "example {i}: ghost {} explicit {explicit}",
+                ghost[i]
+            );
+        }
+    }
+
+    #[test]
+    fn ghost_norm_input_grad_matches_plain_backward() {
+        let (mlp, x) = mlp_and_input(&[6, 2]);
+        let cache = mlp.forward(&x);
+        let grad_out = Matrix::filled(4, 2, 0.7);
+        let (_, gi_plain) = mlp.backward(&cache, &grad_out);
+        let (_, gi_ghost) = mlp.backward_ghost_norms(&cache, &grad_out);
+        assert!(gi_plain.max_abs_diff(&gi_ghost) < 1e-7);
+    }
+
+    #[test]
+    fn weighted_backward_equals_weighted_sum_of_per_example() {
+        let (mlp, x) = mlp_and_input(&[5, 2]);
+        let cache = mlp.forward(&x);
+        let grad_out = Matrix::from_fn(4, 2, |i, j| (i as f32 + 1.0) * 0.3 - j as f32 * 0.2);
+        let weights = [0.5f32, 1.0, 0.0, 2.0];
+        let (wg, _) = mlp.backward_weighted(&cache, &grad_out, &weights);
+        let per_ex = mlp.per_example_grads(&cache, &grad_out);
+        let mut expect = MlpGrads::zeros_like(&mlp);
+        for (g, &w) in per_ex.iter().zip(weights.iter()) {
+            expect.axpy(w, g);
+        }
+        for (a, b) in wg.layers.iter().zip(expect.layers.iter()) {
+            assert!(a.dw.max_abs_diff(&b.dw) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn apply_moves_against_gradient() {
+        let (mut mlp, x) = mlp_and_input(&[4, 1]);
+        let before = loss_of(&mlp, &x);
+        let cache = mlp.forward(&x);
+        let grad_out = Matrix::filled(4, 1, 1.0);
+        let (grads, _) = mlp.backward(&cache, &grad_out);
+        mlp.apply(&grads, 0.01);
+        let after = loss_of(&mlp, &x);
+        assert!(after < before, "gradient step must reduce sum-loss: {before} -> {after}");
+    }
+
+    #[test]
+    fn dense_noise_perturbs_all_layers_deterministically() {
+        let (mut a, _) = mlp_and_input(&[4, 2]);
+        let mut b = a.clone();
+        let mut n1 = lazydp_rng::counter::CounterNoise::new(9);
+        let mut n2 = lazydp_rng::counter::CounterNoise::new(9);
+        a.apply_dense_noise(&mut n1, 3, 0, 0.5, 0.1);
+        b.apply_dense_noise(&mut n2, 3, 0, 0.5, 0.1);
+        assert_eq!(a, b, "same seed, same noise");
+        let mut c = a.clone();
+        let mut n3 = lazydp_rng::counter::CounterNoise::new(10);
+        c.apply_dense_noise(&mut n3, 3, 0, 0.5, 0.1);
+        assert_ne!(a, c, "different seed, different noise");
+    }
+}

@@ -1,0 +1,83 @@
+//! RDP → (ε, δ) conversion.
+
+/// Improved RDP-to-DP conversion (Balle, Barthe, Gaboardi, Hsu & Sato
+/// 2020, Thm. 21 — the bound Opacus uses):
+///
+/// ```text
+/// ε = rdp + ln((α−1)/α) − (ln δ + ln α)/(α−1)
+/// ```
+///
+/// # Panics
+///
+/// Panics if `alpha <= 1` or `delta ∉ (0, 1)`.
+#[must_use]
+pub fn rdp_to_epsilon(rdp: f64, alpha: f64, delta: f64) -> f64 {
+    assert!(alpha > 1.0, "order must exceed 1");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    let eps = rdp + ((alpha - 1.0) / alpha).ln() - (delta.ln() + alpha.ln()) / (alpha - 1.0);
+    eps.max(0.0)
+}
+
+/// Classic conversion (Mironov 2017, Prop. 3): `ε = rdp + ln(1/δ)/(α−1)`.
+///
+/// Always at least as loose as [`rdp_to_epsilon`]; kept for reference and
+/// cross-checks.
+///
+/// # Panics
+///
+/// Panics if `alpha <= 1` or `delta ∉ (0, 1)`.
+#[must_use]
+pub fn rdp_to_epsilon_classic(rdp: f64, alpha: f64, delta: f64) -> f64 {
+    assert!(alpha > 1.0, "order must exceed 1");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    (rdp + (1.0 / delta).ln() / (alpha - 1.0)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improved_bound_is_no_looser_than_classic() {
+        for &alpha in &[2.0, 4.0, 16.0, 64.0] {
+            for &rdp in &[0.01, 0.5, 3.0] {
+                for &delta in &[1e-5, 1e-8] {
+                    let improved = rdp_to_epsilon(rdp, alpha, delta);
+                    let classic = rdp_to_epsilon_classic(rdp, alpha, delta);
+                    assert!(
+                        improved <= classic + 1e-12,
+                        "α={alpha} rdp={rdp} δ={delta}: {improved} > {classic}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_scales_with_rdp() {
+        let a = rdp_to_epsilon(1.0, 8.0, 1e-5);
+        let b = rdp_to_epsilon(2.0, 8.0, 1e-5);
+        assert!((b - a - 1.0).abs() < 1e-12, "ε is affine in rdp at fixed α");
+    }
+
+    #[test]
+    fn epsilon_never_negative() {
+        assert_eq!(rdp_to_epsilon(0.0, 2.0, 0.9), 0.0);
+        // Classic is ln(1/δ)/(α−1) at rdp = 0: tiny but positive.
+        let c = rdp_to_epsilon_classic(0.0, 1000.0, 0.999);
+        assert!((0.0..1e-5).contains(&c), "classic at rdp=0: {c}");
+    }
+
+    #[test]
+    fn classic_known_value() {
+        // ε = 1 + ln(1e5)/(10−1).
+        let eps = rdp_to_epsilon_classic(1.0, 10.0, 1e-5);
+        assert!((eps - (1.0 + (1e5f64).ln() / 9.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must exceed 1")]
+    fn rejects_low_order() {
+        let _ = rdp_to_epsilon(1.0, 1.0, 1e-5);
+    }
+}

@@ -1,0 +1,221 @@
+//! Budget-enforcing privacy engine.
+//!
+//! Opacus pairs its accountant with a `PrivacyEngine` that stops
+//! training before a target (ε, δ) is exceeded; this is the equivalent
+//! for the LazyDP stack. The engine pre-computes nothing — it simply
+//! refuses compositions that would overshoot, so the *released* model
+//! provably stays within budget.
+
+use crate::rdp::RdpAccountant;
+use std::fmt;
+
+/// A target (ε, δ) privacy budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyBudget {
+    /// Maximum tolerable ε.
+    pub epsilon: f64,
+    /// Failure probability δ.
+    pub delta: f64,
+}
+
+impl PrivacyBudget {
+    /// Creates a budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon <= 0` or `delta ∉ (0, 1)`.
+    #[must_use]
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        Self { epsilon, delta }
+    }
+}
+
+/// Error returned when a composition would exceed the budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetExhausted {
+    /// ε the run would reach if the composition were allowed.
+    pub would_reach: f64,
+    /// The configured ceiling.
+    pub budget: f64,
+}
+
+impl fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "privacy budget exhausted: composing would reach ε = {:.4} > {:.4}",
+            self.would_reach, self.budget
+        )
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
+
+/// An accountant wrapped with a hard budget.
+#[derive(Debug, Clone)]
+pub struct PrivacyEngine {
+    accountant: RdpAccountant,
+    budget: PrivacyBudget,
+}
+
+impl PrivacyEngine {
+    /// Creates an engine with the given budget.
+    #[must_use]
+    pub fn new(budget: PrivacyBudget) -> Self {
+        Self {
+            accountant: RdpAccountant::new(),
+            budget,
+        }
+    }
+
+    /// The configured budget.
+    #[must_use]
+    pub fn budget(&self) -> PrivacyBudget {
+        self.budget
+    }
+
+    /// ε spent so far (at the budget's δ).
+    #[must_use]
+    pub fn spent(&self) -> f64 {
+        if self.accountant.steps() == 0 {
+            return 0.0;
+        }
+        self.accountant.epsilon(self.budget.delta).0
+    }
+
+    /// Remaining headroom `budget − spent` (may be 0, never negative).
+    #[must_use]
+    pub fn remaining(&self) -> f64 {
+        (self.budget.epsilon - self.spent()).max(0.0)
+    }
+
+    /// Attempts to charge `steps` DP-SGD steps at `(sigma, q)`; rejects
+    /// (without charging) if that would exceed the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when the composition would overshoot.
+    pub fn try_compose(&mut self, sigma: f64, q: f64, steps: u64) -> Result<(), BudgetExhausted> {
+        let mut trial = self.accountant.clone();
+        trial.compose(sigma, q, steps);
+        let (eps, _) = trial.epsilon(self.budget.delta);
+        if eps > self.budget.epsilon {
+            return Err(BudgetExhausted {
+                would_reach: eps,
+                budget: self.budget.epsilon,
+            });
+        }
+        self.accountant = trial;
+        Ok(())
+    }
+
+    /// Largest number of additional steps at `(sigma, q)` that still
+    /// fits the budget (binary search; 0 if none fit).
+    #[must_use]
+    pub fn affordable_steps(&self, sigma: f64, q: f64) -> u64 {
+        let fits = |steps: u64| -> bool {
+            if steps == 0 {
+                return true;
+            }
+            let mut trial = self.accountant.clone();
+            trial.compose(sigma, q, steps);
+            trial.epsilon(self.budget.delta).0 <= self.budget.epsilon
+        };
+        if !fits(1) {
+            return 0;
+        }
+        let mut hi = 1u64;
+        while fits(hi * 2) {
+            hi *= 2;
+            if hi > 1 << 40 {
+                return hi; // effectively unbounded for this (σ, q)
+            }
+        }
+        let mut lo = hi;
+        hi *= 2;
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if fits(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// The wrapped accountant (read-only).
+    #[must_use]
+    pub fn accountant(&self) -> &RdpAccountant {
+        &self.accountant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_charges_until_budget_then_refuses() {
+        let mut e = PrivacyEngine::new(PrivacyBudget::new(2.0, 1e-6));
+        assert_eq!(e.spent(), 0.0);
+        assert!(e.try_compose(1.0, 0.01, 500).is_ok());
+        let spent = e.spent();
+        assert!(spent > 0.0 && spent <= 2.0);
+        // A huge follow-up must be rejected WITHOUT charging.
+        let err = e.try_compose(1.0, 0.01, 1_000_000).expect_err("overshoot");
+        assert!(err.would_reach > 2.0);
+        assert_eq!(e.spent(), spent, "rejected composition must not charge");
+    }
+
+    #[test]
+    fn affordable_steps_is_tight() {
+        let e = {
+            let mut e = PrivacyEngine::new(PrivacyBudget::new(1.5, 1e-6));
+            e.try_compose(1.1, 0.005, 1000).expect("fits");
+            e
+        };
+        let n = e.affordable_steps(1.1, 0.005);
+        assert!(n > 0);
+        let mut clone = e.clone();
+        assert!(clone.try_compose(1.1, 0.005, n).is_ok(), "n steps must fit");
+        let mut clone2 = e.clone();
+        assert!(
+            clone2.try_compose(1.1, 0.005, n + 1).is_err(),
+            "n+1 steps must not fit"
+        );
+    }
+
+    #[test]
+    fn zero_headroom_affords_zero_steps() {
+        let mut e = PrivacyEngine::new(PrivacyBudget::new(0.05, 1e-6));
+        // One step at q=1 already blows a 0.05 budget.
+        assert!(e.try_compose(1.0, 1.0, 1).is_err());
+        assert_eq!(e.affordable_steps(1.0, 1.0), 0);
+        assert_eq!(e.remaining(), 0.05);
+    }
+
+    #[test]
+    fn remaining_shrinks_monotonically() {
+        let mut e = PrivacyEngine::new(PrivacyBudget::new(8.0, 1e-6));
+        let mut prev = e.remaining();
+        for _ in 0..5 {
+            e.try_compose(1.0, 0.02, 200).expect("fits");
+            let now = e.remaining();
+            assert!(now < prev);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn display_message_is_actionable() {
+        let err = BudgetExhausted {
+            would_reach: 3.2,
+            budget: 2.0,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("3.2") && msg.contains("2.0"), "{msg}");
+    }
+}

@@ -1,0 +1,41 @@
+//! Differential-privacy accounting for DP-SGD training.
+//!
+//! This crate is the accounting substrate that PyTorch Opacus provides in
+//! the paper's software stack (§5.3): given the noise multiplier σ, the
+//! Poisson sampling rate q, and the number of steps T, it computes the
+//! (ε, δ) guarantee of the trained model via **Rényi differential
+//! privacy** (RDP) of the subsampled Gaussian mechanism (Abadi et al.
+//! 2016; Mironov et al. 2019), and can invert the computation to find the
+//! σ needed for a target ε.
+//!
+//! A key property the LazyDP paper relies on (§5.1–5.2): the privacy
+//! guarantee depends only on *(σ, q, T)* — i.e. on **what** noise is
+//! added over the course of training, not on **when** individual noise
+//! updates land in memory. LazyDP's lazy noise updates and aggregated
+//! sampling therefore leave this accountant's output unchanged, which is
+//! asserted by tests in `lazydp-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use lazydp_privacy::RdpAccountant;
+//!
+//! // MLPerf-DLRM-like run: q = 2048/4e6, sigma = 1.1, 10k steps.
+//! let mut acc = RdpAccountant::new();
+//! acc.compose(1.1, 2048.0 / 4.0e6, 10_000);
+//! let (eps, _order) = acc.epsilon(1e-6);
+//! assert!(eps > 0.0 && eps < 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod engine;
+pub mod rdp;
+pub mod search;
+
+pub use convert::{rdp_to_epsilon, rdp_to_epsilon_classic};
+pub use engine::{BudgetExhausted, PrivacyBudget, PrivacyEngine};
+pub use rdp::{compute_rdp_step, default_orders, RdpAccountant};
+pub use search::find_noise_multiplier;

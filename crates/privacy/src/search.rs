@@ -1,0 +1,116 @@
+//! Noise-multiplier search: inverts the accountant.
+//!
+//! The LazyDP user interface (paper Fig. 9(a)) takes a `noise_multiplier`
+//! hyper-parameter; practitioners usually derive it from a target (ε, δ)
+//! budget. This module binary-searches the monotone map σ ↦ ε.
+
+use crate::rdp::RdpAccountant;
+
+/// Finds the smallest noise multiplier σ (within `tol`) such that
+/// `steps` DP-SGD iterations at sampling rate `q` satisfy
+/// (ε ≤ `target_epsilon`, δ = `target_delta`).
+///
+/// Returns `None` if even σ = 1000 cannot reach the target (pathological
+/// budgets).
+///
+/// # Panics
+///
+/// Panics if `target_epsilon <= 0`, `target_delta ∉ (0,1)`, `q ∉ (0,1]`,
+/// or `steps == 0`.
+#[must_use]
+pub fn find_noise_multiplier(
+    target_epsilon: f64,
+    target_delta: f64,
+    q: f64,
+    steps: u64,
+    tol: f64,
+) -> Option<f64> {
+    assert!(target_epsilon > 0.0, "target epsilon must be positive");
+    assert!(
+        target_delta > 0.0 && target_delta < 1.0,
+        "target delta must be in (0,1)"
+    );
+    assert!(q > 0.0 && q <= 1.0, "sampling rate must be in (0,1]");
+    assert!(steps > 0, "need at least one step");
+
+    let eps_at = |sigma: f64| -> f64 {
+        let mut acc = RdpAccountant::new();
+        acc.compose(sigma, q, steps);
+        acc.epsilon(target_delta).0
+    };
+
+    let mut hi = 1.0f64;
+    while eps_at(hi) > target_epsilon {
+        hi *= 2.0;
+        if hi > 1000.0 {
+            return None;
+        }
+    }
+    let mut lo = hi / 2.0;
+    if hi <= 1.0 {
+        lo = 1e-3;
+        if eps_at(lo) <= target_epsilon {
+            return Some(lo);
+        }
+    }
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if eps_at(mid) > target_epsilon {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn found_sigma_meets_target_and_is_tight() {
+        let q = 0.01;
+        let steps = 5_000;
+        let target_eps = 2.0;
+        let delta = 1e-6;
+        let sigma = find_noise_multiplier(target_eps, delta, q, steps, 1e-4)
+            .expect("target reachable");
+        let mut acc = RdpAccountant::new();
+        acc.compose(sigma, q, steps);
+        assert!(acc.epsilon(delta).0 <= target_eps, "meets target");
+        // Slightly less noise must violate the target (tightness).
+        let mut acc2 = RdpAccountant::new();
+        acc2.compose(sigma - 0.01, q, steps);
+        assert!(acc2.epsilon(delta).0 > target_eps, "tight within 0.01");
+    }
+
+    #[test]
+    fn tighter_budget_needs_more_noise() {
+        let q = 0.005;
+        let steps = 10_000;
+        let s1 = find_noise_multiplier(8.0, 1e-5, q, steps, 1e-3).expect("reachable");
+        let s2 = find_noise_multiplier(1.0, 1e-5, q, steps, 1e-3).expect("reachable");
+        assert!(s2 > s1, "ε=1 needs more noise than ε=8 ({s2} vs {s1})");
+    }
+
+    #[test]
+    fn roundtrip_with_paper_default_sigma() {
+        // Fig. 9(a) example uses σ = 1.1. Whatever ε that yields must be
+        // recovered by the search (within tolerance).
+        let q = 2048.0 / 1.0e6;
+        let steps = 2_000;
+        let delta = 1e-6;
+        let mut acc = RdpAccountant::new();
+        acc.compose(1.1, q, steps);
+        let (eps, _) = acc.epsilon(delta);
+        let sigma = find_noise_multiplier(eps, delta, q, steps, 1e-4).expect("reachable");
+        assert!((sigma - 1.1).abs() < 0.02, "recovered σ = {sigma}");
+    }
+
+    #[test]
+    fn unreachable_budget_returns_none() {
+        // Absurdly tiny ε with q=1 and many steps cannot be met by σ≤1000.
+        assert!(find_noise_multiplier(1e-6, 1e-9, 1.0, 1_000_000, 1e-3).is_none());
+    }
+}

@@ -1,0 +1,250 @@
+//! Counter-based (stateless) random streams.
+//!
+//! LazyDP's correctness argument (paper §5.1, Fig. 7) is that delaying a
+//! noise update does not change the value an embedding row has *when it is
+//! next read*: the row must have received exactly the noise of iterations
+//! `1..current` before the gather. To test this property **exactly**, the
+//! eager DP-SGD baselines and the LazyDP optimizer must be able to draw
+//! *the same* noise vector for the same `(table, row, iteration)` triple,
+//! regardless of the order in which the two algorithms materialize it.
+//!
+//! A counter-based stream makes this trivial: the noise is a pure function
+//! of `(seed, table, row, iteration, lane)`. [`CounterRng`] provides the
+//! keyed mixing; [`RowNoise`] is the interface optimizers consume.
+
+use crate::gaussian;
+use crate::prng::{splitmix64_mix, Prng, SPLITMIX64_GAMMA};
+
+/// Stateless keyed generator: `value(i) = mix(key, i)`.
+///
+/// Built from two rounds of the SplitMix64 finalizer over a Weyl-spread
+/// counter, which gives full avalanche between nearby counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterRng {
+    key: u64,
+}
+
+impl CounterRng {
+    /// Creates a keyed counter generator.
+    #[must_use]
+    pub fn new(key: u64) -> Self {
+        Self { key }
+    }
+
+    /// Derives a child key from a label, for domain separation
+    /// (e.g. one sub-stream per embedding table).
+    #[must_use]
+    pub fn derive(&self, label: u64) -> Self {
+        Self {
+            key: splitmix64_mix(self.key ^ label.wrapping_mul(SPLITMIX64_GAMMA)),
+        }
+    }
+
+    /// The value at counter position `i`. Pure: same `(key, i)` → same bits.
+    #[must_use]
+    pub fn at(&self, i: u64) -> u64 {
+        let x = self.key ^ i.wrapping_mul(SPLITMIX64_GAMMA);
+        splitmix64_mix(splitmix64_mix(x).wrapping_add(SPLITMIX64_GAMMA))
+    }
+
+    /// A sequential [`Prng`] view starting at counter position `start`.
+    #[must_use]
+    pub fn stream(&self, start: u64) -> CounterStream {
+        CounterStream {
+            rng: *self,
+            pos: start,
+        }
+    }
+}
+
+/// Sequential iterator view over a [`CounterRng`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterStream {
+    rng: CounterRng,
+    pos: u64,
+}
+
+impl Prng for CounterStream {
+    fn next_u64(&mut self) -> u64 {
+        let v = self.rng.at(self.pos);
+        self.pos = self.pos.wrapping_add(1);
+        v
+    }
+}
+
+/// Source of *standard-normal* noise addressable by `(table, row, iter)`.
+///
+/// DP optimizers scale the returned unit noise by `σ·C/B` themselves
+/// (Algorithm 1, lines 34/38), so one source serves every algorithm.
+///
+/// Two families of implementations exist:
+///
+/// * [`CounterNoise`] — pure function of the address; lets LazyDP and
+///   eager DP-SGD draw identical values in different orders (used to test
+///   Fig. 7's exact-equivalence claim).
+/// * [`SequentialNoise`] — an ordinary PRNG stream, matching how a real
+///   deployment would sample; only distributionally equivalent.
+pub trait RowNoise {
+    /// Fills `out` with standard-normal noise for embedding row `row` of
+    /// table `table` attributed to training iteration `iter`.
+    fn fill_unit(&mut self, table: u32, row: u64, iter: u64, out: &mut [f32]);
+
+    /// Fills `out` with noise for a *dense* (non-embedding) parameter
+    /// region `param` at iteration `iter`, element offset `offset`.
+    ///
+    /// Default implementation reuses the row addressing with a reserved
+    /// table id; implementations may override for different layouts.
+    fn fill_unit_dense(&mut self, param: u32, iter: u64, offset: u64, out: &mut [f32]) {
+        self.fill_unit(u32::MAX - param, offset, iter, out);
+    }
+}
+
+/// Counter-based [`RowNoise`]: noise is a pure function of
+/// `(seed, table, row, iter)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterNoise {
+    root: CounterRng,
+}
+
+impl CounterNoise {
+    /// Creates a counter-based noise source from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            root: CounterRng::new(splitmix64_mix(seed ^ 0x6c62_272e_07bb_0142)),
+        }
+    }
+
+    /// The deterministic sub-stream for one `(table, row, iter)` address.
+    #[must_use]
+    pub fn stream_for(&self, table: u32, row: u64, iter: u64) -> CounterStream {
+        self.root
+            .derive(u64::from(table))
+            .derive(row)
+            .derive(iter)
+            .stream(0)
+    }
+}
+
+impl RowNoise for CounterNoise {
+    fn fill_unit(&mut self, table: u32, row: u64, iter: u64, out: &mut [f32]) {
+        let mut stream = self.stream_for(table, row, iter);
+        gaussian::fill_standard_normal(&mut stream, out);
+    }
+}
+
+/// Sequential-PRNG [`RowNoise`] (deployment-style sampling).
+///
+/// The address arguments are ignored; values come off one stream in call
+/// order. Use [`CounterNoise`] when exact cross-algorithm reproducibility
+/// is required.
+#[derive(Debug, Clone)]
+pub struct SequentialNoise<R> {
+    rng: R,
+}
+
+impl<R: Prng> SequentialNoise<R> {
+    /// Wraps a PRNG as a noise source.
+    pub fn new(rng: R) -> Self {
+        Self { rng }
+    }
+
+    /// Consumes the wrapper, returning the inner generator.
+    pub fn into_inner(self) -> R {
+        self.rng
+    }
+}
+
+impl<R: Prng> RowNoise for SequentialNoise<R> {
+    fn fill_unit(&mut self, _table: u32, _row: u64, _iter: u64, out: &mut [f32]) {
+        gaussian::fill_standard_normal(&mut self.rng, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn counter_is_pure_and_address_sensitive() {
+        let rng = CounterRng::new(42);
+        assert_eq!(rng.at(7), rng.at(7));
+        assert_ne!(rng.at(7), rng.at(8));
+        assert_ne!(CounterRng::new(1).at(0), CounterRng::new(2).at(0));
+        assert_ne!(rng.derive(1).at(0), rng.derive(2).at(0));
+    }
+
+    #[test]
+    fn counter_stream_matches_at() {
+        let rng = CounterRng::new(9);
+        let mut s = rng.stream(100);
+        for i in 100..110 {
+            assert_eq!(s.next_u64(), rng.at(i));
+        }
+    }
+
+    #[test]
+    fn counter_noise_identical_across_instances_and_call_order() {
+        let mut a = CounterNoise::new(5);
+        let mut b = CounterNoise::new(5);
+        let mut va = vec![0.0f32; 16];
+        let mut vb = vec![0.0f32; 16];
+        // Different interleavings must not matter.
+        a.fill_unit(0, 10, 3, &mut va);
+        b.fill_unit(1, 99, 7, &mut vb); // unrelated draw first
+        b.fill_unit(0, 10, 3, &mut vb);
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn counter_noise_distinguishes_all_address_parts() {
+        let mut n = CounterNoise::new(5);
+        let mut base = vec![0.0f32; 8];
+        let mut other = vec![0.0f32; 8];
+        n.fill_unit(0, 1, 1, &mut base);
+        n.fill_unit(1, 1, 1, &mut other);
+        assert_ne!(base, other);
+        n.fill_unit(0, 2, 1, &mut other);
+        assert_ne!(base, other);
+        n.fill_unit(0, 1, 2, &mut other);
+        assert_ne!(base, other);
+    }
+
+    #[test]
+    fn counter_noise_is_standard_normal() {
+        let mut n = CounterNoise::new(2024);
+        let mut all = Vec::with_capacity(40_000);
+        let mut buf = vec![0.0f32; 40];
+        for row in 0..1000u64 {
+            n.fill_unit(0, row, 1, &mut buf);
+            all.extend(buf.iter().map(|&x| f64::from(x)));
+        }
+        let (mean, var) = stats::mean_var(&all);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+        let ks = stats::ks_statistic_normal(&mut all, 0.0, 1.0);
+        assert!(ks < stats::ks_critical(all.len(), 0.001), "ks {ks}");
+    }
+
+    #[test]
+    fn dense_noise_does_not_collide_with_row_noise() {
+        let mut n = CounterNoise::new(5);
+        let mut a = vec![0.0f32; 8];
+        let mut b = vec![0.0f32; 8];
+        n.fill_unit(0, 0, 1, &mut a);
+        n.fill_unit_dense(0, 1, 0, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sequential_noise_draws_in_order() {
+        use crate::prng::Xoshiro256PlusPlus;
+        let mut s = SequentialNoise::new(Xoshiro256PlusPlus::seed_from(1));
+        let mut a = vec![0.0f32; 4];
+        let mut b = vec![0.0f32; 4];
+        s.fill_unit(0, 0, 0, &mut a);
+        s.fill_unit(0, 0, 0, &mut b);
+        assert_ne!(a, b, "sequential source must advance");
+    }
+}

@@ -1,0 +1,262 @@
+//! Box–Muller Gaussian sampling — the paper's noise-sampling kernel.
+//!
+//! PyTorch's `torch.normal()` (the kernel the paper characterizes in §4.3)
+//! is a Box–Muller transform: per generated vector it executes an AVX
+//! load, ~101 AVX trigonometric/logarithmic/other compute instructions,
+//! and an AVX store, making it strongly *compute-bound* (Fig. 6: 215
+//! GFLOPS effective, 81% of peak). This module implements the same
+//! transform in scalar Rust and exports the instruction-count constants
+//! that `lazydp-sysmodel` uses to model the kernel at paper scale.
+
+use crate::prng::Prng;
+
+/// AVX compute instructions Box–Muller spends per 8-wide vector of
+/// outputs, as measured by the paper (§4.3: "101 AVX compute
+/// instructions for trigonometric/logarithmic/other operations").
+pub const BOX_MULLER_AVX_OPS_PER_VECTOR: u32 = 101;
+
+/// Lanes per AVX vector for f32 (AVX2: 256-bit / 32-bit).
+pub const AVX_F32_LANES: u32 = 8;
+
+/// Compute cost of the *noisy gradient update* stream kernel per loaded
+/// element: one multiply by the learning rate and one add into the weight
+/// (§4.3: "requiring only two computations for each loaded data element").
+pub const UPDATE_OPS_PER_ELEMENT: u32 = 2;
+
+/// The Box–Muller transform: maps two uniforms to two independent
+/// standard-normal samples.
+///
+/// `u1` must lie in `(0, 1]` (the logarithm argument) and `u2` in
+/// `[0, 1)`. Use [`Prng::next_f64_open`] / [`Prng::next_f64`].
+///
+/// # Panics
+///
+/// Debug-asserts the input ranges.
+#[inline]
+#[must_use]
+pub fn box_muller(u1: f64, u2: f64) -> (f64, f64) {
+    debug_assert!(u1 > 0.0 && u1 <= 1.0, "u1 out of (0,1]: {u1}");
+    debug_assert!((0.0..1.0).contains(&u2), "u2 out of [0,1): {u2}");
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// Fills `out` with independent standard-normal `f32` samples using
+/// Box–Muller over the supplied uniform generator.
+///
+/// Consumes exactly `2 * ceil(out.len() / 2)` uniforms, so the stream
+/// position after the call is a deterministic function of `out.len()` —
+/// a property the counter-based noise sources rely on.
+pub fn fill_standard_normal<R: Prng>(rng: &mut R, out: &mut [f32]) {
+    let mut chunks = out.chunks_exact_mut(2);
+    for pair in &mut chunks {
+        let (z0, z1) = box_muller(rng.next_f64_open(), rng.next_f64());
+        pair[0] = z0 as f32;
+        pair[1] = z1 as f32;
+    }
+    let rem = chunks.into_remainder();
+    if let Some(last) = rem.first_mut() {
+        let (z0, _z1) = box_muller(rng.next_f64_open(), rng.next_f64());
+        *last = z0 as f32;
+    }
+}
+
+/// Number of Gaussian samples needed to noise a tensor of `elements`
+/// elements — identical for all eager DP-SGD variants (every element of
+/// every table gets one sample per iteration, paper §4.1).
+#[inline]
+#[must_use]
+pub fn samples_for_elements(elements: u64) -> u64 {
+    elements
+}
+
+/// A configured Gaussian sampler `N(mean, std²)`.
+///
+/// # Example
+///
+/// ```
+/// use lazydp_rng::{GaussianSampler, Xoshiro256PlusPlus};
+///
+/// let mut rng = Xoshiro256PlusPlus::seed_from(1);
+/// let sampler = GaussianSampler::new(0.0, 2.0);
+/// let mut noise = vec![0.0f32; 512];
+/// sampler.fill(&mut rng, &mut noise);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianSampler {
+    mean: f32,
+    std: f32,
+}
+
+impl GaussianSampler {
+    /// Creates a sampler with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative or not finite.
+    #[must_use]
+    pub fn new(mean: f32, std: f32) -> Self {
+        assert!(std.is_finite() && std >= 0.0, "std must be finite and >= 0, got {std}");
+        Self { mean, std }
+    }
+
+    /// Standard normal `N(0, 1)`.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// The configured mean.
+    #[must_use]
+    pub fn mean(&self) -> f32 {
+        self.mean
+    }
+
+    /// The configured standard deviation.
+    #[must_use]
+    pub fn std(&self) -> f32 {
+        self.std
+    }
+
+    /// Fills `out` with samples.
+    pub fn fill<R: Prng>(&self, rng: &mut R, out: &mut [f32]) {
+        fill_standard_normal(rng, out);
+        if self.mean != 0.0 || self.std != 1.0 {
+            for x in out {
+                *x = self.mean + self.std * *x;
+            }
+        }
+    }
+
+    /// Draws a single sample.
+    pub fn sample<R: Prng>(&self, rng: &mut R) -> f32 {
+        let (z, _) = box_muller(rng.next_f64_open(), rng.next_f64());
+        self.mean + self.std * z as f32
+    }
+
+    /// Adds `scale * sample` to every element of `acc` — the fused
+    /// "noisy gradient generation" primitive (Algorithm 1 line 34).
+    pub fn accumulate<R: Prng>(&self, rng: &mut R, scale: f32, acc: &mut [f32]) {
+        let mut chunks = acc.chunks_exact_mut(2);
+        for pair in &mut chunks {
+            let (z0, z1) = box_muller(rng.next_f64_open(), rng.next_f64());
+            pair[0] += scale * (self.mean + self.std * z0 as f32);
+            pair[1] += scale * (self.mean + self.std * z1 as f32);
+        }
+        if let Some(last) = chunks.into_remainder().first_mut() {
+            let (z0, _) = box_muller(rng.next_f64_open(), rng.next_f64());
+            *last += scale * (self.mean + self.std * z0 as f32);
+        }
+    }
+}
+
+impl Default for GaussianSampler {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prng::Xoshiro256PlusPlus;
+    use crate::stats;
+
+    #[test]
+    fn box_muller_known_values() {
+        // u1 = 1 ⇒ r = 0 ⇒ both outputs zero regardless of u2.
+        let (a, b) = box_muller(1.0, 0.25);
+        assert!(a.abs() < 1e-12 && b.abs() < 1e-12);
+        // u2 = 0 ⇒ theta = 0 ⇒ z1 = 0, z0 = r.
+        let (z0, z1) = box_muller(0.5_f64, 0.0);
+        assert!((z0 - (-2.0 * 0.5_f64.ln()).sqrt()).abs() < 1e-12);
+        assert!(z1.abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_normal_moments_and_ks() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(7);
+        let mut buf = vec![0.0f32; 100_000];
+        fill_standard_normal(&mut rng, &mut buf);
+        let mut xs: Vec<f64> = buf.iter().map(|&x| f64::from(x)).collect();
+        let (mean, var) = stats::mean_var(&xs);
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+        let skew = stats::skewness(&xs);
+        assert!(skew.abs() < 0.03, "skewness {skew}");
+        let kurt = stats::excess_kurtosis(&xs);
+        assert!(kurt.abs() < 0.08, "excess kurtosis {kurt}");
+        let ks = stats::ks_statistic_normal(&mut xs, 0.0, 1.0);
+        assert!(ks < stats::ks_critical(xs.len(), 0.001), "ks {ks}");
+    }
+
+    #[test]
+    fn odd_length_fill_consumes_deterministic_uniforms() {
+        let mut a = Xoshiro256PlusPlus::seed_from(3);
+        let mut b = Xoshiro256PlusPlus::seed_from(3);
+        let mut buf = vec![0.0f32; 5];
+        fill_standard_normal(&mut a, &mut buf);
+        // 5 outputs -> 3 Box-Muller invocations -> 6 uniforms.
+        for _ in 0..6 {
+            let _ = b.next_f64();
+        }
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn sampler_scales_mean_and_std() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(11);
+        let sampler = GaussianSampler::new(3.0, 0.5);
+        let mut buf = vec![0.0f32; 50_000];
+        sampler.fill(&mut rng, &mut buf);
+        let xs: Vec<f64> = buf.iter().map(|&x| f64::from(x)).collect();
+        let (mean, var) = stats::mean_var(&xs);
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.01, "var {var}");
+    }
+
+    #[test]
+    fn accumulate_adds_scaled_noise() {
+        let mut rng_a = Xoshiro256PlusPlus::seed_from(4);
+        let mut rng_b = Xoshiro256PlusPlus::seed_from(4);
+        let sampler = GaussianSampler::new(0.0, 2.0);
+        let mut acc = vec![10.0f32; 9];
+        sampler.accumulate(&mut rng_a, 0.5, &mut acc);
+        let mut reference = vec![0.0f32; 9];
+        sampler.fill(&mut rng_b, &mut reference);
+        for (a, r) in acc.iter().zip(reference.iter()) {
+            assert!((a - (10.0 + 0.5 * r)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "std must be finite")]
+    fn sampler_rejects_negative_std() {
+        let _ = GaussianSampler::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn sum_of_gaussians_matches_aggregated_distribution() {
+        // Theorem 5.1 of the paper at the sampler level: the sum of n
+        // independent N(0, σ²) draws has the distribution N(0, n·σ²).
+        let n = 16usize;
+        let sigma = 0.7f32;
+        let mut rng = Xoshiro256PlusPlus::seed_from(31);
+        let per_step = GaussianSampler::new(0.0, sigma);
+        let mut sums: Vec<f64> = Vec::with_capacity(20_000);
+        for _ in 0..20_000 {
+            let mut acc = 0.0f64;
+            for _ in 0..n {
+                acc += f64::from(per_step.sample(&mut rng));
+            }
+            sums.push(acc);
+        }
+        let (mean, var) = stats::mean_var(&sums);
+        let expect_var = f64::from(sigma) * f64::from(sigma) * n as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - expect_var).abs() / expect_var < 0.05, "var {var} vs {expect_var}");
+        let ks = stats::ks_statistic_normal(&mut sums, 0.0, expect_var.sqrt());
+        assert!(ks < stats::ks_critical(sums.len(), 0.001), "ks {ks}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Mini-batch subsampling primitives for DP training.
+//!
+//! DP-SGD's privacy analysis assumes **Poisson sampling**: each training
+//! example is included in the batch independently with probability
+//! `q = B / N` (Opacus' `DPDataLoader`, which the paper's LazyDP data
+//! loader wraps — Fig. 9(b) "Poisson sampler"). This module provides that
+//! sampler plus fixed-size sampling without replacement for non-private
+//! baselines.
+
+use crate::prng::Prng;
+
+/// Poisson-samples indices from `0..n`: each index is included
+/// independently with probability `q`.
+///
+/// The expected batch size is `n·q`; the realized size varies, which is
+/// exactly what the RDP accountant of `lazydp-privacy` assumes.
+///
+/// # Panics
+///
+/// Panics if `q` is not within `[0, 1]`.
+pub fn poisson_sample<R: Prng>(rng: &mut R, n: usize, q: f64) -> Vec<usize> {
+    assert!((0.0..=1.0).contains(&q), "sampling rate must be in [0,1], got {q}");
+    if q == 0.0 {
+        return Vec::new();
+    }
+    if q == 1.0 {
+        return (0..n).collect();
+    }
+    // Geometric skipping: jump directly between successes. For inclusion
+    // probability q the gap G (number of failures before the next
+    // success) is geometric: G = floor(ln U / ln(1-q)). This touches only
+    // O(n·q) random numbers instead of n.
+    let ln_fail = (1.0 - q).ln();
+    let mut out = Vec::with_capacity((n as f64 * q * 1.2) as usize + 4);
+    let mut i = 0usize;
+    loop {
+        let u = rng.next_f64_open();
+        let gap = (u.ln() / ln_fail).floor();
+        if !gap.is_finite() || gap >= (n - i) as f64 {
+            break;
+        }
+        i += gap as usize;
+        out.push(i);
+        i += 1;
+        if i >= n {
+            break;
+        }
+    }
+    out
+}
+
+/// Samples `k` distinct indices from `0..n` (partial Fisher–Yates),
+/// returned in random order.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn sample_without_replacement<R: Prng>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct items from {n}");
+    // Sparse Fisher-Yates via a swap map: O(k) memory.
+    use std::collections::HashMap;
+    let mut swaps: HashMap<usize, usize> = HashMap::with_capacity(k * 2);
+    let mut out = Vec::with_capacity(k);
+    for i in 0..k {
+        let j = i + rng.next_below((n - i) as u64) as usize;
+        let vi = *swaps.get(&i).unwrap_or(&i);
+        let vj = *swaps.get(&j).unwrap_or(&j);
+        out.push(vj);
+        swaps.insert(j, vi);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn poisson_sample_expected_size_and_sorted_unique() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(1);
+        let n = 100_000;
+        let q = 0.02;
+        let mut total = 0usize;
+        let trials = 50;
+        for _ in 0..trials {
+            let s = poisson_sample(&mut rng, n, q);
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+            assert!(s.iter().all(|&i| i < n));
+            total += s.len();
+        }
+        let mean = total as f64 / trials as f64;
+        let expect = n as f64 * q; // 2000
+        // 50-trial mean: sd ≈ sqrt(2000/50) ≈ 6.3; allow 6σ.
+        assert!((mean - expect).abs() < 40.0, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn poisson_sample_edge_rates() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(2);
+        assert!(poisson_sample(&mut rng, 100, 0.0).is_empty());
+        assert_eq!(poisson_sample(&mut rng, 5, 1.0), vec![0, 1, 2, 3, 4]);
+        assert!(poisson_sample(&mut rng, 0, 0.5).is_empty());
+    }
+
+    #[test]
+    fn poisson_inclusion_probability_is_uniform() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(3);
+        let n = 200;
+        let q = 0.3;
+        let mut counts = vec![0usize; n];
+        let trials = 20_000;
+        for _ in 0..trials {
+            for i in poisson_sample(&mut rng, n, q) {
+                counts[i] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let p = c as f64 / trials as f64;
+            // sd of p-hat = sqrt(0.3*0.7/20000) ≈ 0.0032; allow 5σ.
+            assert!((p - q).abs() < 0.017, "index {i}: p {p}");
+        }
+    }
+
+    #[test]
+    fn without_replacement_distinct_and_in_range() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(4);
+        for _ in 0..200 {
+            let s = sample_without_replacement(&mut rng, 50, 20);
+            assert_eq!(s.len(), 20);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), 20, "all distinct");
+            assert!(s.iter().all(|&i| i < 50));
+        }
+    }
+
+    #[test]
+    fn without_replacement_full_draw_is_permutation() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(5);
+        let mut s = sample_without_replacement(&mut rng, 10, 10);
+        s.sort_unstable();
+        assert_eq!(s, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn without_replacement_is_uniform_over_items() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(6);
+        let n = 20;
+        let k = 5;
+        let mut counts = vec![0usize; n];
+        let trials = 40_000;
+        for _ in 0..trials {
+            for i in sample_without_replacement(&mut rng, n, k) {
+                counts[i] += 1;
+            }
+        }
+        let expect = trials * k / n; // 10_000
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect as f64).abs() < 500.0,
+                "item {i}: count {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn without_replacement_rejects_oversample() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(7);
+        let _ = sample_without_replacement(&mut rng, 3, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate")]
+    fn poisson_rejects_bad_rate() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(8);
+        let _ = poisson_sample(&mut rng, 10, 1.5);
+    }
+}

@@ -1,0 +1,119 @@
+//! Per-iteration stage breakdown — the unit every figure is built from.
+
+/// Seconds spent in each stage of one training iteration, following the
+/// stage taxonomy of the paper's figures (Fig. 3 for end-to-end bars,
+//  Fig. 5 for the model-update sub-stages, Fig. 11 for LazyDP).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageBreakdown {
+    /// Forward propagation (embedding gather + MLP GEMMs + PCIe in).
+    pub fwd: f64,
+    /// Per-example gradient work (DP-SGD(B/R)'s materialization or the
+    /// ghost-norm pass of (F)/EANA/LazyDP).
+    pub bwd_per_example: f64,
+    /// Per-batch gradient derivation (standard or reweighted backward).
+    pub bwd_per_batch: f64,
+    /// Gradient coalescing / next-batch index dedup (Fig. 11).
+    pub grad_coalesce: f64,
+    /// Gaussian noise sampling (compute-bound, §4.3).
+    pub noise_sampling: f64,
+    /// Noisy-gradient generation (merging noise and gradient).
+    pub noisy_grad_gen: f64,
+    /// Noisy-gradient update (the table-write stream / scatter).
+    pub noisy_grad_update: f64,
+    /// HistoryTable reads + ANS std-dev derivation (LazyDP only).
+    pub history_read: f64,
+    /// HistoryTable writes (LazyDP only).
+    pub history_write: f64,
+    /// Everything else (framework overhead, host per-sample work,
+    /// losses, optimizer bookkeeping).
+    pub other: f64,
+}
+
+impl StageBreakdown {
+    /// Total iteration time.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.fwd
+            + self.bwd_per_example
+            + self.bwd_per_batch
+            + self.grad_coalesce
+            + self.noise_sampling
+            + self.noisy_grad_gen
+            + self.noisy_grad_update
+            + self.history_read
+            + self.history_write
+            + self.other
+    }
+
+    /// The model-update stage as Fig. 3/Fig. 5 define it: everything
+    /// after gradient derivation.
+    #[must_use]
+    pub fn model_update(&self) -> f64 {
+        self.grad_coalesce
+            + self.noise_sampling
+            + self.noisy_grad_gen
+            + self.noisy_grad_update
+            + self.history_read
+            + self.history_write
+    }
+
+    /// LazyDP's pure overhead (Fig. 11, blue bar): dedup + HistoryTable
+    /// maintenance.
+    #[must_use]
+    pub fn lazydp_overhead(&self) -> f64 {
+        self.grad_coalesce + self.history_read + self.history_write
+    }
+
+    /// `(label, seconds)` pairs for rendering, in display order.
+    #[must_use]
+    pub fn labeled(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("fwd", self.fwd),
+            ("bwd_per_example", self.bwd_per_example),
+            ("bwd_per_batch", self.bwd_per_batch),
+            ("grad_coalesce", self.grad_coalesce),
+            ("noise_sampling", self.noise_sampling),
+            ("noisy_grad_gen", self.noisy_grad_gen),
+            ("noisy_grad_update", self.noisy_grad_update),
+            ("history_read", self.history_read),
+            ("history_write", self.history_write),
+            ("other", self.other),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StageBreakdown {
+        StageBreakdown {
+            fwd: 1.0,
+            bwd_per_example: 2.0,
+            bwd_per_batch: 3.0,
+            grad_coalesce: 0.5,
+            noise_sampling: 4.0,
+            noisy_grad_gen: 0.25,
+            noisy_grad_update: 1.25,
+            history_read: 0.1,
+            history_write: 0.05,
+            other: 0.35,
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let b = sample();
+        assert!((b.total() - 12.5).abs() < 1e-12);
+        assert!((b.model_update() - 6.15).abs() < 1e-12);
+        assert!((b.lazydp_overhead() - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labeled_covers_all_fields() {
+        let b = sample();
+        let sum: f64 = b.labeled().iter().map(|(_, v)| v).sum();
+        assert!((sum - b.total()).abs() < 1e-12, "labels must cover every field");
+        assert_eq!(b.labeled().len(), 10);
+    }
+}

@@ -1,0 +1,241 @@
+//! Hardware and calibration constants.
+//!
+//! Every constant is either (a) quoted directly by the paper, (b) public
+//! vendor data for the named parts, or (c) a **calibration constant**
+//! fitted to one of the paper's own measurements and marked as such in
+//! its doc comment. EXPERIMENTS.md lists the calibration targets and the
+//! achieved values.
+
+/// CPU-side constants (Intel Xeon E5-2698v4, §6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuSpec {
+    /// Theoretical DRAM bandwidth in GB/s (paper §6: "68 GB/sec").
+    pub mem_bw_gbs: f64,
+    /// Fraction of theoretical bandwidth streaming kernels achieve
+    /// (paper §4.3: the noisy-gradient update reaches "85.5% of
+    /// theoretical memory bandwidth").
+    pub stream_efficiency: f64,
+    /// Effective fraction of bandwidth for *random* row-granular
+    /// accesses (embedding gathers/scatters of 512 B rows). Calibration
+    /// constant: fitted so SGD's per-iteration time matches the Fig. 10
+    /// batch-scaling pattern.
+    pub gather_efficiency: f64,
+    /// Peak AVX throughput in GFLOPS (paper Fig. 6: the plateau of the
+    /// microbenchmark, ≈ 265 GFLOPS on the 20-core part).
+    pub avx_peak_gflops: f64,
+    /// Fraction of peak the Box–Muller kernel achieves (paper §4.2/4.3:
+    /// "81% of the maximum possible AVX performance", i.e. ≈ 215
+    /// GFLOPS effective).
+    pub avx_efficiency: f64,
+    /// DRAM capacity in bytes (paper §6: 256 GB) — the OOM bound of
+    /// Fig. 13(a).
+    pub dram_capacity_bytes: u64,
+}
+
+/// GPU-side constants (NVIDIA V100, §6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// Peak fp32 throughput in TFLOPS (V100: 14).
+    pub fp32_tflops: f64,
+    /// Achieved GEMM efficiency at DLRM's layer sizes. Calibration
+    /// constant (mid-size GEMMs reach ~35% of peak on V100).
+    pub gemm_efficiency: f64,
+    /// HBM2 bandwidth in GB/s (paper §6: 900).
+    pub hbm_bw_gbs: f64,
+    /// HBM2 capacity in bytes (paper §6: 32 GB) — bounds DP-SGD(B)'s
+    /// per-example gradient materialization.
+    pub hbm_capacity_bytes: u64,
+}
+
+/// CPU↔GPU interconnect (PCIe 3.0 x16, §6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Peak bandwidth in GB/s (paper §6: 16).
+    pub pcie_gbs: f64,
+    /// Achieved fraction of peak for large transfers.
+    pub pcie_efficiency: f64,
+}
+
+/// Power-state model for the energy figures (Fig. 12). The paper
+/// measures with `pcm-power` (CPU) and `nvidia-smi` (GPU) and multiplies
+/// by stage time; we assign each stage a CPU + GPU power state instead.
+/// All wattages are calibration constants fitted to Fig. 12's
+/// energy-vs-time ratio (DP-SGD(F): 353× energy at 259× time ⇒ its
+/// average power is ≈ 1.36× SGD's).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSpec {
+    /// CPU power when near-idle (framework overhead phases), W.
+    pub cpu_idle_w: f64,
+    /// CPU power during AVX-saturated phases (noise sampling), W.
+    pub cpu_avx_w: f64,
+    /// CPU power during memory-streaming phases, W.
+    pub cpu_stream_w: f64,
+    /// GPU idle power, W (V100 idles ≈ 70 W).
+    pub gpu_idle_w: f64,
+    /// GPU power during GEMM phases, W.
+    pub gpu_active_w: f64,
+}
+
+/// Per-iteration host-side overheads (the PyTorch/Opacus framework costs
+/// that dominate small-model iterations). All calibration constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostSpec {
+    /// Fixed per-iteration overhead in seconds (kernel launches, Python
+    /// dispatch, CPU↔GPU synchronization). Fitted to Fig. 10's SGD
+    /// batch-scaling (0.7/1.0/1.5 at 1024/2048/4096).
+    pub fixed_per_iter_s: f64,
+    /// Per-sample host processing in seconds (data loader, loss,
+    /// bookkeeping).
+    pub per_sample_s: f64,
+    /// Per-embedding-lookup host cost (embedding-bag offset handling,
+    /// index conversion). Fitted to Fig. 13(b)'s SGD pooling scaling
+    /// (1.0/3.2/5.0/6.5 at pooling 1/10/20/30).
+    pub per_lookup_s: f64,
+    /// Fixed per-iteration overhead added by the DP machinery (Opacus
+    /// wrapper dispatch, extra kernel launches for clipping/noise).
+    /// Fitted to Fig. 10's LazyDP batch-scaling (1.7/2.2/3.1).
+    pub dp_fixed_per_iter_s: f64,
+    /// Extra per-sample cost of DP gradient machinery for the
+    /// ghost-norm variants F / EANA / LazyDP (hook dispatch, norm
+    /// reduction, clipping).
+    pub dp_fast_per_sample_s: f64,
+    /// Extra per-sample cost for DP-SGD(R)'s double gradient pass.
+    pub dp_reweighted_per_sample_s: f64,
+    /// Extra per-sample cost for DP-SGD(B)'s per-example gradient
+    /// materialization (Opacus hooks + allocator traffic). Fitted to
+    /// Fig. 3's 96 MB point where DP-SGD(B) ≈ 3× DP-SGD(F).
+    pub dp_per_example_per_sample_s: f64,
+    /// Per-lookup cost of index dedup / `unique` for the first
+    /// [`DEDUP_TIER_LOOKUPS`](crate::kernels::DEDUP_TIER_LOOKUPS)
+    /// lookups (PyTorch-`unique`-style dispatch-heavy cost; LazyDP
+    /// overhead item 1, 61% of its overhead — Fig. 11).
+    pub dedup_per_lookup_s: f64,
+    /// Per-lookup dedup cost beyond the first tier (amortized
+    /// hash/radix cost at scale, memory-bound).
+    pub dedup_per_lookup_bulk_s: f64,
+    /// Per-unique-row cost of reading the HistoryTable and deriving the
+    /// ANS standard deviation (overhead item 2, 22%).
+    pub history_read_per_row_s: f64,
+    /// Per-unique-row cost of updating the HistoryTable (item 3, 17%).
+    pub history_write_per_row_s: f64,
+}
+
+/// The full system description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemSpec {
+    /// CPU constants.
+    pub cpu: CpuSpec,
+    /// GPU constants.
+    pub gpu: GpuSpec,
+    /// Interconnect constants.
+    pub link: LinkSpec,
+    /// Power states.
+    pub power: PowerSpec,
+    /// Host/framework overheads.
+    pub host: HostSpec,
+}
+
+impl SystemSpec {
+    /// The paper's testbed (§6): V100 + Xeon E5-2698v4, PCIe 3.0,
+    /// PyTorch 1.12 + Opacus with hand-tuned AVX kernels.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            cpu: CpuSpec {
+                mem_bw_gbs: 68.0,
+                stream_efficiency: 0.855,
+                gather_efficiency: 0.09,
+                avx_peak_gflops: 265.0,
+                avx_efficiency: 0.81,
+                dram_capacity_bytes: 256 * 1_000_000_000,
+            },
+            gpu: GpuSpec {
+                fp32_tflops: 14.0,
+                gemm_efficiency: 0.35,
+                hbm_bw_gbs: 900.0,
+                hbm_capacity_bytes: 32 * 1_000_000_000,
+            },
+            link: LinkSpec {
+                pcie_gbs: 16.0,
+                pcie_efficiency: 0.8,
+            },
+            power: PowerSpec {
+                cpu_idle_w: 65.0,
+                cpu_avx_w: 240.0,
+                cpu_stream_w: 180.0,
+                gpu_idle_w: 70.0,
+                gpu_active_w: 250.0,
+            },
+            host: HostSpec {
+                fixed_per_iter_s: 30e-3,
+                per_sample_s: 12e-6,
+                per_lookup_s: 60e-9,
+                dp_fixed_per_iter_s: 50e-3,
+                dp_fast_per_sample_s: 12e-6,
+                dp_reweighted_per_sample_s: 170e-6,
+                dp_per_example_per_sample_s: 330e-6,
+                dedup_per_lookup_s: 170e-9,
+                dedup_per_lookup_bulk_s: 10e-9,
+                history_read_per_row_s: 180e-9,
+                history_write_per_row_s: 150e-9,
+            },
+        }
+    }
+
+    /// Effective streaming bandwidth in bytes/s.
+    #[must_use]
+    pub fn stream_bw(&self) -> f64 {
+        self.cpu.mem_bw_gbs * 1e9 * self.cpu.stream_efficiency
+    }
+
+    /// Effective random-row bandwidth in bytes/s.
+    #[must_use]
+    pub fn gather_bw(&self) -> f64 {
+        self.cpu.mem_bw_gbs * 1e9 * self.cpu.gather_efficiency
+    }
+
+    /// Effective AVX throughput in flops/s (the 215 GFLOPS of Fig. 6).
+    #[must_use]
+    pub fn avx_eff_flops(&self) -> f64 {
+        self.cpu.avx_peak_gflops * 1e9 * self.cpu.avx_efficiency
+    }
+
+    /// Effective GPU GEMM throughput in flops/s.
+    #[must_use]
+    pub fn gemm_flops(&self) -> f64 {
+        self.gpu.fp32_tflops * 1e12 * self.gpu.gemm_efficiency
+    }
+
+    /// Effective PCIe bandwidth in bytes/s.
+    #[must_use]
+    pub fn pcie_bw(&self) -> f64 {
+        self.link.pcie_gbs * 1e9 * self.link.pcie_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_quoted_values() {
+        let s = SystemSpec::paper_default();
+        // §6 quotes.
+        assert_eq!(s.cpu.mem_bw_gbs, 68.0);
+        assert_eq!(s.gpu.hbm_bw_gbs, 900.0);
+        assert_eq!(s.link.pcie_gbs, 16.0);
+        assert_eq!(s.cpu.dram_capacity_bytes, 256_000_000_000);
+        // §4.3: 81% of peak ⇒ ≈ 215 GFLOPS effective.
+        assert!((s.avx_eff_flops() / 1e9 - 214.65).abs() < 1.0);
+        // §4.3: 85.5% of 68 GB/s ⇒ ≈ 58.1 GB/s streams.
+        assert!((s.stream_bw() / 1e9 - 58.14).abs() < 0.1);
+    }
+
+    #[test]
+    fn derived_rates_are_positive_and_ordered() {
+        let s = SystemSpec::paper_default();
+        assert!(s.gather_bw() < s.stream_bw(), "random slower than stream");
+        assert!(s.gemm_flops() > s.avx_eff_flops(), "GPU beats CPU at GEMM");
+        assert!(s.pcie_bw() > 0.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Workload description: model configuration + batch + access skew.
+
+use lazydp_data::trace::{expected_unique_uniform, expected_unique_zipf, zipf_exponent_for_skew};
+use lazydp_data::SkewLevel;
+use lazydp_model::DlrmConfig;
+
+/// One evaluation point: a DLRM configuration trained at a batch size
+/// over a trace with the given skew.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// The (paper-scale) model configuration.
+    pub config: DlrmConfig,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Table-access skew (§6 default: uniform/"Random").
+    pub skew: SkewLevel,
+}
+
+impl Workload {
+    /// The paper's default workload: full-scale MLPerf DLRM (96 GB),
+    /// uniform trace.
+    #[must_use]
+    pub fn mlperf_default(batch: usize) -> Self {
+        Self {
+            config: DlrmConfig::mlperf(1),
+            batch,
+            skew: SkewLevel::Random,
+        }
+    }
+
+    /// Replaces the model configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: DlrmConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the skew level (Fig. 13(d)).
+    #[must_use]
+    pub fn with_skew(mut self, skew: SkewLevel) -> Self {
+        self.skew = skew;
+        self
+    }
+
+    /// Lookups per table per iteration (`batch × pooling`).
+    #[must_use]
+    pub fn lookups_per_table(&self) -> u64 {
+        self.batch as u64 * self.config.pooling as u64
+    }
+
+    /// Total lookups per iteration across tables.
+    #[must_use]
+    pub fn total_lookups(&self) -> u64 {
+        self.lookups_per_table() * self.config.num_tables() as u64
+    }
+
+    /// Expected number of *distinct* rows gathered from table `t` in one
+    /// iteration — the quantity that sets LazyDP's and EANA's noise and
+    /// scatter work (paper §5.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn expected_unique_rows(&self, t: usize) -> f64 {
+        let rows = self.config.table_rows[t];
+        let draws = self.lookups_per_table();
+        match self.skew.target() {
+            None => expected_unique_uniform(rows, draws),
+            Some((fraction, mass)) => {
+                let s = cached_zipf_exponent(rows, fraction, mass);
+                expected_unique_zipf(rows, s, draws)
+            }
+        }
+    }
+
+    /// Expected distinct rows per iteration summed over tables.
+    #[must_use]
+    pub fn total_expected_unique(&self) -> f64 {
+        (0..self.config.num_tables())
+            .map(|t| self.expected_unique_rows(t))
+            .sum()
+    }
+
+    /// Bytes of one embedding row.
+    #[must_use]
+    pub fn row_bytes(&self) -> u64 {
+        self.config.embedding_dim as u64 * 4
+    }
+
+    /// GEMM flops of one *forward* pass (bottom MLP + top MLP +
+    /// interaction), `2·B·Σ in×out`.
+    #[must_use]
+    pub fn forward_gemm_flops(&self) -> u64 {
+        let b = self.batch as u64;
+        let mut flops = 0u64;
+        let mut prev = self.config.num_dense as u64;
+        for &w in &self.config.bottom_layers {
+            flops += 2 * b * prev * w as u64;
+            prev = w as u64;
+        }
+        let mut prev = self.config.top_input_dim() as u64;
+        for &w in &self.config.top_layers {
+            flops += 2 * b * prev * w as u64;
+            prev = w as u64;
+        }
+        // Dot interaction: (T+1)T/2 pairwise dots of dim-length vectors.
+        let n = self.config.num_tables() as u64 + 1;
+        flops += 2 * b * (n * (n - 1) / 2) * self.config.embedding_dim as u64;
+        flops
+    }
+
+    /// PCIe bytes per direction per iteration: the pooled embedding
+    /// vectors (one per table per sample) plus dense features/grads.
+    #[must_use]
+    pub fn pcie_bytes_one_way(&self) -> u64 {
+        let b = self.batch as u64;
+        b * self.config.num_tables() as u64 * self.row_bytes()
+            + b * self.config.num_dense as u64 * 4
+    }
+
+    /// Total embedding elements (`total_rows × dim`) — the dense noisy
+    /// update's working set.
+    #[must_use]
+    pub fn embedding_elements(&self) -> u64 {
+        self.config.embedding_params()
+    }
+
+    /// Total MLP parameters.
+    #[must_use]
+    pub fn mlp_params(&self) -> u64 {
+        self.config.mlp_params()
+    }
+}
+
+/// Memoized wrapper around the (expensive) Zipf skew-calibration solver:
+/// sweeps over the 26 Criteo tables re-solve identical instances many
+/// times.
+fn cached_zipf_exponent(rows: u64, fraction: f64, mass: f64) -> f64 {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<(u64, u64, u64), f64>>> = OnceLock::new();
+    let key = (rows, fraction.to_bits(), mass.to_bits());
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(&v) = cache.lock().expect("cache lock").get(&key) {
+        return v;
+    }
+    let v = zipf_exponent_for_skew(rows, fraction, mass);
+    cache.lock().expect("cache lock").insert(key, v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_exponent_cache_is_consistent() {
+        let a = cached_zipf_exponent(100_000, 0.1, 0.9);
+        let b = cached_zipf_exponent(100_000, 0.1, 0.9);
+        assert_eq!(a, b);
+        assert!((a - zipf_exponent_for_skew(100_000, 0.1, 0.9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_workload_dimensions() {
+        let wl = Workload::mlperf_default(2048);
+        assert_eq!(wl.lookups_per_table(), 2048);
+        assert_eq!(wl.total_lookups(), 2048 * 26);
+        assert_eq!(wl.row_bytes(), 512);
+        // ≈ 24 G elements for the 96 GB model.
+        assert!(wl.embedding_elements() > 20_000_000_000);
+    }
+
+    #[test]
+    fn unique_rows_capped_by_lookups_and_table() {
+        let wl = Workload::mlperf_default(2048);
+        for t in 0..wl.config.num_tables() {
+            let u = wl.expected_unique_rows(t);
+            assert!(u <= wl.lookups_per_table() as f64 + 1e-9);
+            assert!(u <= wl.config.table_rows[t] as f64 + 1e-9);
+            assert!(u > 0.0);
+        }
+        // The tiny 3-row table saturates at 3 unique rows.
+        let t3 = wl
+            .config
+            .table_rows
+            .iter()
+            .position(|&r| r == 3)
+            .expect("criteo has a 3-row table");
+        assert!((wl.expected_unique_rows(t3) - 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn skew_reduces_unique_rows() {
+        let base = Workload::mlperf_default(4096);
+        let mut prev = f64::INFINITY;
+        for skew in SkewLevel::all() {
+            let wl = base.clone().with_skew(skew);
+            let u = wl.total_expected_unique();
+            assert!(u < prev, "{skew:?}: {u} !< {prev}");
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn forward_flops_match_hand_count_for_tiny_config() {
+        let cfg = DlrmConfig::tiny(2, 10, 8); // bottom 13→16→8, top in 8+3=11 →16→1
+        let wl = Workload {
+            config: cfg,
+            batch: 4,
+            skew: SkewLevel::Random,
+        };
+        let expect = 2 * 4 * (13 * 16 + 16 * 8) + 2 * 4 * (11 * 16 + 16 * 1) + 2 * 4 * 3 * 8;
+        assert_eq!(wl.forward_gemm_flops(), expect as u64);
+    }
+
+    #[test]
+    fn pcie_scales_with_batch_not_pooling() {
+        let a = Workload::mlperf_default(1024);
+        let b = Workload::mlperf_default(2048);
+        assert_eq!(b.pcie_bytes_one_way(), 2 * a.pcie_bytes_one_way());
+        let pooled = Workload {
+            config: DlrmConfig::mlperf(1).with_pooling(30),
+            batch: 1024,
+            skew: SkewLevel::Random,
+        };
+        assert_eq!(pooled.pcie_bytes_one_way(), a.pcie_bytes_one_way());
+    }
+}

@@ -1,0 +1,111 @@
+//! Deterministic weight initialization.
+
+use crate::matrix::Matrix;
+use lazydp_rng::{fill_standard_normal, Prng};
+
+/// Weight initialization scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InitKind {
+    /// Xavier/Glorot uniform: `U(−√(6/(fan_in+fan_out)), +…)` — the DLRM
+    /// reference initialization for MLP weights.
+    XavierUniform,
+    /// Zero-mean Gaussian with the given standard deviation — the DLRM
+    /// reference initialization for embedding tables uses a uniform, but
+    /// Gaussian is provided for ablations.
+    Normal(f32),
+    /// Uniform `U(−a, a)`.
+    Uniform(f32),
+    /// All zeros (bias vectors).
+    Zeros,
+}
+
+/// Xavier-uniform bound for a `fan_in × fan_out` weight.
+#[must_use]
+pub fn xavier_uniform(fan_in: usize, fan_out: usize) -> f32 {
+    (6.0 / (fan_in + fan_out) as f32).sqrt()
+}
+
+impl InitKind {
+    /// Fills `out` according to the scheme.
+    pub fn fill<R: Prng>(&self, rng: &mut R, out: &mut [f32], fan_in: usize, fan_out: usize) {
+        match *self {
+            Self::XavierUniform => {
+                let a = xavier_uniform(fan_in, fan_out);
+                for x in out {
+                    *x = (rng.next_f32() * 2.0 - 1.0) * a;
+                }
+            }
+            Self::Normal(std) => {
+                fill_standard_normal(rng, out);
+                for x in out {
+                    *x *= std;
+                }
+            }
+            Self::Uniform(a) => {
+                for x in out {
+                    *x = (rng.next_f32() * 2.0 - 1.0) * a;
+                }
+            }
+            Self::Zeros => out.fill(0.0),
+        }
+    }
+
+    /// Creates an initialized `rows × cols` matrix (fan_in = rows,
+    /// fan_out = cols, the convention for a `x·W` layout).
+    #[must_use]
+    pub fn matrix<R: Prng>(&self, rng: &mut R, rows: usize, cols: usize) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        self.fill(rng, m.as_mut_slice(), rows, cols);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazydp_rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn xavier_bound_formula() {
+        assert!((xavier_uniform(100, 200) - (6.0f32 / 300.0).sqrt()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn xavier_fill_respects_bound_and_is_centered() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(1);
+        let m = InitKind::XavierUniform.matrix(&mut rng, 64, 32);
+        let a = xavier_uniform(64, 32);
+        let mut sum = 0.0f64;
+        for &x in m.as_slice() {
+            assert!(x.abs() <= a);
+            sum += f64::from(x);
+        }
+        let mean = sum / m.len() as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_fill_has_requested_std() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(2);
+        let m = InitKind::Normal(0.1).matrix(&mut rng, 100, 100);
+        let var: f64 = m
+            .as_slice()
+            .iter()
+            .map(|&x| f64::from(x) * f64::from(x))
+            .sum::<f64>()
+            / m.len() as f64;
+        assert!((var.sqrt() - 0.1).abs() < 0.005, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zeros_and_determinism() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(3);
+        let z = InitKind::Zeros.matrix(&mut rng, 3, 3);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let mut r1 = Xoshiro256PlusPlus::seed_from(7);
+        let mut r2 = Xoshiro256PlusPlus::seed_from(7);
+        let a = InitKind::XavierUniform.matrix(&mut r1, 8, 8);
+        let b = InitKind::XavierUniform.matrix(&mut r2, 8, 8);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,613 @@
+//! Row-major `f32` matrix with the GEMM variants needed by backprop.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `f32` matrix.
+///
+/// This is deliberately a small, dependency-free implementation: the
+/// reproduction's correctness claims (LazyDP ≡ DP-SGD) rely on bit-level
+/// determinism, which an external BLAS would not guarantee across
+/// machines. Sizes in this workspace are small (MLP layers up to
+/// 1024×1024), so the simple `i-k-j` loop is adequate.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix filled with `value`.
+    #[must_use]
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} != {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths or `rows` is empty.
+    #[must_use]
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows needs at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)`.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the data.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the flat data.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.rows, "row {i} out of {}", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        assert!(i < self.rows, "row {i} out of {}", self.rows);
+        let c = self.cols;
+        &mut self.data[i * c..(i + 1) * c]
+    }
+
+    /// Iterator over row slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// The transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Self::zeros(self.rows, other.cols);
+        // i-k-j ordering: streams `other` rows, cache friendly.
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materializing the transpose.
+    ///
+    /// This is the weight-gradient GEMM of backprop
+    /// (`∂L/∂W = aᵀ · δ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch (`self.rows != other.rows`).
+    #[must_use]
+    pub fn t_matmul(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.rows, other.rows,
+            "t_matmul {}x{} ᵀ· {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Self::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materializing the transpose.
+    ///
+    /// This is the input-gradient GEMM of backprop
+    /// (`∂L/∂a = δ · Wᵀ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch (`self.cols != other.cols`).
+    #[must_use]
+    pub fn matmul_t(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t {}x{} · {}x{}ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Self::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum `self + other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn add(&self, other: &Self) -> Self {
+        assert_eq!(self.shape(), other.shape(), "add shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// In-place `self += alpha * other` (AXPY).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Self) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place scaling `self *= alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn hadamard(&self, other: &Self) -> Self {
+        assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .collect();
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Returns a new matrix with `f` applied element-wise.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Frobenius norm (in `f64` accumulation for stability).
+    #[must_use]
+    pub fn frob_norm(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|&x| f64::from(x) * f64::from(x))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Squared Frobenius norm in `f64`.
+    #[must_use]
+    pub fn frob_norm_sq(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|&x| f64::from(x) * f64::from(x))
+            .sum::<f64>()
+    }
+
+    /// Per-row squared L2 norms (length = `rows`).
+    #[must_use]
+    pub fn row_norms_sq(&self) -> Vec<f64> {
+        self.rows_iter()
+            .map(|r| r.iter().map(|&x| f64::from(x) * f64::from(x)).sum())
+            .collect()
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    #[must_use]
+    pub fn hcat(&self, other: &Self) -> Self {
+        assert_eq!(self.rows, other.rows, "hcat row mismatch");
+        let mut out = Self::zeros(self.rows, self.cols + other.cols);
+        for i in 0..self.rows {
+            out.data[i * out.cols..i * out.cols + self.cols].copy_from_slice(self.row(i));
+            out.data[i * out.cols + self.cols..(i + 1) * out.cols].copy_from_slice(other.row(i));
+        }
+        out
+    }
+
+    /// Extracts the sub-matrix of columns `[start, start+width)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds `cols`.
+    #[must_use]
+    pub fn col_slice(&self, start: usize, width: usize) -> Self {
+        assert!(start + width <= self.cols, "col_slice out of range");
+        let mut out = Self::zeros(self.rows, width);
+        for i in 0..self.rows {
+            out.row_mut(i)
+                .copy_from_slice(&self.row(i)[start..start + width]);
+        }
+        out
+    }
+
+    /// Extracts a single row as a new `1 × cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[must_use]
+    pub fn row_matrix(&self, i: usize) -> Self {
+        Self::from_vec(1, self.cols, self.row(i).to_vec())
+    }
+
+    /// Column-wise sum, returning a vector of length `cols` (the bias
+    /// gradient of a linear layer).
+    #[must_use]
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for r in self.rows_iter() {
+            for (o, &x) in out.iter_mut().zip(r.iter()) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute element-wise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn max_abs_diff(&self, other: &Self) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    fn index(&self, (i, j): (usize, usize)) -> &f32 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {:?}", self.shape());
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f32 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {:?}", self.shape());
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a[(i, k)] * b[(k, j)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    fn pseudo_random(rows: usize, cols: usize, seed: u32) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| {
+            let x = (i as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add((j as u32).wrapping_mul(40503))
+                .wrapping_add(seed);
+            ((x % 1000) as f32 - 500.0) / 250.0
+        })
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = pseudo_random(7, 5, 1);
+        let b = pseudo_random(5, 9, 2);
+        let fast = a.matmul(&b);
+        let slow = naive_matmul(&a, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = pseudo_random(4, 4, 3);
+        assert_eq!(a.matmul(&Matrix::identity(4)), a);
+        assert_eq!(Matrix::identity(4).matmul(&a), a);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = pseudo_random(6, 4, 4);
+        let b = pseudo_random(6, 3, 5);
+        let fused = a.t_matmul(&b);
+        let explicit = a.transpose().matmul(&b);
+        assert!(fused.max_abs_diff(&explicit) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = pseudo_random(6, 4, 6);
+        let b = pseudo_random(3, 4, 7);
+        let fused = a.matmul_t(&b);
+        let explicit = a.matmul(&b.transpose());
+        assert!(fused.max_abs_diff(&explicit) < 1e-4);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let a = pseudo_random(5, 8, 8);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 3.0);
+        a.axpy(2.0, &b);
+        assert_eq!(a, Matrix::filled(2, 2, 7.0));
+        a.scale(0.5);
+        assert_eq!(a, Matrix::filled(2, 2, 3.5));
+    }
+
+    #[test]
+    fn norms() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((a.frob_norm() - 5.0).abs() < 1e-9);
+        assert_eq!(a.row_norms_sq(), vec![9.0, 16.0]);
+        assert!((a.frob_norm_sq() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hcat_and_col_slice_roundtrip() {
+        let a = pseudo_random(3, 2, 9);
+        let b = pseudo_random(3, 5, 10);
+        let c = a.hcat(&b);
+        assert_eq!(c.shape(), (3, 7));
+        assert_eq!(c.col_slice(0, 2), a);
+        assert_eq!(c.col_slice(2, 5), b);
+    }
+
+    #[test]
+    fn col_sums_matches_manual() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[10.0, 20.0], &[100.0, 200.0]]);
+        assert_eq!(a.col_sums(), vec![111.0, 222.0]);
+    }
+
+    #[test]
+    fn rows_iter_and_row_access_agree() {
+        let a = pseudo_random(4, 3, 11);
+        for (i, r) in a.rows_iter().enumerate() {
+            assert_eq!(r, a.row(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_rejects_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn hadamard_and_map() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(a.hadamard(&b), Matrix::from_rows(&[&[3.0, -8.0]]));
+        assert_eq!(a.map(f32::abs), Matrix::from_rows(&[&[1.0, 2.0]]));
+    }
+
+    #[test]
+    fn matmul_associativity_within_tolerance() {
+        let a = pseudo_random(4, 5, 12);
+        let b = pseudo_random(5, 6, 13);
+        let c = pseudo_random(6, 3, 14);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        assert!(left.max_abs_diff(&right) < 1e-2);
+    }
+}

@@ -1,0 +1,185 @@
+//! Activations and layer-level element-wise operations.
+
+use crate::matrix::Matrix;
+
+/// Activation function applied element-wise after a linear layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Identity (no activation) — used for output/logit layers.
+    #[default]
+    Linear,
+    /// Rectified linear unit, the DLRM default for hidden layers.
+    Relu,
+    /// Logistic sigmoid — DLRM's final click-probability output.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation element-wise, returning a new matrix.
+    #[must_use]
+    pub fn forward(&self, z: &Matrix) -> Matrix {
+        match self {
+            Self::Linear => z.clone(),
+            Self::Relu => z.map(|x| x.max(0.0)),
+            Self::Sigmoid => z.map(sigmoid),
+        }
+    }
+
+    /// Applies the activation in place.
+    pub fn forward_inplace(&self, z: &mut Matrix) {
+        match self {
+            Self::Linear => {}
+            Self::Relu => {
+                for x in z.as_mut_slice() {
+                    *x = x.max(0.0);
+                }
+            }
+            Self::Sigmoid => {
+                for x in z.as_mut_slice() {
+                    *x = sigmoid(*x);
+                }
+            }
+        }
+    }
+
+    /// Given the *post-activation* output `a` and upstream gradient
+    /// `grad_a`, returns the gradient with respect to the
+    /// pre-activation `z`.
+    ///
+    /// Both ReLU and sigmoid derivatives are expressible from the output
+    /// alone (`1[a>0]` and `a(1-a)`), so the forward cache only needs
+    /// activations, matching the memory-lean layout the paper's
+    /// DP-SGD(R/F) variants assume.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn backward(&self, a: &Matrix, grad_a: &Matrix) -> Matrix {
+        assert_eq!(a.shape(), grad_a.shape(), "activation backward shape mismatch");
+        match self {
+            Self::Linear => grad_a.clone(),
+            Self::Relu => Matrix::from_vec(
+                a.rows(),
+                a.cols(),
+                a.as_slice()
+                    .iter()
+                    .zip(grad_a.as_slice())
+                    .map(|(&av, &gv)| if av > 0.0 { gv } else { 0.0 })
+                    .collect(),
+            ),
+            Self::Sigmoid => Matrix::from_vec(
+                a.rows(),
+                a.cols(),
+                a.as_slice()
+                    .iter()
+                    .zip(grad_a.as_slice())
+                    .map(|(&av, &gv)| gv * av * (1.0 - av))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+#[must_use]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Adds a bias row-vector to every row of `z` in place.
+///
+/// # Panics
+///
+/// Panics if `bias.len() != z.cols()`.
+pub fn add_bias(z: &mut Matrix, bias: &[f32]) {
+    assert_eq!(bias.len(), z.cols(), "bias length mismatch");
+    let cols = z.cols();
+    for i in 0..z.rows() {
+        for (v, &b) in z.row_mut(i).iter_mut().zip(bias.iter()) {
+            *v += b;
+        }
+        let _ = cols;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(40.0) > 0.999_999);
+        assert!(sigmoid(-40.0) < 1e-6);
+        // Symmetry: σ(-x) = 1 - σ(x).
+        for x in [-3.0f32, -0.5, 0.7, 2.2] {
+            assert!((sigmoid(-x) - (1.0 - sigmoid(x))).abs() < 1e-6);
+        }
+        // No NaN at extreme inputs.
+        assert!(sigmoid(f32::MAX).is_finite());
+        assert!(sigmoid(f32::MIN).is_finite());
+    }
+
+    #[test]
+    fn relu_forward_backward() {
+        let z = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
+        let a = Activation::Relu.forward(&z);
+        assert_eq!(a, Matrix::from_rows(&[&[0.0, 0.0, 2.0]]));
+        let g = Matrix::from_rows(&[&[5.0, 5.0, 5.0]]);
+        let gz = Activation::Relu.backward(&a, &g);
+        assert_eq!(gz, Matrix::from_rows(&[&[0.0, 0.0, 5.0]]));
+    }
+
+    #[test]
+    fn sigmoid_backward_matches_finite_difference() {
+        let z = Matrix::from_rows(&[&[0.3, -1.2, 2.0]]);
+        let a = Activation::Sigmoid.forward(&z);
+        let g = Matrix::filled(1, 3, 1.0);
+        let gz = Activation::Sigmoid.backward(&a, &g);
+        let eps = 1e-3f32;
+        for j in 0..3 {
+            let mut zp = z.clone();
+            zp[(0, j)] += eps;
+            let mut zm = z.clone();
+            zm[(0, j)] -= eps;
+            let fd = (Activation::Sigmoid.forward(&zp)[(0, j)]
+                - Activation::Sigmoid.forward(&zm)[(0, j)])
+                / (2.0 * eps);
+            assert!((gz[(0, j)] - fd).abs() < 1e-3, "col {j}: {} vs {}", gz[(0, j)], fd);
+        }
+    }
+
+    #[test]
+    fn linear_passthrough() {
+        let z = Matrix::from_rows(&[&[1.0, -2.0]]);
+        assert_eq!(Activation::Linear.forward(&z), z);
+        let g = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(Activation::Linear.backward(&z, &g), g);
+    }
+
+    #[test]
+    fn forward_inplace_matches_forward() {
+        let z = Matrix::from_rows(&[&[-0.5, 0.0, 1.5, 3.0]]);
+        for act in [Activation::Linear, Activation::Relu, Activation::Sigmoid] {
+            let expect = act.forward(&z);
+            let mut got = z.clone();
+            act.forward_inplace(&mut got);
+            assert_eq!(got, expect, "{act:?}");
+        }
+    }
+
+    #[test]
+    fn add_bias_broadcasts_per_row() {
+        let mut z = Matrix::zeros(2, 3);
+        add_bias(&mut z, &[1.0, 2.0, 3.0]);
+        assert_eq!(z.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(z.row(1), &[1.0, 2.0, 3.0]);
+    }
+}

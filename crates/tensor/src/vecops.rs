@@ -1,0 +1,109 @@
+//! Free functions on `&[f32]` vectors (dot products, norms, AXPY).
+//!
+//! These are the scalar analogues of the AVX streaming kernels the paper
+//! characterizes in §4.3; `lazydp-sysmodel` models their vectorized cost.
+
+/// Dot product with `f64` accumulation.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[must_use]
+pub fn dot(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| f64::from(x) * f64::from(y))
+        .sum()
+}
+
+/// Squared L2 norm with `f64` accumulation.
+#[must_use]
+pub fn norm_sq(a: &[f32]) -> f64 {
+    a.iter().map(|&x| f64::from(x) * f64::from(x)).sum()
+}
+
+/// L2 norm.
+#[must_use]
+pub fn norm(a: &[f32]) -> f64 {
+    norm_sq(a).sqrt()
+}
+
+/// In-place `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place `y *= alpha`.
+pub fn scale(alpha: f32, y: &mut [f32]) {
+    for yi in y {
+        *yi *= alpha;
+    }
+}
+
+/// Element-wise sum of two slices into a new vector.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[must_use]
+pub fn add(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "add length mismatch");
+    a.iter().zip(b.iter()).map(|(&x, &y)| x + y).collect()
+}
+
+/// Maximum absolute difference between two slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[must_use]
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm_sq(&[3.0, 4.0]), 25.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(norm_sq(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_scale_add() {
+        let mut y = vec![1.0f32, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![3.5, 4.5]);
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_basics() {
+        assert_eq!(max_abs_diff(&[1.0, 5.0], &[1.5, 4.0]), 1.0);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dot length")]
+    fn dot_rejects_mismatch() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Skewed-trace study at functional scale — the mechanics behind
+//! Fig. 13(d) and the EANA privacy argument of §7.4.
+//!
+//! Builds the paper's four trace-skew presets (90% of accesses on
+//! 100% / 36% / 10% / 0.6% of rows), verifies the generators hit their
+//! calibration targets, and measures how skew changes LazyDP's actual
+//! noise-sampling work — plus how many rows EANA would *never* noise
+//! (its information leak).
+//!
+//! Run with: `cargo run --release --example skewed_workload`
+
+use lazydp::data::{AccessDistribution, SkewLevel, SyntheticConfig, SyntheticDataset};
+use lazydp::dpsgd::{DpConfig, Optimizer};
+use lazydp::embedding::AccessTracker;
+use lazydp::lazy::{LazyDpConfig, LazyDpOptimizer};
+use lazydp::model::{Dlrm, DlrmConfig};
+use lazydp::rng::counter::CounterNoise;
+use lazydp::rng::Xoshiro256PlusPlus;
+
+const ROWS: u64 = 20_000;
+const BATCH: usize = 256;
+const STEPS: usize = 20;
+
+fn main() {
+    println!(
+        "{:<8} {:>14} {:>16} {:>18} {:>20}",
+        "skew", "rows w/ 90%", "unique/batch", "noise samples", "rows EANA never noises"
+    );
+    for skew in SkewLevel::all() {
+        let dist = AccessDistribution::for_skew(ROWS, skew);
+
+        // --- calibration check: where do 90% of accesses land? ----------
+        let mut rng = Xoshiro256PlusPlus::seed_from(5);
+        let mut tracker = AccessTracker::new(ROWS as usize);
+        tracker.record_all(&dist.sample_many(&mut rng, 200_000));
+        let frac90 = tracker.fraction_for_mass(0.9);
+
+        // --- functional LazyDP run on this trace -------------------------
+        let cfg = SyntheticConfig::small(1, ROWS, BATCH * (STEPS + 1))
+            .with_distributions(vec![dist.clone()]);
+        let ds = SyntheticDataset::new(cfg);
+        let mut model = {
+            let mut rng = Xoshiro256PlusPlus::seed_from(17);
+            Dlrm::new(DlrmConfig::tiny(1, ROWS, 8), &mut rng)
+        };
+        let mut opt = LazyDpOptimizer::new(
+            LazyDpConfig {
+                dp: DpConfig::paper_default(BATCH),
+                ans: true,
+            },
+            &model,
+            CounterNoise::new(3),
+        );
+        let batches: Vec<_> = (0..=STEPS)
+            .map(|i| ds.batch_of(&(i * BATCH..(i + 1) * BATCH).collect::<Vec<_>>()))
+            .collect();
+        let mut touched = AccessTracker::new(ROWS as usize);
+        for i in 0..STEPS {
+            touched.record_all(batches[i].table_indices(0));
+            opt.step(&mut model, &batches[i], Some(&batches[i + 1]));
+        }
+        let unique_per_batch = touched.total() as f64 / STEPS as f64
+            * (touched.touched_rows() as f64 / touched.total() as f64);
+        let eana_dark_rows = ROWS as usize - touched.touched_rows();
+
+        println!(
+            "{:<8} {:>13.1}% {:>16.0} {:>18} {:>20}",
+            skew.label(),
+            100.0 * frac90,
+            unique_per_batch,
+            opt.counters().gaussian_samples,
+            eana_dark_rows,
+        );
+    }
+    println!(
+        "\nHigher skew ⇒ fewer unique rows per batch ⇒ less LazyDP noise work \
+         (Fig. 13(d): 2.2 → 1.9×SGD)."
+    );
+    println!(
+        "The last column is EANA's leak: rows that would NEVER receive noise, revealing \
+         that no user datum contains those features (§2.5). LazyDP noises every row by \
+         finalize time."
+    );
+}

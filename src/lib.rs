@@ -1,0 +1,20 @@
+//! # LazyDP — facade crate
+//!
+//! This crate re-exports the whole LazyDP reproduction workspace behind a
+//! single dependency. See `README.md` for the architecture overview and
+//! `DESIGN.md` for the paper-to-crate mapping.
+//!
+//! Reproduction of: *LazyDP: Co-Designing Algorithm-Software for Scalable
+//! Training of Differentially Private Recommendation Models* (ASPLOS 2024).
+
+#![forbid(unsafe_code)]
+
+pub use lazydp_core as lazy;
+pub use lazydp_data as data;
+pub use lazydp_dpsgd as dpsgd;
+pub use lazydp_embedding as embedding;
+pub use lazydp_model as model;
+pub use lazydp_privacy as privacy;
+pub use lazydp_rng as rng;
+pub use lazydp_sysmodel as sysmodel;
+pub use lazydp_tensor as tensor;

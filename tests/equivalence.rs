@@ -1,0 +1,176 @@
+//! Cross-crate equivalence tests: the mathematical claims that make
+//! LazyDP "mathematically equivalent, differentially private" (paper
+//! abstract), exercised through the public facade API.
+
+use lazydp::data::{FixedBatchLoader, LookaheadLoader, MiniBatch, SyntheticConfig, SyntheticDataset};
+use lazydp::dpsgd::{ClipStyle, DpConfig, EagerDpSgd, EanaOptimizer, Optimizer};
+use lazydp::lazy::{LazyDpConfig, LazyDpOptimizer};
+use lazydp::model::{Dlrm, DlrmConfig};
+use lazydp::rng::counter::CounterNoise;
+use lazydp::rng::Xoshiro256PlusPlus;
+
+const TABLES: usize = 4;
+const ROWS: u64 = 96;
+const DIM: usize = 8;
+const BATCH: usize = 24;
+const STEPS: usize = 8;
+
+fn setup() -> (Dlrm, Vec<MiniBatch>) {
+    let mut rng = Xoshiro256PlusPlus::seed_from(321);
+    let model = Dlrm::new(DlrmConfig::tiny(TABLES, ROWS, DIM), &mut rng);
+    let ds = SyntheticDataset::new(SyntheticConfig::small(TABLES, ROWS, BATCH * (STEPS + 1)));
+    let batches = (0..=STEPS)
+        .map(|i| ds.batch_of(&(i * BATCH..(i + 1) * BATCH).collect::<Vec<_>>()))
+        .collect();
+    (model, batches)
+}
+
+fn max_model_diff(a: &Dlrm, b: &Dlrm) -> f32 {
+    let table_diff = a
+        .tables
+        .iter()
+        .zip(b.tables.iter())
+        .map(|(x, y)| x.max_abs_diff(y))
+        .fold(0.0f32, f32::max);
+    let mlp_diff = a
+        .top
+        .layers()
+        .iter()
+        .zip(b.top.layers().iter())
+        .chain(a.bottom.layers().iter().zip(b.bottom.layers().iter()))
+        .map(|(x, y)| x.weight.max_abs_diff(&y.weight))
+        .fold(0.0f32, f32::max);
+    table_diff.max(mlp_diff)
+}
+
+/// The paper's central claim, end to end through the facade: LazyDP
+/// (without ANS, counter noise) trains the *same model* as eager
+/// DP-SGD(F).
+#[test]
+fn lazydp_equals_eager_dpsgd_full_pipeline() {
+    let (model0, batches) = setup();
+    let dp = DpConfig::new(0.9, 1.0, 0.05, BATCH);
+
+    let mut eager_model = model0.clone();
+    let mut eager = EagerDpSgd::new(dp, ClipStyle::Fast, CounterNoise::new(2718));
+    for b in batches.iter().take(STEPS) {
+        eager.step(&mut eager_model, b, None);
+    }
+
+    let mut lazy_model = model0;
+    let mut lazy = LazyDpOptimizer::new(
+        LazyDpConfig { dp, ans: false },
+        &lazy_model,
+        CounterNoise::new(2718),
+    );
+    for i in 0..STEPS {
+        lazy.step(&mut lazy_model, &batches[i], Some(&batches[i + 1]));
+    }
+    lazy.finalize_model(&mut lazy_model);
+
+    let d = max_model_diff(&eager_model, &lazy_model);
+    assert!(d < 2e-3, "LazyDP diverged from eager DP-SGD by {d}");
+}
+
+/// All three eager variants coincide (B ≡ R ≡ F), via the facade.
+#[test]
+fn all_eager_variants_coincide() {
+    let (model0, batches) = setup();
+    let dp = DpConfig::new(0.7, 0.8, 0.05, BATCH);
+    let mut finals = Vec::new();
+    for style in [ClipStyle::PerExample, ClipStyle::Reweighted, ClipStyle::Fast] {
+        let mut m = model0.clone();
+        let mut opt = EagerDpSgd::new(dp, style, CounterNoise::new(5));
+        for b in batches.iter().take(4) {
+            opt.step(&mut m, b, None);
+        }
+        finals.push(m);
+    }
+    assert!(max_model_diff(&finals[0], &finals[1]) < 1e-3, "B vs R");
+    assert!(max_model_diff(&finals[1], &finals[2]) < 1e-3, "R vs F");
+}
+
+/// EANA differs from DP-SGD exactly on the never-accessed rows (the
+/// §2.5 information leak), and nowhere else at access time.
+#[test]
+fn eana_leak_signature() {
+    let (model0, batches) = setup();
+    let dp = DpConfig::paper_default(BATCH);
+    let mut eana_model = model0.clone();
+    let mut eana = EanaOptimizer::new(dp, CounterNoise::new(31));
+    let mut dp_model = model0.clone();
+    let mut dpf = EagerDpSgd::new(dp, ClipStyle::Fast, CounterNoise::new(31));
+    eana.step(&mut eana_model, &batches[0], None);
+    dpf.step(&mut dp_model, &batches[0], None);
+
+    let accessed: std::collections::HashSet<u64> =
+        batches[0].table_indices(0).iter().copied().collect();
+    let mut untouched_differ = 0;
+    for r in 0..ROWS as usize {
+        let e = eana_model.tables[0].row(r);
+        let d = dp_model.tables[0].row(r);
+        let same = e.iter().zip(d.iter()).all(|(a, b)| (a - b).abs() < 1e-7);
+        if accessed.contains(&(r as u64)) {
+            assert!(same, "accessed row {r} must match across EANA/DP-SGD");
+        } else {
+            // EANA left it at init; DP-SGD noised it.
+            let init = model0.tables[0].row(r);
+            assert_eq!(e, init, "EANA must not touch row {r}");
+            if !same {
+                untouched_differ += 1;
+            }
+        }
+    }
+    assert!(untouched_differ > 0, "DP-SGD must have noised untouched rows");
+}
+
+/// The LookaheadLoader driving a LazyDP run sees each batch exactly once
+/// and in order, so lazy and eager runs consume identical data.
+#[test]
+fn lookahead_pipeline_preserves_batch_stream() {
+    let ds = SyntheticDataset::new(SyntheticConfig::small(2, 64, 64));
+    let mut plain = FixedBatchLoader::new(ds.clone(), 16);
+    let mut look = LookaheadLoader::new(FixedBatchLoader::new(ds, 16));
+    use lazydp::data::BatchSource;
+    for i in 0..6 {
+        let expect = plain.next_batch();
+        let (cur, _next) = look.advance();
+        assert_eq!(cur, &expect, "batch {i}");
+        let _ = look.finish_iteration();
+    }
+}
+
+/// ANS on/off changes *when and how* noise is sampled but not the
+/// distribution of the released model: both runs' per-coordinate
+/// displacements on a pure-noise workload pass a KS test against the
+/// same theoretical normal.
+#[test]
+fn ans_toggle_is_distributionally_invisible() {
+    let mut rng = Xoshiro256PlusPlus::seed_from(77);
+    let model0 = Dlrm::new(DlrmConfig::tiny(1, 600, 8), &mut rng);
+    let dp = DpConfig::new(1.0, 1.0, 0.1, 8);
+    let steps = 7u64;
+    let empty = MiniBatch::default();
+    let run = |ans: bool, seed: u64| -> Vec<f64> {
+        let mut m = model0.clone();
+        let mut opt = LazyDpOptimizer::new(LazyDpConfig { dp, ans }, &m, CounterNoise::new(seed));
+        for _ in 0..steps {
+            opt.step(&mut m, &empty, Some(&empty));
+        }
+        opt.finalize_model(&mut m);
+        m.tables[0]
+            .as_slice()
+            .iter()
+            .zip(model0.tables[0].as_slice())
+            .map(|(a, b)| f64::from(a - b))
+            .collect()
+    };
+    let expect_std =
+        f64::from(dp.lr) * f64::from(dp.noise_std_per_coord()) * (steps as f64).sqrt();
+    for (ans, seed) in [(true, 1u64), (false, 2u64)] {
+        let mut d = run(ans, seed);
+        let ks = lazydp::rng::stats::ks_statistic_normal(&mut d, 0.0, expect_std);
+        let crit = lazydp::rng::stats::ks_critical(d.len(), 0.001);
+        assert!(ks < crit, "ans={ans}: KS {ks} vs {crit}");
+    }
+}

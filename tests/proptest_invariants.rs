@@ -1,0 +1,208 @@
+//! Property-based tests of the core invariants, across randomized
+//! traces, shapes, and hyper-parameters.
+
+use lazydp::data::{MiniBatch, SyntheticConfig, SyntheticDataset};
+use lazydp::dpsgd::{clip_weights, ClipStyle, DpConfig, EagerDpSgd, Optimizer};
+use lazydp::embedding::sparse::dedup_indices;
+use lazydp::embedding::SparseGrad;
+use lazydp::lazy::{aggregated_std, HistoryTable, LazyDpConfig, LazyDpOptimizer};
+use lazydp::model::{Dlrm, DlrmConfig};
+use lazydp::rng::counter::CounterNoise;
+use lazydp::rng::Xoshiro256PlusPlus;
+use proptest::prelude::*;
+
+/// Builds batches from a proptest-chosen access script so the trace
+/// shape itself is randomized (hot rows, repeats, variable batch).
+fn batches_from_script(
+    tables: usize,
+    rows: u64,
+    script: &[Vec<u64>],
+) -> (SyntheticDataset, Vec<MiniBatch>) {
+    let ds = SyntheticDataset::new(SyntheticConfig::small(tables, rows, 64));
+    let batches = script
+        .iter()
+        .map(|accesses| {
+            let n = accesses.len().max(1);
+            let mut b = ds.batch_of(&(0..n).collect::<Vec<_>>());
+            for t in 0..tables {
+                let samples: Vec<Vec<u64>> = (0..n)
+                    .map(|i| vec![accesses[i % accesses.len().max(1)] % rows])
+                    .collect();
+                b.sparse[t] = lazydp::embedding::bag::BagIndices::from_samples(&samples);
+            }
+            b
+        })
+        .collect();
+    (ds, batches)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// LazyDP(w/o ANS) ≡ eager DP-SGD(F) for *arbitrary* access traces,
+    /// not just the well-behaved loader ones.
+    #[test]
+    fn lazy_eager_equivalence_on_random_traces(
+        script in proptest::collection::vec(
+            proptest::collection::vec(0u64..40, 1..6), 3..7),
+        seed in 0u64..1000,
+    ) {
+        let rows = 40u64;
+        let (_, batches) = batches_from_script(2, rows, &script);
+        let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+        let model0 = Dlrm::new(DlrmConfig::tiny(2, rows, 4), &mut rng);
+        let dp = DpConfig::new(0.8, 1.0, 0.05, 4);
+        let steps = batches.len() - 1;
+
+        let mut eager_model = model0.clone();
+        let mut eager = EagerDpSgd::new(dp, ClipStyle::Fast, CounterNoise::new(seed));
+        for b in batches.iter().take(steps) {
+            eager.step(&mut eager_model, b, None);
+        }
+        let mut lazy_model = model0;
+        let mut lazy = LazyDpOptimizer::new(
+            LazyDpConfig { dp, ans: false },
+            &lazy_model,
+            CounterNoise::new(seed),
+        );
+        for i in 0..steps {
+            lazy.step(&mut lazy_model, &batches[i], Some(&batches[i + 1]));
+        }
+        lazy.finalize_model(&mut lazy_model);
+        for (t, (a, b)) in eager_model.tables.iter().zip(lazy_model.tables.iter()).enumerate() {
+            let d = a.max_abs_diff(b);
+            prop_assert!(d < 2e-3, "table {t} diverged by {d}");
+        }
+    }
+
+    /// Clipping: after applying the clip weight, every per-example
+    /// gradient norm is ≤ C (+ float slack).
+    #[test]
+    fn clipped_norms_never_exceed_threshold(
+        c in 0.01f64..5.0,
+        norms_sq in proptest::collection::vec(0.0f64..100.0, 1..40),
+    ) {
+        let w = clip_weights(&norms_sq, c);
+        for (&n_sq, &wi) in norms_sq.iter().zip(w.iter()) {
+            let clipped = n_sq.sqrt() * f64::from(wi);
+            prop_assert!(clipped <= c * (1.0 + 1e-5), "{clipped} > {c}");
+            // And clipping never flips direction or overshoots.
+            prop_assert!((0.0..=1.0 + 1e-6).contains(&f64::from(wi)));
+        }
+    }
+
+    /// Coalescing preserves the per-row gradient sums exactly.
+    #[test]
+    fn coalesce_preserves_row_sums(
+        entries in proptest::collection::vec((0u64..20, proptest::collection::vec(-10.0f32..10.0, 3)), 0..30),
+    ) {
+        let mut g = SparseGrad::new(3);
+        for (idx, vals) in &entries {
+            g.push(*idx, vals);
+        }
+        let dense_before = g.to_dense_map();
+        let merged = g.coalesce();
+        let dense_after = g.to_dense_map();
+        prop_assert_eq!(dense_before.len(), dense_after.len());
+        for (idx, before) in &dense_before {
+            let after = &dense_after[idx];
+            for (a, b) in after.iter().zip(before.iter()) {
+                prop_assert!((a - b).abs() < 1e-4);
+            }
+        }
+        // Entry count shrank by exactly the merged duplicates.
+        prop_assert_eq!(g.len() + merged, entries.len());
+        // And indices are now sorted unique.
+        let idxs = g.indices();
+        prop_assert!(idxs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// The HistoryTable's delay arithmetic: the delays handed out for a
+    /// row across any access pattern sum to the final iteration count.
+    #[test]
+    fn history_delays_partition_time(
+        access_iters in proptest::collection::btree_set(1u64..50, 0..12),
+        horizon in 50u64..60,
+    ) {
+        let mut h = HistoryTable::new(1);
+        let mut total = 0u64;
+        for &it in &access_iters {
+            total += h.take_delays(0, it);
+        }
+        total += h.take_delays(0, horizon);
+        prop_assert_eq!(total, horizon, "delays must partition 1..=horizon");
+    }
+
+    /// ANS std scaling: a single aggregated draw has exactly the
+    /// variance of the sum it replaces, for any delay count.
+    #[test]
+    fn ans_std_matches_sum_variance(delays in 0u64..10_000, std in 0.0f32..4.0) {
+        let agg = aggregated_std(std, delays);
+        let var_sum = f64::from(std) * f64::from(std) * delays as f64;
+        let var_agg = f64::from(agg) * f64::from(agg);
+        prop_assert!((var_agg - var_sum).abs() <= var_sum * 1e-5 + 1e-9);
+    }
+
+    /// Dedup: sorted unique output, duplicate count consistent.
+    #[test]
+    fn dedup_invariants(indices in proptest::collection::vec(0u64..30, 0..60)) {
+        let (uniq, dups) = dedup_indices(&indices);
+        prop_assert_eq!(uniq.len() + dups, indices.len());
+        prop_assert!(uniq.windows(2).all(|w| w[0] < w[1]));
+        let set: std::collections::HashSet<_> = indices.iter().collect();
+        prop_assert_eq!(uniq.len(), set.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// VirtualTable is observationally equivalent to a dense
+    /// EmbeddingTable under arbitrary interleavings of reads, writes,
+    /// and sparse updates.
+    #[test]
+    fn virtual_table_equals_dense_table(
+        ops in proptest::collection::vec(
+            (0u64..50, -2.0f32..2.0, proptest::bool::ANY), 1..40),
+    ) {
+        use lazydp::embedding::{EmbeddingTable, VirtualTable};
+        let rows = 50u64;
+        let dim = 3usize;
+        let mut virt = VirtualTable::new(rows, dim, 9);
+        let mut dense: EmbeddingTable = virt.to_dense();
+        for (row, delta, use_sparse) in ops {
+            if use_sparse {
+                let mut g = SparseGrad::new(dim);
+                let e = g.push_zeros(row);
+                e.fill(delta);
+                virt.sparse_update(&g, 0.5);
+                dense.sparse_update(&g, 0.5);
+            } else {
+                virt.row_mut(row)[1] += delta;
+                dense.row_mut(row as usize)[1] += delta;
+            }
+            // Read-back equivalence on the touched row and a probe row.
+            prop_assert_eq!(virt.read_row(row), dense.row(row as usize).to_vec());
+            let probe = (row + 7) % rows;
+            prop_assert_eq!(virt.read_row(probe), dense.row(probe as usize).to_vec());
+        }
+        // Full-table equivalence at the end.
+        let materialized = virt.to_dense();
+        prop_assert!(materialized.max_abs_diff(&dense) == 0.0);
+    }
+
+    /// Parallel noise fill is deterministic and independent of buffer
+    /// slicing — chunk boundaries never duplicate or correlate values
+    /// enough to shift the sample mean.
+    #[test]
+    fn parallel_fill_statistics(threads in 1usize..6, seed in 0u64..500) {
+        use lazydp::rng::par_fill_standard_normal;
+        let mut buf = vec![0.0f32; 8192];
+        par_fill_standard_normal(seed, &mut buf, threads);
+        let mean: f64 = buf.iter().map(|&x| f64::from(x)).sum::<f64>() / buf.len() as f64;
+        prop_assert!(mean.abs() < 0.1, "mean {mean} (threads {threads})");
+        let distinct: std::collections::HashSet<u32> =
+            buf.iter().map(|x| x.to_bits()).collect();
+        prop_assert!(distinct.len() > buf.len() / 2, "values must not repeat");
+    }
+}
