@@ -58,7 +58,11 @@ fn bench_end_to_end(c: &mut Criterion) {
         let mut opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(1));
         let mut i = 0usize;
         b.iter(|| {
-            opt.step(black_box(&mut model), &batches[i % 8], Some(&batches[(i + 1) % 8]));
+            opt.step(
+                black_box(&mut model),
+                &batches[i % 8],
+                Some(&batches[(i + 1) % 8]),
+            );
             i += 1;
         });
     });
@@ -69,7 +73,11 @@ fn bench_end_to_end(c: &mut Criterion) {
         let mut opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(1));
         let mut i = 0usize;
         b.iter(|| {
-            opt.step(black_box(&mut model), &batches[i % 8], Some(&batches[(i + 1) % 8]));
+            opt.step(
+                black_box(&mut model),
+                &batches[i % 8],
+                Some(&batches[(i + 1) % 8]),
+            );
             i += 1;
         });
     });

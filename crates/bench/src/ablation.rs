@@ -94,7 +94,12 @@ pub fn abl_ans() -> Table {
     for ans in [false, true] {
         let (c, secs) = run_lazy(ans, SkewLevel::Random, true);
         t.push_row(vec![
-            if ans { "LazyDP (ANS)" } else { "LazyDP (w/o ANS)" }.into(),
+            if ans {
+                "LazyDP (ANS)"
+            } else {
+                "LazyDP (w/o ANS)"
+            }
+            .into(),
             c.gaussian_samples.to_string(),
             fmt_t(secs),
             format!("{:.2}×", c.gaussian_samples as f64 / eager_draws as f64),
@@ -135,7 +140,12 @@ pub fn traffic() -> Table {
     let mut t = Table::new(
         "traffic",
         "Fig. 4 — embedding-table traffic per iteration (functional counters)",
-        &["algorithm", "rows read/iter", "rows written/iter", "Gaussian draws/iter"],
+        &[
+            "algorithm",
+            "rows read/iter",
+            "rows written/iter",
+            "Gaussian draws/iter",
+        ],
     )
     .with_note(
         "SGD touches only gathered rows (Fig. 4(a)); eager DP-SGD touches every row of \
@@ -195,7 +205,12 @@ pub fn abl_queue() -> Table {
     let mut t = Table::new(
         "abl_queue",
         "Ablation — InputQueue depth (paper §5.2.1: depth 2 is sufficient)",
-        &["queue depth", "prefetched batches", "extra memory @ paper scale", "noise work"],
+        &[
+            "queue depth",
+            "prefetched batches",
+            "extra memory @ paper scale",
+            "noise work",
+        ],
     )
     .with_note(
         "LazyDP needs visibility one batch ahead — noise owed by a row is flushed just \
@@ -246,7 +261,10 @@ mod tests {
         let t = abl_skew();
         let draws: Vec<f64> = t.rows.iter().map(|r| r[1].parse().expect("num")).collect();
         for w in draws.windows(2) {
-            assert!(w[1] <= w[0] * 1.02, "draws must not grow with skew: {draws:?}");
+            assert!(
+                w[1] <= w[0] * 1.02,
+                "draws must not grow with skew: {draws:?}"
+            );
         }
         assert!(draws[3] < draws[0] * 0.8, "high skew must clearly help");
     }
@@ -255,9 +273,23 @@ mod tests {
     fn traffic_matches_fig4_story() {
         let t = traffic();
         let rows_written: Vec<f64> = t.rows.iter().map(|r| r[2].parse().expect("num")).collect();
-        let (sgd, dpf, eana, lazy) = (rows_written[0], rows_written[1], rows_written[2], rows_written[3]);
-        assert!(dpf > 100.0 * sgd, "dense update must dwarf sparse: {dpf} vs {sgd}");
-        assert!(eana < dpf / 50.0 && lazy < dpf / 50.0, "EANA/LazyDP sparse again");
-        assert!(lazy <= 3.0 * sgd + 1.0, "LazyDP ≈ 2× SGD rows (grad + next noise)");
+        let (sgd, dpf, eana, lazy) = (
+            rows_written[0],
+            rows_written[1],
+            rows_written[2],
+            rows_written[3],
+        );
+        assert!(
+            dpf > 100.0 * sgd,
+            "dense update must dwarf sparse: {dpf} vs {sgd}"
+        );
+        assert!(
+            eana < dpf / 50.0 && lazy < dpf / 50.0,
+            "EANA/LazyDP sparse again"
+        );
+        assert!(
+            lazy <= 3.0 * sgd + 1.0,
+            "LazyDP ≈ 2× SGD rows (grad + next noise)"
+        );
     }
 }

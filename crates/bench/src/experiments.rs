@@ -60,7 +60,12 @@ pub fn fig3() -> Table {
          because the dense noisy model update dominates everything.",
     );
     let base = sgd_baseline();
-    let sizes: [(&str, u64); 4] = [("96 MB", 1000), ("960 MB", 100), ("9.6 GB", 10), ("96 GB", 1)];
+    let sizes: [(&str, u64); 4] = [
+        ("96 MB", 1000),
+        ("960 MB", 100),
+        ("9.6 GB", 10),
+        ("96 GB", 1),
+    ];
     // The single SGD reference bar.
     let wl_sgd = Workload::mlperf_default(2048);
     if let Some(e) = est(Algorithm::Sgd, &wl_sgd) {
@@ -117,7 +122,12 @@ pub fn fig5() -> Table {
         "Paper: noise sampling + noisy gradient update reach 83.1% of the model-update \
          stage at 96 GB; model-update latency grows ~linearly with table size.",
     );
-    let sizes: [(&str, u64); 4] = [("96 MB", 1000), ("960 MB", 100), ("9.6 GB", 10), ("96 GB", 1)];
+    let sizes: [(&str, u64); 4] = [
+        ("96 MB", 1000),
+        ("960 MB", 100),
+        ("9.6 GB", 10),
+        ("96 GB", 1),
+    ];
     let mut base_update = None;
     for (label, div) in sizes {
         let wl = Workload::mlperf_default(2048).with_config(DlrmConfig::mlperf(div));
@@ -167,7 +177,12 @@ pub fn fig6() -> Table {
         t.push_row(vec![
             n.to_string(),
             format!("{g:.1}"),
-            if compute_bound { "compute-bound" } else { "memory-bound" }.into(),
+            if compute_bound {
+                "compute-bound"
+            } else {
+                "memory-bound"
+            }
+            .into(),
             annotation.into(),
         ]);
     }
@@ -224,7 +239,9 @@ pub fn fig11() -> Table {
          of end-to-end time.",
     );
     let wl = Workload::mlperf_default(2048);
-    let b = est(Algorithm::LazyDp { ans: true }, &wl).expect("fits").breakdown;
+    let b = est(Algorithm::LazyDp { ans: true }, &wl)
+        .expect("fits")
+        .breakdown;
     let tot = b.total();
     for (label, v) in b.labeled() {
         t.push_row(vec![
@@ -258,7 +275,13 @@ pub fn fig12() -> Table {
     let mut t = Table::new(
         "fig12",
         "Fig. 12 — energy consumption (normalized to SGD @ batch 2048)",
-        &["algorithm", "batch", "ours ×SGD@2048", "paper ×SGD@2048", "avg power (W)"],
+        &[
+            "algorithm",
+            "batch",
+            "ours ×SGD@2048",
+            "paper ×SGD@2048",
+            "avg power (W)",
+        ],
     )
     .with_note(
         "Paper: DP-SGD(F) burns ≈ 353–356× SGD's energy (its AVX-saturated phases draw \
@@ -336,7 +359,14 @@ pub fn fig13b() -> Table {
     let mut t = Table::new(
         "fig13b",
         "Fig. 13(b) — pooling-factor sensitivity (normalized to SGD @ pooling 1)",
-        &["pooling", "SGD", "LazyDP", "DP-SGD(F)", "LazyDP speedup vs F", "paper (SGD/LazyDP/F)"],
+        &[
+            "pooling",
+            "SGD",
+            "LazyDP",
+            "DP-SGD(F)",
+            "LazyDP speedup vs F",
+            "paper (SGD/LazyDP/F)",
+        ],
     )
     .with_note(
         "Paper: larger pooling slows SGD and LazyDP (more gathers) while DP-SGD(F) is \
@@ -352,8 +382,8 @@ pub fn fig13b() -> Table {
         (30, "6.5 / 15.8 / 262.8"),
     ];
     for (pool, paper) in points {
-        let wl = Workload::mlperf_default(2048)
-            .with_config(DlrmConfig::mlperf(1).with_pooling(pool));
+        let wl =
+            Workload::mlperf_default(2048).with_config(DlrmConfig::mlperf(1).with_pooling(pool));
         let lazy = total(Algorithm::LazyDp { ans: true }, &wl).expect("fits");
         let f = total(Algorithm::DpSgdF, &wl).expect("fits");
         t.push_row(vec![
@@ -407,7 +437,14 @@ pub fn fig13d() -> Table {
     let mut t = Table::new(
         "fig13d",
         "Fig. 13(d) — trace-skew sensitivity (normalized to SGD @ Random)",
-        &["skew", "SGD", "LazyDP", "DP-SGD(F)", "unique rows/iter", "paper (SGD/LazyDP/F)"],
+        &[
+            "skew",
+            "SGD",
+            "LazyDP",
+            "DP-SGD(F)",
+            "unique rows/iter",
+            "paper (SGD/LazyDP/F)",
+        ],
     )
     .with_note(
         "Paper: DP-SGD(F) is skew-insensitive (it always touches the whole table); \
@@ -416,7 +453,12 @@ pub fn fig13d() -> Table {
          36%/10%/0.6% of rows (§7.3).",
     );
     let base = sgd_baseline();
-    let paper = ["1.0 / 2.2 / 259.2", "0.9 / 2.1 / 260.3", "0.9 / 2.1 / 259.6", "1.0 / 1.9 / 261.9"];
+    let paper = [
+        "1.0 / 2.2 / 259.2",
+        "0.9 / 2.1 / 260.3",
+        "0.9 / 2.1 / 259.6",
+        "1.0 / 1.9 / 261.9",
+    ];
     for (i, skew) in SkewLevel::all().into_iter().enumerate() {
         let wl = Workload::mlperf_default(2048).with_skew(skew);
         t.push_row(vec![
@@ -508,7 +550,9 @@ pub fn e13_reductions() -> Table {
     );
     let wl = Workload::mlperf_default(2048);
     let f = est(Algorithm::DpSgdF, &wl).expect("fits").breakdown;
-    let l = est(Algorithm::LazyDp { ans: true }, &wl).expect("fits").breakdown;
+    let l = est(Algorithm::LazyDp { ans: true }, &wl)
+        .expect("fits")
+        .breakdown;
     t.push_row(vec![
         "noise sampling".into(),
         fmt_seconds(f.noise_sampling),
@@ -540,7 +584,10 @@ pub fn experiment_ids() -> Vec<(&'static str, &'static str)> {
         ("fig3", "SGD vs DP-SGD(B/R/F) across table sizes"),
         ("fig5", "DP-SGD model-update latency breakdown"),
         ("fig6", "AVX roofline microbenchmark curve"),
-        ("fig10", "end-to-end time: SGD/LazyDP/LazyDP(w/o ANS)/DP-SGD(F)"),
+        (
+            "fig10",
+            "end-to-end time: SGD/LazyDP/LazyDP(w/o ANS)/DP-SGD(F)",
+        ),
         ("fig11", "LazyDP latency breakdown + overhead split"),
         ("fig12", "energy consumption"),
         ("fig13a", "table-size sensitivity (+OOM)"),
@@ -550,13 +597,28 @@ pub fn experiment_ids() -> Vec<(&'static str, &'static str)> {
         ("fig14", "LazyDP vs EANA"),
         ("e12", "§7.2 metadata overheads"),
         ("e13", "§7.1 stage-level reduction factors"),
-        ("xval", "functional-counters vs performance-model cross-validation"),
+        (
+            "xval",
+            "functional-counters vs performance-model cross-validation",
+        ),
         ("leak", "EANA canary-detection attack (functional)"),
-        ("traffic", "Fig. 4 embedding traffic per algorithm (functional)"),
-        ("abl_ans", "ablation: aggregated noise sampling on/off (functional)"),
-        ("abl_skew", "ablation: trace skew vs LazyDP work (functional)"),
+        (
+            "traffic",
+            "Fig. 4 embedding traffic per algorithm (functional)",
+        ),
+        (
+            "abl_ans",
+            "ablation: aggregated noise sampling on/off (functional)",
+        ),
+        (
+            "abl_skew",
+            "ablation: trace skew vs LazyDP work (functional)",
+        ),
         ("abl_queue", "ablation: InputQueue depth"),
-        ("utility", "privacy-utility trade-off: sigma vs AUC (functional)"),
+        (
+            "utility",
+            "privacy-utility trade-off: sigma vs AUC (functional)",
+        ),
     ]
 }
 
@@ -659,7 +721,10 @@ mod tests {
         let t = fig5();
         let last = t.rows.last().expect("rows");
         let pct: f64 = last[5].trim_end_matches('%').parse().expect("numeric");
-        assert!((80.0..87.0).contains(&pct), "sampling+update {pct}% (paper 83.1%)");
+        assert!(
+            (80.0..87.0).contains(&pct),
+            "sampling+update {pct}% (paper 83.1%)"
+        );
     }
 
     #[test]

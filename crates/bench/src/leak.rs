@@ -53,7 +53,12 @@ impl Target {
 
 /// Builds a batch whose sample 0 optionally gathers the canary row;
 /// all other lookups avoid it.
-fn batch(ds: &SyntheticDataset, base: usize, with_canary: bool, rng: &mut Xoshiro256PlusPlus) -> MiniBatch {
+fn batch(
+    ds: &SyntheticDataset,
+    base: usize,
+    with_canary: bool,
+    rng: &mut Xoshiro256PlusPlus,
+) -> MiniBatch {
     let mut b = ds.batch_of(&(base..base + BATCH).collect::<Vec<_>>());
     let samples: Vec<Vec<u64>> = (0..BATCH)
         .map(|i| {
@@ -169,7 +174,10 @@ mod tests {
     #[test]
     fn eana_leaks_dp_does_not() {
         let eana = detection_accuracy(Target::Eana);
-        assert!(eana > 0.95, "EANA adversary accuracy {eana} should be ≈ 1.0");
+        assert!(
+            eana > 0.95,
+            "EANA adversary accuracy {eana} should be ≈ 1.0"
+        );
         let dpf = detection_accuracy(Target::DpSgdF);
         assert!(
             (0.3..0.7).contains(&dpf),

@@ -119,7 +119,10 @@ mod tests {
             loss_low < loss_high,
             "σ=0.1 loss {loss_low} must beat σ=8 loss {loss_high}"
         );
-        assert!(auc_low > auc_high - 0.02, "AUC should not improve with noise");
+        assert!(
+            auc_low > auc_high - 0.02,
+            "AUC should not improve with noise"
+        );
     }
 
     #[test]

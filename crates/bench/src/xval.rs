@@ -41,19 +41,16 @@ fn run_functional(lazy: bool) -> FunctionalRun {
     let dp = DpConfig::paper_default(BATCH);
     let mlp_params = (model.bottom.params() + model.top.params()) as u64;
     let counters = if lazy {
-        let mut opt = LazyDpOptimizer::new(
-            LazyDpConfig { dp, ans: true },
-            &model,
-            CounterNoise::new(9),
-        );
+        let mut opt =
+            LazyDpOptimizer::new(LazyDpConfig { dp, ans: true }, &model, CounterNoise::new(9));
         for i in 0..STEPS {
             opt.step(&mut model, &batches[i], Some(&batches[i + 1]));
         }
         opt.counters()
     } else {
         let mut opt = EagerDpSgd::new(dp, ClipStyle::Fast, CounterNoise::new(9));
-        for i in 0..STEPS {
-            opt.step(&mut model, &batches[i], None);
+        for b in batches.iter().take(STEPS) {
+            opt.step(&mut model, b, None);
         }
         opt.counters()
     };
@@ -79,7 +76,12 @@ pub fn cross_validation() -> Table {
     let mut t = Table::new(
         "xval",
         "Cross-validation — functional kernel counters vs performance-model op counts",
-        &["quantity", "functional (measured/step)", "model (predicted/step)", "rel. err"],
+        &[
+            "quantity",
+            "functional (measured/step)",
+            "model (predicted/step)",
+            "rel. err",
+        ],
     )
     .with_note(
         "The functional optimizers (lazydp-dpsgd / lazydp-core) count their real work; \
@@ -165,7 +167,11 @@ mod tests {
         for row in &t.rows {
             let rel: f64 = row[3].trim_end_matches('%').parse().expect("numeric");
             // Eager rows are exact; LazyDP expectation rows allowed 15%.
-            let bound = if row[0].starts_with("DP-SGD") { 0.5 } else { 16.0 };
+            let bound = if row[0].starts_with("DP-SGD") {
+                0.5
+            } else {
+                16.0
+            };
             assert!(
                 rel <= bound,
                 "{}: measured {} vs predicted {} ({}% off)",

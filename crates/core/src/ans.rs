@@ -77,7 +77,10 @@ mod tests {
         let (ma, va) = stats::mean_var(&aggregated);
         let expect_var = f64::from(std) * f64::from(std) * n as f64;
         assert!(ms.abs() < 0.05 && ma.abs() < 0.05, "means {ms} {ma}");
-        assert!((vs - expect_var).abs() / expect_var < 0.05, "summed var {vs}");
+        assert!(
+            (vs - expect_var).abs() / expect_var < 0.05,
+            "summed var {vs}"
+        );
         assert!((va - expect_var).abs() / expect_var < 0.05, "agg var {va}");
         // Both against the theoretical CDF.
         let crit = stats::ks_critical(trials, 0.001);

@@ -192,8 +192,24 @@ impl Checkpoint {
             },
         )?;
         w_u64s(w, &self.config.table_rows)?;
-        w_u64s(w, &self.config.bottom_layers.iter().map(|&x| x as u64).collect::<Vec<_>>())?;
-        w_u64s(w, &self.config.top_layers.iter().map(|&x| x as u64).collect::<Vec<_>>())?;
+        w_u64s(
+            w,
+            &self
+                .config
+                .bottom_layers
+                .iter()
+                .map(|&x| x as u64)
+                .collect::<Vec<_>>(),
+        )?;
+        w_u64s(
+            w,
+            &self
+                .config
+                .top_layers
+                .iter()
+                .map(|&x| x as u64)
+                .collect::<Vec<_>>(),
+        )?;
         // Payload.
         w_u64(w, self.iteration)?;
         w_u64(w, self.weights.len() as u64)?;
@@ -364,7 +380,10 @@ mod tests {
         let mut o_bad = LazyDpOptimizer::from_state(
             cfg,
             CounterNoise::new(4),
-            m.tables.iter().map(|t| HistoryTable::new(t.rows())).collect(),
+            m.tables
+                .iter()
+                .map(|t| HistoryTable::new(t.rows()))
+                .collect(),
             4,
         );
         let mut m_bad = m;
@@ -394,7 +413,9 @@ mod tests {
         let (model, _, cfg) = setup();
         let opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(1));
         let mut buf = Vec::new();
-        Checkpoint::capture(&model, &opt).save(&mut buf).expect("save");
+        Checkpoint::capture(&model, &opt)
+            .save(&mut buf)
+            .expect("save");
         buf[8] = 0xFF;
         assert!(Checkpoint::load(&mut buf.as_slice()).is_err());
     }

@@ -123,6 +123,7 @@ impl<N: RowNoise> LazyDpOptimizer<N> {
     /// Accumulates the pending noise of `row` (already popped from the
     /// history as `delays`) into `out`, in gradient units (i.e. the
     /// caller's `sparse_update` multiplies by −η).
+    #[allow(clippy::too_many_arguments)]
     fn accumulate_pending_noise(
         noise: &mut N,
         cfg: &LazyDpConfig,
@@ -256,10 +257,8 @@ impl<N: RowNoise> Optimizer for LazyDpOptimizer<N> {
                 // An empty next batch (Poisson sampling) may carry no
                 // per-table index lists at all; treat that as "no rows
                 // gathered next iteration".
-                let next_indices: &[u64] = next_batch
-                    .sparse
-                    .get(t)
-                    .map_or(&[], |s| s.flat_indices());
+                let next_indices: &[u64] =
+                    next_batch.sparse.get(t).map_or(&[], |s| s.flat_indices());
                 let (targets, dups) = dedup_indices(next_indices);
                 self.counters.duplicates_removed += dups as u64;
                 for idx in targets {
@@ -361,7 +360,10 @@ mod tests {
 
         // LazyDP without ANS, same noise seed, one-batch lookahead.
         let mut lazy_model = model0.clone();
-        let lazy_cfg = LazyDpConfig { dp: cfg, ans: false };
+        let lazy_cfg = LazyDpConfig {
+            dp: cfg,
+            ans: false,
+        };
         let mut lazy = LazyDpOptimizer::new(lazy_cfg, &lazy_model, CounterNoise::new(99));
         let mut lazy_logits: Vec<Vec<f32>> = Vec::new();
         for i in 0..steps {
@@ -425,8 +427,8 @@ mod tests {
         };
         let mut d_eager = collect(&eager_model);
         let mut d_lazy = collect(&lazy_model);
-        let expect_std = f64::from(cfg.lr) * f64::from(cfg.noise_std_per_coord())
-            * (steps as f64).sqrt();
+        let expect_std =
+            f64::from(cfg.lr) * f64::from(cfg.noise_std_per_coord()) * (steps as f64).sqrt();
         let crit = lazydp_rng::stats::ks_critical(d_eager.len(), 0.001);
         let ks_e = lazydp_rng::stats::ks_statistic_normal(&mut d_eager, 0.0, expect_std);
         let ks_l = lazydp_rng::stats::ks_statistic_normal(&mut d_lazy, 0.0, expect_std);
@@ -480,7 +482,10 @@ mod tests {
         let s = run(&mut small, &ds_small);
         let l = run(&mut large, &ds_large);
         // Same batch size ⇒ same order of noise work despite 64× rows.
-        assert!(l <= s * 2, "lazy noise work grew with table size: {s} vs {l}");
+        assert!(
+            l <= s * 2,
+            "lazy noise work grew with table size: {s} vs {l}"
+        );
     }
 
     #[test]
@@ -508,7 +513,11 @@ mod tests {
         let mut o1 = LazyDpOptimizer::new(lazy_cfg, &m1, CounterNoise::new(9));
         o1.step(&mut m1, &batch, None);
         let mlp = (m1.bottom.params() + m1.top.params()) as u64;
-        assert_eq!(o1.counters().gaussian_samples, mlp, "no embedding noise yet");
+        assert_eq!(
+            o1.counters().gaussian_samples,
+            mlp,
+            "no embedding noise yet"
+        );
         // … but finalize delivers it all.
         o1.finalize_model(&mut m1);
         assert!(o1.counters().gaussian_samples > mlp);
@@ -525,7 +534,10 @@ mod tests {
         let c = opt.counters();
         assert!(c.history_reads > 0);
         assert!(c.history_writes > 0);
-        assert!(c.history_reads <= 16, "at most one read per unique next row");
+        assert!(
+            c.history_reads <= 16,
+            "at most one read per unique next row"
+        );
     }
 
     #[test]
@@ -538,8 +550,7 @@ mod tests {
             ans: true,
         };
         let mut opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(77));
-        let mut loader =
-            lazydp_data::LookaheadLoader::new(FixedBatchLoader::new(ds, 32));
+        let mut loader = lazydp_data::LookaheadLoader::new(FixedBatchLoader::new(ds, 32));
         for _ in 0..40 {
             let (cur, next) = loader.advance();
             let (cur, next) = (cur.clone(), next.clone());
@@ -548,6 +559,9 @@ mod tests {
         }
         opt.finalize_model(&mut model);
         let after = model.loss(&eval);
-        assert!(after < before, "LazyDP should learn: {before:.4} -> {after:.4}");
+        assert!(
+            after < before,
+            "LazyDP should learn: {before:.4} -> {after:.4}"
+        );
     }
 }

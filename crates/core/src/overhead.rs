@@ -72,10 +72,7 @@ mod tests {
     #[test]
     fn overhead_scales_with_pooling_and_batch() {
         let cfg = DlrmConfig::mlperf(1000).with_pooling(10);
-        assert_eq!(
-            input_queue_bytes(&cfg, 1024),
-            1024 * 26 * 10 * 4
-        );
+        assert_eq!(input_queue_bytes(&cfg, 1024), 1024 * 26 * 10 * 4);
         let small = DlrmConfig::mlperf(1000);
         assert!(history_table_bytes(&small) < history_table_bytes(&DlrmConfig::mlperf(1)));
     }
@@ -84,7 +81,11 @@ mod tests {
     fn rmc_overheads_stay_small() {
         // §7.3: "less than 3.1% memory capacity overhead across all
         // studied models".
-        for cfg in [DlrmConfig::rmc1(1), DlrmConfig::rmc2(1), DlrmConfig::rmc3(1)] {
+        for cfg in [
+            DlrmConfig::rmc1(1),
+            DlrmConfig::rmc2(1),
+            DlrmConfig::rmc3(1),
+        ] {
             let report = OverheadReport::for_config(&cfg, 2048);
             assert!(
                 report.fraction_of_model() < 0.031,

@@ -119,7 +119,8 @@ impl<N: RowNoise> TerabyteLazyEmbedding<N> {
             }
             let row = self.table.row_mut(idx);
             if self.ans {
-                self.noise.fill_unit(self.table_id, idx, self.iter, &mut buf);
+                self.noise
+                    .fill_unit(self.table_id, idx, self.iter, &mut buf);
                 self.counters.gaussian_samples += dim as u64;
                 let agg = aggregated_std(std, delays);
                 for (w, &n) in row.iter_mut().zip(buf.iter()) {
@@ -152,7 +153,8 @@ impl<N: RowNoise> TerabyteLazyEmbedding<N> {
             let mut buf = vec![0.0f32; dim];
             let row = self.table.row_mut(idx);
             if self.ans {
-                self.noise.fill_unit(self.table_id, idx, self.iter, &mut buf);
+                self.noise
+                    .fill_unit(self.table_id, idx, self.iter, &mut buf);
                 self.counters.gaussian_samples += dim as u64;
                 let agg = aggregated_std(std, delays);
                 for (w, &n) in row.iter_mut().zip(buf.iter()) {
@@ -177,9 +179,7 @@ impl<N: RowNoise> TerabyteLazyEmbedding<N> {
     /// terabyte-scale demo's comparison printout.
     #[must_use]
     pub fn eager_equivalent_samples(&self) -> u128 {
-        u128::from(self.iter)
-            * u128::from(self.table.logical_rows())
-            * self.table.dim() as u128
+        u128::from(self.iter) * u128::from(self.table.logical_rows()) * self.table.dim() as u128
     }
 }
 
@@ -219,7 +219,10 @@ mod tests {
             let next: Vec<u64> = (0..8).map(|_| rng.next_below(50_000_000)).collect();
             t.step(&grad_for(16, &cur, 0.01), &next);
         }
-        assert!(t.table().materialized_rows() <= 160, "≤ 16 rows/iter touched");
+        assert!(
+            t.table().materialized_rows() <= 160,
+            "≤ 16 rows/iter touched"
+        );
         assert!(t.table().physical_bytes() < 20_000);
         assert_eq!(t.history_bytes(), 200_000_000, "4 B × 50 M rows");
     }
@@ -239,11 +242,8 @@ mod tests {
         let mut model = Dlrm::new(DlrmConfig::tiny(1, rows, dim), &mut rng);
         // Zero the table so both sides start identically.
         model.tables[0].as_mut_slice().fill(0.0);
-        let mut opt = LazyDpOptimizer::new(
-            LazyDpConfig { dp, ans: true },
-            &model,
-            CounterNoise::new(9),
-        );
+        let mut opt =
+            LazyDpOptimizer::new(LazyDpConfig { dp, ans: true }, &model, CounterNoise::new(9));
         // Virtual-scale loop with a zero-init virtual table.
         let vt = {
             let mut v = VirtualTable::new(rows, dim, 2);
@@ -256,7 +256,12 @@ mod tests {
 
         let ds = SyntheticDataset::new(SyntheticConfig::small(1, rows, 64));
         let access: Vec<Vec<u64>> = (0..6)
-            .map(|i| vec![(i * 7 % rows as usize) as u64, (i * 13 % rows as usize) as u64])
+            .map(|i| {
+                vec![
+                    (i * 7 % rows as usize) as u64,
+                    (i * 13 % rows as usize) as u64,
+                ]
+            })
             .collect();
         for i in 0..5 {
             let mut batch = ds.batch_of(&[0, 1]);
@@ -272,7 +277,7 @@ mod tests {
             // Empty grads on both sides: the optimizer sees an empty
             // batch (noise only), the scale loop an empty SparseGrad.
             opt.step(&mut model, &lazydp_data::MiniBatch::default(), Some(&next));
-            scale.step(&SparseGrad::new(dim), &next.table_indices(0).to_vec());
+            scale.step(&SparseGrad::new(dim), next.table_indices(0));
         }
         for r in 0..rows {
             let a = model.tables[0].row(r as usize);

@@ -121,9 +121,9 @@ impl<S: BatchSource, N: RowNoise> PrivateTrainer<S, N> {
 mod tests {
     use super::*;
     use lazydp_data::{FixedBatchLoader, PoissonLoader, SyntheticConfig, SyntheticDataset};
+    use lazydp_model::DlrmConfig;
     use lazydp_rng::counter::CounterNoise;
     use lazydp_rng::Xoshiro256PlusPlus;
-    use lazydp_model::DlrmConfig;
 
     fn dataset(samples: usize) -> SyntheticDataset {
         SyntheticDataset::new(SyntheticConfig::small(2, 64, samples))
@@ -189,13 +189,8 @@ mod tests {
         let ds = dataset(128);
         let loader = FixedBatchLoader::new(ds, 16);
         let cfg = LazyDpConfig::paper_default(16);
-        let mut trainer = PrivateTrainer::make_private(
-            model(),
-            cfg,
-            loader,
-            CounterNoise::new(1),
-            16.0 / 128.0,
-        );
+        let mut trainer =
+            PrivateTrainer::make_private(model(), cfg, loader, CounterNoise::new(1), 16.0 / 128.0);
         let _ = trainer.train_steps(3);
         trainer.finalize();
         trainer.finalize(); // idempotent

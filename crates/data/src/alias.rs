@@ -40,7 +40,10 @@ impl AliasTable {
         let total: f64 = weights
             .iter()
             .map(|&w| {
-                assert!(w.is_finite() && w >= 0.0, "weight must be finite and >= 0, got {w}");
+                assert!(
+                    w.is_finite() && w >= 0.0,
+                    "weight must be finite and >= 0, got {w}"
+                );
                 w
             })
             .sum();
@@ -128,10 +131,7 @@ mod tests {
         let freq = empirical(&weights, 400_000, 1);
         for (i, (&w, &f)) in weights.iter().zip(freq.iter()).enumerate() {
             let expect = w / total;
-            assert!(
-                (f - expect).abs() < 0.004,
-                "outcome {i}: {f} vs {expect}"
-            );
+            assert!((f - expect).abs() < 0.004, "outcome {i}: {f} vs {expect}");
         }
     }
 
@@ -167,7 +167,9 @@ mod tests {
         let rows = 500u64;
         let exponent = 1.1;
         let cdf = AccessDistribution::zipf(rows, exponent);
-        let weights: Vec<f64> = (0..rows).map(|r| ((r + 1) as f64).powf(-exponent)).collect();
+        let weights: Vec<f64> = (0..rows)
+            .map(|r| ((r + 1) as f64).powf(-exponent))
+            .collect();
         let alias = AliasTable::new(&weights);
         let mut rng = Xoshiro256PlusPlus::seed_from(5);
         let draws = 200_000;

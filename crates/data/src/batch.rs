@@ -64,8 +64,7 @@ impl MiniBatch {
     #[must_use]
     pub fn is_consistent(&self) -> bool {
         let b = self.batch_size();
-        self.dense.len() == b * self.num_dense
-            && self.sparse.iter().all(|s| s.batch_size() == b)
+        self.dense.len() == b * self.num_dense && self.sparse.iter().all(|s| s.batch_size() == b)
     }
 
     /// Approximate in-memory size of the *sparse index* portion in bytes

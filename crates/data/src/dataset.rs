@@ -238,9 +238,7 @@ mod tests {
 
     #[test]
     fn sample_shapes_respect_config() {
-        let ds = SyntheticDataset::new(
-            SyntheticConfig::small(3, 64, 10).with_pooling(5),
-        );
+        let ds = SyntheticDataset::new(SyntheticConfig::small(3, 64, 10).with_pooling(5));
         let (dense, idxs, label) = ds.sample(0);
         assert_eq!(dense.len(), 13);
         assert_eq!(idxs.len(), 3);
@@ -294,9 +292,8 @@ mod tests {
     #[test]
     fn skewed_dataset_draws_skewed_indices() {
         let rows = 2_000u64;
-        let cfg = SyntheticConfig::small(1, rows, 3000).with_distributions(vec![
-            AccessDistribution::for_skew(rows, SkewLevel::High),
-        ]);
+        let cfg = SyntheticConfig::small(1, rows, 3000)
+            .with_distributions(vec![AccessDistribution::for_skew(rows, SkewLevel::High)]);
         let ds = SyntheticDataset::new(cfg);
         let mut tracker = lazydp_embedding::AccessTracker::new(rows as usize);
         for i in 0..ds.len() {

@@ -98,7 +98,10 @@ impl AccessDistribution {
     pub fn zipf(rows: u64, exponent: f64) -> Self {
         assert!(rows > 0, "distribution needs at least one row");
         assert!(exponent > 0.0, "zipf exponent must be positive");
-        assert!(rows <= 100_000_000, "zipf CDF too large; use analytic helpers");
+        assert!(
+            rows <= 100_000_000,
+            "zipf CDF too large; use analytic helpers"
+        );
         let mut cdf = Vec::with_capacity(rows as usize);
         let mut acc = 0.0f64;
         for r in 0..rows {
@@ -204,9 +207,7 @@ impl AccessDistribution {
     pub fn expected_unique(&self, draws: u64) -> f64 {
         match self {
             Self::Uniform { rows } => expected_unique_uniform(*rows, draws),
-            Self::Zipf { rows, exponent, .. } => {
-                expected_unique_zipf(*rows, *exponent, draws)
-            }
+            Self::Zipf { rows, exponent, .. } => expected_unique_zipf(*rows, *exponent, draws),
         }
     }
 }
@@ -283,7 +284,10 @@ pub fn zipf_top_fraction_mass(rows: u64, exponent: f64, fraction: f64) -> f64 {
 /// Panics if `fraction` or `mass` is outside `(0, 1)`.
 #[must_use]
 pub fn zipf_exponent_for_skew(rows: u64, fraction: f64, mass: f64) -> f64 {
-    assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0,1)");
+    assert!(
+        fraction > 0.0 && fraction < 1.0,
+        "fraction must be in (0,1)"
+    );
     assert!(mass > 0.0 && mass < 1.0, "mass must be in (0,1)");
     let mut lo = 1e-3f64;
     let mut hi = 8.0f64;
@@ -334,7 +338,7 @@ mod tests {
         let d = AccessDistribution::zipf(20, 1.0);
         let mut rng = Xoshiro256PlusPlus::seed_from(2);
         let n = 200_000;
-        let mut counts = vec![0u64; 20];
+        let mut counts = [0u64; 20];
         for _ in 0..n {
             counts[d.sample(&mut rng) as usize] += 1;
         }
@@ -399,7 +403,10 @@ mod tests {
             total += set.len();
         }
         let sim = total as f64 / trials as f64;
-        assert!((sim - analytic).abs() < 5.0, "sim {sim} analytic {analytic}");
+        assert!(
+            (sim - analytic).abs() < 5.0,
+            "sim {sim} analytic {analytic}"
+        );
     }
 
     #[test]
@@ -451,6 +458,9 @@ mod tests {
         let s = 1.3;
         let exact: f64 = (1..=n).map(|r| (r as f64).powf(-s)).sum();
         let fast = generalized_harmonic(n, s);
-        assert!((exact - fast).abs() / exact < 1e-4, "exact {exact} fast {fast}");
+        assert!(
+            (exact - fast).abs() / exact < 1e-4,
+            "exact {exact} fast {fast}"
+        );
     }
 }

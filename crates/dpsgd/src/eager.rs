@@ -86,11 +86,7 @@ impl<N: RowNoise> EagerDpSgd<N> {
 
     /// Derives the clipped, summed gradient `Σ_i min(1, C/‖g_i‖)·g_i`
     /// (not yet divided by B) plus the clipped fraction.
-    fn clipped_aggregate(
-        &mut self,
-        model: &Dlrm,
-        batch: &MiniBatch,
-    ) -> (DlrmGrads, f64) {
+    fn clipped_aggregate(&mut self, model: &Dlrm, batch: &MiniBatch) -> (DlrmGrads, f64) {
         let cache = model.forward(batch);
         self.counters.rows_gathered += batch.total_lookups() as u64;
         let gl = Dlrm::logit_grads(&cache, &batch.labels, false);
@@ -159,8 +155,7 @@ impl<N: RowNoise> EagerDpSgd<N> {
         model
             .top
             .apply_dense_noise(&mut self.noise, self.iter, 64, std, lr);
-        self.counters.gaussian_samples +=
-            (model.bottom.params() + model.top.params()) as u64;
+        self.counters.gaussian_samples += (model.bottom.params() + model.top.params()) as u64;
         for (t, (table, g)) in model.tables.iter_mut().zip(grads.tables.iter()).enumerate() {
             dense_noisy_update(
                 t as u32,
@@ -200,7 +195,12 @@ impl<N: RowNoise> Optimizer for EagerDpSgd<N> {
         self.style.paper_name()
     }
 
-    fn step(&mut self, model: &mut Dlrm, batch: &MiniBatch, _next: Option<&MiniBatch>) -> StepStats {
+    fn step(
+        &mut self,
+        model: &mut Dlrm,
+        batch: &MiniBatch,
+        _next: Option<&MiniBatch>,
+    ) -> StepStats {
         self.iter += 1;
         let (grads, clipped) = if batch.is_empty() {
             // Poisson sampling may deal an empty batch; DP still adds
@@ -263,7 +263,11 @@ mod tests {
         let (model0, ds) = setup();
         let cfg = DpConfig::new(0.9, 0.7, 0.05, 16);
         let mut finals = Vec::new();
-        for style in [ClipStyle::PerExample, ClipStyle::Reweighted, ClipStyle::Fast] {
+        for style in [
+            ClipStyle::PerExample,
+            ClipStyle::Reweighted,
+            ClipStyle::Fast,
+        ] {
             let mut model = model0.clone();
             let mut opt = EagerDpSgd::new(cfg, style, CounterNoise::new(77));
             for it in 0..4 {

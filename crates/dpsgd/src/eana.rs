@@ -50,7 +50,12 @@ impl<N: RowNoise> Optimizer for EanaOptimizer<N> {
         "EANA"
     }
 
-    fn step(&mut self, model: &mut Dlrm, batch: &MiniBatch, _next: Option<&MiniBatch>) -> StepStats {
+    fn step(
+        &mut self,
+        model: &mut Dlrm,
+        batch: &MiniBatch,
+        _next: Option<&MiniBatch>,
+    ) -> StepStats {
         self.iter += 1;
         if batch.is_empty() {
             // No accessed rows ⇒ EANA adds no embedding noise at all —
@@ -63,8 +68,7 @@ impl<N: RowNoise> Optimizer for EanaOptimizer<N> {
             model
                 .top
                 .apply_dense_noise(&mut self.noise, self.iter, 64, std, self.cfg.lr);
-            self.counters.gaussian_samples +=
-                (model.bottom.params() + model.top.params()) as u64;
+            self.counters.gaussian_samples += (model.bottom.params() + model.top.params()) as u64;
             self.counters.steps += 1;
             return StepStats::default();
         }
@@ -172,17 +176,17 @@ mod tests {
         let (mut model, ds) = setup();
         let eval = ds.batch_of(&(0..64).collect::<Vec<_>>());
         let before = model.loss(&eval);
-        let mut opt = EanaOptimizer::new(
-            DpConfig::new(0.3, 5.0, 0.1, 32),
-            CounterNoise::new(3),
-        );
+        let mut opt = EanaOptimizer::new(DpConfig::new(0.3, 5.0, 0.1, 32), CounterNoise::new(3));
         for it in 0..30 {
             let ids: Vec<usize> = (0..32).map(|k| (it * 32 + k) % 64).collect();
             let batch = ds.batch_of(&ids);
             opt.step(&mut model, &batch, None);
         }
         let after = model.loss(&eval);
-        assert!(after < before, "EANA should learn: {before:.4} -> {after:.4}");
+        assert!(
+            after < before,
+            "EANA should learn: {before:.4} -> {after:.4}"
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ fn grad_map(grad: &SparseGrad) -> HashMap<u64, &[f32]> {
     let mut map = HashMap::with_capacity(grad.len());
     for (idx, vals) in grad.iter() {
         let prev = map.insert(idx, vals);
-        assert!(prev.is_none(), "gradient must be coalesced (duplicate row {idx})");
+        assert!(
+            prev.is_none(),
+            "gradient must be coalesced (duplicate row {idx})"
+        );
     }
     map
 }
@@ -53,6 +56,7 @@ pub fn sparse_grad_update(
 /// # Panics
 ///
 /// Panics if `grad` is not coalesced or its dimension mismatches.
+#[allow(clippy::too_many_arguments)]
 pub fn dense_noisy_update<N: RowNoise>(
     table_id: u32,
     table: &mut EmbeddingTable,
@@ -92,6 +96,7 @@ pub fn dense_noisy_update<N: RowNoise>(
 /// # Panics
 ///
 /// Panics if `grad` is not coalesced or its dimension mismatches.
+#[allow(clippy::too_many_arguments)]
 pub fn sparse_noisy_update<N: RowNoise>(
     table_id: u32,
     table: &mut EmbeddingTable,
@@ -107,7 +112,10 @@ pub fn sparse_noisy_update<N: RowNoise>(
     let mut buf = vec![0.0f32; dim];
     let mut seen = std::collections::HashSet::with_capacity(grad.len());
     for (idx, g) in grad.iter() {
-        assert!(seen.insert(idx), "gradient must be coalesced (duplicate row {idx})");
+        assert!(
+            seen.insert(idx),
+            "gradient must be coalesced (duplicate row {idx})"
+        );
         noise.fill_unit(table_id, idx, iter, &mut buf);
         let row = table.row_mut(idx as usize);
         for ((w, &n), &gv) in row.iter_mut().zip(buf.iter()).zip(g.iter()) {

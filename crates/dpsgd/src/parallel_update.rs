@@ -23,6 +23,7 @@ use std::collections::HashMap;
 ///
 /// Panics if `grad` is not coalesced, dimensions mismatch, or
 /// `threads == 0`.
+#[allow(clippy::too_many_arguments)]
 pub fn par_dense_noisy_update<N>(
     table_id: u32,
     table: &mut EmbeddingTable,
@@ -43,15 +44,18 @@ pub fn par_dense_noisy_update<N>(
     let mut map: HashMap<u64, &[f32]> = HashMap::with_capacity(grad.len());
     for (idx, vals) in grad.iter() {
         let prev = map.insert(idx, vals);
-        assert!(prev.is_none(), "gradient must be coalesced (duplicate row {idx})");
+        assert!(
+            prev.is_none(),
+            "gradient must be coalesced (duplicate row {idx})"
+        );
     }
     let map = &map;
     let rows_per_chunk = rows.div_ceil(threads).max(1);
     let data = table.as_mut_slice();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (c, chunk) in data.chunks_mut(rows_per_chunk * dim).enumerate() {
             let mut worker_noise = noise.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let first_row = c * rows_per_chunk;
                 let mut buf = vec![0.0f32; dim];
                 for (k, row) in chunk.chunks_mut(dim).enumerate() {
@@ -69,8 +73,7 @@ pub fn par_dense_noisy_update<N>(
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     counters.gaussian_samples += (rows * dim) as u64;
     counters.table_rows_read += rows as u64;
     counters.table_rows_written += rows as u64;

@@ -35,7 +35,12 @@ impl Optimizer for SgdOptimizer {
         "SGD"
     }
 
-    fn step(&mut self, model: &mut Dlrm, batch: &MiniBatch, _next: Option<&MiniBatch>) -> StepStats {
+    fn step(
+        &mut self,
+        model: &mut Dlrm,
+        batch: &MiniBatch,
+        _next: Option<&MiniBatch>,
+    ) -> StepStats {
         if batch.is_empty() {
             return StepStats::default();
         }

@@ -183,7 +183,11 @@ impl EmbeddingBag {
     /// Panics if `grad_out` has the wrong number of rows.
     #[must_use]
     pub fn per_example_norm_sq(&self, grad_out: &Matrix, batch: &BagIndices) -> Vec<f64> {
-        assert_eq!(grad_out.rows(), batch.batch_size(), "grad_out rows mismatch");
+        assert_eq!(
+            grad_out.rows(),
+            batch.batch_size(),
+            "grad_out rows mismatch"
+        );
         let mut out = Vec::with_capacity(batch.batch_size());
         let mut counts: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
         for i in 0..batch.batch_size() {
@@ -265,6 +269,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn forward_backward_finite_difference() {
         // dL/dW check with L = sum(output): each gathered row's grad is 1.
         let mut t = table_with_rows(&[&[0.5, -0.5], &[1.5, 2.5]]);
@@ -283,12 +288,17 @@ mod tests {
                 let down: f32 = bag.forward(&t, &batch).as_slice().iter().sum();
                 t.row_mut(idx as usize)[d] = orig;
                 let fd = (up - down) / (2.0 * eps);
-                assert!((gvals[d] - fd).abs() < 1e-2, "row {idx} dim {d}: {} vs {fd}", gvals[d]);
+                assert!(
+                    (gvals[d] - fd).abs() < 1e-2,
+                    "row {idx} dim {d}: {} vs {fd}",
+                    gvals[d]
+                );
             }
         }
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn ghost_norm_matches_explicit_per_example_norm() {
         let batch = BagIndices::from_samples(&[vec![0, 1], vec![2, 2, 3]]);
         let grad_out = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 0.5]]);

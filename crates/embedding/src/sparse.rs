@@ -126,7 +126,10 @@ impl SparseGrad {
     /// Panics if `i >= len()`.
     #[must_use]
     pub fn entry(&self, i: usize) -> (u64, &[f32]) {
-        (self.indices[i], &self.values[i * self.dim..(i + 1) * self.dim])
+        (
+            self.indices[i],
+            &self.values[i * self.dim..(i + 1) * self.dim],
+        )
     }
 
     /// Mutable values of entry `i`.
@@ -254,7 +257,12 @@ mod tests {
     fn coalesce_preserves_total_mass() {
         let mut g = SparseGrad::from_entries(
             1,
-            vec![(0, vec![1.0]), (1, vec![2.0]), (0, vec![3.0]), (1, vec![4.0])],
+            vec![
+                (0, vec![1.0]),
+                (1, vec![2.0]),
+                (0, vec![3.0]),
+                (1, vec![4.0]),
+            ],
         );
         let sum_before: f32 = g.iter().map(|(_, v)| v[0]).sum();
         g.coalesce();

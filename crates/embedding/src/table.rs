@@ -25,7 +25,10 @@ impl EmbeddingTable {
     /// Panics if `rows == 0` or `dim == 0`.
     #[must_use]
     pub fn zeros(rows: usize, dim: usize) -> Self {
-        assert!(rows > 0 && dim > 0, "table must be non-empty ({rows}x{dim})");
+        assert!(
+            rows > 0 && dim > 0,
+            "table must be non-empty ({rows}x{dim})"
+        );
         Self {
             rows,
             dim,

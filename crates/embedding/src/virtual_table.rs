@@ -88,7 +88,11 @@ impl VirtualTable {
     /// Panics if `r` is out of range.
     #[must_use]
     pub fn init_row(&self, r: u64) -> Vec<f32> {
-        assert!(r < self.logical_rows, "row {r} out of {}", self.logical_rows);
+        assert!(
+            r < self.logical_rows,
+            "row {r} out of {}",
+            self.logical_rows
+        );
         let mut stream = self.init.derive(r).stream(0);
         let mut out = vec![0.0f32; self.dim];
         for x in &mut out {
@@ -118,7 +122,11 @@ impl VirtualTable {
     ///
     /// Panics if `r` is out of range.
     pub fn row_mut(&mut self, r: u64) -> &mut [f32] {
-        assert!(r < self.logical_rows, "row {r} out of {}", self.logical_rows);
+        assert!(
+            r < self.logical_rows,
+            "row {r} out of {}",
+            self.logical_rows
+        );
         if !self.materialized.contains_key(&r) {
             let init = self.init_row(r);
             self.materialized.insert(r, init);
@@ -166,7 +174,10 @@ impl VirtualTable {
     #[must_use]
     pub fn to_dense(&self) -> crate::EmbeddingTable {
         let elements = self.logical_rows * self.dim as u64;
-        assert!(elements <= 1 << 28, "refusing to densify {elements} elements");
+        assert!(
+            elements <= 1 << 28,
+            "refusing to densify {elements} elements"
+        );
         let mut t = crate::EmbeddingTable::zeros(self.logical_rows as usize, self.dim);
         for r in 0..self.logical_rows {
             t.row_mut(r as usize).copy_from_slice(&self.read_row(r));
@@ -221,7 +232,10 @@ mod tests {
         let mut d = v.to_dense();
         let mut grad = SparseGrad::from_entries(
             4,
-            vec![(3, vec![1.0, 2.0, 3.0, 4.0]), (60, vec![-1.0, 0.0, 0.5, 2.0])],
+            vec![
+                (3, vec![1.0, 2.0, 3.0, 4.0]),
+                (60, vec![-1.0, 0.0, 0.5, 2.0]),
+            ],
         );
         let _ = grad.coalesce();
         v.sparse_update(&grad, 0.1);

@@ -44,9 +44,9 @@ pub struct DlrmConfig {
 /// dim 128 × f32 these sum to 96.1 GB, and the HistoryTable over them is
 /// the 751 MB quoted in §7.2).
 pub const CRITEO_TB_CAPPED_ROWS: [u64; 26] = [
-    39_884_406, 39_043, 17_289, 7_420, 20_263, 3, 7_120, 1_543, 63, 38_532_951, 2_953_546,
-    403_346, 10, 2_208, 11_938, 155, 4, 976, 14, 39_979_771, 25_641_295, 39_664_984, 585_935,
-    12_972, 108, 36,
+    39_884_406, 39_043, 17_289, 7_420, 20_263, 3, 7_120, 1_543, 63, 38_532_951, 2_953_546, 403_346,
+    10, 2_208, 11_938, 155, 4, 976, 14, 39_979_771, 25_641_295, 39_664_984, 585_935, 12_972, 108,
+    36,
 ];
 
 impl DlrmConfig {
@@ -245,12 +245,15 @@ impl DlrmConfig {
             ));
         }
         if self.top_layers.last() != Some(&1) {
-            return Err(format!("top MLP must end at width 1 (got {:?})", self.top_layers));
+            return Err(format!(
+                "top MLP must end at width 1 (got {:?})",
+                self.top_layers
+            ));
         }
         if self.table_rows.is_empty() {
             return Err("need at least one embedding table".to_owned());
         }
-        if self.table_rows.iter().any(|&r| r == 0) {
+        if self.table_rows.contains(&0) {
             return Err("embedding tables must be non-empty".to_owned());
         }
         if self.pooling == 0 {
@@ -275,7 +278,10 @@ mod tests {
         assert!((gb - 96.0).abs() < 2.0, "model size {gb} GB");
         // §7.2: HistoryTable = total rows × 4 B ≈ 751 MB.
         let history_mb = cfg.total_rows() as f64 * 4.0 / 1e6;
-        assert!((history_mb - 751.0).abs() < 2.0, "history table {history_mb} MB");
+        assert!(
+            (history_mb - 751.0).abs() < 2.0,
+            "history table {history_mb} MB"
+        );
         cfg.validate().expect("valid config");
     }
 
@@ -301,11 +307,19 @@ mod tests {
 
     #[test]
     fn rmc_presets_are_valid_and_ordered() {
-        for cfg in [DlrmConfig::rmc1(1), DlrmConfig::rmc2(1), DlrmConfig::rmc3(1)] {
+        for cfg in [
+            DlrmConfig::rmc1(1),
+            DlrmConfig::rmc2(1),
+            DlrmConfig::rmc3(1),
+        ] {
             cfg.validate().expect("valid RMC preset");
         }
         // RMC3 has the largest embedding footprint, RMC2 the most lookups.
-        let (r1, r2, r3) = (DlrmConfig::rmc1(1), DlrmConfig::rmc2(1), DlrmConfig::rmc3(1));
+        let (r1, r2, r3) = (
+            DlrmConfig::rmc1(1),
+            DlrmConfig::rmc2(1),
+            DlrmConfig::rmc3(1),
+        );
         assert!(r3.embedding_bytes() > r1.embedding_bytes());
         assert!(r3.embedding_bytes() > r2.embedding_bytes());
         let lookups = |c: &DlrmConfig| c.num_tables() * c.pooling;
@@ -342,12 +356,21 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)]
     fn mlp_params_formula() {
         // bottom 13→512→256→128, top 479→1024→1024→512→256→1.
         let cfg = DlrmConfig::mlperf(1000);
         let bottom = 13 * 512 + 512 + 512 * 256 + 256 + 256 * 128 + 128;
-        let top = 479 * 1024 + 1024 + 1024 * 1024 + 1024 + 1024 * 512 + 512 + 512 * 256 + 256
-            + 256 * 1 + 1;
+        let top = 479 * 1024
+            + 1024
+            + 1024 * 1024
+            + 1024
+            + 1024 * 512
+            + 512
+            + 512 * 256
+            + 256
+            + 256 * 1
+            + 1;
         assert_eq!(cfg.mlp_params(), (bottom + top) as u64);
     }
 }

@@ -297,7 +297,11 @@ impl Dlrm {
     pub fn apply(&mut self, grads: &DlrmGrads, lr: f32) {
         self.bottom.apply(&grads.bottom, lr);
         self.top.apply(&grads.top, lr);
-        assert_eq!(grads.tables.len(), self.tables.len(), "table count mismatch");
+        assert_eq!(
+            grads.tables.len(),
+            self.tables.len(),
+            "table count mismatch"
+        );
         for (table, g) in self.tables.iter_mut().zip(grads.tables.iter()) {
             table.sparse_update(g, lr);
         }
@@ -308,11 +312,7 @@ impl Dlrm {
     pub fn params(&self) -> u64 {
         self.bottom.params() as u64
             + self.top.params() as u64
-            + self
-                .tables
-                .iter()
-                .map(|t| t.elements() as u64)
-                .sum::<u64>()
+            + self.tables.iter().map(|t| t.elements() as u64).sum::<u64>()
     }
 }
 
@@ -397,7 +397,11 @@ mod tests {
             sum_bottom.axpy(1.0, &g.bottom);
             sum_top.axpy(1.0, &g.top);
         }
-        for (a, b) in sum_bottom.layers.iter().zip(batch_grads.bottom.layers.iter()) {
+        for (a, b) in sum_bottom
+            .layers
+            .iter()
+            .zip(batch_grads.bottom.layers.iter())
+        {
             assert!(a.dw.max_abs_diff(&b.dw) < 1e-4);
         }
         for (a, b) in sum_top.layers.iter().zip(batch_grads.top.layers.iter()) {

@@ -20,7 +20,11 @@ pub fn interaction_forward(kind: InteractionKind, inputs: &[Matrix]) -> Matrix {
     assert!(!inputs.is_empty(), "interaction needs at least one input");
     let (batch, dim) = inputs[0].shape();
     for m in inputs {
-        assert_eq!(m.shape(), (batch, dim), "interaction inputs must share shape");
+        assert_eq!(
+            m.shape(),
+            (batch, dim),
+            "interaction inputs must share shape"
+        );
     }
     match kind {
         InteractionKind::Concat => {

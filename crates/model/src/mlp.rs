@@ -30,7 +30,12 @@ pub struct LinearLayer {
 impl LinearLayer {
     /// Creates a Xavier-initialized layer.
     #[must_use]
-    pub fn new<R: Prng>(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut R) -> Self {
+    pub fn new<R: Prng>(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
         Self {
             weight: InitKind::XavierUniform.matrix(rng, in_dim, out_dim),
             bias: vec![0.0; out_dim],
@@ -70,7 +75,12 @@ impl LayerGrad {
     /// Squared L2 norm of the layer gradient.
     #[must_use]
     pub fn norm_sq(&self) -> f64 {
-        self.dw.frob_norm_sq() + self.db.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>()
+        self.dw.frob_norm_sq()
+            + self
+                .db
+                .iter()
+                .map(|&x| f64::from(x) * f64::from(x))
+                .sum::<f64>()
     }
 
     /// In-place `self += alpha * other`.
@@ -129,7 +139,11 @@ impl MlpGrads {
     ///
     /// Panics on shape mismatch.
     pub fn axpy(&mut self, alpha: f32, other: &Self) {
-        assert_eq!(self.layers.len(), other.layers.len(), "layer count mismatch");
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "layer count mismatch"
+        );
         for (a, b) in self.layers.iter_mut().zip(other.layers.iter()) {
             a.axpy(alpha, b);
         }
@@ -339,7 +353,11 @@ impl Mlp {
     ///
     /// Panics on shape mismatch.
     pub fn apply(&mut self, grads: &MlpGrads, lr: f32) {
-        assert_eq!(grads.layers.len(), self.layers.len(), "layer count mismatch");
+        assert_eq!(
+            grads.layers.len(),
+            self.layers.len(),
+            "layer count mismatch"
+        );
         for (layer, g) in self.layers.iter_mut().zip(grads.layers.iter()) {
             layer.weight.axpy(-lr, &g.dw);
             for (b, &db) in layer.bias.iter_mut().zip(g.db.iter()) {
@@ -426,7 +444,10 @@ mod tests {
                 mlp.layers[l].weight[(r, c)] = orig;
                 let fd = (up - down) / (2.0 * eps);
                 let got = grads.layers[l].dw[(r, c)];
-                assert!((got - fd).abs() < 2e-2, "layer {l} w[{r},{c}]: {got} vs {fd}");
+                assert!(
+                    (got - fd).abs() < 2e-2,
+                    "layer {l} w[{r},{c}]: {got} vs {fd}"
+                );
             }
             // Bias check.
             let orig = mlp.layers[l].bias[0];
@@ -522,7 +543,10 @@ mod tests {
         let (grads, _) = mlp.backward(&cache, &grad_out);
         mlp.apply(&grads, 0.01);
         let after = loss_of(&mlp, &x);
-        assert!(after < before, "gradient step must reduce sum-loss: {before} -> {after}");
+        assert!(
+            after < before,
+            "gradient step must reduce sum-loss: {before} -> {after}"
+        );
     }
 
     #[test]

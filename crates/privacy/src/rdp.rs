@@ -72,10 +72,8 @@ pub fn compute_rdp_step(sigma: f64, q: f64, alpha: u32) -> f64 {
             ln_binom += ((a - f64::from(k) + 1.0) / f64::from(k)).ln();
         }
         let kf = f64::from(k);
-        let term = ln_binom
-            + (a - kf) * ln_1q
-            + kf * ln_q
-            + kf * (kf - 1.0) / (2.0 * sigma * sigma);
+        let term =
+            ln_binom + (a - kf) * ln_1q + kf * ln_q + kf * (kf - 1.0) / (2.0 * sigma * sigma);
         acc = log_add(acc, term);
     }
     (acc / (a - 1.0)).max(0.0)
@@ -189,9 +187,18 @@ mod tests {
     #[test]
     fn rdp_monotone_in_q_and_sigma_and_alpha() {
         let base = compute_rdp_step(1.0, 0.01, 8);
-        assert!(compute_rdp_step(1.0, 0.02, 8) > base, "more sampling, more cost");
-        assert!(compute_rdp_step(2.0, 0.01, 8) < base, "more noise, less cost");
-        assert!(compute_rdp_step(1.0, 0.01, 16) > base, "higher order, more cost");
+        assert!(
+            compute_rdp_step(1.0, 0.02, 8) > base,
+            "more sampling, more cost"
+        );
+        assert!(
+            compute_rdp_step(2.0, 0.01, 8) < base,
+            "more noise, less cost"
+        );
+        assert!(
+            compute_rdp_step(1.0, 0.01, 16) > base,
+            "higher order, more cost"
+        );
         assert!(base > 0.0);
     }
 
@@ -207,7 +214,10 @@ mod tests {
         assert!(sub < full * 1e-2, "sub {sub} vs full {full}");
         let sub2 = compute_rdp_step(sigma, 2.0 * q, alpha);
         let ratio = sub2 / sub;
-        assert!((3.0..5.0).contains(&ratio), "q-scaling ratio {ratio} not ~4");
+        assert!(
+            (3.0..5.0).contains(&ratio),
+            "q-scaling ratio {ratio} not ~4"
+        );
     }
 
     #[test]
@@ -236,8 +246,11 @@ mod tests {
         let mut best_classic = f64::INFINITY;
         acc.compose(1.1, q, steps);
         for (alpha, rdp) in acc.rdp_curve() {
-            best_classic = best_classic
-                .min(crate::convert::rdp_to_epsilon_classic(rdp, f64::from(alpha), 1e-5));
+            best_classic = best_classic.min(crate::convert::rdp_to_epsilon_classic(
+                rdp,
+                f64::from(alpha),
+                1e-5,
+            ));
         }
         let (eps_improved, order) = acc.epsilon(1e-5);
         assert!(

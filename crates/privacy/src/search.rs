@@ -74,8 +74,8 @@ mod tests {
         let steps = 5_000;
         let target_eps = 2.0;
         let delta = 1e-6;
-        let sigma = find_noise_multiplier(target_eps, delta, q, steps, 1e-4)
-            .expect("target reachable");
+        let sigma =
+            find_noise_multiplier(target_eps, delta, q, steps, 1e-4).expect("target reachable");
         let mut acc = RdpAccountant::new();
         acc.compose(sigma, q, steps);
         assert!(acc.epsilon(delta).0 <= target_eps, "meets target");

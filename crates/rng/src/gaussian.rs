@@ -97,7 +97,10 @@ impl GaussianSampler {
     /// Panics if `std` is negative or not finite.
     #[must_use]
     pub fn new(mean: f32, std: f32) -> Self {
-        assert!(std.is_finite() && std >= 0.0, "std must be finite and >= 0, got {std}");
+        assert!(
+            std.is_finite() && std >= 0.0,
+            "std must be finite and >= 0, got {std}"
+        );
         Self { mean, std }
     }
 
@@ -255,7 +258,10 @@ mod tests {
         let (mean, var) = stats::mean_var(&sums);
         let expect_var = f64::from(sigma) * f64::from(sigma) * n as f64;
         assert!(mean.abs() < 0.1, "mean {mean}");
-        assert!((var - expect_var).abs() / expect_var < 0.05, "var {var} vs {expect_var}");
+        assert!(
+            (var - expect_var).abs() / expect_var < 0.05,
+            "var {var} vs {expect_var}"
+        );
         let ks = stats::ks_statistic_normal(&mut sums, 0.0, expect_var.sqrt());
         assert!(ks < stats::ks_critical(sums.len(), 0.001), "ks {ks}");
     }

@@ -28,16 +28,15 @@ pub fn par_fill_standard_normal(seed: u64, out: &mut [f32], threads: usize) {
         return;
     }
     let chunk = out.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (i, piece) in out.chunks_mut(chunk).enumerate() {
             let rng = root.derive(i as u64);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut stream = rng.stream(0);
                 gaussian::fill_standard_normal(&mut stream, piece);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Parallel version of the fused noisy accumulate: `acc[j] += scale·n_j`
@@ -50,10 +49,10 @@ pub fn par_accumulate_noise(seed: u64, scale: f32, acc: &mut [f32], threads: usi
     assert!(threads > 0, "need at least one thread");
     let root = CounterRng::new(seed ^ 0x243f_6a88_85a3_08d3);
     let chunk = acc.len().div_ceil(threads).max(1);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (i, piece) in acc.chunks_mut(chunk).enumerate() {
             let rng = root.derive(i as u64);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut stream = rng.stream(0);
                 let mut buf = vec![0.0f32; piece.len()];
                 gaussian::fill_standard_normal(&mut stream, &mut buf);
@@ -62,8 +61,7 @@ pub fn par_accumulate_noise(seed: u64, scale: f32, acc: &mut [f32], threads: usi
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 #[cfg(test)]

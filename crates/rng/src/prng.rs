@@ -226,7 +226,14 @@ mod tests {
         // splitmix64.c by Sebastiano Vigna.
         let mut rng = SplitMix64::new(1234567);
         let got: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
-        assert_eq!(got, vec![6_457_827_717_110_365_317, 3_203_168_211_198_807_973, 9_817_491_932_198_370_423]);
+        assert_eq!(
+            got,
+            vec![
+                6_457_827_717_110_365_317,
+                3_203_168_211_198_807_973,
+                9_817_491_932_198_370_423
+            ]
+        );
     }
 
     #[test]
@@ -266,7 +273,10 @@ mod tests {
         }
         for &c in &counts {
             // Each bucket should get ~10_000 ± 5σ (σ ≈ 95).
-            assert!((9_400..=10_600).contains(&c), "bucket count {c} out of range");
+            assert!(
+                (9_400..=10_600).contains(&c),
+                "bucket count {c} out of range"
+            );
         }
     }
 

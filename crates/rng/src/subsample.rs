@@ -19,7 +19,10 @@ use crate::prng::Prng;
 ///
 /// Panics if `q` is not within `[0, 1]`.
 pub fn poisson_sample<R: Prng>(rng: &mut R, n: usize, q: f64) -> Vec<usize> {
-    assert!((0.0..=1.0).contains(&q), "sampling rate must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "sampling rate must be in [0,1], got {q}"
+    );
     if q == 0.0 {
         return Vec::new();
     }
@@ -91,7 +94,7 @@ mod tests {
         }
         let mean = total as f64 / trials as f64;
         let expect = n as f64 * q; // 2000
-        // 50-trial mean: sd ≈ sqrt(2000/50) ≈ 6.3; allow 6σ.
+                                   // 50-trial mean: sd ≈ sqrt(2000/50) ≈ 6.3; allow 6σ.
         assert!((mean - expect).abs() < 40.0, "mean {mean} vs {expect}");
     }
 

@@ -8,8 +8,8 @@
 
 use crate::breakdown::StageBreakdown;
 use crate::kernels::{
-    dedup_time, dense_update_time, gather_time, gaussian_time, gemm_time, history_time,
-    pcie_time, scatter_time, stream_time,
+    dedup_time, dense_update_time, gather_time, gaussian_time, gemm_time, history_time, pcie_time,
+    scatter_time, stream_time,
 };
 use crate::spec::SystemSpec;
 use crate::workload::Workload;
@@ -123,9 +123,7 @@ pub fn cpu_dram_bytes(alg: Algorithm, wl: &Workload) -> u64 {
         Algorithm::Eana => emb + emb / 100,
         Algorithm::LazyDp { .. } => {
             // + HistoryTable (4 B/row) + prefetched batch.
-            emb + wl.config.total_rows() * 4
-                + wl.total_lookups() * 4
-                + emb / 100
+            emb + wl.config.total_rows() * 4 + wl.total_lookups() * 4 + emb / 100
         }
     }
 }
@@ -218,16 +216,15 @@ pub fn estimate(
                     // GEMMs plus writing+reading B×params on HBM, plus
                     // the per-sample hook overhead of Opacus.
                     s.bwd_per_example = gemm_time(spec, 2 * fwd_flops)
-                        + (b * mlp_params as f64 * 4.0 * 2.0)
-                            / (spec.gpu.hbm_bw_gbs * 1e9)
+                        + (b * mlp_params as f64 * 4.0 * 2.0) / (spec.gpu.hbm_bw_gbs * 1e9)
                         + b * spec.host.dp_per_example_per_sample_s;
                     s.bwd_per_batch = bwd_batch_base;
                 }
                 Algorithm::DpSgdR => {
                     // Norm pass (recomputes per-example grads without
                     // storing) + reweighted pass.
-                    s.bwd_per_example = gemm_time(spec, 2 * fwd_flops)
-                        + b * spec.host.dp_reweighted_per_sample_s;
+                    s.bwd_per_example =
+                        gemm_time(spec, 2 * fwd_flops) + b * spec.host.dp_reweighted_per_sample_s;
                     s.bwd_per_batch = bwd_batch_base;
                 }
                 _ => {
@@ -266,11 +263,7 @@ pub fn estimate(
             // the *per-iteration steady-state* draw count equals eager
             // DP-SGD's (§5.2.2: every deferred iteration still owes one
             // draw, so totals are conserved).
-            let noise_draws = if ans {
-                unique_rows * dim
-            } else {
-                emb_elems
-            };
+            let noise_draws = if ans { unique_rows * dim } else { emb_elems };
             s.noise_sampling = gaussian_time(spec, noise_draws + mlp_params);
             s.noisy_grad_gen = stream_time(spec, 2 * unique_rows * dim, 1, 8);
             // Scatter: current batch's gradient rows + next batch's
@@ -299,11 +292,8 @@ pub fn energy(s: &StageBreakdown, spec: &SystemSpec) -> f64 {
     let p = &spec.power;
     let gpu_heavy = s.fwd + s.bwd_per_example + s.bwd_per_batch;
     let cpu_avx = s.noise_sampling;
-    let cpu_stream = s.noisy_grad_gen
-        + s.noisy_grad_update
-        + s.grad_coalesce
-        + s.history_read
-        + s.history_write;
+    let cpu_stream =
+        s.noisy_grad_gen + s.noisy_grad_update + s.grad_coalesce + s.history_read + s.history_write;
     let idle = s.other;
     gpu_heavy * (p.cpu_stream_w + p.gpu_active_w)
         + cpu_avx * (p.cpu_avx_w + p.gpu_idle_w)
@@ -322,7 +312,10 @@ mod tests {
     }
 
     fn ratio(alg: Algorithm, wl: &Workload) -> f64 {
-        let sgd = estimate(Algorithm::Sgd, wl, &spec()).expect("sgd fits").breakdown.total();
+        let sgd = estimate(Algorithm::Sgd, wl, &spec())
+            .expect("sgd fits")
+            .breakdown
+            .total();
         let t = estimate(alg, wl, &spec()).expect("fits").breakdown.total();
         t / sgd
     }
@@ -333,14 +326,23 @@ mod tests {
         // SGD, LazyDP(w/o ANS) ≈ 151×, LazyDP ≈ 2.2×.
         let wl = Workload::mlperf_default(2048);
         let f = ratio(Algorithm::DpSgdF, &wl);
-        assert!((200.0..330.0).contains(&f), "DP-SGD(F)/SGD = {f}, expect ≈ 259");
+        assert!(
+            (200.0..330.0).contains(&f),
+            "DP-SGD(F)/SGD = {f}, expect ≈ 259"
+        );
         let wo = ratio(Algorithm::LazyDp { ans: false }, &wl);
         assert!((100.0..200.0).contains(&wo), "w/o ANS = {wo}, expect ≈ 151");
         let lazy = ratio(Algorithm::LazyDp { ans: true }, &wl);
-        assert!((1.5..3.2).contains(&lazy), "LazyDP/SGD = {lazy}, expect ≈ 2.2");
+        assert!(
+            (1.5..3.2).contains(&lazy),
+            "LazyDP/SGD = {lazy}, expect ≈ 2.2"
+        );
         // §7.1: LazyDP speedup over DP-SGD(F) is 85–155×.
         let speedup = f / lazy;
-        assert!((60.0..180.0).contains(&speedup), "speedup {speedup}, expect ≈ 119");
+        assert!(
+            (60.0..180.0).contains(&speedup),
+            "speedup {speedup}, expect ≈ 119"
+        );
     }
 
     #[test]
@@ -363,11 +365,19 @@ mod tests {
     fn fig3_ordering_and_convergence() {
         // B ≥ R ≥ F always; the gap shrinks as the table grows (§4.1).
         let gap_at = |div: u64| {
-            let wl = Workload::mlperf_default(2048)
-                .with_config(DlrmConfig::mlperf(div));
-            let b = estimate(Algorithm::DpSgdB, &wl, &spec()).expect("fits").breakdown.total();
-            let r = estimate(Algorithm::DpSgdR, &wl, &spec()).expect("fits").breakdown.total();
-            let f = estimate(Algorithm::DpSgdF, &wl, &spec()).expect("fits").breakdown.total();
+            let wl = Workload::mlperf_default(2048).with_config(DlrmConfig::mlperf(div));
+            let b = estimate(Algorithm::DpSgdB, &wl, &spec())
+                .expect("fits")
+                .breakdown
+                .total();
+            let r = estimate(Algorithm::DpSgdR, &wl, &spec())
+                .expect("fits")
+                .breakdown
+                .total();
+            let f = estimate(Algorithm::DpSgdF, &wl, &spec())
+                .expect("fits")
+                .breakdown
+                .total();
             assert!(b >= r && r >= f, "ordering violated at div {div}");
             b / f
         };
@@ -384,45 +394,71 @@ mod tests {
         let at = |mult: u64, div: u64| -> Workload {
             let mut cfg = DlrmConfig::mlperf(div);
             if mult > 1 {
-                cfg = cfg.clone().with_table_rows(
-                    cfg.table_rows.iter().map(|&r| r * mult).collect(),
-                );
+                cfg = cfg
+                    .clone()
+                    .with_table_rows(cfg.table_rows.iter().map(|&r| r * mult).collect());
             }
             Workload::mlperf_default(2048).with_config(cfg)
         };
         let f24 = ratio(Algorithm::DpSgdF, &at(1, 4));
         let f48 = ratio(Algorithm::DpSgdF, &at(1, 2));
         let f96 = ratio(Algorithm::DpSgdF, &at(1, 1));
-        assert!(f48 / f24 > 1.7 && f48 / f24 < 2.2, "24→48 doubling: {}", f48 / f24);
-        assert!(f96 / f48 > 1.7 && f96 / f48 < 2.2, "48→96 doubling: {}", f96 / f48);
+        assert!(
+            f48 / f24 > 1.7 && f48 / f24 < 2.2,
+            "24→48 doubling: {}",
+            f48 / f24
+        );
+        assert!(
+            f96 / f48 > 1.7 && f96 / f48 < 2.2,
+            "48→96 doubling: {}",
+            f96 / f48
+        );
         // 192 GB: eager OOMs, LazyDP and SGD fit.
         let wl192 = at(2, 1);
-        assert!(estimate(Algorithm::DpSgdF, &wl192, &spec()).is_err(), "DP-SGD(F) must OOM");
+        assert!(
+            estimate(Algorithm::DpSgdF, &wl192, &spec()).is_err(),
+            "DP-SGD(F) must OOM"
+        );
         assert!(estimate(Algorithm::LazyDp { ans: true }, &wl192, &spec()).is_ok());
         assert!(estimate(Algorithm::Sgd, &wl192, &spec()).is_ok());
         // LazyDP flat across sizes (0.9..2.3 band in the paper).
         let l24 = ratio(Algorithm::LazyDp { ans: true }, &at(1, 4));
         let l96 = ratio(Algorithm::LazyDp { ans: true }, &at(1, 1));
-        assert!((l96 - l24).abs() / l24 < 0.25, "LazyDP must stay flat: {l24} vs {l96}");
+        assert!(
+            (l96 - l24).abs() / l24 < 0.25,
+            "LazyDP must stay flat: {l24} vs {l96}"
+        );
     }
 
     #[test]
     fn fig13b_pooling_narrows_the_gap() {
         // Fig. 13(b): pooling 30 still gives ≈ 16.7× LazyDP speedup.
         let at = |pool: usize| {
-            Workload::mlperf_default(2048)
-                .with_config(DlrmConfig::mlperf(1).with_pooling(pool))
+            Workload::mlperf_default(2048).with_config(DlrmConfig::mlperf(1).with_pooling(pool))
         };
-        let gap1 = ratio(Algorithm::DpSgdF, &at(1)) / ratio(Algorithm::LazyDp { ans: true }, &at(1));
+        let gap1 =
+            ratio(Algorithm::DpSgdF, &at(1)) / ratio(Algorithm::LazyDp { ans: true }, &at(1));
         let gap30 =
             ratio(Algorithm::DpSgdF, &at(30)) / ratio(Algorithm::LazyDp { ans: true }, &at(30));
         assert!(gap30 < gap1, "pooling must narrow the gap");
-        assert!((8.0..40.0).contains(&gap30), "pool-30 gap {gap30}, expect ≈ 16.7");
+        assert!(
+            (8.0..40.0).contains(&gap30),
+            "pool-30 gap {gap30}, expect ≈ 16.7"
+        );
         // SGD itself slows with pooling (1.0 → 6.5 at pooling 30).
-        let sgd1 = estimate(Algorithm::Sgd, &at(1), &spec()).expect("fits").breakdown.total();
-        let sgd30 = estimate(Algorithm::Sgd, &at(30), &spec()).expect("fits").breakdown.total();
+        let sgd1 = estimate(Algorithm::Sgd, &at(1), &spec())
+            .expect("fits")
+            .breakdown
+            .total();
+        let sgd30 = estimate(Algorithm::Sgd, &at(30), &spec())
+            .expect("fits")
+            .breakdown
+            .total();
         let r = sgd30 / sgd1;
-        assert!((4.0..9.0).contains(&r), "SGD pooling-30 slowdown {r}, expect ≈ 6.5");
+        assert!(
+            (4.0..9.0).contains(&r),
+            "SGD pooling-30 slowdown {r}, expect ≈ 6.5"
+        );
     }
 
     #[test]
@@ -436,7 +472,11 @@ mod tests {
         assert!(r3 > r1 && r1 > r2, "RMC ordering: r1={r1} r2={r2} r3={r3}");
         // LazyDP stays within a few × of SGD on all three (paper:
         // 3.8/3.8/2.6).
-        for cfg in [DlrmConfig::rmc1(1), DlrmConfig::rmc2(1), DlrmConfig::rmc3(1)] {
+        for cfg in [
+            DlrmConfig::rmc1(1),
+            DlrmConfig::rmc2(1),
+            DlrmConfig::rmc3(1),
+        ] {
             let l = ratio(Algorithm::LazyDp { ans: true }, &wl(cfg));
             assert!((1.2..6.0).contains(&l), "LazyDP RMC ratio {l}");
         }
@@ -445,14 +485,22 @@ mod tests {
     #[test]
     fn fig13d_skew_helps_lazydp_not_dpsgd() {
         let wl = |skew| Workload::mlperf_default(2048).with_skew(skew);
-        let lazy_random = estimate(Algorithm::LazyDp { ans: true }, &wl(SkewLevel::Random), &spec())
-            .expect("fits")
-            .breakdown
-            .total();
-        let lazy_high = estimate(Algorithm::LazyDp { ans: true }, &wl(SkewLevel::High), &spec())
-            .expect("fits")
-            .breakdown
-            .total();
+        let lazy_random = estimate(
+            Algorithm::LazyDp { ans: true },
+            &wl(SkewLevel::Random),
+            &spec(),
+        )
+        .expect("fits")
+        .breakdown
+        .total();
+        let lazy_high = estimate(
+            Algorithm::LazyDp { ans: true },
+            &wl(SkewLevel::High),
+            &spec(),
+        )
+        .expect("fits")
+        .breakdown
+        .total();
         assert!(lazy_high < lazy_random, "skew must shrink LazyDP's work");
         let f_random = estimate(Algorithm::DpSgdF, &wl(SkewLevel::Random), &spec())
             .expect("fits")
@@ -472,7 +520,10 @@ mod tests {
     fn fig14_eana_comparison() {
         // Fig. 14: LazyDP within 27–37% of EANA while keeping full DP.
         let wl = Workload::mlperf_default(2048);
-        let eana = estimate(Algorithm::Eana, &wl, &spec()).expect("fits").breakdown.total();
+        let eana = estimate(Algorithm::Eana, &wl, &spec())
+            .expect("fits")
+            .breakdown
+            .total();
         let lazy = estimate(Algorithm::LazyDp { ans: true }, &wl, &spec())
             .expect("fits")
             .breakdown
@@ -503,7 +554,10 @@ mod tests {
         // 0.7–1.5).
         let lazy = estimate(Algorithm::LazyDp { ans: true }, &wl, &spec()).expect("fits");
         let lazy_ratio = lazy.energy_j / sgd.energy_j;
-        assert!((1.2..4.5).contains(&lazy_ratio), "LazyDP energy ratio {lazy_ratio}");
+        assert!(
+            (1.2..4.5).contains(&lazy_ratio),
+            "LazyDP energy ratio {lazy_ratio}"
+        );
     }
 
     #[test]
@@ -513,12 +567,21 @@ mod tests {
         let wl = Workload::mlperf_default(2048);
         let lazy = estimate(Algorithm::LazyDp { ans: true }, &wl, &spec()).expect("fits");
         let share = lazy.breakdown.lazydp_overhead() / lazy.breakdown.total();
-        assert!((0.05..0.30).contains(&share), "overhead share {share}, expect ≈ 0.15");
+        assert!(
+            (0.05..0.30).contains(&share),
+            "overhead share {share}, expect ≈ 0.15"
+        );
         let o = &lazy.breakdown;
         let total_oh = o.lazydp_overhead();
         let dedup_share = o.grad_coalesce / total_oh;
-        assert!((0.4..0.8).contains(&dedup_share), "dedup {dedup_share}, expect ≈ 0.61");
-        assert!(o.history_read > o.history_write, "read+std > write (22% vs 17%)");
+        assert!(
+            (0.4..0.8).contains(&dedup_share),
+            "dedup {dedup_share}, expect ≈ 0.61"
+        );
+        assert!(
+            o.history_read > o.history_write,
+            "read+std > write (22% vs 17%)"
+        );
     }
 
     #[test]
@@ -526,7 +589,9 @@ mod tests {
         // §7.1: LazyDP reduces noise-sampling latency ≈ 1081× and
         // noisy-update latency ≈ 418× vs DP-SGD(F).
         let wl = Workload::mlperf_default(2048);
-        let f = estimate(Algorithm::DpSgdF, &wl, &spec()).expect("fits").breakdown;
+        let f = estimate(Algorithm::DpSgdF, &wl, &spec())
+            .expect("fits")
+            .breakdown;
         let l = estimate(Algorithm::LazyDp { ans: true }, &wl, &spec())
             .expect("fits")
             .breakdown;

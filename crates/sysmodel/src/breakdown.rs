@@ -113,7 +113,10 @@ mod tests {
     fn labeled_covers_all_fields() {
         let b = sample();
         let sum: f64 = b.labeled().iter().map(|(_, v)| v).sum();
-        assert!((sum - b.total()).abs() < 1e-12, "labels must cover every field");
+        assert!(
+            (sum - b.total()).abs() < 1e-12,
+            "labels must cover every field"
+        );
         assert_eq!(b.labeled().len(), 10);
     }
 }

@@ -24,7 +24,12 @@ pub const UPDATE_AVX_OPS: u32 = 2;
 /// `flops_per_elem` compute per element and moving `bytes_per_elem`
 /// to/from DRAM.
 #[must_use]
-pub fn stream_time(spec: &SystemSpec, elements: u64, flops_per_elem: u32, bytes_per_elem: u32) -> f64 {
+pub fn stream_time(
+    spec: &SystemSpec,
+    elements: u64,
+    flops_per_elem: u32,
+    bytes_per_elem: u32,
+) -> f64 {
     let e = elements as f64;
     let compute = e * f64::from(flops_per_elem) / spec.avx_eff_flops();
     let memory = e * f64::from(bytes_per_elem) / spec.stream_bw();

@@ -139,7 +139,8 @@ impl Workload {
 fn cached_zipf_exponent(rows: u64, fraction: f64, mass: f64) -> f64 {
     use std::collections::HashMap;
     use std::sync::{Mutex, OnceLock};
-    static CACHE: OnceLock<Mutex<HashMap<(u64, u64, u64), f64>>> = OnceLock::new();
+    type ZipfCache = Mutex<HashMap<(u64, u64, u64), f64>>;
+    static CACHE: OnceLock<ZipfCache> = OnceLock::new();
     let key = (rows, fraction.to_bits(), mass.to_bits());
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(&v) = cache.lock().expect("cache lock").get(&key) {
@@ -204,6 +205,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)]
     fn forward_flops_match_hand_count_for_tiny_config() {
         let cfg = DlrmConfig::tiny(2, 10, 8); // bottom 13→16→8, top in 8+3=11 →16→1
         let wl = Workload {

@@ -457,14 +457,22 @@ impl Matrix {
 impl Index<(usize, usize)> for Matrix {
     type Output = f32;
     fn index(&self, (i, j): (usize, usize)) -> &f32 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {:?}", self.shape());
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {:?}",
+            self.shape()
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f32 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {:?}", self.shape());
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {:?}",
+            self.shape()
+        );
         &mut self.data[i * self.cols + j]
     }
 }

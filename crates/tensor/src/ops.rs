@@ -56,7 +56,11 @@ impl Activation {
     /// Panics on shape mismatch.
     #[must_use]
     pub fn backward(&self, a: &Matrix, grad_a: &Matrix) -> Matrix {
-        assert_eq!(a.shape(), grad_a.shape(), "activation backward shape mismatch");
+        assert_eq!(
+            a.shape(),
+            grad_a.shape(),
+            "activation backward shape mismatch"
+        );
         match self {
             Self::Linear => grad_a.clone(),
             Self::Relu => Matrix::from_vec(
@@ -152,7 +156,12 @@ mod tests {
             let fd = (Activation::Sigmoid.forward(&zp)[(0, j)]
                 - Activation::Sigmoid.forward(&zm)[(0, j)])
                 / (2.0 * eps);
-            assert!((gz[(0, j)] - fd).abs() < 1e-3, "col {j}: {} vs {}", gz[(0, j)], fd);
+            assert!(
+                (gz[(0, j)] - fd).abs() < 1e-3,
+                "col {j}: {} vs {}",
+                gz[(0, j)],
+                fd
+            );
         }
     }
 

@@ -52,11 +52,15 @@ fn main() {
     let mut m = model0;
     let mut o = LazyDpOptimizer::new(cfg, &m, CounterNoise::new(31));
     for i in 0..INTERRUPT_AT {
-        engine.try_compose(cfg.dp.noise_multiplier, q, 1).expect("within budget");
+        engine
+            .try_compose(cfg.dp.noise_multiplier, q, 1)
+            .expect("within budget");
         o.step(&mut m, &batches[i], Some(&batches[i + 1]));
     }
     let mut bytes = Vec::new();
-    Checkpoint::capture(&m, &o).save(&mut bytes).expect("serialize");
+    Checkpoint::capture(&m, &o)
+        .save(&mut bytes)
+        .expect("serialize");
     println!(
         "checkpoint at step {INTERRUPT_AT}: {} KB (weights + HistoryTables + iteration)",
         bytes.len() / 1000
@@ -73,7 +77,9 @@ fn main() {
     let (mut m2, mut o2) = loaded.restore(cfg, CounterNoise::new(31));
     println!("resumed at iteration {}", o2.iteration());
     for i in INTERRUPT_AT..TOTAL_STEPS {
-        engine.try_compose(cfg.dp.noise_multiplier, q, 1).expect("within budget");
+        engine
+            .try_compose(cfg.dp.noise_multiplier, q, 1)
+            .expect("within budget");
         o2.step(&mut m2, &batches[i], Some(&batches[i + 1]));
     }
     o2.finalize_model(&mut m2);

@@ -39,7 +39,11 @@ fn model() -> Dlrm {
 /// access iterations, a decoy row otherwise.
 fn batch_for(ds: &SyntheticDataset, it: u64) -> MiniBatch {
     let mut b = ds.batch_of(&[(it as usize - 1) % ds.len()]);
-    let row = if ACCESS_ITERS.contains(&it) { ROW } else { 8 + (it % 8) };
+    let row = if ACCESS_ITERS.contains(&it) {
+        ROW
+    } else {
+        8 + (it % 8)
+    };
     b.sparse[0] = lazydp::embedding::bag::BagIndices::from_samples(&[vec![row]]);
     b
 }
@@ -93,8 +97,11 @@ fn main() {
             fmt(&row_of(&eager_m)),
             fmt(&row_of(&lazy_m)),
             if accessed {
-                assert!(equal_at_access, "Fig. 7 equality violated at iteration {it}");
-                if equal_at_access { "YES (Fig. 7 claim)" } else { "NO" }
+                assert!(
+                    equal_at_access,
+                    "Fig. 7 equality violated at iteration {it}"
+                );
+                "YES (Fig. 7 claim)"
             } else {
                 "(not read)"
             },
@@ -109,7 +116,11 @@ fn main() {
         .zip(l.iter())
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f32, f32::max);
-    println!("\nafter finalize: DP-SGD row {} vs LazyDP row {}", fmt(&e), fmt(&l));
+    println!(
+        "\nafter finalize: DP-SGD row {} vs LazyDP row {}",
+        fmt(&e),
+        fmt(&l)
+    );
     println!("max |diff| = {max_diff:.2e}  (threat-model §3 equality)");
     assert!(max_diff < 1e-4, "final models must coincide");
     println!("\n✔ LazyDP observed-value and final-model equivalence verified, as in Fig. 7.");

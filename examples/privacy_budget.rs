@@ -16,7 +16,9 @@ fn main() {
     let q = batch / dataset_size;
     let delta = 1.0 / dataset_size / 10.0;
 
-    println!("dataset = {dataset_size:.0} samples, batch = {batch:.0}, q = {q:.2e}, δ = {delta:.1e}\n");
+    println!(
+        "dataset = {dataset_size:.0} samples, batch = {batch:.0}, q = {q:.2e}, δ = {delta:.1e}\n"
+    );
 
     println!("ε as training progresses (σ = 1.1, the paper's Fig. 9 default):");
     let mut acc = RdpAccountant::new();

@@ -61,8 +61,12 @@ fn main() {
         let _ = loader.finish_iteration();
     }
     let sgd_time = t0.elapsed();
-    println!("SGD:        loss {before:.4} -> {:.4} | {:>10} noise samples | {:?}",
-        sgd_model.loss(&eval), sgd.counters().gaussian_samples, sgd_time);
+    println!(
+        "SGD:        loss {before:.4} -> {:.4} | {:>10} noise samples | {:?}",
+        sgd_model.loss(&eval),
+        sgd.counters().gaussian_samples,
+        sgd_time
+    );
 
     // --- eager DP-SGD(F) --------------------------------------------------
     let mut f_model = fresh_model();
@@ -76,8 +80,12 @@ fn main() {
         let _ = loader.finish_iteration();
     }
     let f_time = t0.elapsed();
-    println!("DP-SGD(F):  loss {before:.4} -> {:.4} | {:>10} noise samples | {:?}",
-        f_model.loss(&eval), dpf.counters().gaussian_samples, f_time);
+    println!(
+        "DP-SGD(F):  loss {before:.4} -> {:.4} | {:>10} noise samples | {:?}",
+        f_model.loss(&eval),
+        dpf.counters().gaussian_samples,
+        f_time
+    );
 
     // --- LazyDP -----------------------------------------------------------
     let mut l_model = fresh_model();
@@ -93,8 +101,12 @@ fn main() {
     }
     lazy.finalize_model(&mut l_model);
     let l_time = t0.elapsed();
-    println!("LazyDP:     loss {before:.4} -> {:.4} | {:>10} noise samples | {:?}",
-        l_model.loss(&eval), lazy.counters().gaussian_samples, l_time);
+    println!(
+        "LazyDP:     loss {before:.4} -> {:.4} | {:>10} noise samples | {:?}",
+        l_model.loss(&eval),
+        lazy.counters().gaussian_samples,
+        l_time
+    );
 
     // --- privacy accounting (identical for DP-SGD(F) and LazyDP) ----------
     let mut acc = RdpAccountant::new();

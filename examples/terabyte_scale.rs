@@ -57,13 +57,9 @@ fn main() {
     );
 
     // Pre-draw the access trace (batch 2048, pooling 1 per table).
-    let draw_batch =
-        |rng: &mut Xoshiro256PlusPlus| -> Vec<Vec<u64>> {
-            dists
-                .iter()
-                .map(|d| d.sample_many(rng, BATCH))
-                .collect()
-        };
+    let draw_batch = |rng: &mut Xoshiro256PlusPlus| -> Vec<Vec<u64>> {
+        dists.iter().map(|d| d.sample_many(rng, BATCH)).collect()
+    };
     let mut cur = draw_batch(&mut rng);
     let t0 = Instant::now();
     for _ in 0..STEPS {
@@ -94,22 +90,37 @@ fn main() {
     println!("  per-iteration: {:?}", train_time / STEPS as u32);
     println!("\nwork done (real, counted):");
     println!("  Gaussian draws:      {drawn:>16}");
-    println!("  rows materialized:   {touched:>16}  ({:.1} MB of {:.1} GB logical)",
-        resident as f64 / 1e6, logical as f64 / 1e9);
+    println!(
+        "  rows materialized:   {touched:>16}  ({:.1} MB of {:.1} GB logical)",
+        resident as f64 / 1e6,
+        logical as f64 / 1e9
+    );
     println!("\nwhat eager DP-SGD would have needed for the same {STEPS} iterations:");
-    println!("  Gaussian draws:      {eager:>16}  ({}× more)", eager / u128::from(drawn.max(1)));
+    println!(
+        "  Gaussian draws:      {eager:>16}  ({}× more)",
+        eager / u128::from(drawn.max(1))
+    );
     // Price the eager draws with this machine's own measured Box–Muller
     // rate (~15 ns/sample, see EXPERIMENTS.md §3).
     let eager_secs = eager as f64 * 15e-9;
-    println!("  sampling time alone: {:>13.0} s  (at this host's measured 15 ns/draw)", eager_secs);
+    println!(
+        "  sampling time alone: {:>13.0} s  (at this host's measured 15 ns/draw)",
+        eager_secs
+    );
     println!("  plus a 96 GB dense noisy-gradient stream per iteration — unrunnable here.");
 
     // Row-level release: settle pending noise for a served row.
     let before = tables[0].table().read_row(12345);
     let after = tables[0].flush_row(12345);
     println!("\nrow-level release (flush_row): row 12345 of table 0");
-    println!("  pending-noise settled: value moved by {:.2e}",
-        before.iter().zip(after.iter()).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max));
+    println!(
+        "  pending-noise settled: value moved by {:.2e}",
+        before
+            .iter()
+            .zip(after.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    );
     println!("\n✔ the paper's thesis, executed: private training cost tracks the batch,");
     println!("  not the table — 96 GB of logical model, megabytes of physical state.");
 }

@@ -50,7 +50,11 @@ fn every_optimizer_learns() {
         let (b, a) = train(&mut o, &mut m, &ds);
         results.push((o.name().to_owned(), b, a));
     }
-    for style in [ClipStyle::PerExample, ClipStyle::Reweighted, ClipStyle::Fast] {
+    for style in [
+        ClipStyle::PerExample,
+        ClipStyle::Reweighted,
+        ClipStyle::Fast,
+    ] {
         let mut m = model0.clone();
         let mut o = EagerDpSgd::new(dp, style, CounterNoise::new(11));
         let (b, a) = train(&mut o, &mut m, &ds);
@@ -82,11 +86,7 @@ fn more_noise_hurts_utility() {
     let run = |sigma: f64| -> f64 {
         let mut m = model0.clone();
         let dp = DpConfig::new(sigma, 2.0, 0.1, BATCH);
-        let mut o = LazyDpOptimizer::new(
-            LazyDpConfig { dp, ans: true },
-            &m,
-            CounterNoise::new(13),
-        );
+        let mut o = LazyDpOptimizer::new(LazyDpConfig { dp, ans: true }, &m, CounterNoise::new(13));
         let (_, after) = train(&mut o, &mut m, &ds);
         after
     };
@@ -111,9 +111,11 @@ fn private_trainer_reports_consistent_budget_and_counters() {
     let stats = trainer.train_steps(12);
     assert_eq!(stats.len(), 12);
     // Realized Poisson batch sizes average near nominal.
-    let mean =
-        stats.iter().map(|s| s.realized_batch).sum::<usize>() as f64 / stats.len() as f64;
-    assert!((mean - BATCH as f64).abs() < BATCH as f64 * 0.6, "mean batch {mean}");
+    let mean = stats.iter().map(|s| s.realized_batch).sum::<usize>() as f64 / stats.len() as f64;
+    assert!(
+        (mean - BATCH as f64).abs() < BATCH as f64 * 0.6,
+        "mean batch {mean}"
+    );
     let (eps, _) = trainer.epsilon(1e-6);
     assert!(eps > 0.0 && eps < 50.0, "ε = {eps}");
     let c = trainer.counters();
@@ -135,11 +137,8 @@ fn lazydp_noise_work_is_orders_below_eager_at_larger_tables() {
         let b0 = ds.batch_of(&(0..16).collect::<Vec<_>>());
         let b1 = ds.batch_of(&(16..32).collect::<Vec<_>>());
         if lazy {
-            let mut o = LazyDpOptimizer::new(
-                LazyDpConfig { dp, ans: true },
-                &model,
-                CounterNoise::new(1),
-            );
+            let mut o =
+                LazyDpOptimizer::new(LazyDpConfig { dp, ans: true }, &model, CounterNoise::new(1));
             o.step(&mut model, &b0, Some(&b1));
             o.counters().gaussian_samples
         } else {
@@ -173,7 +172,11 @@ fn trained_model_beats_chance_on_auc() {
     let (mut model, ds) = setup();
     let eval = ds.batch_of(&(0..192).collect::<Vec<_>>());
     let probs_of = |m: &Dlrm| -> Vec<f32> {
-        m.forward(&eval).logits().iter().map(|&z| sigmoid(z)).collect()
+        m.forward(&eval)
+            .logits()
+            .iter()
+            .map(|&z| sigmoid(z))
+            .collect()
     };
     let before_auc = auc(&eval.labels, &probs_of(&model));
     let mut opt = LazyDpOptimizer::new(

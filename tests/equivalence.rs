@@ -2,7 +2,9 @@
 //! LazyDP "mathematically equivalent, differentially private" (paper
 //! abstract), exercised through the public facade API.
 
-use lazydp::data::{FixedBatchLoader, LookaheadLoader, MiniBatch, SyntheticConfig, SyntheticDataset};
+use lazydp::data::{
+    FixedBatchLoader, LookaheadLoader, MiniBatch, SyntheticConfig, SyntheticDataset,
+};
 use lazydp::dpsgd::{ClipStyle, DpConfig, EagerDpSgd, EanaOptimizer, Optimizer};
 use lazydp::lazy::{LazyDpConfig, LazyDpOptimizer};
 use lazydp::model::{Dlrm, DlrmConfig};
@@ -78,7 +80,11 @@ fn all_eager_variants_coincide() {
     let (model0, batches) = setup();
     let dp = DpConfig::new(0.7, 0.8, 0.05, BATCH);
     let mut finals = Vec::new();
-    for style in [ClipStyle::PerExample, ClipStyle::Reweighted, ClipStyle::Fast] {
+    for style in [
+        ClipStyle::PerExample,
+        ClipStyle::Reweighted,
+        ClipStyle::Fast,
+    ] {
         let mut m = model0.clone();
         let mut opt = EagerDpSgd::new(dp, style, CounterNoise::new(5));
         for b in batches.iter().take(4) {
@@ -121,7 +127,10 @@ fn eana_leak_signature() {
             }
         }
     }
-    assert!(untouched_differ > 0, "DP-SGD must have noised untouched rows");
+    assert!(
+        untouched_differ > 0,
+        "DP-SGD must have noised untouched rows"
+    );
 }
 
 /// The LookaheadLoader driving a LazyDP run sees each batch exactly once
@@ -165,8 +174,7 @@ fn ans_toggle_is_distributionally_invisible() {
             .map(|(a, b)| f64::from(a - b))
             .collect()
     };
-    let expect_std =
-        f64::from(dp.lr) * f64::from(dp.noise_std_per_coord()) * (steps as f64).sqrt();
+    let expect_std = f64::from(dp.lr) * f64::from(dp.noise_std_per_coord()) * (steps as f64).sqrt();
     for (ans, seed) in [(true, 1u64), (false, 2u64)] {
         let mut d = run(ans, seed);
         let ks = lazydp::rng::stats::ks_statistic_normal(&mut d, 0.0, expect_std);

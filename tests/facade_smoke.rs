@@ -1,0 +1,48 @@
+//! Workspace-wiring smoke test: asserts that the `lazydp` facade's
+//! re-exports resolve and are usable, so a broken crate edge or renamed
+//! module fails here with a clear message rather than deep inside an
+//! integration test.
+
+use lazydp::dpsgd::{ClipStyle, DpConfig, EagerDpSgd};
+use lazydp::lazy::{LazyDpConfig, PrivateTrainer};
+use lazydp::rng::counter::CounterNoise;
+use lazydp::rng::Xoshiro256PlusPlus;
+use lazydp::tensor::Matrix;
+
+#[test]
+fn facade_reexports_resolve_and_construct() {
+    // tensor
+    let m = Matrix::zeros(2, 3);
+    assert_eq!((m.rows(), m.cols()), (2, 3));
+
+    // dpsgd: the eager baseline optimizer behind `lazydp::dpsgd`.
+    let dp = DpConfig::new(1.0, 1.0, 0.05, 4);
+    let _eager = EagerDpSgd::new(dp, ClipStyle::Fast, CounterNoise::new(1));
+
+    // lazy (lazydp_core): the paper's Fig. 9 wrapper end to end.
+    let mut rng = Xoshiro256PlusPlus::seed_from(1);
+    let model = lazydp::model::Dlrm::new(lazydp::model::DlrmConfig::tiny(2, 64, 8), &mut rng);
+    let ds = lazydp::data::SyntheticDataset::new(lazydp::data::SyntheticConfig::small(2, 64, 256));
+    let loader = lazydp::data::FixedBatchLoader::new(ds, 32);
+    let cfg = LazyDpConfig::paper_default(32);
+    let mut trainer =
+        PrivateTrainer::make_private(model, cfg, loader, CounterNoise::new(7), 32.0 / 256.0);
+    trainer.train_steps(2);
+    let (eps, _order) = trainer.epsilon(1e-6);
+    assert!(eps > 0.0, "privacy accountant must report spent budget");
+    let _final_model = trainer.finish();
+}
+
+#[test]
+fn facade_module_names_match_design_doc() {
+    // Every facade module named in DESIGN.md's paper-to-crate table.
+    let _ = lazydp::tensor::Matrix::zeros(1, 1);
+    let _ = lazydp::rng::Xoshiro256PlusPlus::seed_from(0);
+    let _ = lazydp::privacy::PrivacyEngine::new(lazydp::privacy::PrivacyBudget::new(1.0, 1e-6));
+    let _ = lazydp::embedding::SparseGrad::new(1);
+    let _ = lazydp::data::SyntheticConfig::small(1, 4, 8);
+    let _ = lazydp::model::DlrmConfig::tiny(1, 4, 4);
+    let _ = lazydp::dpsgd::DpConfig::new(1.0, 1.0, 0.1, 1);
+    let _ = lazydp::sysmodel::SystemSpec::paper_default();
+    let _ = lazydp::lazy::HistoryTable::new(1);
+}

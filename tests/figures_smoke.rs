@@ -20,8 +20,8 @@ fn every_registered_experiment_runs_and_renders() {
 fn full_report_covers_every_figure() {
     let report = full_report();
     for needle in [
-        "fig3", "fig5", "fig6", "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig13c",
-        "fig13d", "fig14", "e12", "e13", "xval",
+        "fig3", "fig5", "fig6", "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig13d",
+        "fig14", "e12", "e13", "xval",
     ] {
         assert!(report.contains(needle), "report missing {needle}");
     }
@@ -65,14 +65,13 @@ fn headline_numbers_in_paper_bands() {
 #[test]
 fn fig6_identifies_both_kernels() {
     let t = run_experiment("fig6").expect("exists");
-    let sampling = t
-        .rows
-        .iter()
-        .find(|r| r[0] == "101")
-        .expect("N=101 row");
+    let sampling = t.rows.iter().find(|r| r[0] == "101").expect("N=101 row");
     assert_eq!(sampling[2], "compute-bound");
     let g: f64 = sampling[1].parse().expect("numeric");
-    assert!((205.0..225.0).contains(&g), "N=101 at {g} GFLOPS (paper: 215)");
+    assert!(
+        (205.0..225.0).contains(&g),
+        "N=101 at {g} GFLOPS (paper: 215)"
+    );
     let update = t.rows.iter().find(|r| r[0] == "2").expect("N=2 row");
     assert_eq!(update[2], "memory-bound");
 }

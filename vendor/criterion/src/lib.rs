@@ -1,0 +1,269 @@
+//! Offline stub of the `criterion` benchmarking API.
+//!
+//! The build environment has no network route to crates.io, so the workspace
+//! vendors the subset of the criterion 0.5 API its benches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`],
+//! [`Throughput`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Instead of criterion's statistical machinery it runs a short
+//! warm-up followed by a fixed number of timed samples and reports the
+//! median wall-clock time per iteration. The API is call-compatible, so
+//! swapping in the real crate is a one-line manifest change.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work; benches here use
+/// `std::hint::black_box` directly but the real crate exposes this too.
+pub use std::hint::black_box;
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: fmt::Display, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure by `bench_function`.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Size each sample so the whole measurement fits the time budget.
+        let budget = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).max(1);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Top-level benchmark driver (stub of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Mirrors `Criterion::configure_from_args`; the stub has no CLI.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let group_name = String::new();
+        run_one(self, &group_name, name, None, f);
+        self
+    }
+
+    /// Mirrors `Criterion::final_summary`; the stub prints per-bench lines
+    /// as it goes, so this is a no-op.
+    pub fn final_summary(&mut self) {}
+}
+
+fn run_one<F>(c: &Criterion, group: &str, id: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        warm_up: c.warm_up,
+        measurement: c.measurement,
+        sample_size: c.sample_size,
+        samples_ns: Vec::new(),
+    };
+    f(&mut b);
+    let med = median(&mut b.samples_ns);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if med > 0.0 => {
+            format!("  ({:.1} Melem/s)", n as f64 / med * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if med > 0.0 => {
+            format!("  ({:.1} MiB/s)", n as f64 / med * 1e9 / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!("bench: {label:<50} {:>12}/iter{rate}", format_ns(med));
+}
+
+/// Group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.criterion, &self.name, id, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.to_string();
+        run_one(self.criterion, &self.name, &id, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group: both the `name/config/targets` form and the
+/// positional form of the real macro are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `fn main` running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // CLI args (e.g. the `--bench` flag `cargo bench` passes to
+            // harness=false targets) are deliberately ignored: the stub
+            // always runs every group.
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,46 @@
+//! Offline stub of the tiny slice of `rand` 0.8 this workspace uses.
+//!
+//! The build environment has no network route to crates.io, so instead of a
+//! registry dependency the workspace vendors the exact trait surface it
+//! needs: [`RngCore`] (implemented by `lazydp_rng::Xoshiro256PlusPlus` for
+//! ecosystem compatibility) and the [`Error`] type referenced by
+//! `try_fill_bytes`. The definitions are API-compatible with rand 0.8, so
+//! replacing this stub with the real crate is a one-line manifest change.
+
+use std::fmt;
+
+/// Error type for fallible RNG operations (API-compatible subset of
+/// `rand::Error`).
+#[derive(Debug)]
+pub struct Error {
+    inner: Box<dyn std::error::Error + Send + Sync>,
+}
+
+impl Error {
+    /// Wraps an arbitrary error, mirroring `rand::Error::new`.
+    pub fn new<E>(err: E) -> Self
+    where
+        E: Into<Box<dyn std::error::Error + Send + Sync>>,
+    {
+        Error { inner: err.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.inner)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core RNG trait, API-compatible with `rand_core::RngCore` 0.6.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
