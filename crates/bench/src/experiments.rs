@@ -619,6 +619,10 @@ pub fn experiment_ids() -> Vec<(&'static str, &'static str)> {
             "utility",
             "privacy-utility trade-off: sigma vs AUC (functional)",
         ),
+        (
+            "scaling",
+            "thread scaling: LazyDP step wall-clock vs executor width",
+        ),
     ]
 }
 
@@ -646,6 +650,7 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "abl_skew" => crate::ablation::abl_skew(),
         "abl_queue" => crate::ablation::abl_queue(),
         "utility" => crate::utility::utility_tradeoff(),
+        "scaling" => crate::scaling::thread_scaling(),
         _ => return None,
     })
 }

@@ -25,6 +25,7 @@
 pub mod ablation;
 pub mod experiments;
 pub mod leak;
+pub mod scaling;
 pub mod table;
 pub mod utility;
 pub mod xval;

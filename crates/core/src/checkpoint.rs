@@ -111,7 +111,10 @@ pub struct Checkpoint {
 impl Checkpoint {
     /// Captures a checkpoint from a model and its LazyDP optimizer.
     #[must_use]
-    pub fn capture<N: RowNoise>(model: &Dlrm, opt: &LazyDpOptimizer<N>) -> Self {
+    pub fn capture<N: RowNoise + Clone + Send + Sync>(
+        model: &Dlrm,
+        opt: &LazyDpOptimizer<N>,
+    ) -> Self {
         let mut weights = Vec::new();
         for layer in model.bottom.layers().iter().chain(model.top.layers()) {
             weights.push(layer.weight.as_slice().to_vec());
@@ -139,7 +142,11 @@ impl Checkpoint {
     ///
     /// Panics if the checkpoint's shapes are internally inconsistent.
     #[must_use]
-    pub fn restore<N: RowNoise>(&self, cfg: LazyDpConfig, noise: N) -> (Dlrm, LazyDpOptimizer<N>) {
+    pub fn restore<N: RowNoise + Clone + Send + Sync>(
+        &self,
+        cfg: LazyDpConfig,
+        noise: N,
+    ) -> (Dlrm, LazyDpOptimizer<N>) {
         // Rebuild the model skeleton, then overwrite every weight.
         let mut seed_rng = lazydp_rng::Xoshiro256PlusPlus::seed_from(0);
         let mut model = Dlrm::new(self.config.clone(), &mut seed_rng);

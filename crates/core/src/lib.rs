@@ -52,6 +52,7 @@ pub mod checkpoint;
 pub mod history;
 pub mod optimizer;
 pub mod overhead;
+pub mod plan;
 pub mod scale;
 pub mod wrapper;
 
@@ -60,5 +61,6 @@ pub use checkpoint::Checkpoint;
 pub use history::HistoryTable;
 pub use optimizer::{LazyDpConfig, LazyDpOptimizer};
 pub use overhead::{history_table_bytes, input_queue_bytes, OverheadReport};
+pub use plan::{NoisePlan, NoisePlanEntry};
 pub use scale::TerabyteLazyEmbedding;
 pub use wrapper::PrivateTrainer;

@@ -1,15 +1,26 @@
 //! The LazyDP optimizer — Algorithm 1 of the paper.
+//!
+//! The per-row pending-noise flush is structured as a two-phase
+//! [`NoisePlan`]: the [`HistoryTable`] bookkeeping runs serially, the
+//! noise sampling runs data-parallel on the `lazydp_exec` executor (see
+//! [`crate::plan`]). With an addressable noise source the trained model
+//! is bitwise identical for any thread count.
 
-use crate::ans::aggregated_std;
 use crate::history::HistoryTable;
+use crate::plan::NoisePlan;
 use lazydp_data::MiniBatch;
 use lazydp_dpsgd::clip::{clip_weights, clipped_fraction};
 use lazydp_dpsgd::{DpConfig, KernelCounters, Optimizer, StepStats};
 use lazydp_embedding::sparse::dedup_indices;
 use lazydp_embedding::SparseGrad;
+use lazydp_exec::Executor;
 use lazydp_model::{Dlrm, DlrmGrads, MlpGrads};
 use lazydp_rng::RowNoise;
-use std::collections::HashMap;
+
+/// Planned rows flushed per staging segment in
+/// [`LazyDpOptimizer::finalize_model`] — bounds the noise buffer even
+/// when every row of a huge table is pending.
+const FINALIZE_SEGMENT_ENTRIES: usize = 16_384;
 
 /// LazyDP hyper-parameters: the DP-SGD parameters plus the ANS switch
 /// (the paper evaluates both `LazyDP` and `LazyDP(w/o ANS)`, Fig. 10).
@@ -37,6 +48,18 @@ impl LazyDpConfig {
         self.ans = false;
         self
     }
+
+    /// Sets the executor width for the parallel phases (delegates to
+    /// [`DpConfig::with_threads`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.dp = self.dp.with_threads(threads);
+        self
+    }
 }
 
 /// The LazyDP optimizer (Algorithm 1): DP-SGD(F)-style gradient
@@ -51,7 +74,7 @@ pub struct LazyDpOptimizer<N> {
     counters: KernelCounters,
 }
 
-impl<N: RowNoise> LazyDpOptimizer<N> {
+impl<N: RowNoise + Clone + Send + Sync> LazyDpOptimizer<N> {
     /// Creates a LazyDP optimizer for `model` (the [`HistoryTable`]s are
     /// sized from its embedding tables).
     #[must_use]
@@ -120,85 +143,53 @@ impl<N: RowNoise> LazyDpOptimizer<N> {
         (grads, clipped_fraction(&norms, c))
     }
 
-    /// Accumulates the pending noise of `row` (already popped from the
-    /// history as `delays`) into `out`, in gradient units (i.e. the
-    /// caller's `sparse_update` multiplies by −η).
-    #[allow(clippy::too_many_arguments)]
-    fn accumulate_pending_noise(
-        noise: &mut N,
-        cfg: &LazyDpConfig,
-        counters: &mut KernelCounters,
-        table_id: u32,
-        row: u64,
-        current_iter: u64,
-        delays: u64,
-        out: &mut [f32],
-    ) {
-        let per_step_std = cfg.dp.noise_std_per_coord();
-        let dim = out.len();
-        if cfg.ans {
-            // One draw ~ N(0, delays·σ²C²/B²) — Algorithm 1 line 38.
-            let mut buf = vec![0.0f32; dim];
-            noise.fill_unit(table_id, row, current_iter, &mut buf);
-            counters.gaussian_samples += dim as u64;
-            let std = aggregated_std(per_step_std, delays);
-            for (o, &n) in out.iter_mut().zip(buf.iter()) {
-                *o += std * n;
-            }
-        } else {
-            // `delays` separate draws, addressed by the iteration whose
-            // noise they are — the exact values eager DP-SGD would have
-            // drawn (Algorithm 1 lines 32–35).
-            let mut buf = vec![0.0f32; dim];
-            for k in (current_iter - delays + 1)..=current_iter {
-                noise.fill_unit(table_id, row, k, &mut buf);
-                counters.gaussian_samples += dim as u64;
-                for (o, &n) in out.iter_mut().zip(buf.iter()) {
-                    *o += per_step_std * n;
-                }
-            }
-        }
-    }
-
     /// Flushes every pending noise update, bringing the model to the
     /// state eager DP-SGD would have released (threat model §3: the
     /// adversary sees the final model, so deferred noise must land
     /// before release). Idempotent.
+    ///
+    /// Runs on the same two-phase [`NoisePlan`] machinery as the
+    /// per-step flush: one serial history scan per table, then
+    /// data-parallel noise sampling in bounded segments.
     pub fn finalize_model(&mut self, model: &mut Dlrm) {
         let lr = self.cfg.dp.lr;
+        let per_step_std = self.cfg.dp.noise_std_per_coord();
+        let exec = Executor::new(self.cfg.dp.threads);
         for (t, table) in model.tables.iter_mut().enumerate() {
             let dim = table.dim();
-            let mut acc = vec![0.0f32; dim];
-            for r in 0..table.rows() {
-                self.counters.history_reads += 1;
-                let delays = self.history[t].take_delays(r as u64, self.iter);
-                if delays == 0 {
-                    continue;
-                }
-                self.counters.history_writes += 1;
-                acc.fill(0.0);
-                Self::accumulate_pending_noise(
-                    &mut self.noise,
-                    &self.cfg,
-                    &mut self.counters,
+            let plan = NoisePlan::for_all_rows(
+                t as u32,
+                self.iter,
+                table.rows(),
+                &mut self.history[t],
+                &mut self.counters,
+            );
+            for seg in plan.entries().chunks(FINALIZE_SEGMENT_ENTRIES) {
+                let noise_buf = NoisePlan::sample_entries(
                     t as u32,
-                    r as u64,
                     self.iter,
-                    delays,
-                    &mut acc,
+                    seg,
+                    dim,
+                    per_step_std,
+                    self.cfg.ans,
+                    &mut self.noise,
+                    &exec,
+                    &mut self.counters,
                 );
-                let row = table.row_mut(r);
-                for (w, &n) in row.iter_mut().zip(acc.iter()) {
-                    *w -= lr * n;
+                for (e, nv) in seg.iter().zip(noise_buf.chunks_exact(dim)) {
+                    let row = table.row_mut(usize::try_from(e.row).expect("row fits usize"));
+                    for (w, &n) in row.iter_mut().zip(nv.iter()) {
+                        *w -= lr * n;
+                    }
+                    self.counters.table_rows_read += 1;
+                    self.counters.table_rows_written += 1;
                 }
-                self.counters.table_rows_read += 1;
-                self.counters.table_rows_written += 1;
             }
         }
     }
 }
 
-impl<N: RowNoise> Optimizer for LazyDpOptimizer<N> {
+impl<N: RowNoise + Clone + Send + Sync> Optimizer for LazyDpOptimizer<N> {
     fn name(&self) -> &'static str {
         if self.cfg.ans {
             "LazyDP"
@@ -244,15 +235,13 @@ impl<N: RowNoise> Optimizer for LazyDpOptimizer<N> {
 
         // Embedding tables: merge the (sparse) gradient with the lazy
         // noise of the rows the *next* iteration will gather, then apply
-        // one sparse update (Algorithm 1 lines 11–25).
+        // one sparse update (Algorithm 1 lines 11–25). Phase 1 (history
+        // bookkeeping) is serial; phase 2 (noise sampling) runs on the
+        // executor.
+        let exec = Executor::new(self.cfg.dp.threads);
         for (t, table) in model.tables.iter_mut().enumerate() {
-            let mut update = std::mem::replace(&mut grads.tables[t], SparseGrad::new(table.dim()));
-            let mut pos: HashMap<u64, usize> = update
-                .indices()
-                .iter()
-                .enumerate()
-                .map(|(i, &idx)| (idx, i))
-                .collect();
+            let dim = table.dim();
+            let mut update = std::mem::replace(&mut grads.tables[t], SparseGrad::new(dim));
             if let Some(next_batch) = next {
                 // An empty next batch (Poisson sampling) may carry no
                 // per-table index lists at all; treat that as "no rows
@@ -261,35 +250,28 @@ impl<N: RowNoise> Optimizer for LazyDpOptimizer<N> {
                     next_batch.sparse.get(t).map_or(&[], |s| s.flat_indices());
                 let (targets, dups) = dedup_indices(next_indices);
                 self.counters.duplicates_removed += dups as u64;
-                for idx in targets {
-                    self.counters.history_reads += 1;
-                    self.counters.history_writes += 1;
-                    let delays = self.history[t].take_delays(idx, self.iter);
-                    if delays == 0 {
-                        continue;
-                    }
-                    let slot = match pos.get(&idx) {
-                        Some(&i) => i,
-                        None => {
-                            let i = update.len();
-                            let _ = update.push_zeros(idx);
-                            pos.insert(idx, i);
-                            i
-                        }
-                    };
-                    // Temporarily move the entry out to satisfy borrows.
-                    let mut entry = update.entry_mut(slot).to_vec();
-                    Self::accumulate_pending_noise(
+                let plan = NoisePlan::for_next_rows(
+                    t as u32,
+                    self.iter,
+                    &targets,
+                    &mut self.history[t],
+                    &mut update,
+                    &mut self.counters,
+                );
+                if !plan.is_empty() {
+                    let noise_buf = plan.sample_noise(
+                        dim,
+                        std,
+                        self.cfg.ans,
                         &mut self.noise,
-                        &self.cfg,
+                        &exec,
                         &mut self.counters,
-                        t as u32,
-                        idx,
-                        self.iter,
-                        delays,
-                        &mut entry,
                     );
-                    update.entry_mut(slot).copy_from_slice(&entry);
+                    for (e, nv) in plan.entries().iter().zip(noise_buf.chunks_exact(dim)) {
+                        for (w, &n) in update.entry_mut(e.slot).iter_mut().zip(nv.iter()) {
+                            *w += n;
+                        }
+                    }
                 }
             }
             table.sparse_update(&update, lr);

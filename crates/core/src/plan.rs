@@ -1,0 +1,460 @@
+//! Two-phase noise plans: the data-parallel restructuring of LazyDP's
+//! pending-noise flush.
+//!
+//! Algorithm 1's per-row flush interleaves two very different kinds of
+//! work: *bookkeeping* (reading and resetting [`HistoryTable`] delays —
+//! serial, branchy, cheap) and *noise generation* (Box–Muller sampling
+//! and accumulation — the §4.3 compute bottleneck, embarrassingly
+//! parallel). A [`NoisePlan`] splits them:
+//!
+//! 1. **Plan (serial):** the deduped touched-row set is walked once;
+//!    each row's pending delay count is taken from the history and the
+//!    row is assigned a slot in the sparse update. The history is only
+//!    ever touched here, so it needs no synchronization.
+//! 2. **Sample (parallel):** the planned rows' noise is accumulated on
+//!    the [`lazydp_exec::Executor`] in fixed-size entry chunks. Noise
+//!    is addressed by `(table, row, iter)` — never by chunk or thread —
+//!    so the result is bitwise identical for any thread count
+//!    (DESIGN.md invariant #4).
+//!
+//! Both the per-step flush ([`NoisePlan::for_next_rows`]) and the
+//! release-time flush ([`NoisePlan::for_all_rows`] in
+//! `LazyDpOptimizer::finalize_model`) run on this machinery.
+
+use crate::ans::aggregated_std;
+use crate::history::HistoryTable;
+use lazydp_dpsgd::KernelCounters;
+use lazydp_embedding::SparseGrad;
+use lazydp_exec::Executor;
+use lazydp_rng::RowNoise;
+
+/// Plan entries per executor chunk in the sampling phase. Fixed (never
+/// derived from the thread count) so chunk addressing is thread-count
+/// independent.
+const ENTRIES_PER_CHUNK: usize = 32;
+
+/// One row awaiting its pending noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoisePlanEntry {
+    /// The embedding row.
+    pub row: u64,
+    /// How many deferred noise updates it owes (≥ 1).
+    pub delays: u64,
+    /// The entry index in the sparse update this noise lands in (for
+    /// [`NoisePlan::for_all_rows`] plans: the plan position itself).
+    pub slot: usize,
+}
+
+/// The rows of one embedding table whose pending noise must land now,
+/// with their delay counts already taken from the [`HistoryTable`].
+#[derive(Debug, Clone)]
+pub struct NoisePlan {
+    table_id: u32,
+    iter: u64,
+    entries: Vec<NoisePlanEntry>,
+}
+
+impl NoisePlan {
+    /// Phase 1 for a training step (Algorithm 1 lines 13–21): takes the
+    /// delays of every row in `targets` (the deduped rows the *next*
+    /// iteration gathers) and assigns each pending row a slot in
+    /// `update`, appending zero entries for rows the gradient did not
+    /// touch.
+    ///
+    /// `update` must be coalesced (sorted, duplicate-free) on entry and
+    /// `targets` must be sorted and duplicate-free
+    /// ([`dedup_indices`](lazydp_embedding::sparse::dedup_indices)
+    /// output).
+    #[must_use]
+    pub fn for_next_rows(
+        table_id: u32,
+        iter: u64,
+        targets: &[u64],
+        history: &mut HistoryTable,
+        update: &mut SparseGrad,
+        counters: &mut KernelCounters,
+    ) -> Self {
+        // The coalesced prefix stays binary-searchable; rows appended
+        // below are new (targets are deduped), so they never need to be
+        // found again within this plan.
+        let sorted_len = update.len();
+        let mut entries = Vec::new();
+        for &row in targets {
+            counters.history_reads += 1;
+            counters.history_writes += 1;
+            let delays = history.take_delays(row, iter);
+            if delays == 0 {
+                continue;
+            }
+            let slot = match update.indices()[..sorted_len].binary_search(&row) {
+                Ok(i) => i,
+                Err(_) => {
+                    let i = update.len();
+                    let _ = update.push_zeros(row);
+                    i
+                }
+            };
+            entries.push(NoisePlanEntry { row, delays, slot });
+        }
+        Self {
+            table_id,
+            iter,
+            entries,
+        }
+    }
+
+    /// Phase 1 for the release-time flush (threat model §3): scans all
+    /// `rows` of the table, planning every row with pending noise. Slots
+    /// are the plan positions themselves (the caller applies noise
+    /// straight to table rows, not to a sparse update).
+    #[must_use]
+    pub fn for_all_rows(
+        table_id: u32,
+        iter: u64,
+        rows: usize,
+        history: &mut HistoryTable,
+        counters: &mut KernelCounters,
+    ) -> Self {
+        let mut entries = Vec::new();
+        for r in 0..rows {
+            counters.history_reads += 1;
+            let delays = history.take_delays(r as u64, iter);
+            if delays == 0 {
+                continue;
+            }
+            counters.history_writes += 1;
+            entries.push(NoisePlanEntry {
+                row: r as u64,
+                delays,
+                slot: entries.len(),
+            });
+        }
+        Self {
+            table_id,
+            iter,
+            entries,
+        }
+    }
+
+    /// The planned rows.
+    #[must_use]
+    pub fn entries(&self) -> &[NoisePlanEntry] {
+        &self.entries
+    }
+
+    /// Number of planned rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no row owes noise.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Phase 2: samples every planned row's pending noise data-parallel
+    /// on `exec`, returning a `len() × dim` row-major buffer in plan
+    /// order (gradient units — callers scale by −η when applying).
+    ///
+    /// Per entry this reproduces Algorithm 1 exactly: with ANS one draw
+    /// `~ N(0, delays·σ²C²/B²)` (line 38); without, the `delays`
+    /// separate draws addressed by the iteration whose noise they are —
+    /// the exact values eager DP-SGD would have drawn (lines 32–35).
+    ///
+    /// The parallel path clones the source per chunk, which is only
+    /// sound for [`addressable`](RowNoise::addressable) sources;
+    /// stateful (non-addressable) ones are sampled sequentially through
+    /// the live `&mut` reference instead, so their stream advances
+    /// exactly as the pre-plan serial flush did.
+    pub fn sample_noise<N>(
+        &self,
+        dim: usize,
+        per_step_std: f32,
+        ans: bool,
+        noise: &mut N,
+        exec: &Executor,
+        counters: &mut KernelCounters,
+    ) -> Vec<f32>
+    where
+        N: RowNoise + Clone + Send + Sync,
+    {
+        Self::sample_entries(
+            self.table_id,
+            self.iter,
+            &self.entries,
+            dim,
+            per_step_std,
+            ans,
+            noise,
+            exec,
+            counters,
+        )
+    }
+
+    /// [`sample_noise`](Self::sample_noise) over an explicit entry
+    /// slice — lets `finalize_model` flush a huge table in bounded
+    /// segments without materializing table-sized noise buffers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_entries<N>(
+        table_id: u32,
+        iter: u64,
+        entries: &[NoisePlanEntry],
+        dim: usize,
+        per_step_std: f32,
+        ans: bool,
+        noise: &mut N,
+        exec: &Executor,
+        counters: &mut KernelCounters,
+    ) -> Vec<f32>
+    where
+        N: RowNoise + Clone + Send + Sync,
+    {
+        let mut acc = vec![0.0f32; entries.len() * dim];
+        if dim > 0 && noise.addressable() {
+            let noise = &*noise;
+            exec.par_for(&mut acc, ENTRIES_PER_CHUNK * dim, |c, chunk| {
+                // One scratch buffer and one noise handle per chunk —
+                // reused across its rows (the per-row allocations the
+                // serial flush paid are gone). Cloning is free and sound
+                // here: an addressable source is a pure function of the
+                // (table, row, iter) address.
+                let mut worker_noise = noise.clone();
+                let mut buf = vec![0.0f32; dim];
+                let first = c * ENTRIES_PER_CHUNK;
+                for (k, out) in chunk.chunks_mut(dim).enumerate() {
+                    Self::accumulate_entry(
+                        table_id,
+                        iter,
+                        &entries[first + k],
+                        per_step_std,
+                        ans,
+                        &mut worker_noise,
+                        &mut buf,
+                        out,
+                    );
+                }
+            });
+        } else if dim > 0 {
+            // Stateful source: draw sequentially in plan order through
+            // the live reference so the stream advances per draw.
+            let mut buf = vec![0.0f32; dim];
+            for (e, out) in entries.iter().zip(acc.chunks_mut(dim)) {
+                Self::accumulate_entry(table_id, iter, e, per_step_std, ans, noise, &mut buf, out);
+            }
+        }
+        let draws: u64 = entries.iter().map(|e| if ans { 1 } else { e.delays }).sum();
+        counters.gaussian_samples += draws * dim as u64;
+        acc
+    }
+
+    /// Accumulates one entry's pending noise into `out` (scratch `buf`
+    /// must be `dim` long).
+    #[allow(clippy::too_many_arguments)]
+    fn accumulate_entry<N: RowNoise>(
+        table_id: u32,
+        iter: u64,
+        e: &NoisePlanEntry,
+        per_step_std: f32,
+        ans: bool,
+        noise: &mut N,
+        buf: &mut [f32],
+        out: &mut [f32],
+    ) {
+        if ans {
+            // One draw ~ N(0, delays·σ²C²/B²) — line 38.
+            noise.fill_unit(table_id, e.row, iter, buf);
+            let std = aggregated_std(per_step_std, e.delays);
+            for (o, &n) in out.iter_mut().zip(buf.iter()) {
+                *o += std * n;
+            }
+        } else {
+            for k_iter in (iter - e.delays + 1)..=iter {
+                noise.fill_unit(table_id, e.row, k_iter, buf);
+                for (o, &n) in out.iter_mut().zip(buf.iter()) {
+                    *o += per_step_std * n;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazydp_rng::counter::CounterNoise;
+
+    fn history_at(rows: usize, flushed: &[(u64, u64)]) -> HistoryTable {
+        let mut h = HistoryTable::new(rows);
+        for &(row, iter) in flushed {
+            let _ = h.take_delays(row, iter);
+        }
+        h
+    }
+
+    #[test]
+    fn for_next_rows_plans_only_pending_targets_and_slots_them() {
+        let mut h = history_at(8, &[(2, 5)]); // row 2 already flushed at 5
+        let mut update = SparseGrad::from_entries(2, vec![(1, vec![1.0, 1.0])]);
+        let _ = update.coalesce();
+        let mut c = KernelCounters::new();
+        let plan = NoisePlan::for_next_rows(0, 5, &[1, 2, 4], &mut h, &mut update, &mut c);
+        // Row 2 owes nothing at iter 5; rows 1 and 4 owe 5 each.
+        assert_eq!(plan.len(), 2);
+        assert_eq!(
+            plan.entries()[0],
+            NoisePlanEntry {
+                row: 1,
+                delays: 5,
+                slot: 0
+            }
+        );
+        // Row 4 was absent from the gradient: appended as a zero entry.
+        assert_eq!(
+            plan.entries()[1],
+            NoisePlanEntry {
+                row: 4,
+                delays: 5,
+                slot: 1
+            }
+        );
+        assert_eq!(update.indices(), &[1, 4]);
+        assert_eq!(c.history_reads, 3);
+        assert_eq!(c.history_writes, 3);
+    }
+
+    #[test]
+    fn for_all_rows_plans_every_pending_row() {
+        let mut h = history_at(4, &[(1, 3), (3, 7)]);
+        let mut c = KernelCounters::new();
+        let plan = NoisePlan::for_all_rows(0, 7, 4, &mut h, &mut c);
+        let rows: Vec<u64> = plan.entries().iter().map(|e| e.row).collect();
+        let delays: Vec<u64> = plan.entries().iter().map(|e| e.delays).collect();
+        assert_eq!(rows, vec![0, 1, 2]); // row 3 is current
+        assert_eq!(delays, vec![7, 4, 7]);
+        assert_eq!(c.history_reads, 4);
+        assert_eq!(c.history_writes, 3);
+        // Idempotent: a second scan owes nothing.
+        let again = NoisePlan::for_all_rows(0, 7, 4, &mut h, &mut c);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn sample_noise_is_thread_count_independent() {
+        let entries: Vec<NoisePlanEntry> = (0..100)
+            .map(|k| NoisePlanEntry {
+                row: k as u64 * 3,
+                delays: 1 + (k as u64 % 7),
+                slot: k,
+            })
+            .collect();
+        let mut noise = CounterNoise::new(11);
+        for ans in [true, false] {
+            let mut c = KernelCounters::new();
+            let base = NoisePlan::sample_entries(
+                2,
+                9,
+                &entries,
+                8,
+                0.25,
+                ans,
+                &mut noise,
+                &Executor::new(1),
+                &mut c,
+            );
+            for threads in [2usize, 3, 8] {
+                let mut c2 = KernelCounters::new();
+                let got = NoisePlan::sample_entries(
+                    2,
+                    9,
+                    &entries,
+                    8,
+                    0.25,
+                    ans,
+                    &mut noise,
+                    &Executor::new(threads),
+                    &mut c2,
+                );
+                assert_eq!(base, got, "ans={ans}, threads={threads}");
+                assert_eq!(c.gaussian_samples, c2.gaussian_samples);
+            }
+        }
+    }
+
+    #[test]
+    fn stateful_sources_sample_sequentially_with_advancing_state() {
+        // A non-addressable source must not be cloned per chunk (that
+        // would repeat the same stream): entries get distinct draws and
+        // the caller's stream state advances across calls.
+        use lazydp_rng::{SequentialNoise, Xoshiro256PlusPlus};
+        let entries: Vec<NoisePlanEntry> = (0..80)
+            .map(|k| NoisePlanEntry {
+                row: k as u64,
+                delays: 1,
+                slot: k,
+            })
+            .collect();
+        let mut noise = SequentialNoise::new(Xoshiro256PlusPlus::seed_from(2));
+        let mut c = KernelCounters::new();
+        let exec = Executor::new(4);
+        let first =
+            NoisePlan::sample_entries(0, 1, &entries, 4, 1.0, true, &mut noise, &exec, &mut c);
+        for pair in first.chunks(4).take(8).collect::<Vec<_>>().windows(2) {
+            assert_ne!(pair[0], pair[1], "rows must not share draws");
+        }
+        let second =
+            NoisePlan::sample_entries(0, 2, &entries, 4, 1.0, true, &mut noise, &exec, &mut c);
+        assert_ne!(first, second, "stream state must advance across calls");
+    }
+
+    #[test]
+    fn sample_counts_draws_per_algorithm_variant() {
+        let entries = [
+            NoisePlanEntry {
+                row: 0,
+                delays: 4,
+                slot: 0,
+            },
+            NoisePlanEntry {
+                row: 7,
+                delays: 2,
+                slot: 1,
+            },
+        ];
+        let mut noise = CounterNoise::new(1);
+        let exec = Executor::sequential();
+        let mut c = KernelCounters::new();
+        let _ = NoisePlan::sample_entries(0, 5, &entries, 3, 0.1, true, &mut noise, &exec, &mut c);
+        assert_eq!(c.gaussian_samples, 2 * 3, "ANS: one draw per row");
+        let mut c = KernelCounters::new();
+        let _ = NoisePlan::sample_entries(0, 5, &entries, 3, 0.1, false, &mut noise, &exec, &mut c);
+        assert_eq!(c.gaussian_samples, (4 + 2) * 3, "w/o ANS: delays draws");
+    }
+
+    #[test]
+    fn without_ans_draws_the_eager_iteration_noise() {
+        // A row with 2 pending delays at iter 5 must receive exactly the
+        // noise of iterations 4 and 5 — what eager DP-SGD would have
+        // drawn.
+        let entries = [NoisePlanEntry {
+            row: 3,
+            delays: 2,
+            slot: 0,
+        }];
+        let mut noise = CounterNoise::new(5);
+        let exec = Executor::sequential();
+        let mut c = KernelCounters::new();
+        let got =
+            NoisePlan::sample_entries(1, 5, &entries, 4, 1.0, false, &mut noise, &exec, &mut c);
+        let mut expect = vec![0.0f32; 4];
+        let mut buf = vec![0.0f32; 4];
+        for it in [4u64, 5] {
+            noise.fill_unit(1, 3, it, &mut buf);
+            for (e, &n) in expect.iter_mut().zip(buf.iter()) {
+                *e += n;
+            }
+        }
+        assert_eq!(got, expect);
+    }
+}

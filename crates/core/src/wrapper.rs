@@ -26,13 +26,21 @@ pub struct PrivateTrainer<S, N> {
     finalized: bool,
 }
 
-impl<S: BatchSource, N: RowNoise> PrivateTrainer<S, N> {
+impl<S: BatchSource, N: RowNoise + Clone + Send + Sync> PrivateTrainer<S, N> {
     /// Wraps a model, batch source, and noise source into a LazyDP
     /// training session (the Fig. 9(a) `LazyDP.make_private` call).
     ///
     /// `sampling_rate` is the Poisson inclusion probability `q` used for
     /// privacy accounting (`batch / dataset_len`; see
     /// `PoissonLoader::sampling_rate`).
+    ///
+    /// The executor width for the DP noise kernels rides in on
+    /// `cfg.dp.threads` (default: the machine's available parallelism,
+    /// or the `LAZYDP_THREADS` override) — set it explicitly with
+    /// [`LazyDpConfig::with_threads`]. The GEMMs underneath
+    /// forward/backward follow the *process-global* width
+    /// (`lazydp_exec::set_global_threads` / `LAZYDP_THREADS`) instead.
+    /// Any combination trains the bitwise-same model.
     ///
     /// # Panics
     ///
@@ -155,6 +163,35 @@ mod tests {
         assert!(eps2 > eps);
         let final_model = trainer.finish();
         assert!(final_model.tables[0].frob_norm().is_finite());
+    }
+
+    #[test]
+    fn trained_model_is_independent_of_the_threads_knob() {
+        let run = |threads: usize| -> Dlrm {
+            let ds = dataset(128);
+            let loader = FixedBatchLoader::new(ds, 16);
+            let cfg = LazyDpConfig::paper_default(16).with_threads(threads);
+            let mut t = PrivateTrainer::make_private(
+                model(),
+                cfg,
+                loader,
+                CounterNoise::new(4),
+                16.0 / 128.0,
+            );
+            let _ = t.train_steps(5);
+            t.finish()
+        };
+        let base = run(1);
+        for threads in [2usize, 8] {
+            let m = run(threads);
+            for (a, b) in base.tables.iter().zip(m.tables.iter()) {
+                assert_eq!(
+                    a.max_abs_diff(b),
+                    0.0,
+                    "threads {threads} changed the model"
+                );
+            }
+        }
     }
 
     #[test]

@@ -14,6 +14,15 @@ pub struct DpConfig {
     /// noise (Algorithm 1). Under Poisson sampling the realized batch
     /// varies; Opacus scales by the nominal size, and so do we.
     pub nominal_batch: usize,
+    /// Worker threads for the DP noise kernels (dense noisy update,
+    /// LazyDP's pending-noise flush). The GEMMs inside forward/backward
+    /// are governed separately by the process-global width
+    /// (`lazydp_exec::global_threads` / `LAZYDP_THREADS`), not by this
+    /// field. Every kernel is chunk-addressed on the `lazydp_exec`
+    /// executor, so with an addressable noise source the trained model
+    /// is bitwise identical for any value here. [`new`](Self::new)
+    /// defaults it to [`lazydp_exec::global_threads`].
+    pub threads: usize,
 }
 
 impl DpConfig {
@@ -39,7 +48,20 @@ impl DpConfig {
             max_grad_norm,
             lr,
             nominal_batch,
+            threads: lazydp_exec::global_threads(),
         }
+    }
+
+    /// Sets the worker-thread count for the parallel kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
+        self
     }
 
     /// The paper's default hyper-parameters (Fig. 9(a)) at the given
@@ -75,6 +97,19 @@ mod tests {
         assert_eq!(cfg.max_grad_norm, 1.0);
         assert_eq!(cfg.lr, 0.05);
         assert_eq!(cfg.nominal_batch, 2048);
+    }
+
+    #[test]
+    fn threads_default_and_override() {
+        let cfg = DpConfig::paper_default(8);
+        assert_eq!(cfg.threads, lazydp_exec::global_threads());
+        assert_eq!(cfg.with_threads(3).threads, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn rejects_zero_threads() {
+        let _ = DpConfig::paper_default(8).with_threads(0);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::config::DpConfig;
 use crate::counters::KernelCounters;
 use crate::noise_update::dense_noisy_update;
 use crate::optimizer::{Optimizer, StepStats};
+use crate::parallel_update::par_dense_noisy_update;
 use lazydp_data::MiniBatch;
 use lazydp_embedding::SparseGrad;
 use lazydp_model::{Dlrm, DlrmGrads, MlpGrads};
@@ -59,7 +60,7 @@ pub struct EagerDpSgd<N> {
     iter: u64,
 }
 
-impl<N: RowNoise> EagerDpSgd<N> {
+impl<N: RowNoise + Clone + Send + Sync> EagerDpSgd<N> {
     /// Creates an eager DP-SGD optimizer.
     #[must_use]
     pub fn new(cfg: DpConfig, style: ClipStyle, noise: N) -> Self {
@@ -156,17 +157,36 @@ impl<N: RowNoise> EagerDpSgd<N> {
             .top
             .apply_dense_noise(&mut self.noise, self.iter, 64, std, lr);
         self.counters.gaussian_samples += (model.bottom.params() + model.top.params()) as u64;
+        let threads = self.cfg.threads;
+        let parallel = threads > 1 && self.noise.addressable();
         for (t, (table, g)) in model.tables.iter_mut().zip(grads.tables.iter()).enumerate() {
-            dense_noisy_update(
-                t as u32,
-                table,
-                g,
-                &mut self.noise,
-                self.iter,
-                std,
-                lr,
-                &mut self.counters,
-            );
+            if parallel {
+                // The paper's tuned multi-threaded baseline (§6): the
+                // chunk-addressed parallel sweep, identical to the
+                // sequential kernel for addressable noise sources.
+                par_dense_noisy_update(
+                    t as u32,
+                    table,
+                    g,
+                    &self.noise,
+                    self.iter,
+                    std,
+                    lr,
+                    threads,
+                    &mut self.counters,
+                );
+            } else {
+                dense_noisy_update(
+                    t as u32,
+                    table,
+                    g,
+                    &mut self.noise,
+                    self.iter,
+                    std,
+                    lr,
+                    &mut self.counters,
+                );
+            }
         }
     }
 }
@@ -190,7 +210,7 @@ pub fn materialized_norms(
         .collect()
 }
 
-impl<N: RowNoise> Optimizer for EagerDpSgd<N> {
+impl<N: RowNoise + Clone + Send + Sync> Optimizer for EagerDpSgd<N> {
     fn name(&self) -> &'static str {
         self.style.paper_name()
     }
@@ -287,6 +307,52 @@ mod tests {
                 .max_abs_diff(&finals[2].top.layers()[l].weight);
             assert!(d < 1e-4, "top layer {l} diverged: {d}");
         }
+    }
+
+    #[test]
+    fn eager_step_is_thread_count_independent() {
+        // The parallel dense noisy update is wired into the real step
+        // path: any `threads` value trains the bitwise-same model.
+        let (model0, ds) = setup();
+        let run = |threads: usize| -> Dlrm {
+            let mut model = model0.clone();
+            let cfg = DpConfig::new(0.9, 0.8, 0.05, 16).with_threads(threads);
+            let mut opt = EagerDpSgd::new(cfg, ClipStyle::Fast, CounterNoise::new(21));
+            for it in 0..3 {
+                let batch = ds.batch_of(&(it * 16..(it + 1) * 16).collect::<Vec<_>>());
+                opt.step(&mut model, &batch, None);
+            }
+            model
+        };
+        let base = run(1);
+        for threads in [2usize, 3, 8] {
+            let m = run(threads);
+            assert_eq!(
+                max_table_diff(&base, &m),
+                0.0,
+                "threads {threads} changed the tables"
+            );
+            for (a, b) in base.top.layers().iter().zip(m.top.layers().iter()) {
+                assert_eq!(a.weight.max_abs_diff(&b.weight), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn stateful_noise_with_many_threads_falls_back_to_sequential() {
+        // A non-addressable (stateful) source must never hit the
+        // parallel kernel — each row still gets a fresh draw.
+        use lazydp_rng::SequentialNoise;
+        let (mut model, _) = setup();
+        let snapshot = model.tables[0].clone();
+        let noise = SequentialNoise::new(Xoshiro256PlusPlus::seed_from(3));
+        let cfg = DpConfig::paper_default(8).with_threads(4);
+        let mut opt = EagerDpSgd::new(cfg, ClipStyle::Fast, noise);
+        opt.step(&mut model, &MiniBatch::default(), None);
+        let t = &model.tables[0];
+        assert!(t.max_abs_diff(&snapshot) > 0.0, "noise must land");
+        // Rows must not repeat each other (the correlated-clone bug).
+        assert_ne!(t.row(0), t.row(1));
     }
 
     #[test]

@@ -2,26 +2,42 @@
 //!
 //! The eager baseline's model-update sweep is embarrassingly parallel
 //! over rows; the paper's tuned implementation multi-threads it with
-//! TBB/OpenMP (§6). This is the Rust analogue, built on counter-based
-//! noise so the result is *identical* to the sequential
+//! TBB/OpenMP (§6). This is the Rust analogue on the
+//! [`lazydp_exec::Executor`]: rows are split into fixed-size chunks
+//! (never sized by the thread count), and with counter-based noise the
+//! result is *identical* to the sequential
 //! [`dense_noisy_update`](crate::noise_update::dense_noisy_update) —
 //! verified by the tests — regardless of thread count.
+//! [`EagerDpSgd`](crate::EagerDpSgd) dispatches here whenever its
+//! [`DpConfig::threads`](crate::DpConfig) is above one.
 
 use crate::counters::KernelCounters;
 use lazydp_embedding::{EmbeddingTable, SparseGrad};
+use lazydp_exec::Executor;
 use lazydp_rng::RowNoise;
-use std::collections::HashMap;
 
-/// Parallel dense noisy update over `threads` workers. Semantically
-/// identical to the sequential kernel for any `RowNoise` whose output is
-/// a pure function of `(table, row, iter)` (e.g.
-/// [`CounterNoise`](lazydp_rng::counter::CounterNoise)); sequential
-/// sources would give a thread-count-dependent (but distributionally
-/// identical) result.
+/// Embedding rows per executor chunk. Fixed (not derived from the
+/// thread count) so chunk addressing — and therefore any per-chunk
+/// noise state — is thread-count independent.
+const ROWS_PER_CHUNK: usize = 512;
+
+/// Parallel dense noisy update over `threads` workers. Identical to the
+/// sequential kernel for any [`addressable`](RowNoise::addressable)
+/// `RowNoise` (e.g. [`CounterNoise`](lazydp_rng::counter::CounterNoise))
+/// at any thread count. Non-addressable (stateful) sources are
+/// **rejected**: the per-chunk clones would replay the same stream in
+/// every chunk, producing correlated noise — use the sequential
+/// [`dense_noisy_update`](crate::noise_update::dense_noisy_update) for
+/// those (as [`EagerDpSgd`](crate::EagerDpSgd) does automatically).
+///
+/// The gradient is looked up by binary search over the coalesced
+/// entries — `SparseGrad::coalesce` already leaves them sorted by row,
+/// so no per-call hash map is built.
 ///
 /// # Panics
 ///
-/// Panics if `grad` is not coalesced, dimensions mismatch, or
+/// Panics if `noise` is not addressable, `grad` is not coalesced
+/// (sorted, duplicate-free rows), dimensions mismatch, or
 /// `threads == 0`.
 #[allow(clippy::too_many_arguments)]
 pub fn par_dense_noisy_update<N>(
@@ -35,43 +51,38 @@ pub fn par_dense_noisy_update<N>(
     threads: usize,
     counters: &mut KernelCounters,
 ) where
-    N: RowNoise + Clone + Send,
+    N: RowNoise + Clone + Send + Sync,
 {
-    assert!(threads > 0, "need at least one thread");
+    assert!(
+        noise.addressable(),
+        "parallel noisy update needs an addressable noise source \
+         (cloning a stateful stream per chunk would correlate the noise)"
+    );
     assert_eq!(grad.dim(), table.dim(), "grad dim mismatch");
+    let indices = grad.indices();
+    assert!(
+        indices.windows(2).all(|w| w[0] < w[1]),
+        "gradient must be coalesced (sorted, duplicate-free rows)"
+    );
     let dim = table.dim();
     let rows = table.rows();
-    let mut map: HashMap<u64, &[f32]> = HashMap::with_capacity(grad.len());
-    for (idx, vals) in grad.iter() {
-        let prev = map.insert(idx, vals);
-        assert!(
-            prev.is_none(),
-            "gradient must be coalesced (duplicate row {idx})"
-        );
-    }
-    let map = &map;
-    let rows_per_chunk = rows.div_ceil(threads).max(1);
-    let data = table.as_mut_slice();
-    std::thread::scope(|scope| {
-        for (c, chunk) in data.chunks_mut(rows_per_chunk * dim).enumerate() {
-            let mut worker_noise = noise.clone();
-            scope.spawn(move || {
-                let first_row = c * rows_per_chunk;
-                let mut buf = vec![0.0f32; dim];
-                for (k, row) in chunk.chunks_mut(dim).enumerate() {
-                    let r = (first_row + k) as u64;
-                    worker_noise.fill_unit(table_id, r, iter, &mut buf);
-                    if let Some(g) = map.get(&r) {
-                        for ((w, &n), &gv) in row.iter_mut().zip(buf.iter()).zip(g.iter()) {
-                            *w -= lr * (noise_std * n + gv);
-                        }
-                    } else {
-                        for (w, &n) in row.iter_mut().zip(buf.iter()) {
-                            *w -= lr * noise_std * n;
-                        }
-                    }
+    Executor::new(threads).par_for(table.as_mut_slice(), ROWS_PER_CHUNK * dim, |c, chunk| {
+        let mut worker_noise = noise.clone();
+        let first_row = c * ROWS_PER_CHUNK;
+        let mut buf = vec![0.0f32; dim];
+        for (k, row) in chunk.chunks_mut(dim).enumerate() {
+            let r = (first_row + k) as u64;
+            worker_noise.fill_unit(table_id, r, iter, &mut buf);
+            if let Ok(pos) = indices.binary_search(&r) {
+                let (_, g) = grad.entry(pos);
+                for ((w, &n), &gv) in row.iter_mut().zip(buf.iter()).zip(g.iter()) {
+                    *w -= lr * (noise_std * n + gv);
                 }
-            });
+            } else {
+                for (w, &n) in row.iter_mut().zip(buf.iter()) {
+                    *w -= lr * noise_std * n;
+                }
+            }
         }
     });
     counters.gaussian_samples += (rows * dim) as u64;
@@ -112,6 +123,32 @@ mod tests {
     }
 
     #[test]
+    fn tables_larger_than_one_chunk_still_match_sequential() {
+        // > ROWS_PER_CHUNK rows so several chunks are actually in
+        // flight, with gradient rows scattered across chunks.
+        let rows = 2 * ROWS_PER_CHUNK + 37;
+        let mut g = SparseGrad::from_entries(
+            2,
+            vec![
+                (3, vec![1.0, -1.0]),
+                (ROWS_PER_CHUNK as u64 + 5, vec![0.5, 0.5]),
+                (rows as u64 - 1, vec![-2.0, 2.0]),
+            ],
+        );
+        let _ = g.coalesce();
+        let mut seq = EmbeddingTable::zeros(rows, 2);
+        let mut c = KernelCounters::new();
+        let mut n1 = CounterNoise::new(8);
+        dense_noisy_update(1, &mut seq, &g, &mut n1, 4, 0.3, 0.05, &mut c);
+        for threads in [1usize, 2, 5] {
+            let mut par = EmbeddingTable::zeros(rows, 2);
+            let n2 = CounterNoise::new(8);
+            par_dense_noisy_update(1, &mut par, &g, &n2, 4, 0.3, 0.05, threads, &mut c);
+            assert_eq!(seq, par, "thread count {threads} changed the result");
+        }
+    }
+
+    #[test]
     fn handles_row_counts_not_divisible_by_threads() {
         let g = {
             let mut g = SparseGrad::from_entries(2, vec![(6, vec![1.0, 1.0])]);
@@ -126,6 +163,16 @@ mod tests {
         let n2 = CounterNoise::new(1);
         par_dense_noisy_update(0, &mut par, &g, &n2, 1, 0.5, 0.1, 3, &mut c);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    #[should_panic(expected = "coalesced")]
+    fn uncoalesced_grad_rejected() {
+        let mut t = EmbeddingTable::zeros(4, 1);
+        let g = SparseGrad::from_entries(1, vec![(2, vec![1.0]), (0, vec![1.0])]);
+        let n = CounterNoise::new(1);
+        let mut c = KernelCounters::new();
+        par_dense_noisy_update(0, &mut t, &g, &n, 1, 0.1, 0.1, 2, &mut c);
     }
 
     #[test]

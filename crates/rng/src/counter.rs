@@ -97,6 +97,16 @@ pub trait RowNoise {
     fn fill_unit_dense(&mut self, param: u32, iter: u64, offset: u64, out: &mut [f32]) {
         self.fill_unit(u32::MAX - param, offset, iter, out);
     }
+
+    /// Whether the noise is a pure function of the `(table, row, iter)`
+    /// address (and a seed). Only addressable sources may be sampled
+    /// in parallel: the parallel kernels clone the source per chunk, and
+    /// clones of a *stateful* stream would replay identical values in
+    /// every chunk — correlated noise that breaks the DP guarantee.
+    /// Optimizers fall back to sequential sampling when this is `false`.
+    fn addressable(&self) -> bool {
+        false
+    }
 }
 
 /// Counter-based [`RowNoise`]: noise is a pure function of
@@ -130,6 +140,10 @@ impl RowNoise for CounterNoise {
     fn fill_unit(&mut self, table: u32, row: u64, iter: u64, out: &mut [f32]) {
         let mut stream = self.stream_for(table, row, iter);
         gaussian::fill_standard_normal(&mut stream, out);
+    }
+
+    fn addressable(&self) -> bool {
+        true
     }
 }
 
@@ -235,6 +249,13 @@ mod tests {
         n.fill_unit(0, 0, 1, &mut a);
         n.fill_unit_dense(0, 1, 0, &mut b);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn addressability_flags() {
+        use crate::prng::Xoshiro256PlusPlus;
+        assert!(CounterNoise::new(1).addressable());
+        assert!(!SequentialNoise::new(Xoshiro256PlusPlus::seed_from(1)).addressable());
     }
 
     #[test]

@@ -4,62 +4,52 @@
 //! Box–Muller kernel across the Xeon's 20 cores (§6: "thread-level
 //! parallelism (multi-threading), achieving 13.4× higher performance
 //! than the built-in PyTorch implementations"). This module is the Rust
-//! equivalent: deterministic parallel fills where each chunk draws from
-//! an independent counter-derived stream, so the output depends only on
-//! `(seed, chunk_count)` — not on thread scheduling.
+//! equivalent: thin wrappers over the [`lazydp_exec::Executor`], where
+//! each fixed-size chunk draws from an independent counter-derived
+//! stream. Chunk boundaries depend only on the buffer length — never on
+//! the thread count — so the output is a pure function of the seed:
+//! bitwise identical for any number of workers (DESIGN.md invariant #4).
 
 use crate::counter::CounterRng;
 use crate::gaussian;
+use lazydp_exec::Executor;
+
+/// Elements per chunk-addressed sub-stream. Fixed (never derived from
+/// the thread count) so the output is thread-count independent; large
+/// enough that a chunk amortizes a worker dispatch.
+const FILL_CHUNK: usize = 8192;
 
 /// Fills `out` with standard-normal samples using `threads` worker
-/// threads. Deterministic for a fixed `(seed, threads)` pair: chunk `i`
-/// is always generated from the sub-stream `derive(i)`.
+/// threads. Chunk `i` is always generated from the sub-stream
+/// `derive(i)`, so the output depends only on `seed` — the same bits
+/// for any `threads`.
 ///
 /// # Panics
 ///
 /// Panics if `threads == 0`.
 pub fn par_fill_standard_normal(seed: u64, out: &mut [f32], threads: usize) {
-    assert!(threads > 0, "need at least one thread");
     let root = CounterRng::new(seed ^ 0x9d39_247e_3377_6d41);
-    if threads == 1 || out.len() < 4096 {
-        // Sequential fast path, still chunk-addressed for determinism.
-        let mut stream = root.derive(0).stream(0);
-        gaussian::fill_standard_normal(&mut stream, out);
-        return;
-    }
-    let chunk = out.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (i, piece) in out.chunks_mut(chunk).enumerate() {
-            let rng = root.derive(i as u64);
-            scope.spawn(move || {
-                let mut stream = rng.stream(0);
-                gaussian::fill_standard_normal(&mut stream, piece);
-            });
-        }
+    Executor::new(threads).par_for(out, FILL_CHUNK, |i, piece| {
+        let mut stream = root.derive(i as u64).stream(0);
+        gaussian::fill_standard_normal(&mut stream, piece);
     });
 }
 
 /// Parallel version of the fused noisy accumulate: `acc[j] += scale·n_j`
-/// with `n ~ N(0, 1)`, chunked as in [`par_fill_standard_normal`].
+/// with `n ~ N(0, 1)`, chunked as in [`par_fill_standard_normal`] (and
+/// equally thread-count independent).
 ///
 /// # Panics
 ///
 /// Panics if `threads == 0`.
 pub fn par_accumulate_noise(seed: u64, scale: f32, acc: &mut [f32], threads: usize) {
-    assert!(threads > 0, "need at least one thread");
     let root = CounterRng::new(seed ^ 0x243f_6a88_85a3_08d3);
-    let chunk = acc.len().div_ceil(threads).max(1);
-    std::thread::scope(|scope| {
-        for (i, piece) in acc.chunks_mut(chunk).enumerate() {
-            let rng = root.derive(i as u64);
-            scope.spawn(move || {
-                let mut stream = rng.stream(0);
-                let mut buf = vec![0.0f32; piece.len()];
-                gaussian::fill_standard_normal(&mut stream, &mut buf);
-                for (a, &n) in piece.iter_mut().zip(buf.iter()) {
-                    *a += scale * n;
-                }
-            });
+    Executor::new(threads).par_for(acc, FILL_CHUNK, |i, piece| {
+        let mut stream = root.derive(i as u64).stream(0);
+        let mut buf = vec![0.0f32; piece.len()];
+        gaussian::fill_standard_normal(&mut stream, &mut buf);
+        for (a, &n) in piece.iter_mut().zip(buf.iter()) {
+            *a += scale * n;
         }
     });
 }
@@ -82,6 +72,27 @@ mod tests {
     }
 
     #[test]
+    fn output_is_bitwise_identical_across_thread_counts() {
+        let mut base = vec![0.0f32; 50_000];
+        par_fill_standard_normal(9, &mut base, 1);
+        for threads in [2usize, 3, 5, 16] {
+            let mut buf = vec![0.0f32; 50_000];
+            par_fill_standard_normal(9, &mut buf, threads);
+            assert_eq!(base, buf, "thread count {threads} changed the fill");
+        }
+        let mut acc_base = vec![1.0f32; 50_000];
+        par_accumulate_noise(9, 0.5, &mut acc_base, 1);
+        for threads in [2usize, 3, 5, 16] {
+            let mut acc = vec![1.0f32; 50_000];
+            par_accumulate_noise(9, 0.5, &mut acc, threads);
+            assert_eq!(
+                acc_base, acc,
+                "thread count {threads} changed the accumulate"
+            );
+        }
+    }
+
+    #[test]
     fn chunks_are_independent_standard_normals() {
         let mut buf = vec![0.0f32; 200_000];
         par_fill_standard_normal(7, &mut buf, 4);
@@ -91,10 +102,9 @@ mod tests {
         assert!((var - 1.0).abs() < 0.02, "var {var}");
         let ks = stats::ks_statistic_normal(&mut xs, 0.0, 1.0);
         assert!(ks < stats::ks_critical(xs.len(), 0.001), "ks {ks}");
-        // Cross-chunk correlation check: adjacent chunk boundaries must
-        // not repeat values.
-        let chunk = buf.len().div_ceil(4);
-        assert_ne!(buf[chunk - 1], buf[chunk]);
+        // Cross-chunk correlation check: chunk boundaries must not
+        // repeat values.
+        assert_ne!(buf[FILL_CHUNK - 1], buf[FILL_CHUNK]);
     }
 
     #[test]

@@ -1,7 +1,30 @@
 //! Row-major `f32` matrix with the GEMM variants needed by backprop.
+//!
+//! The three GEMM variants run on the [`lazydp_exec`] executor,
+//! parallelized over *output rows*: every output row is computed by the
+//! same sequential inner loop regardless of how rows are chunked, so
+//! results are bitwise identical for any thread count (the determinism
+//! the equivalence tests rely on). Small products run inline — the
+//! executor is only engaged once a chunk holds enough FLOPs to pay for
+//! a worker.
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
+
+/// Minimum multiply-add count per parallel chunk. The executor spawns
+/// scoped workers per region (~tens of µs each), so a chunk must carry
+/// well over that much arithmetic — at a few GFLOP/s, 2^19 multiply-adds
+/// is a few hundred µs — or spawning costs more than it saves.
+const MIN_CHUNK_FLOPS: usize = 1 << 19;
+
+/// Rows per GEMM chunk so each chunk carries at least
+/// [`MIN_CHUNK_FLOPS`] work (tiny products become a single chunk, which
+/// `par_for` runs inline).
+fn rows_per_chunk(total_rows: usize, flops_per_row: usize) -> usize {
+    MIN_CHUNK_FLOPS
+        .div_ceil(flops_per_row.max(1))
+        .clamp(1, total_rows.max(1))
+}
 
 /// A dense row-major `f32` matrix.
 ///
@@ -206,20 +229,25 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Self::zeros(self.rows, other.cols);
-        // i-k-j ordering: streams `other` rows, cache friendly.
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+        if out.is_empty() || self.cols == 0 {
+            return out;
+        }
+        let chunk_rows = rows_per_chunk(self.rows, self.cols * other.cols);
+        lazydp_exec::global().par_for(&mut out.data, chunk_rows * other.cols, |c, out_chunk| {
+            // i-k-j ordering: streams `other` rows, cache friendly.
+            for (k_row, out_row) in out_chunk.chunks_mut(other.cols).enumerate() {
+                let a_row = self.row(c * chunk_rows + k_row);
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -239,19 +267,29 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Self::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+        if out.is_empty() || self.rows == 0 {
+            return out;
+        }
+        let chunk_rows = rows_per_chunk(self.cols, self.rows * other.cols);
+        lazydp_exec::global().par_for(&mut out.data, chunk_rows * other.cols, |c, out_chunk| {
+            // Each worker owns a band of *output* rows (columns `i` of
+            // `self`) and accumulates over examples `r` in ascending
+            // order — the same per-element order as the sequential
+            // r-outer loop, so results match it bitwise.
+            for (k_row, out_row) in out_chunk.chunks_mut(other.cols).enumerate() {
+                let i = c * chunk_rows + k_row;
+                for r in 0..self.rows {
+                    let a = self.data[r * self.cols + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[r * other.cols..(r + 1) * other.cols];
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -271,17 +309,23 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Self::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out[(i, j)] = acc;
-            }
+        if out.is_empty() || self.cols == 0 {
+            return out;
         }
+        let chunk_rows = rows_per_chunk(self.rows, self.cols * other.rows);
+        lazydp_exec::global().par_for(&mut out.data, chunk_rows * other.rows, |c, out_chunk| {
+            for (k_row, out_row) in out_chunk.chunks_mut(other.rows).enumerate() {
+                let a_row = self.row(c * chunk_rows + k_row);
+                for (o, j) in out_row.iter_mut().zip(0..other.rows) {
+                    let b_row = other.row(j);
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            }
+        });
         out
     }
 
@@ -607,6 +651,25 @@ mod tests {
         let b = Matrix::from_rows(&[&[3.0, 4.0]]);
         assert_eq!(a.hadamard(&b), Matrix::from_rows(&[&[3.0, -8.0]]));
         assert_eq!(a.map(f32::abs), Matrix::from_rows(&[&[1.0, 2.0]]));
+    }
+
+    #[test]
+    fn gemm_variants_are_bitwise_identical_across_thread_counts() {
+        // Big enough that the executor actually engages (> MIN_CHUNK_FLOPS
+        // per GEMM), with ReLU-like zeros to exercise the skip path.
+        let a = pseudo_random(96, 80, 20).map(|x| if x < -1.0 { 0.0 } else { x });
+        let b = pseudo_random(80, 96, 21);
+        let bt = pseudo_random(96, 96, 22);
+        let initial = lazydp_exec::global_threads();
+        lazydp_exec::set_global_threads(1);
+        let (m1, t1, mt1) = (a.matmul(&b), a.t_matmul(&bt), a.matmul_t(&a));
+        for threads in [2usize, 3, 8] {
+            lazydp_exec::set_global_threads(threads);
+            assert_eq!(m1, a.matmul(&b), "matmul, {threads} threads");
+            assert_eq!(t1, a.t_matmul(&bt), "t_matmul, {threads} threads");
+            assert_eq!(mt1, a.matmul_t(&a), "matmul_t, {threads} threads");
+        }
+        lazydp_exec::set_global_threads(initial);
     }
 
     #[test]

@@ -143,6 +143,68 @@ proptest! {
         prop_assert!((var_agg - var_sum).abs() <= var_sum * 1e-5 + 1e-9);
     }
 
+    /// DESIGN invariant #4 at the system level: a full LazyDP run —
+    /// `step`s plus `finalize_model` — is **bitwise** identical for any
+    /// executor width, on random Zipf-skewed access traces. Phase 1 of
+    /// every noise plan is serial history bookkeeping and phase 2 is
+    /// chunk-addressed sampling, so threads ∈ {1, 2, 3, 8} must agree
+    /// exactly (not just within float slack).
+    #[test]
+    fn lazydp_training_is_thread_count_independent(
+        exponent in 0.4f64..1.4,
+        seed in 0u64..1000,
+        ans in proptest::bool::ANY,
+    ) {
+        use lazydp::data::AccessDistribution;
+        let rows = 48u64;
+        let steps = 4usize;
+        let dist = AccessDistribution::zipf(rows, exponent);
+        let mut trace_rng = Xoshiro256PlusPlus::seed_from(seed ^ 0x5eed_7ace);
+        let script: Vec<Vec<u64>> = (0..=steps)
+            .map(|_| dist.sample_many(&mut trace_rng, 5))
+            .collect();
+        let (_, batches) = batches_from_script(2, rows, &script);
+        let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+        let model0 = Dlrm::new(DlrmConfig::tiny(2, rows, 4), &mut rng);
+        let run = |threads: usize| -> Dlrm {
+            let dp = DpConfig::new(0.8, 1.0, 0.05, 4).with_threads(threads);
+            let mut model = model0.clone();
+            let mut opt = LazyDpOptimizer::new(
+                LazyDpConfig { dp, ans },
+                &model,
+                CounterNoise::new(seed),
+            );
+            for i in 0..steps {
+                opt.step(&mut model, &batches[i], Some(&batches[i + 1]));
+            }
+            opt.finalize_model(&mut model);
+            model
+        };
+        let base = run(1);
+        for threads in [2usize, 3, 8] {
+            let m = run(threads);
+            for (t, (a, b)) in base.tables.iter().zip(m.tables.iter()).enumerate() {
+                prop_assert!(
+                    a.max_abs_diff(b) == 0.0,
+                    "table {t} changed at {threads} threads"
+                );
+            }
+            for (a, b) in base
+                .top
+                .layers()
+                .iter()
+                .zip(m.top.layers().iter())
+                .chain(base.bottom.layers().iter().zip(m.bottom.layers().iter()))
+            {
+                prop_assert!(
+                    a.weight.max_abs_diff(&b.weight) == 0.0,
+                    "MLP weights changed at {threads} threads"
+                );
+                prop_assert!(a.bias == b.bias, "MLP bias changed at {threads} threads");
+            }
+        }
+    }
+
     /// Dedup: sorted unique output, duplicate count consistent.
     #[test]
     fn dedup_invariants(indices in proptest::collection::vec(0u64..30, 0..60)) {
