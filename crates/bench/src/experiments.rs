@@ -623,6 +623,10 @@ pub fn experiment_ids() -> Vec<(&'static str, &'static str)> {
             "scaling",
             "thread scaling: LazyDP step wall-clock vs executor width",
         ),
+        (
+            "sharding",
+            "shard scaling: LazyDP step wall-clock vs sparse-state shard count",
+        ),
     ]
 }
 
@@ -651,6 +655,7 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "abl_queue" => crate::ablation::abl_queue(),
         "utility" => crate::utility::utility_tradeoff(),
         "scaling" => crate::scaling::thread_scaling(),
+        "sharding" => crate::sharding::shard_scaling(),
         _ => return None,
     })
 }

@@ -18,6 +18,18 @@
 //! The [`xval`] module ties the two together: it runs the *functional*
 //! optimizers at small scale and checks their instrumented work counters
 //! against the performance model's op-count formulas.
+//!
+//! # Example: run one registered experiment programmatically
+//!
+//! ```
+//! use lazydp_bench::{experiment_ids, run_experiment};
+//!
+//! // The §7.2 metadata-overhead table (pure sysmodel arithmetic).
+//! let table = run_experiment("e12").expect("registered experiment");
+//! assert!(table.markdown().contains("HistoryTable"));
+//! // Every listed id has a runner.
+//! assert!(experiment_ids().iter().any(|(id, _)| *id == "sharding"));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +38,7 @@ pub mod ablation;
 pub mod experiments;
 pub mod leak;
 pub mod scaling;
+pub mod sharding;
 pub mod table;
 pub mod utility;
 pub mod xval;

@@ -3,7 +3,8 @@
 //! LazyDP adds a subtlety that eager DP-SGD does not have: at any point
 //! mid-training, the embedding tables are missing their **pending**
 //! noise — the model on the heap is *not* the DP-protected model. A
-//! correct checkpoint must therefore persist the [`HistoryTable`]s and
+//! correct checkpoint must therefore persist the
+//! [`HistoryTable`](crate::history::HistoryTable)s and
 //! the iteration counter along with the weights, so that a resumed run
 //! continues to owe exactly the same noise. Dropping the history and
 //! resuming with a fresh one would double-charge noise (a fresh history
@@ -14,7 +15,7 @@
 //! The format is a simple little-endian binary stream (no external
 //! serialization dependency), versioned and magic-tagged.
 
-use crate::history::HistoryTable;
+use crate::history::ShardedHistory;
 use crate::optimizer::{LazyDpConfig, LazyDpOptimizer};
 use lazydp_model::{Dlrm, DlrmConfig, InteractionKind};
 use lazydp_rng::RowNoise;
@@ -102,7 +103,9 @@ pub struct Checkpoint {
     pub config: DlrmConfig,
     /// Flat weights: bottom layers, top layers, embedding tables.
     weights: Vec<Vec<f32>>,
-    /// Per-table last-noise-applied iterations.
+    /// Per-table last-noise-applied iterations, always in **global** row
+    /// order — a checkpoint carries no shard layout, so it restores into
+    /// any shard count (the on-disk format is shard-independent).
     history: Vec<Vec<u32>>,
     /// Training iteration at capture time.
     pub iteration: u64,
@@ -129,7 +132,7 @@ impl Checkpoint {
             history: opt
                 .history_tables()
                 .iter()
-                .map(|h| (0..h.rows()).map(|r| h.last_flushed(r as u64)).collect())
+                .map(ShardedHistory::to_raw_global)
                 .collect(),
             iteration: opt.iteration(),
         }
@@ -137,6 +140,11 @@ impl Checkpoint {
 
     /// Restores the model and optimizer. `noise` must be the same
     /// source (same seed) as the interrupted run for exact continuation.
+    ///
+    /// The stored history is repartitioned into `cfg.dp.shards` shards —
+    /// the shard count may differ from the run that saved the
+    /// checkpoint, and (with an addressable noise source) the resumed
+    /// training is bitwise identical either way.
     ///
     /// # Panics
     ///
@@ -170,10 +178,10 @@ impl Checkpoint {
             assert_eq!(w.len(), t.elements(), "table shape mismatch");
             t.as_mut_slice().copy_from_slice(&w);
         }
-        let history: Vec<HistoryTable> = self
+        let history: Vec<ShardedHistory> = self
             .history
             .iter()
-            .map(|h| HistoryTable::from_raw(h.clone()))
+            .map(|h| ShardedHistory::from_raw_global(h, cfg.dp.shards))
             .collect();
         let opt = LazyDpOptimizer::from_state(cfg, noise, history, self.iteration);
         (model, opt)
@@ -389,7 +397,7 @@ mod tests {
             CounterNoise::new(4),
             m.tables
                 .iter()
-                .map(|t| HistoryTable::new(t.rows()))
+                .map(|t| ShardedHistory::new(t.rows(), 1))
                 .collect(),
             4,
         );
@@ -408,6 +416,51 @@ mod tests {
             diff > 1e-4,
             "dropping the history must visibly corrupt the model (diff {diff})"
         );
+    }
+
+    #[test]
+    fn resume_across_shard_count_change_is_bitwise_exact() {
+        // The checkpoint format is shard-independent: a run saved at
+        // S=1 must resume at S=4 (and back) with a bitwise-identical
+        // finalized model. CounterNoise is addressable, so both the
+        // resumed steps and the release-time flush are exercised on the
+        // sharded path.
+        let (model0, ds, mut cfg) = setup();
+        cfg.ans = true;
+        let bs = batches(&ds, 9);
+        let steps = 8usize;
+        // Uninterrupted single-shard reference.
+        let mut m_full = model0.clone();
+        let mut o_full = LazyDpOptimizer::new(cfg, &m_full, CounterNoise::new(4));
+        for i in 0..steps {
+            o_full.step(&mut m_full, &bs[i], Some(&bs[i + 1]));
+        }
+        o_full.finalize_model(&mut m_full);
+        // Interrupted at step 4 on S=1, resumed on S=4 (and S=8).
+        for resume_shards in [4usize, 8] {
+            let mut m = model0.clone();
+            let mut o = LazyDpOptimizer::new(cfg, &m, CounterNoise::new(4));
+            for i in 0..4 {
+                o.step(&mut m, &bs[i], Some(&bs[i + 1]));
+            }
+            let mut buf = Vec::new();
+            Checkpoint::capture(&m, &o).save(&mut buf).expect("save");
+            let ck = Checkpoint::load(&mut buf.as_slice()).expect("load");
+            let resumed_cfg = cfg.with_shards(resume_shards);
+            let (mut m2, mut o2) = ck.restore(resumed_cfg, CounterNoise::new(4));
+            assert_eq!(o2.history_tables()[0].num_shards(), resume_shards);
+            for i in 4..steps {
+                o2.step(&mut m2, &bs[i], Some(&bs[i + 1]));
+            }
+            o2.finalize_model(&mut m2);
+            for (a, b) in m_full.tables.iter().zip(m2.tables.iter()) {
+                assert_eq!(
+                    a.max_abs_diff(b),
+                    0.0,
+                    "S=1 -> S={resume_shards} resume must be bitwise exact"
+                );
+            }
+        }
     }
 
     #[test]

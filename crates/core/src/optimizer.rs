@@ -1,13 +1,25 @@
 //! The LazyDP optimizer — Algorithm 1 of the paper.
 //!
 //! The per-row pending-noise flush is structured as a two-phase
-//! [`NoisePlan`]: the [`HistoryTable`] bookkeeping runs serially, the
-//! noise sampling runs data-parallel on the `lazydp_exec` executor (see
-//! [`crate::plan`]). With an addressable noise source the trained model
-//! is bitwise identical for any thread count.
+//! [`NoisePlan`]: [`HistoryTable`](crate::history::HistoryTable)
+//! bookkeeping, then noise sampling on the `lazydp_exec` executor (see
+//! [`crate::plan`]). With an addressable noise source two further
+//! levers apply, both bitwise-invisible in the trained model:
+//!
+//! * **Sharding** — the sparse state is hash-partitioned into
+//!   `DpConfig::shards` independent [`ShardedHistory`] shards, and both
+//!   flush phases run shard-parallel ([`flush_next_rows_sharded`]).
+//! * **Overlap** — the lookahead flush only needs the *next* batch's
+//!   indices and the history, never the gradients, so
+//!   [`step`](Optimizer::step) samples it on a scoped worker
+//!   concurrently with the current step's dense forward/backward
+//!   compute and merges the result into the sparse update afterwards.
+//!
+//! Non-addressable (stateful-stream) noise sources fall back to the
+//! sequential 1-shard path, preserving their draw order exactly.
 
-use crate::history::HistoryTable;
-use crate::plan::NoisePlan;
+use crate::history::ShardedHistory;
+use crate::plan::{flush_next_rows_sharded, NoisePlan, ShardedFlush};
 use lazydp_data::MiniBatch;
 use lazydp_dpsgd::clip::{clip_weights, clipped_fraction};
 use lazydp_dpsgd::{DpConfig, KernelCounters, Optimizer, StepStats};
@@ -60,32 +72,55 @@ impl LazyDpConfig {
         self.dp = self.dp.with_threads(threads);
         self
     }
+
+    /// Sets the sparse-state shard count (delegates to
+    /// [`DpConfig::with_shards`]). Takes effect only with an
+    /// addressable noise source; the trained model is bitwise identical
+    /// for any value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.dp = self.dp.with_shards(shards);
+        self
+    }
 }
 
 /// The LazyDP optimizer (Algorithm 1): DP-SGD(F)-style gradient
 /// derivation, lazy noise updates driven by one-batch lookahead, and
-/// (optionally) aggregated noise sampling.
+/// (optionally) aggregated noise sampling. The sparse bookkeeping is
+/// hash-partitioned into `cfg.dp.shards` shards per table (see the
+/// module docs).
 #[derive(Debug, Clone)]
 pub struct LazyDpOptimizer<N> {
     cfg: LazyDpConfig,
     noise: N,
-    history: Vec<HistoryTable>,
+    history: Vec<ShardedHistory>,
     iter: u64,
     counters: KernelCounters,
 }
 
 impl<N: RowNoise + Clone + Send + Sync> LazyDpOptimizer<N> {
-    /// Creates a LazyDP optimizer for `model` (the [`HistoryTable`]s are
-    /// sized from its embedding tables).
+    /// Creates a LazyDP optimizer for `model` (the [`ShardedHistory`]s
+    /// are sized from its embedding tables and partitioned into
+    /// `cfg.dp.shards` shards — or 1 if `noise` is not addressable,
+    /// since only addressable sources may be sampled shard-parallel).
     #[must_use]
     pub fn new(cfg: LazyDpConfig, model: &Dlrm, noise: N) -> Self {
+        let shards = if noise.addressable() {
+            cfg.dp.shards
+        } else {
+            1
+        };
         Self {
             cfg,
             noise,
             history: model
                 .tables
                 .iter()
-                .map(|t| HistoryTable::new(t.rows()))
+                .map(|t| ShardedHistory::new(t.rows(), shards))
                 .collect(),
             iter: 0,
             counters: KernelCounters::new(),
@@ -95,8 +130,24 @@ impl<N: RowNoise + Clone + Send + Sync> LazyDpOptimizer<N> {
     /// Rebuilds an optimizer from checkpointed state (see
     /// [`crate::checkpoint`]). `history` must have one entry per table
     /// and `iter` must be the iteration the history was captured at.
+    /// The histories' shard count need not match `cfg.dp.shards` — a
+    /// checkpoint taken at any shard count resumes at any other. A
+    /// non-addressable noise source forces the sequential flush path, so
+    /// sharded histories are repartitioned to 1 shard for it.
     #[must_use]
-    pub fn from_state(cfg: LazyDpConfig, noise: N, history: Vec<HistoryTable>, iter: u64) -> Self {
+    pub fn from_state(
+        cfg: LazyDpConfig,
+        noise: N,
+        mut history: Vec<ShardedHistory>,
+        iter: u64,
+    ) -> Self {
+        if !noise.addressable() {
+            for h in &mut history {
+                if h.num_shards() > 1 {
+                    *h = ShardedHistory::from_raw_global(&h.to_raw_global(), 1);
+                }
+            }
+        }
         Self {
             cfg,
             noise,
@@ -108,7 +159,7 @@ impl<N: RowNoise + Clone + Send + Sync> LazyDpOptimizer<N> {
 
     /// The per-table history tables (checkpoint capture).
     #[must_use]
-    pub fn history_tables(&self) -> &[HistoryTable] {
+    pub fn history_tables(&self) -> &[ShardedHistory] {
         &self.history
     }
 
@@ -124,19 +175,40 @@ impl<N: RowNoise + Clone + Send + Sync> LazyDpOptimizer<N> {
         self.iter
     }
 
-    /// Total HistoryTable memory (the §7.2 overhead: 4 bytes/row).
+    /// Total HistoryTable memory (the §7.2 overhead: 4 bytes/row —
+    /// sharding adds nothing per row).
     #[must_use]
     pub fn history_bytes(&self) -> u64 {
-        self.history.iter().map(HistoryTable::bytes).sum()
+        self.history.iter().map(ShardedHistory::bytes).sum()
     }
 
     /// DP-SGD(F)-style clipped aggregate (ghost norms + reweighted
-    /// backward), identical to the strongest eager baseline.
-    fn clipped_aggregate(&mut self, model: &Dlrm, batch: &MiniBatch) -> (DlrmGrads, f64) {
+    /// backward), identical to the strongest eager baseline. An
+    /// associated function (not a method) so [`Optimizer::step`] can run
+    /// it concurrently with the lookahead flush, which borrows the
+    /// history.
+    fn clipped_aggregate(
+        dp: &DpConfig,
+        model: &Dlrm,
+        batch: &MiniBatch,
+        counters: &mut KernelCounters,
+    ) -> (DlrmGrads, f64) {
+        if batch.is_empty() {
+            let zero = DlrmGrads {
+                bottom: MlpGrads::zeros_like(&model.bottom),
+                top: MlpGrads::zeros_like(&model.top),
+                tables: model
+                    .tables
+                    .iter()
+                    .map(|t| SparseGrad::new(t.dim()))
+                    .collect(),
+            };
+            return (zero, 0.0);
+        }
         let cache = model.forward(batch);
-        self.counters.rows_gathered += batch.total_lookups() as u64;
+        counters.rows_gathered += batch.total_lookups() as u64;
         let gl = Dlrm::logit_grads(&cache, &batch.labels, false);
-        let c = self.cfg.dp.max_grad_norm;
+        let c = dp.max_grad_norm;
         let norms = model.per_example_grad_norms(&cache, batch, &gl);
         let w = clip_weights(&norms, c);
         let grads = model.backward(&cache, batch, &gl, Some(&w));
@@ -149,40 +221,48 @@ impl<N: RowNoise + Clone + Send + Sync> LazyDpOptimizer<N> {
     /// before release). Idempotent.
     ///
     /// Runs on the same two-phase [`NoisePlan`] machinery as the
-    /// per-step flush: one serial history scan per table, then
-    /// data-parallel noise sampling in bounded segments.
+    /// per-step flush, one history shard at a time: the shard scan is
+    /// serial, the noise sampling inside each bounded segment is
+    /// data-parallel on the executor. Rows are visited in shard-major
+    /// instead of global order, but each row's noise is addressed by its
+    /// global id, so the released model is bitwise identical for any
+    /// shard count.
     pub fn finalize_model(&mut self, model: &mut Dlrm) {
         let lr = self.cfg.dp.lr;
         let per_step_std = self.cfg.dp.noise_std_per_coord();
         let exec = Executor::new(self.cfg.dp.threads);
         for (t, table) in model.tables.iter_mut().enumerate() {
             let dim = table.dim();
-            let plan = NoisePlan::for_all_rows(
-                t as u32,
-                self.iter,
-                table.rows(),
-                &mut self.history[t],
-                &mut self.counters,
-            );
-            for seg in plan.entries().chunks(FINALIZE_SEGMENT_ENTRIES) {
-                let noise_buf = NoisePlan::sample_entries(
+            let spec = self.history[t].spec();
+            for s in 0..spec.shards() {
+                let plan = NoisePlan::for_all_rows_of_shard(
                     t as u32,
                     self.iter,
-                    seg,
-                    dim,
-                    per_step_std,
-                    self.cfg.ans,
-                    &mut self.noise,
-                    &exec,
+                    spec,
+                    s,
+                    &mut self.history[t].shards_mut()[s],
                     &mut self.counters,
                 );
-                for (e, nv) in seg.iter().zip(noise_buf.chunks_exact(dim)) {
-                    let row = table.row_mut(usize::try_from(e.row).expect("row fits usize"));
-                    for (w, &n) in row.iter_mut().zip(nv.iter()) {
-                        *w -= lr * n;
+                for seg in plan.entries().chunks(FINALIZE_SEGMENT_ENTRIES) {
+                    let noise_buf = NoisePlan::sample_entries(
+                        t as u32,
+                        self.iter,
+                        seg,
+                        dim,
+                        per_step_std,
+                        self.cfg.ans,
+                        &mut self.noise,
+                        &exec,
+                        &mut self.counters,
+                    );
+                    for (e, nv) in seg.iter().zip(noise_buf.chunks_exact(dim)) {
+                        let row = table.row_mut(usize::try_from(e.row).expect("row fits usize"));
+                        for (w, &n) in row.iter_mut().zip(nv.iter()) {
+                            *w -= lr * n;
+                        }
+                        self.counters.table_rows_read += 1;
+                        self.counters.table_rows_written += 1;
                     }
-                    self.counters.table_rows_read += 1;
-                    self.counters.table_rows_written += 1;
                 }
             }
         }
@@ -200,61 +280,108 @@ impl<N: RowNoise + Clone + Send + Sync> Optimizer for LazyDpOptimizer<N> {
 
     fn step(&mut self, model: &mut Dlrm, batch: &MiniBatch, next: Option<&MiniBatch>) -> StepStats {
         self.iter += 1;
-        let (mut grads, clipped) = if batch.is_empty() {
-            let zero = DlrmGrads {
-                bottom: MlpGrads::zeros_like(&model.bottom),
-                top: MlpGrads::zeros_like(&model.top),
-                tables: model
-                    .tables
-                    .iter()
-                    .map(|t| SparseGrad::new(t.dim()))
-                    .collect(),
-            };
-            (zero, 0.0)
+        let iter = self.iter;
+        let cfg = self.cfg;
+        let std = cfg.dp.noise_std_per_coord();
+        let lr = cfg.dp.lr;
+        let exec = Executor::new(cfg.dp.threads);
+
+        // Lookahead pre-pass (Algorithm 1 line 12): dedup the rows each
+        // table gathers *next* iteration. An empty next batch (Poisson
+        // sampling) may carry no per-table index lists at all; treat
+        // that as "no rows gathered next iteration".
+        let next_targets: Option<Vec<Vec<u64>>> = next.map(|next_batch| {
+            (0..model.tables.len())
+                .map(|t| {
+                    let idx: &[u64] = next_batch.sparse.get(t).map_or(&[], |s| s.flat_indices());
+                    let (targets, dups) = dedup_indices(idx);
+                    self.counters.duplicates_removed += dups as u64;
+                    targets
+                })
+                .collect()
+        });
+
+        // Gradient derivation and lookahead flush. The flush needs only
+        // the next-batch targets, the history shards, and the (pure)
+        // noise source — never the gradients — so with an addressable
+        // source it runs shard-parallel on a scoped worker *while* the
+        // main thread does the dense forward/backward. Stateful sources
+        // keep the sequential 1-shard path below to preserve their draw
+        // order.
+        let overlap = next_targets.is_some() && self.noise.addressable();
+        let mut flushes: Vec<ShardedFlush> = Vec::new();
+        let (mut grads, clipped) = if overlap {
+            let targets = next_targets.as_ref().expect("overlap implies lookahead");
+            let dims: Vec<usize> = model.tables.iter().map(|t| t.dim()).collect();
+            let noise = &self.noise;
+            let history = &mut self.history;
+            let (gc, fs, fc) = std::thread::scope(|s| {
+                let flush = s.spawn(move || {
+                    let mut c = KernelCounters::new();
+                    let fs: Vec<ShardedFlush> = targets
+                        .iter()
+                        .enumerate()
+                        .map(|(t, tg)| {
+                            flush_next_rows_sharded(
+                                t as u32,
+                                iter,
+                                tg,
+                                &mut history[t],
+                                dims[t],
+                                std,
+                                cfg.ans,
+                                noise,
+                                &exec,
+                                &mut c,
+                            )
+                        })
+                        .collect();
+                    (fs, c)
+                });
+                let gc = Self::clipped_aggregate(&cfg.dp, model, batch, &mut self.counters);
+                let (fs, fc) = flush.join().expect("lookahead flush worker panicked");
+                (gc, fs, fc)
+            });
+            self.counters.merge(&fc);
+            flushes = fs;
+            gc
         } else {
-            self.clipped_aggregate(model, batch)
+            Self::clipped_aggregate(&cfg.dp, model, batch, &mut self.counters)
         };
-        grads.scale(1.0 / self.cfg.dp.nominal_batch as f32);
+        grads.scale(1.0 / cfg.dp.nominal_batch as f32);
         self.counters.duplicates_removed += grads.coalesce() as u64;
 
         // MLP layers: identical treatment to eager DP-SGD (gradient +
         // dense noise every iteration) — Algorithm 1 omits them because
         // "both DP-SGD(F) and LazyDP apply the identical DP protection
         // for MLP layers".
-        let std = self.cfg.dp.noise_std_per_coord();
-        let lr = self.cfg.dp.lr;
         model.bottom.apply(&grads.bottom, lr);
         model.top.apply(&grads.top, lr);
         model
             .bottom
-            .apply_dense_noise(&mut self.noise, self.iter, 0, std, lr);
+            .apply_dense_noise(&mut self.noise, iter, 0, std, lr);
         model
             .top
-            .apply_dense_noise(&mut self.noise, self.iter, 64, std, lr);
+            .apply_dense_noise(&mut self.noise, iter, 64, std, lr);
         self.counters.gaussian_samples += (model.bottom.params() + model.top.params()) as u64;
 
         // Embedding tables: merge the (sparse) gradient with the lazy
         // noise of the rows the *next* iteration will gather, then apply
-        // one sparse update (Algorithm 1 lines 11–25). Phase 1 (history
-        // bookkeeping) is serial; phase 2 (noise sampling) runs on the
-        // executor.
-        let exec = Executor::new(self.cfg.dp.threads);
+        // one sparse update (Algorithm 1 lines 11–25).
         for (t, table) in model.tables.iter_mut().enumerate() {
             let dim = table.dim();
             let mut update = std::mem::replace(&mut grads.tables[t], SparseGrad::new(dim));
-            if let Some(next_batch) = next {
-                // An empty next batch (Poisson sampling) may carry no
-                // per-table index lists at all; treat that as "no rows
-                // gathered next iteration".
-                let next_indices: &[u64] =
-                    next_batch.sparse.get(t).map_or(&[], |s| s.flat_indices());
-                let (targets, dups) = dedup_indices(next_indices);
-                self.counters.duplicates_removed += dups as u64;
+            if overlap {
+                // The flush was sampled concurrently above; land it.
+                flushes[t].merge_into(&mut update);
+            } else if let Some(targets) = &next_targets {
+                // Stateful noise: serial two-phase flush through the
+                // live stream (phase 1 bookkeeping, phase 2 sampling).
                 let plan = NoisePlan::for_next_rows(
                     t as u32,
-                    self.iter,
-                    &targets,
-                    &mut self.history[t],
+                    iter,
+                    &targets[t],
+                    &mut self.history[t].shards_mut()[0],
                     &mut update,
                     &mut self.counters,
                 );
@@ -262,7 +389,7 @@ impl<N: RowNoise + Clone + Send + Sync> Optimizer for LazyDpOptimizer<N> {
                     let noise_buf = plan.sample_noise(
                         dim,
                         std,
-                        self.cfg.ans,
+                        cfg.ans,
                         &mut self.noise,
                         &exec,
                         &mut self.counters,
@@ -467,6 +594,61 @@ mod tests {
         assert!(
             l <= s * 2,
             "lazy noise work grew with table size: {s} vs {l}"
+        );
+    }
+
+    #[test]
+    fn trained_model_is_independent_of_the_shards_knob() {
+        // The tentpole invariant: step + finalize are bitwise identical
+        // for any shard count (and any thread count on top).
+        let (model0, ds) = setup(3, 48, 160);
+        let batches: Vec<MiniBatch> = (0..=6)
+            .map(|i| ds.batch_of(&(i * 16..(i + 1) * 16).collect::<Vec<_>>()))
+            .collect();
+        let run = |shards: usize, threads: usize, ans: bool| -> Dlrm {
+            let cfg = LazyDpConfig {
+                dp: DpConfig::new(0.9, 1.0, 0.05, 16)
+                    .with_threads(threads)
+                    .with_shards(shards),
+                ans,
+            };
+            let mut model = model0.clone();
+            let mut opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(21));
+            for i in 0..6 {
+                opt.step(&mut model, &batches[i], Some(&batches[i + 1]));
+            }
+            opt.finalize_model(&mut model);
+            model
+        };
+        for ans in [true, false] {
+            let base = run(1, 1, ans);
+            for shards in [2usize, 4, 8] {
+                for threads in [1usize, 4] {
+                    let m = run(shards, threads, ans);
+                    assert_eq!(
+                        max_table_diff(&base, &m),
+                        0.0,
+                        "shards={shards} threads={threads} ans={ans} changed the model"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stateful_noise_falls_back_to_one_shard() {
+        use lazydp_rng::SequentialNoise;
+        let (model, _) = setup(2, 32, 16);
+        let cfg = LazyDpConfig {
+            dp: DpConfig::new(1.0, 1.0, 0.1, 8).with_shards(4),
+            ans: true,
+        };
+        let noise = SequentialNoise::new(Xoshiro256PlusPlus::seed_from(3));
+        let opt = LazyDpOptimizer::new(cfg, &model, noise);
+        assert_eq!(
+            opt.history_tables()[0].num_shards(),
+            1,
+            "non-addressable sources must train unsharded"
         );
     }
 

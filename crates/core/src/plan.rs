@@ -22,9 +22,9 @@
 //! `LazyDpOptimizer::finalize_model`) run on this machinery.
 
 use crate::ans::aggregated_std;
-use crate::history::HistoryTable;
+use crate::history::{HistoryTable, ShardedHistory};
 use lazydp_dpsgd::KernelCounters;
-use lazydp_embedding::SparseGrad;
+use lazydp_embedding::{ShardSpec, SparseGrad};
 use lazydp_exec::Executor;
 use lazydp_rng::RowNoise;
 
@@ -115,16 +115,38 @@ impl NoisePlan {
         history: &mut HistoryTable,
         counters: &mut KernelCounters,
     ) -> Self {
+        debug_assert_eq!(rows, history.rows(), "history covers the table");
+        Self::for_all_rows_of_shard(table_id, iter, ShardSpec::new(1), 0, history, counters)
+    }
+
+    /// [`for_all_rows`](Self::for_all_rows) over one shard of a
+    /// hash-partitioned history: scans the shard's local rows and plans
+    /// entries under their **global** row ids, so the sampled noise is
+    /// addressed identically to the 1-shard path. With
+    /// `ShardSpec::new(1)` this *is* `for_all_rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range for `spec`.
+    #[must_use]
+    pub fn for_all_rows_of_shard(
+        table_id: u32,
+        iter: u64,
+        spec: ShardSpec,
+        shard: usize,
+        history: &mut HistoryTable,
+        counters: &mut KernelCounters,
+    ) -> Self {
         let mut entries = Vec::new();
-        for r in 0..rows {
+        for local in 0..history.rows() as u64 {
             counters.history_reads += 1;
-            let delays = history.take_delays(r as u64, iter);
+            let delays = history.take_delays(local, iter);
             if delays == 0 {
                 continue;
             }
             counters.history_writes += 1;
             entries.push(NoisePlanEntry {
-                row: r as u64,
+                row: spec.global_row(shard, local),
                 delays,
                 slot: entries.len(),
             });
@@ -280,6 +302,189 @@ impl NoisePlan {
     }
 }
 
+/// The result of a shard-parallel lookahead flush: every pending row the
+/// next batch will touch (global ids, shard-major order) with its
+/// sampled noise, ready to merge into the step's sparse update.
+///
+/// Shard-major order differs from the 1-shard path's sorted order, but
+/// the *values* do not: each row's delays come from its own history
+/// entry and its noise is addressed by `(table, global row, iter)`, so
+/// per-row arithmetic — and therefore the updated table — is bitwise
+/// identical for any shard count.
+#[derive(Debug, Clone)]
+pub struct ShardedFlush {
+    entries: Vec<NoisePlanEntry>,
+    noise: Vec<f32>,
+    dim: usize,
+}
+
+impl ShardedFlush {
+    /// The planned rows (global ids, shard-major order).
+    #[must_use]
+    pub fn entries(&self) -> &[NoisePlanEntry] {
+        &self.entries
+    }
+
+    /// Number of planned rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no row owes noise.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Accumulates the flushed noise into a **coalesced** sparse update
+    /// (Algorithm 1 lines 17–21): rows the gradient already touches get
+    /// their noise added in place; rows it does not are appended as
+    /// noise-only entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `update`'s dimension differs from the flush's.
+    pub fn merge_into(&self, update: &mut SparseGrad) {
+        assert_eq!(update.dim(), self.dim, "flush/update dim mismatch");
+        if self.dim == 0 || self.entries.is_empty() {
+            return;
+        }
+        // The coalesced prefix stays binary-searchable; appended rows
+        // are unique (targets were deduplicated), so they are never
+        // looked up again within this merge.
+        let sorted_len = update.len();
+        for (e, nv) in self.entries.iter().zip(self.noise.chunks_exact(self.dim)) {
+            let slot = match update.indices()[..sorted_len].binary_search(&e.row) {
+                Ok(i) => i,
+                Err(_) => {
+                    let i = update.len();
+                    let _ = update.push_zeros(e.row);
+                    i
+                }
+            };
+            for (w, &n) in update.entry_mut(slot).iter_mut().zip(nv.iter()) {
+                *w += n;
+            }
+        }
+    }
+}
+
+/// One shard's slice of a [`flush_next_rows_sharded`] call: the borrowed
+/// history shard, its targets, and its outputs. Boxed into a `Vec` so
+/// `Executor::par_for` can hand each worker one task mutably.
+struct ShardFlushTask<'a> {
+    history: &'a mut HistoryTable,
+    targets: Vec<u64>,
+    entries: Vec<NoisePlanEntry>,
+    noise: Vec<f32>,
+    counters: KernelCounters,
+}
+
+/// Runs both phases of a lookahead flush shard-parallel: each shard
+/// walks its own history (phase 1) and samples its own rows' pending
+/// noise (phase 2) with no shared mutable state; executor width left
+/// over by the shard fan-out goes to the within-shard sampling chunks.
+/// `targets` must be the sorted, deduplicated global rows the *next*
+/// batch gathers.
+///
+/// Requires an [`addressable`](RowNoise::addressable) noise source (the
+/// per-shard clones of a stateful stream would replay correlated noise);
+/// callers must fall back to [`NoisePlan::for_next_rows`] +
+/// [`NoisePlan::sample_noise`] otherwise.
+///
+/// # Panics
+///
+/// Panics if `noise` is not addressable.
+#[allow(clippy::too_many_arguments)]
+pub fn flush_next_rows_sharded<N>(
+    table_id: u32,
+    iter: u64,
+    targets: &[u64],
+    history: &mut ShardedHistory,
+    dim: usize,
+    per_step_std: f32,
+    ans: bool,
+    noise: &N,
+    exec: &Executor,
+    counters: &mut KernelCounters,
+) -> ShardedFlush
+where
+    N: RowNoise + Clone + Send + Sync,
+{
+    assert!(
+        noise.addressable(),
+        "sharded flush requires an addressable noise source"
+    );
+    let spec = history.spec();
+    let shard_targets = spec.partition_indices(targets);
+    // Split the executor budget between the shard fan-out and the
+    // within-shard sampling: with fewer shards than threads the leftover
+    // width goes to each shard's phase-2 chunks (S=1 keeps the full
+    // thread-parallel sampling the monolithic path had). Chunk
+    // addressing makes the result identical either way.
+    let inner_exec = Executor::new((exec.threads() / spec.shards()).max(1));
+    let mut tasks: Vec<ShardFlushTask> = history
+        .shards_mut()
+        .iter_mut()
+        .zip(shard_targets)
+        .map(|(h, targets)| ShardFlushTask {
+            history: h,
+            targets,
+            entries: Vec::new(),
+            noise: Vec::new(),
+            counters: KernelCounters::new(),
+        })
+        .collect();
+    exec.par_for(&mut tasks, 1, |_, chunk| {
+        let task = &mut chunk[0];
+        // Phase 1: this shard's history walk (serial within the shard;
+        // shards are the unit of parallelism).
+        for &row in &task.targets {
+            task.counters.history_reads += 1;
+            task.counters.history_writes += 1;
+            let delays = task.history.take_delays(spec.local_row(row), iter);
+            if delays == 0 {
+                continue;
+            }
+            task.entries.push(NoisePlanEntry {
+                row,
+                delays,
+                slot: task.entries.len(),
+            });
+        }
+        // Phase 2: sample this shard's rows. Cloning is sound because
+        // the source is addressable (asserted above).
+        let mut worker_noise = noise.clone();
+        task.noise = NoisePlan::sample_entries(
+            table_id,
+            iter,
+            &task.entries,
+            dim,
+            per_step_std,
+            ans,
+            &mut worker_noise,
+            &inner_exec,
+            &mut task.counters,
+        );
+    });
+    let mut entries = Vec::new();
+    let mut noise_buf = Vec::new();
+    for task in tasks {
+        counters.merge(&task.counters);
+        entries.extend(task.entries);
+        noise_buf.extend(task.noise);
+    }
+    for (i, e) in entries.iter_mut().enumerate() {
+        e.slot = i;
+    }
+    ShardedFlush {
+        entries,
+        noise: noise_buf,
+        dim,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,6 +635,124 @@ mod tests {
         let mut c = KernelCounters::new();
         let _ = NoisePlan::sample_entries(0, 5, &entries, 3, 0.1, false, &mut noise, &exec, &mut c);
         assert_eq!(c.gaussian_samples, (4 + 2) * 3, "w/o ANS: delays draws");
+    }
+
+    #[test]
+    fn sharded_flush_matches_the_monolithic_path_bitwise() {
+        // The 1-shard reference: for_next_rows + sample_noise, applied
+        // through plan slots (exactly what the pre-sharding optimizer
+        // did), must agree per-row with merge_into for every shard
+        // count — same entries, same noise, same counters.
+        let rows = 40usize;
+        let dim = 6usize;
+        let iter = 9u64;
+        let targets: Vec<u64> = vec![0, 3, 7, 8, 13, 21, 26, 34, 39];
+        let flushed: &[(u64, u64)] = &[(3, 9), (8, 4), (21, 7)];
+        let grad_rows: &[u64] = &[3, 7, 13, 30];
+        let mk_update = || {
+            let mut g = SparseGrad::new(dim);
+            for &r in grad_rows {
+                let e = g.push_zeros(r);
+                e.fill(0.5 + r as f32);
+            }
+            let _ = g.coalesce();
+            g
+        };
+        let mut noise = CounterNoise::new(17);
+
+        // Reference path.
+        let mut ref_hist = HistoryTable::new(rows);
+        for &(r, it) in flushed {
+            let _ = ref_hist.take_delays(r, it);
+        }
+        let mut ref_update = mk_update();
+        let mut ref_c = KernelCounters::new();
+        let plan = NoisePlan::for_next_rows(
+            2,
+            iter,
+            &targets,
+            &mut ref_hist,
+            &mut ref_update,
+            &mut ref_c,
+        );
+        let buf = plan.sample_noise(dim, 0.3, true, &mut noise, &Executor::new(3), &mut ref_c);
+        for (e, nv) in plan.entries().iter().zip(buf.chunks_exact(dim)) {
+            for (w, &n) in ref_update.entry_mut(e.slot).iter_mut().zip(nv.iter()) {
+                *w += n;
+            }
+        }
+        let want = ref_update.to_dense_map();
+
+        for shards in [1usize, 2, 4, 8] {
+            let raw: Vec<u32> = (0..rows as u64)
+                .map(|r| ref_flushed_at(flushed, r))
+                .collect();
+            let mut hist = ShardedHistory::from_raw_global(&raw, shards);
+            let mut update = mk_update();
+            let mut c = KernelCounters::new();
+            let flush = flush_next_rows_sharded(
+                2,
+                iter,
+                &targets,
+                &mut hist,
+                dim,
+                0.3,
+                true,
+                &noise,
+                &Executor::new(3),
+                &mut c,
+            );
+            flush.merge_into(&mut update);
+            let got = update.to_dense_map();
+            assert_eq!(got.len(), want.len(), "{shards} shards");
+            for (row, vals) in &want {
+                assert_eq!(&got[row], vals, "row {row}, {shards} shards");
+            }
+            assert_eq!(c, ref_c, "counters, {shards} shards");
+            // And the history state afterwards is identical too.
+            for r in 0..rows as u64 {
+                assert_eq!(hist.last_flushed(r), ref_hist.last_flushed(r));
+            }
+        }
+    }
+
+    fn ref_flushed_at(flushed: &[(u64, u64)], row: u64) -> u32 {
+        flushed
+            .iter()
+            .find(|&&(r, _)| r == row)
+            .map_or(0, |&(_, it)| u32::try_from(it).expect("fits"))
+    }
+
+    #[test]
+    fn for_all_rows_of_shard_partitions_the_full_scan() {
+        // Scanning every shard of a partitioned history must plan the
+        // same (row, delays) set as one monolithic scan.
+        let rows = 17usize;
+        let flushed: &[(u64, u64)] = &[(1, 3), (8, 7), (16, 2)];
+        let mut mono = HistoryTable::new(rows);
+        for &(r, it) in flushed {
+            let _ = mono.take_delays(r, it);
+        }
+        let mut c_mono = KernelCounters::new();
+        let want = NoisePlan::for_all_rows(0, 7, rows, &mut mono, &mut c_mono);
+        let mut want_pairs: Vec<(u64, u64)> =
+            want.entries().iter().map(|e| (e.row, e.delays)).collect();
+        want_pairs.sort_unstable();
+
+        let raw: Vec<u32> = (0..rows as u64)
+            .map(|r| ref_flushed_at(flushed, r))
+            .collect();
+        let mut sharded = ShardedHistory::from_raw_global(&raw, 4);
+        let spec = sharded.spec();
+        let mut c_sh = KernelCounters::new();
+        let mut got_pairs: Vec<(u64, u64)> = Vec::new();
+        for (s, shard) in sharded.shards_mut().iter_mut().enumerate() {
+            let plan = NoisePlan::for_all_rows_of_shard(0, 7, spec, s, shard, &mut c_sh);
+            got_pairs.extend(plan.entries().iter().map(|e| (e.row, e.delays)));
+        }
+        got_pairs.sort_unstable();
+        assert_eq!(got_pairs, want_pairs);
+        assert_eq!(c_sh, c_mono);
     }
 
     #[test]

@@ -3,32 +3,38 @@
 //! The paper packages LazyDP as a wrapper that transforms a (model,
 //! optimizer, data_loader) triple into LazyDP-enabled instances.
 //! [`PrivateTrainer`] is the Rust equivalent: it owns the model, a
-//! [`LazyDpOptimizer`], a [`LookaheadLoader`] (the Fig. 9(b) "LazyDP
-//! data loader" with its input queue), and an [`RdpAccountant`] that
-//! tracks the (ε, δ) budget as training proceeds.
+//! [`LazyDpOptimizer`], a [`LookaheadSource`] (the Fig. 9(b) "LazyDP
+//! data loader" with its input queue — synchronous [`LookaheadLoader`]
+//! or async [`PrefetchLoader`]), and an [`RdpAccountant`] that tracks
+//! the (ε, δ) budget as training proceeds.
 
 use crate::optimizer::{LazyDpConfig, LazyDpOptimizer};
-use lazydp_data::{BatchSource, LookaheadLoader};
+use lazydp_data::{BatchSource, LookaheadLoader, LookaheadSource, PrefetchLoader};
 use lazydp_dpsgd::{KernelCounters, Optimizer, StepStats};
 use lazydp_model::Dlrm;
 use lazydp_privacy::RdpAccountant;
 use lazydp_rng::RowNoise;
 
 /// A private training session created by
-/// [`make_private`](Self::make_private).
+/// [`make_private`](Self::make_private) (synchronous input pipeline),
+/// [`make_private_prefetch`](Self::make_private_prefetch) (async
+/// pipeline), or [`make_private_with`](Self::make_private_with) (any
+/// [`LookaheadSource`]). All three train the bitwise-same model given
+/// the same batch stream and noise seed.
 #[derive(Debug)]
-pub struct PrivateTrainer<S, N> {
+pub struct PrivateTrainer<L, N> {
     model: Dlrm,
     optimizer: LazyDpOptimizer<N>,
-    loader: LookaheadLoader<S>,
+    loader: L,
     accountant: RdpAccountant,
     sampling_rate: f64,
     finalized: bool,
 }
 
-impl<S: BatchSource, N: RowNoise + Clone + Send + Sync> PrivateTrainer<S, N> {
+impl<S: BatchSource, N: RowNoise + Clone + Send + Sync> PrivateTrainer<LookaheadLoader<S>, N> {
     /// Wraps a model, batch source, and noise source into a LazyDP
-    /// training session (the Fig. 9(a) `LazyDP.make_private` call).
+    /// training session (the Fig. 9(a) `LazyDP.make_private` call) with
+    /// the synchronous one-batch-lookahead loader.
     ///
     /// `sampling_rate` is the Poisson inclusion probability `q` used for
     /// privacy accounting (`batch / dataset_len`; see
@@ -40,7 +46,9 @@ impl<S: BatchSource, N: RowNoise + Clone + Send + Sync> PrivateTrainer<S, N> {
     /// [`LazyDpConfig::with_threads`]. The GEMMs underneath
     /// forward/backward follow the *process-global* width
     /// (`lazydp_exec::set_global_threads` / `LAZYDP_THREADS`) instead.
-    /// Any combination trains the bitwise-same model.
+    /// The sparse-state shard count rides in on `cfg.dp.shards`
+    /// ([`LazyDpConfig::with_shards`]). Any combination trains the
+    /// bitwise-same model.
     ///
     /// # Panics
     ///
@@ -53,6 +61,60 @@ impl<S: BatchSource, N: RowNoise + Clone + Send + Sync> PrivateTrainer<S, N> {
         noise: N,
         sampling_rate: f64,
     ) -> Self {
+        Self::make_private_with(
+            model,
+            cfg,
+            LookaheadLoader::new(source),
+            noise,
+            sampling_rate,
+        )
+    }
+}
+
+impl<N: RowNoise + Clone + Send + Sync> PrivateTrainer<PrefetchLoader, N> {
+    /// [`make_private`](PrivateTrainer::make_private) with the
+    /// asynchronous double-buffered input pipeline: batches are
+    /// generated on a background thread and the next batch's indices
+    /// are in view before each step runs. Delivers the identical batch
+    /// stream — and therefore the bitwise-identical model — as the
+    /// synchronous loader over the same `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sampling_rate ∉ (0, 1]`.
+    #[must_use]
+    pub fn make_private_prefetch<S: BatchSource + Send + 'static>(
+        model: Dlrm,
+        cfg: LazyDpConfig,
+        source: S,
+        noise: N,
+        sampling_rate: f64,
+    ) -> Self {
+        Self::make_private_with(
+            model,
+            cfg,
+            PrefetchLoader::new(source),
+            noise,
+            sampling_rate,
+        )
+    }
+}
+
+impl<L: LookaheadSource, N: RowNoise + Clone + Send + Sync> PrivateTrainer<L, N> {
+    /// [`make_private`](PrivateTrainer::make_private) over an
+    /// already-constructed lookahead pipeline (any [`LookaheadSource`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sampling_rate ∉ (0, 1]`.
+    #[must_use]
+    pub fn make_private_with(
+        model: Dlrm,
+        cfg: LazyDpConfig,
+        loader: L,
+        noise: N,
+        sampling_rate: f64,
+    ) -> Self {
         assert!(
             sampling_rate > 0.0 && sampling_rate <= 1.0,
             "sampling rate must be in (0,1], got {sampling_rate}"
@@ -61,7 +123,7 @@ impl<S: BatchSource, N: RowNoise + Clone + Send + Sync> PrivateTrainer<S, N> {
         Self {
             model,
             optimizer,
-            loader: LookaheadLoader::new(source),
+            loader,
             accountant: RdpAccountant::new(),
             sampling_rate,
             finalized: false,
@@ -189,6 +251,48 @@ mod tests {
                     a.max_abs_diff(b),
                     0.0,
                     "threads {threads} changed the model"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_pipeline_trains_the_bitwise_same_model() {
+        // The async double-buffered loader must be training-invisible:
+        // same source, same seed ⇒ same batches ⇒ same model, across
+        // shard counts too.
+        let train = |prefetch: bool, shards: usize| -> Dlrm {
+            let ds = dataset(256);
+            let loader = FixedBatchLoader::new(ds, 32);
+            let cfg = LazyDpConfig::paper_default(32)
+                .with_threads(2)
+                .with_shards(shards);
+            let q = 32.0 / 256.0;
+            if prefetch {
+                let mut t = PrivateTrainer::make_private_prefetch(
+                    model(),
+                    cfg,
+                    loader,
+                    CounterNoise::new(9),
+                    q,
+                );
+                let _ = t.train_steps(8);
+                t.finish()
+            } else {
+                let mut t =
+                    PrivateTrainer::make_private(model(), cfg, loader, CounterNoise::new(9), q);
+                let _ = t.train_steps(8);
+                t.finish()
+            }
+        };
+        let base = train(false, 1);
+        for shards in [1usize, 4] {
+            let m = train(true, shards);
+            for (a, b) in base.tables.iter().zip(m.tables.iter()) {
+                assert_eq!(
+                    a.max_abs_diff(b),
+                    0.0,
+                    "prefetch (shards {shards}) changed the model"
                 );
             }
         }

@@ -15,8 +15,38 @@
 //! * [`batch`] — the [`MiniBatch`] container;
 //! * [`loader`] — fixed-size and Poisson-sampling batch sources
 //!   (Opacus-style `DPDataLoader`);
-//! * [`queue`] — the two-entry [`InputQueue`] of
-//!   Algorithm 1 (lines 3–5) that gives LazyDP one-batch lookahead.
+//! * [`queue`] — the two-entry [`InputQueue`] of Algorithm 1
+//!   (lines 3–5) that gives LazyDP one-batch lookahead, the
+//!   [`LookaheadSource`] abstraction over lookahead pipelines, and the
+//!   [`BoundedQueue`] producer/consumer channel;
+//! * [`prefetch`] — the asynchronous [`PrefetchLoader`]: a background
+//!   worker generates batches through the bounded queue (double
+//!   buffering), delivering a stream *identical* to the synchronous
+//!   loader's while overlapping input generation with training compute.
+//!
+//! # Example: async prefetching with one-batch lookahead
+//!
+//! ```
+//! use lazydp_data::{
+//!     FixedBatchLoader, LookaheadLoader, PrefetchLoader, SyntheticConfig, SyntheticDataset,
+//! };
+//!
+//! let make = || {
+//!     let ds = SyntheticDataset::new(SyntheticConfig::small(2, 64, 256));
+//!     FixedBatchLoader::new(ds, 32)
+//! };
+//! // The async pipeline delivers exactly the synchronous stream …
+//! let mut sync = LookaheadLoader::new(make());
+//! let mut pre = PrefetchLoader::new(make());
+//! let (cur, next) = pre.advance();
+//! let (cur, next) = (cur.clone(), next.clone());
+//! let (scur, snext) = sync.advance();
+//! assert_eq!((&cur, &next), (scur, snext));
+//! // … and the next batch's rows are visible before the step runs,
+//! // which is what LazyDP's lazy noise flush keys off.
+//! assert_eq!(pre.peek_next_indices(0), next.table_indices(0));
+//! # let _ = pre.finish_iteration();
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +55,7 @@ pub mod alias;
 pub mod batch;
 pub mod dataset;
 pub mod loader;
+pub mod prefetch;
 pub mod queue;
 pub mod trace;
 
@@ -32,5 +63,6 @@ pub use alias::AliasTable;
 pub use batch::MiniBatch;
 pub use dataset::{SyntheticConfig, SyntheticDataset};
 pub use loader::{BatchSource, FixedBatchLoader, PoissonLoader};
-pub use queue::{InputQueue, LookaheadLoader};
+pub use prefetch::PrefetchLoader;
+pub use queue::{BoundedQueue, InputQueue, LookaheadLoader, LookaheadSource};
 pub use trace::{AccessDistribution, SkewLevel};

@@ -54,6 +54,21 @@ impl KernelCounters {
         }
     }
 
+    /// Accumulates another counter set into this one (used to merge the
+    /// per-shard counters of a shard-parallel flush — each shard counts
+    /// privately, then the totals are summed, so the merged counts are
+    /// identical to a serial walk's).
+    pub fn merge(&mut self, other: &Self) {
+        self.gaussian_samples += other.gaussian_samples;
+        self.table_rows_written += other.table_rows_written;
+        self.table_rows_read += other.table_rows_read;
+        self.rows_gathered += other.rows_gathered;
+        self.duplicates_removed += other.duplicates_removed;
+        self.history_reads += other.history_reads;
+        self.history_writes += other.history_writes;
+        self.steps += other.steps;
+    }
+
     /// Bytes written to embedding tables, assuming `dim`-wide f32 rows.
     #[must_use]
     pub fn table_bytes_written(&self, dim: usize) -> u64 {
@@ -81,5 +96,25 @@ mod tests {
         assert_eq!(d.gaussian_samples, 50);
         assert_eq!(d.table_rows_written, 15);
         assert_eq!(d.table_bytes_written(128), 15 * 128 * 4);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let mut a = KernelCounters {
+            gaussian_samples: 1,
+            history_reads: 2,
+            ..Default::default()
+        };
+        let b = KernelCounters {
+            gaussian_samples: 10,
+            history_writes: 5,
+            steps: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.gaussian_samples, 11);
+        assert_eq!(a.history_reads, 2);
+        assert_eq!(a.history_writes, 5);
+        assert_eq!(a.steps, 1);
     }
 }

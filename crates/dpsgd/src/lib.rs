@@ -17,6 +17,28 @@
 //! the same noise draws — asserted by this crate's tests using the
 //! counter-based noise sources from `lazydp-rng`. LazyDP itself lives in
 //! `lazydp-core` and implements the same [`Optimizer`] trait.
+//!
+//! # Example: one eager DP-SGD(F) step
+//!
+//! ```
+//! use lazydp_data::{SyntheticConfig, SyntheticDataset};
+//! use lazydp_dpsgd::{ClipStyle, DpConfig, EagerDpSgd, Optimizer};
+//! use lazydp_model::{Dlrm, DlrmConfig};
+//! use lazydp_rng::counter::CounterNoise;
+//! use lazydp_rng::Xoshiro256PlusPlus;
+//!
+//! let mut rng = Xoshiro256PlusPlus::seed_from(3);
+//! let mut model = Dlrm::new(DlrmConfig::tiny(2, 64, 8), &mut rng);
+//! let ds = SyntheticDataset::new(SyntheticConfig::small(2, 64, 32));
+//! let batch = ds.batch_of(&(0..8).collect::<Vec<_>>());
+//!
+//! let cfg = DpConfig::paper_default(8); // σ=1.1, C=1.0, η=0.05
+//! let mut opt = EagerDpSgd::new(cfg, ClipStyle::Fast, CounterNoise::new(1));
+//! let stats = opt.step(&mut model, &batch, None);
+//! assert_eq!(stats.realized_batch, 8);
+//! // Eager DP-SGD noised *every* row of every table — the §4 bottleneck.
+//! assert!(opt.counters().gaussian_samples >= 2 * 64 * 8);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -26,6 +26,25 @@
 //! `LAZYDP_THREADS` environment variable, falling back to
 //! [`std::thread::available_parallelism`]. Benchmarks and tests may
 //! override it with [`set_global_threads`].
+//!
+//! # Example
+//!
+//! ```
+//! use lazydp_exec::Executor;
+//!
+//! // Chunk-addressed work: each element's value depends only on its
+//! // chunk index, so any executor width produces identical bytes.
+//! let run = |threads: usize| {
+//!     let mut data = vec![0u64; 1000];
+//!     Executor::new(threads).par_for(&mut data, 64, |chunk_idx, chunk| {
+//!         for v in chunk.iter_mut() {
+//!             *v = chunk_idx as u64;
+//!         }
+//!     });
+//!     data
+//! };
+//! assert_eq!(run(1), run(8));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -18,6 +18,22 @@
 //! * **ghost norms** — per-example gradient L2 norms computed without
 //!   materializing per-example weight gradients (DP-SGD(F)), plus the
 //!   reweighted batch pass that both DP-SGD(R) and DP-SGD(F) share.
+//!
+//! # Example
+//!
+//! ```
+//! use lazydp_data::{SyntheticConfig, SyntheticDataset};
+//! use lazydp_model::{Dlrm, DlrmConfig};
+//! use lazydp_rng::Xoshiro256PlusPlus;
+//!
+//! let mut rng = Xoshiro256PlusPlus::seed_from(7);
+//! let model = Dlrm::new(DlrmConfig::tiny(2, 64, 8), &mut rng);
+//! let ds = SyntheticDataset::new(SyntheticConfig::small(2, 64, 32));
+//! let batch = ds.batch_of(&[0, 1, 2, 3]);
+//! let cache = model.forward(&batch);
+//! assert_eq!(cache.logits().len(), 4); // one click logit per example
+//! assert!(model.loss(&batch).is_finite());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -205,6 +205,100 @@ proptest! {
         }
     }
 
+    /// The sharding tentpole invariant: a full LazyDP run — `step`s plus
+    /// `finalize_model` — is **bitwise** identical for any sparse-state
+    /// shard count, on random Zipf-skewed access traces. Each shard
+    /// owns its rows' history and noise addressed by *global* row id,
+    /// so shards ∈ {1, 2, 4, 8} must agree exactly.
+    #[test]
+    fn lazydp_training_is_shard_count_independent(
+        exponent in 0.4f64..1.4,
+        seed in 0u64..1000,
+        ans in proptest::bool::ANY,
+    ) {
+        use lazydp::data::AccessDistribution;
+        let rows = 48u64;
+        let steps = 4usize;
+        let dist = AccessDistribution::zipf(rows, exponent);
+        let mut trace_rng = Xoshiro256PlusPlus::seed_from(seed ^ 0x0051_4a4d);
+        let script: Vec<Vec<u64>> = (0..=steps)
+            .map(|_| dist.sample_many(&mut trace_rng, 5))
+            .collect();
+        let (_, batches) = batches_from_script(2, rows, &script);
+        let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+        let model0 = Dlrm::new(DlrmConfig::tiny(2, rows, 4), &mut rng);
+        let run = |shards: usize| -> Dlrm {
+            let dp = DpConfig::new(0.8, 1.0, 0.05, 4).with_shards(shards);
+            let mut model = model0.clone();
+            let mut opt = LazyDpOptimizer::new(
+                LazyDpConfig { dp, ans },
+                &model,
+                CounterNoise::new(seed),
+            );
+            for i in 0..steps {
+                opt.step(&mut model, &batches[i], Some(&batches[i + 1]));
+            }
+            opt.finalize_model(&mut model);
+            model
+        };
+        let base = run(1);
+        for shards in [2usize, 4, 8] {
+            let m = run(shards);
+            for (t, (a, b)) in base.tables.iter().zip(m.tables.iter()).enumerate() {
+                prop_assert!(
+                    a.max_abs_diff(b) == 0.0,
+                    "table {t} changed at {shards} shards"
+                );
+            }
+        }
+    }
+
+    /// The async-pipeline tentpole invariant: training through the
+    /// background-thread `PrefetchLoader` produces the bitwise-same
+    /// model as the synchronous `LookaheadLoader` over the same
+    /// Zipf-skewed source — prefetching changes *when* batches are
+    /// materialized, never *what* the optimizer sees.
+    #[test]
+    fn prefetch_loader_matches_synchronous_loader(
+        exponent in 0.4f64..1.4,
+        seed in 0u64..1000,
+        shards in 1usize..5,
+    ) {
+        use lazydp::data::{AccessDistribution, FixedBatchLoader, SyntheticConfig, SyntheticDataset};
+        use lazydp::lazy::PrivateTrainer;
+        let rows = 64u64;
+        let tables = 2usize;
+        let mk_loader = || {
+            let cfg = SyntheticConfig::small(tables, rows, 128)
+                .with_seed(seed)
+                .with_distributions(
+                    (0..tables).map(|_| AccessDistribution::zipf(rows, exponent)).collect(),
+                );
+            FixedBatchLoader::new(SyntheticDataset::new(cfg), 16)
+        };
+        let mut rng = Xoshiro256PlusPlus::seed_from(seed ^ 0x00f0_0d1e);
+        let model0 = Dlrm::new(DlrmConfig::tiny(tables, rows, 4), &mut rng);
+        let cfg = LazyDpConfig {
+            dp: DpConfig::new(0.8, 1.0, 0.05, 16).with_shards(shards),
+            ans: true,
+        };
+        let q = 16.0 / 128.0;
+        let mut sync_t = PrivateTrainer::make_private(
+            model0.clone(), cfg, mk_loader(), CounterNoise::new(seed), q);
+        let _ = sync_t.train_steps(5);
+        let sync_model = sync_t.finish();
+        let mut pre_t = PrivateTrainer::make_private_prefetch(
+            model0, cfg, mk_loader(), CounterNoise::new(seed), q);
+        let _ = pre_t.train_steps(5);
+        let pre_model = pre_t.finish();
+        for (t, (a, b)) in sync_model.tables.iter().zip(pre_model.tables.iter()).enumerate() {
+            prop_assert!(
+                a.max_abs_diff(b) == 0.0,
+                "table {t} diverged through the prefetch pipeline"
+            );
+        }
+    }
+
     /// Dedup: sorted unique output, duplicate count consistent.
     #[test]
     fn dedup_invariants(indices in proptest::collection::vec(0u64..30, 0..60)) {

@@ -2,7 +2,8 @@
 //!
 //! The build environment has no network route to crates.io, so the
 //! workspace vendors a minimal, API-compatible property-testing harness:
-//! the [`proptest!`] macro, `prop_assert*` macros, [`ProptestConfig`],
+//! the [`proptest!`] macro, `prop_assert*` macros,
+//! [`ProptestConfig`](prelude::ProptestConfig),
 //! a [`Strategy`](strategy::Strategy) trait with implementations for
 //! numeric ranges, tuples, `collection::vec`, `collection::btree_set`,
 //! and `bool::ANY`. Sampling is deterministic (seeded per test name and
