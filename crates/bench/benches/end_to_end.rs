@@ -54,7 +54,7 @@ fn bench_end_to_end(c: &mut Criterion) {
 
     group.bench_function("LazyDP", |b| {
         let (mut model, batches) = setup();
-        let cfg = LazyDpConfig { dp, ans: true };
+        let cfg = LazyDpConfig::new(dp, true);
         let mut opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(1));
         let mut i = 0usize;
         b.iter(|| {
@@ -69,7 +69,7 @@ fn bench_end_to_end(c: &mut Criterion) {
 
     group.bench_function("LazyDP_no_ANS", |b| {
         let (mut model, batches) = setup();
-        let cfg = LazyDpConfig { dp, ans: false };
+        let cfg = LazyDpConfig::new(dp, false);
         let mut opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(1));
         let mut i = 0usize;
         b.iter(|| {

@@ -36,10 +36,7 @@ fn setup(skew: SkewLevel) -> (Dlrm, Vec<MiniBatch>) {
 
 fn run_lazy(ans: bool, skew: SkewLevel, finalize: bool) -> (KernelCounters, f64) {
     let (mut model, batches) = setup(skew);
-    let cfg = LazyDpConfig {
-        dp: DpConfig::paper_default(BATCH),
-        ans,
-    };
+    let cfg = LazyDpConfig::new(DpConfig::paper_default(BATCH), ans);
     let mut opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(5));
     let t0 = Instant::now();
     for i in 0..STEPS {
@@ -188,7 +185,7 @@ pub fn traffic() -> Table {
     }
     {
         let (mut model, batches) = setup(SkewLevel::Random);
-        let cfg = LazyDpConfig { dp, ans: true };
+        let cfg = LazyDpConfig::new(dp, true);
         let mut o = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(5));
         for i in 0..STEPS {
             o.step(&mut model, &batches[i], Some(&batches[i + 1]));

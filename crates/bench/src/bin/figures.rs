@@ -6,6 +6,7 @@
 //! cargo run --release -p lazydp-bench --bin figures -- all
 //! cargo run --release -p lazydp-bench --bin figures -- report > report.md
 //! cargo run --release -p lazydp-bench --bin figures -- csv fig10
+//! cargo run --release -p lazydp-bench --bin figures -- json storage
 //! ```
 
 use lazydp_bench::{experiment_ids, full_report, run_experiment};
@@ -14,7 +15,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         None | Some("help") | Some("--help") => {
-            eprintln!("usage: figures <list|all|report|csv <id>|ID...>");
+            eprintln!("usage: figures <list|all|report|csv <id>|json <id>|ID...>");
             eprintln!("experiments:");
             for (id, desc) in experiment_ids() {
                 eprintln!("  {id:8} {desc}");
@@ -38,6 +39,16 @@ fn main() {
             let id = args.get(1).map(String::as_str).unwrap_or_default();
             match run_experiment(id) {
                 Some(t) => println!("{}", t.csv()),
+                None => {
+                    eprintln!("unknown experiment: {id}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Some("json") => {
+            let id = args.get(1).map(String::as_str).unwrap_or_default();
+            match run_experiment(id) {
+                Some(t) => println!("{}", t.json()),
                 None => {
                     eprintln!("unknown experiment: {id}");
                     std::process::exit(2);

@@ -627,6 +627,10 @@ pub fn experiment_ids() -> Vec<(&'static str, &'static str)> {
             "sharding",
             "shard scaling: LazyDP step wall-clock vs sparse-state shard count",
         ),
+        (
+            "storage",
+            "out-of-core storage: page-cache capacity sweep (hit rate, spill bytes, bitwise identity)",
+        ),
     ]
 }
 
@@ -656,6 +660,7 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "utility" => crate::utility::utility_tradeoff(),
         "scaling" => crate::scaling::thread_scaling(),
         "sharding" => crate::sharding::shard_scaling(),
+        "storage" => crate::storage::storage_sweep(),
         _ => return None,
     })
 }

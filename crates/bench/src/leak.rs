@@ -105,7 +105,7 @@ fn canary_moved(target: Target, present: bool, trial: u64) -> bool {
         }
         Target::LazyDp => {
             let mut opt = LazyDpOptimizer::new(
-                LazyDpConfig { dp, ans: true },
+                LazyDpConfig::new(dp, true),
                 &model,
                 CounterNoise::new(trial),
             );

@@ -39,6 +39,7 @@ pub mod experiments;
 pub mod leak;
 pub mod scaling;
 pub mod sharding;
+pub mod storage;
 pub mod table;
 pub mod utility;
 pub mod xval;

@@ -57,7 +57,7 @@ fn step_seconds(model0: &Dlrm, batches: &[MiniBatch], batch: usize, threads: usi
     let prev = lazydp_exec::global_threads();
     lazydp_exec::set_global_threads(threads);
     let dp = DpConfig::paper_default(batch).with_threads(threads);
-    let cfg = LazyDpConfig { dp, ans: true };
+    let cfg = LazyDpConfig::new(dp, true);
     let mut model = model0.clone();
     let mut opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(3));
     opt.step(&mut model, &batches[0], Some(&batches[1]));

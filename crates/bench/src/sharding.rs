@@ -62,7 +62,7 @@ fn step_seconds(
     let dp = DpConfig::paper_default(batch)
         .with_threads(threads)
         .with_shards(shards);
-    let cfg = LazyDpConfig { dp, ans: true };
+    let cfg = LazyDpConfig::new(dp, true);
     let loader = lazydp_data::FixedBatchLoader::new(ds.clone(), batch);
     let mut trainer = PrivateTrainer::make_private_prefetch(
         model0.clone(),

@@ -76,6 +76,43 @@ impl Table {
         out
     }
 
+    /// Renders the table as a JSON object
+    /// (`{"id", "title", "note", "headers", "rows"}`) — the structured
+    /// output every experiment emits via `figures -- json <id>`, so
+    /// downstream tooling can ingest sweep results (the storage
+    /// experiment's hit-rate/spill numbers, the scaling sweeps, …)
+    /// without parsing markdown. Dependency-free, minimal escaping.
+    #[must_use]
+    pub fn json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let arr = |cells: &[String]| -> String {
+            let inner: Vec<String> = cells.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+            format!("[{}]", inner.join(","))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| arr(r)).collect();
+        format!(
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"note\":\"{}\",\"headers\":{},\"rows\":[{}]}}",
+            esc(&self.id),
+            esc(&self.title),
+            esc(&self.note),
+            arr(&self.headers),
+            rows.join(",")
+        )
+    }
+
     /// Renders CSV (headers + rows).
     #[must_use]
     pub fn csv(&self) -> String {
@@ -139,6 +176,20 @@ mod tests {
         assert!(md.contains("note here"));
         let csv = t.csv();
         assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn json_renders_and_escapes() {
+        let mut t = Table::new("t4", "demo \"quoted\"", &["a", "b"]).with_note("line1\nline2");
+        t.push_row(vec!["1".into(), "with\\slash".into()]);
+        let j = t.json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"id\":\"t4\""));
+        assert!(j.contains("demo \\\"quoted\\\""));
+        assert!(j.contains("line1\\nline2"));
+        assert!(j.contains("with\\\\slash"));
+        assert!(j.contains("\"headers\":[\"a\",\"b\"]"));
+        assert!(j.contains("\"rows\":[[\"1\",\"with\\\\slash\"]]"));
     }
 
     #[test]

@@ -43,7 +43,7 @@ fn train_at(sigma: f64) -> (f64, f64) {
     let mut model = Dlrm::new(DlrmConfig::tiny(TABLES, ROWS, DIM), &mut rng);
     let ds = SyntheticDataset::new(SyntheticConfig::small(TABLES, ROWS, EVAL));
     let dp = DpConfig::new(sigma, 4.0, 0.1, BATCH);
-    let cfg = LazyDpConfig { dp, ans: true };
+    let cfg = LazyDpConfig::new(dp, true);
     let mut opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(77));
     let batches: Vec<_> = (0..=STEPS)
         .map(|i| {

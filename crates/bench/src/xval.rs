@@ -42,7 +42,7 @@ fn run_functional(lazy: bool) -> FunctionalRun {
     let mlp_params = (model.bottom.params() + model.top.params()) as u64;
     let counters = if lazy {
         let mut opt =
-            LazyDpOptimizer::new(LazyDpConfig { dp, ans: true }, &model, CounterNoise::new(9));
+            LazyDpOptimizer::new(LazyDpConfig::new(dp, true), &model, CounterNoise::new(9));
         for i in 0..STEPS {
             opt.step(&mut model, &batches[i], Some(&batches[i + 1]));
         }

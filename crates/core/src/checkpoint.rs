@@ -17,8 +17,10 @@
 
 use crate::history::ShardedHistory;
 use crate::optimizer::{LazyDpConfig, LazyDpOptimizer};
+use lazydp_embedding::EmbeddingStorage;
 use lazydp_model::{Dlrm, DlrmConfig, InteractionKind};
 use lazydp_rng::RowNoise;
+use lazydp_store::{StorageConfig, StoredTable};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"LAZYDP\x01\x00";
@@ -113,9 +115,16 @@ pub struct Checkpoint {
 
 impl Checkpoint {
     /// Captures a checkpoint from a model and its LazyDP optimizer.
+    ///
+    /// Generic over the embedding backend: each table is streamed **in
+    /// global row order** through the [`EmbeddingStorage`] row accessor,
+    /// which on a disk-backed table walks its pages sequentially (each
+    /// page faulted once). The resulting bytes are identical whichever
+    /// backend the run used, so storage-backed and in-memory checkpoints
+    /// are interchangeable.
     #[must_use]
-    pub fn capture<N: RowNoise + Clone + Send + Sync>(
-        model: &Dlrm,
+    pub fn capture<T: EmbeddingStorage, N: RowNoise + Clone + Send + Sync>(
+        model: &Dlrm<T>,
         opt: &LazyDpOptimizer<N>,
     ) -> Self {
         let mut weights = Vec::new();
@@ -124,7 +133,11 @@ impl Checkpoint {
             weights.push(layer.bias.clone());
         }
         for t in &model.tables {
-            weights.push(t.as_slice().to_vec());
+            let mut flat = Vec::with_capacity(t.elements());
+            for r in 0..t.rows() as u64 {
+                t.with_row(r, |row| flat.extend_from_slice(row));
+            }
+            weights.push(flat);
         }
         Self {
             config: model.config().clone(),
@@ -158,8 +171,59 @@ impl Checkpoint {
         // Rebuild the model skeleton, then overwrite every weight.
         let mut seed_rng = lazydp_rng::Xoshiro256PlusPlus::seed_from(0);
         let mut model = Dlrm::new(self.config.clone(), &mut seed_rng);
+        self.fill_model(&mut model);
+        let opt = self.rebuild_optimizer(cfg, noise);
+        (model, opt)
+    }
+
+    /// [`restore`](Self::restore) onto **disk-backed** embedding tables:
+    /// the checkpointed rows are streamed page-sequentially into the
+    /// storage engine configured by `storage` (falling back to
+    /// `cfg.storage`, then the engine defaults) — no intermediate dense
+    /// copy of the tables is ever materialized, so peak memory stays at
+    /// the checkpoint payload plus one page cache per table. Because the
+    /// on-disk checkpoint format stores rows in global order with no
+    /// backend metadata, a run saved on either backend resumes on
+    /// either — the round trip is bitwise (see the tests below).
+    ///
+    /// # Errors
+    ///
+    /// Propagates spill-file I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's shapes are internally inconsistent.
+    pub fn restore_stored<N: RowNoise + Clone + Send + Sync>(
+        &self,
+        cfg: LazyDpConfig,
+        noise: N,
+        storage: Option<&StorageConfig>,
+    ) -> io::Result<(Dlrm<StoredTable>, LazyDpOptimizer<N>)> {
+        let engine_cfg = storage
+            .cloned()
+            .or_else(|| cfg.storage.clone())
+            .unwrap_or_default();
+        // Zero-initialized stored tables (sparse spill files — no RNG
+        // draws, no dense staging); every weight is overwritten below.
+        let mut seed_rng = lazydp_rng::Xoshiro256PlusPlus::seed_from(0);
+        let mut model = Dlrm::<StoredTable>::try_new_with(
+            self.config.clone(),
+            &mut seed_rng,
+            |rows, dim, _| StoredTable::zeros(rows, dim, &engine_cfg),
+        )?;
+        self.fill_model(&mut model);
+        let opt = self.rebuild_optimizer(cfg, noise);
+        Ok((model, opt))
+    }
+
+    /// Overwrites every weight of a freshly-built skeleton with the
+    /// checkpoint's tensors. Table rows go through the
+    /// [`EmbeddingStorage`] row accessor in global order — on a
+    /// disk-backed table that is a sequential page walk, each page
+    /// faulted once and written back on eviction.
+    fn fill_model<T: EmbeddingStorage>(&self, model: &mut Dlrm<T>) {
         let mut it = self.weights.iter();
-        let mut take = || it.next().expect("checkpoint weight tensors").clone();
+        let mut take = || it.next().expect("checkpoint weight tensors");
         for layer in model
             .bottom
             .layers_mut()
@@ -168,23 +232,33 @@ impl Checkpoint {
         {
             let w = take();
             assert_eq!(w.len(), layer.weight.len(), "weight shape mismatch");
-            layer.weight.as_mut_slice().copy_from_slice(&w);
+            layer.weight.as_mut_slice().copy_from_slice(w);
             let b = take();
             assert_eq!(b.len(), layer.bias.len(), "bias shape mismatch");
-            layer.bias.copy_from_slice(&b);
+            layer.bias.copy_from_slice(b);
         }
         for t in &mut model.tables {
             let w = take();
             assert_eq!(w.len(), t.elements(), "table shape mismatch");
-            t.as_mut_slice().copy_from_slice(&w);
+            for (r, row) in w.chunks_exact(t.dim()).enumerate() {
+                t.with_row_mut(r as u64, |dst| dst.copy_from_slice(row));
+            }
         }
+    }
+
+    /// Rebuilds the optimizer from the checkpointed history (always
+    /// stored in global row order, repartitioned into `cfg.dp.shards`).
+    fn rebuild_optimizer<N: RowNoise + Clone + Send + Sync>(
+        &self,
+        cfg: LazyDpConfig,
+        noise: N,
+    ) -> LazyDpOptimizer<N> {
         let history: Vec<ShardedHistory> = self
             .history
             .iter()
             .map(|h| ShardedHistory::from_raw_global(h, cfg.dp.shards))
             .collect();
-        let opt = LazyDpOptimizer::from_state(cfg, noise, history, self.iteration);
-        (model, opt)
+        LazyDpOptimizer::from_state(cfg, noise, history, self.iteration)
     }
 
     /// Serializes to a writer.
@@ -304,10 +378,7 @@ mod tests {
         let mut rng = Xoshiro256PlusPlus::seed_from(55);
         let model = Dlrm::new(DlrmConfig::tiny(2, 48, 8), &mut rng);
         let ds = SyntheticDataset::new(SyntheticConfig::small(2, 48, 160));
-        let cfg = LazyDpConfig {
-            dp: DpConfig::new(0.8, 1.0, 0.05, 16),
-            ans: false, // exact continuation check below
-        };
+        let cfg = LazyDpConfig::new(DpConfig::new(0.8, 1.0, 0.05, 16), false);
         (model, ds, cfg)
     }
 
@@ -320,7 +391,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_everything_bitwise() {
         let (mut model, ds, cfg) = setup();
-        let mut opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(8));
+        let mut opt = LazyDpOptimizer::new(cfg.clone(), &model, CounterNoise::new(8));
         let bs = batches(&ds, 4);
         for i in 0..3 {
             opt.step(&mut model, &bs[i], Some(&bs[i + 1]));
@@ -329,7 +400,7 @@ mod tests {
         let mut buf = Vec::new();
         ck.save(&mut buf).expect("save");
         let ck2 = Checkpoint::load(&mut buf.as_slice()).expect("load");
-        let (model2, opt2) = ck2.restore(cfg, CounterNoise::new(8));
+        let (model2, opt2) = ck2.restore(cfg.clone(), CounterNoise::new(8));
         assert_eq!(model.tables, model2.tables, "tables bitwise equal");
         for (a, b) in model.top.layers().iter().zip(model2.top.layers()) {
             assert_eq!(a.weight, b.weight);
@@ -348,21 +419,21 @@ mod tests {
         let steps = 8usize;
         // Uninterrupted.
         let mut m_full = model0.clone();
-        let mut o_full = LazyDpOptimizer::new(cfg, &m_full, CounterNoise::new(4));
+        let mut o_full = LazyDpOptimizer::new(cfg.clone(), &m_full, CounterNoise::new(4));
         for i in 0..steps {
             o_full.step(&mut m_full, &bs[i], Some(&bs[i + 1]));
         }
         o_full.finalize_model(&mut m_full);
         // Interrupted at step 4, checkpointed through bytes, resumed.
         let mut m = model0;
-        let mut o = LazyDpOptimizer::new(cfg, &m, CounterNoise::new(4));
+        let mut o = LazyDpOptimizer::new(cfg.clone(), &m, CounterNoise::new(4));
         for i in 0..4 {
             o.step(&mut m, &bs[i], Some(&bs[i + 1]));
         }
         let mut buf = Vec::new();
         Checkpoint::capture(&m, &o).save(&mut buf).expect("save");
         let ck = Checkpoint::load(&mut buf.as_slice()).expect("load");
-        let (mut m2, mut o2) = ck.restore(cfg, CounterNoise::new(4));
+        let (mut m2, mut o2) = ck.restore(cfg.clone(), CounterNoise::new(4));
         for i in 4..steps {
             o2.step(&mut m2, &bs[i], Some(&bs[i + 1]));
         }
@@ -379,21 +450,21 @@ mod tests {
         let (model0, ds, cfg) = setup();
         let bs = batches(&ds, 9);
         let mut m_full = model0.clone();
-        let mut o_full = LazyDpOptimizer::new(cfg, &m_full, CounterNoise::new(4));
+        let mut o_full = LazyDpOptimizer::new(cfg.clone(), &m_full, CounterNoise::new(4));
         for i in 0..8 {
             o_full.step(&mut m_full, &bs[i], Some(&bs[i + 1]));
         }
         o_full.finalize_model(&mut m_full);
 
         let mut m = model0;
-        let mut o = LazyDpOptimizer::new(cfg, &m, CounterNoise::new(4));
+        let mut o = LazyDpOptimizer::new(cfg.clone(), &m, CounterNoise::new(4));
         for i in 0..4 {
             o.step(&mut m, &bs[i], Some(&bs[i + 1]));
         }
         // "Checkpoint" only the weights; resume with a FRESH optimizer
         // whose history claims nothing has been applied since iter 0 …
         let mut o_bad = LazyDpOptimizer::from_state(
-            cfg,
+            cfg.clone(),
             CounterNoise::new(4),
             m.tables
                 .iter()
@@ -431,7 +502,7 @@ mod tests {
         let steps = 8usize;
         // Uninterrupted single-shard reference.
         let mut m_full = model0.clone();
-        let mut o_full = LazyDpOptimizer::new(cfg, &m_full, CounterNoise::new(4));
+        let mut o_full = LazyDpOptimizer::new(cfg.clone(), &m_full, CounterNoise::new(4));
         for i in 0..steps {
             o_full.step(&mut m_full, &bs[i], Some(&bs[i + 1]));
         }
@@ -439,14 +510,14 @@ mod tests {
         // Interrupted at step 4 on S=1, resumed on S=4 (and S=8).
         for resume_shards in [4usize, 8] {
             let mut m = model0.clone();
-            let mut o = LazyDpOptimizer::new(cfg, &m, CounterNoise::new(4));
+            let mut o = LazyDpOptimizer::new(cfg.clone(), &m, CounterNoise::new(4));
             for i in 0..4 {
                 o.step(&mut m, &bs[i], Some(&bs[i + 1]));
             }
             let mut buf = Vec::new();
             Checkpoint::capture(&m, &o).save(&mut buf).expect("save");
             let ck = Checkpoint::load(&mut buf.as_slice()).expect("load");
-            let resumed_cfg = cfg.with_shards(resume_shards);
+            let resumed_cfg = cfg.clone().with_shards(resume_shards);
             let (mut m2, mut o2) = ck.restore(resumed_cfg, CounterNoise::new(4));
             assert_eq!(o2.history_tables()[0].num_shards(), resume_shards);
             for i in 4..steps {
@@ -464,6 +535,80 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_crosses_storage_backends_bitwise_exactly() {
+        // The storage-interchangeability contract: a run interrupted on
+        // the paged StoredTable backend (undersized cache, so pages
+        // were genuinely spilled) checkpoints through bytes and resumes
+        // on the in-memory backend — and vice versa — landing exactly
+        // where the uninterrupted in-memory run lands.
+        let (model0, ds, cfg) = setup();
+        let scfg = StorageConfig::new().with_page_rows(4).with_cache_pages(2);
+        let bs = batches(&ds, 9);
+        let steps = 8usize;
+
+        // Uninterrupted in-memory reference.
+        let mut m_full = model0.clone();
+        let mut o_full = LazyDpOptimizer::new(cfg.clone(), &m_full, CounterNoise::new(4));
+        for i in 0..steps {
+            o_full.step(&mut m_full, &bs[i], Some(&bs[i + 1]));
+        }
+        o_full.finalize_model(&mut m_full);
+
+        // Save on stored, resume on memory.
+        let mut m_st = model0
+            .clone()
+            .try_map_tables(|_, t| StoredTable::from_dense(&t, &scfg))
+            .expect("spill");
+        let mut o_st = LazyDpOptimizer::new(cfg.clone(), &m_st, CounterNoise::new(4));
+        for i in 0..4 {
+            o_st.step(&mut m_st, &bs[i], Some(&bs[i + 1]));
+        }
+        let mut buf = Vec::new();
+        Checkpoint::capture(&m_st, &o_st)
+            .save(&mut buf)
+            .expect("save");
+        let ck = Checkpoint::load(&mut buf.as_slice()).expect("load");
+        let (mut m2, mut o2) = ck.restore(cfg.clone(), CounterNoise::new(4));
+        for i in 4..steps {
+            o2.step(&mut m2, &bs[i], Some(&bs[i + 1]));
+        }
+        o2.finalize_model(&mut m2);
+        for (a, b) in m_full.tables.iter().zip(m2.tables.iter()) {
+            assert_eq!(
+                a.max_abs_diff(b),
+                0.0,
+                "stored-save/memory-resume must be bitwise exact"
+            );
+        }
+
+        // Save on memory, resume on stored (restore_stored).
+        let mut m_mem = model0;
+        let mut o_mem = LazyDpOptimizer::new(cfg.clone(), &m_mem, CounterNoise::new(4));
+        for i in 0..4 {
+            o_mem.step(&mut m_mem, &bs[i], Some(&bs[i + 1]));
+        }
+        let mut buf = Vec::new();
+        Checkpoint::capture(&m_mem, &o_mem)
+            .save(&mut buf)
+            .expect("save");
+        let ck = Checkpoint::load(&mut buf.as_slice()).expect("load");
+        let (mut m3, mut o3) = ck
+            .restore_stored(cfg, CounterNoise::new(4), Some(&scfg))
+            .expect("restore onto the paged backend");
+        for i in 4..steps {
+            o3.step(&mut m3, &bs[i], Some(&bs[i + 1]));
+        }
+        o3.finalize_model(&mut m3);
+        for (a, b) in m_full.tables.iter().zip(m3.tables.iter()) {
+            assert_eq!(
+                b.max_abs_diff_dense(a),
+                0.0,
+                "memory-save/stored-resume must be bitwise exact"
+            );
+        }
+    }
+
+    #[test]
     fn load_rejects_garbage_and_wrong_magic() {
         let mut r: &[u8] = b"definitely not a checkpoint at all";
         assert!(Checkpoint::load(&mut r).is_err());
@@ -471,7 +616,7 @@ mod tests {
         assert!(Checkpoint::load(&mut short).is_err());
         // Corrupt version.
         let (model, _, cfg) = setup();
-        let opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(1));
+        let opt = LazyDpOptimizer::new(cfg.clone(), &model, CounterNoise::new(1));
         let mut buf = Vec::new();
         Checkpoint::capture(&model, &opt)
             .save(&mut buf)

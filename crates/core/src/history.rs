@@ -207,12 +207,13 @@ impl ShardedHistory {
         &mut self.shards
     }
 
-    /// `(shard, local_row)` of a global row.
+    /// `(shard, local_row)` of a global row — routed through
+    /// [`ShardSpec::locate`], the single shared partition function, so
+    /// the history's row→shard mapping can never drift from the table
+    /// shards' (or the storage engine's).
     fn locate(&self, row: u64) -> (usize, usize) {
-        (
-            self.spec.shard_of(row),
-            usize::try_from(self.spec.local_row(row)).expect("local row fits usize"),
-        )
+        let (s, l) = self.spec.locate(row);
+        (s, usize::try_from(l).expect("local row fits usize"))
     }
 
     /// Global-row [`HistoryTable::take_delays`].

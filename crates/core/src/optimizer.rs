@@ -24,10 +24,11 @@ use lazydp_data::MiniBatch;
 use lazydp_dpsgd::clip::{clip_weights, clipped_fraction};
 use lazydp_dpsgd::{DpConfig, KernelCounters, Optimizer, StepStats};
 use lazydp_embedding::sparse::dedup_indices;
-use lazydp_embedding::SparseGrad;
+use lazydp_embedding::{EmbeddingStorage, SparseGrad};
 use lazydp_exec::Executor;
 use lazydp_model::{Dlrm, DlrmGrads, MlpGrads};
 use lazydp_rng::RowNoise;
+use lazydp_store::StorageConfig;
 
 /// Planned rows flushed per staging segment in
 /// [`LazyDpOptimizer::finalize_model`] — bounds the noise buffer even
@@ -35,13 +36,26 @@ use lazydp_rng::RowNoise;
 const FINALIZE_SEGMENT_ENTRIES: usize = 16_384;
 
 /// LazyDP hyper-parameters: the DP-SGD parameters plus the ANS switch
-/// (the paper evaluates both `LazyDP` and `LazyDP(w/o ANS)`, Fig. 10).
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// (the paper evaluates both `LazyDP` and `LazyDP(w/o ANS)`, Fig. 10)
+/// and, optionally, the out-of-core storage knobs.
+#[derive(Debug, Clone, PartialEq)]
 pub struct LazyDpConfig {
     /// The shared DP-SGD hyper-parameters (σ, C, η, B).
     pub dp: DpConfig,
     /// Whether aggregated noise sampling (§5.2.2) is enabled.
     pub ans: bool,
+    /// Out-of-core embedding storage (page size, cache capacity, spill
+    /// dir) used by [`PrivateTrainer::make_private_stored`] and
+    /// [`Checkpoint::restore_stored`]; `None` keeps tables in memory.
+    ///
+    /// Lives here rather than on [`DpConfig`] because only LazyDP's
+    /// `O(batch)` sparse access pattern makes paging viable — eager
+    /// DP-SGD's dense full-table noisy update would thrash any bounded
+    /// cache, which is exactly the traffic the paper removes.
+    ///
+    /// [`PrivateTrainer::make_private_stored`]: crate::PrivateTrainer::make_private_stored
+    /// [`Checkpoint::restore_stored`]: crate::Checkpoint::restore_stored
+    pub storage: Option<StorageConfig>,
 }
 
 impl LazyDpConfig {
@@ -51,7 +65,34 @@ impl LazyDpConfig {
         Self {
             dp: DpConfig::paper_default(nominal_batch),
             ans: true,
+            storage: None,
         }
+    }
+
+    /// Convenience constructor over explicit DP parameters and the ANS
+    /// switch (in-memory storage).
+    #[must_use]
+    pub fn new(dp: DpConfig, ans: bool) -> Self {
+        Self {
+            dp,
+            ans,
+            storage: None,
+        }
+    }
+
+    /// Enables disk-backed embedding tables with the given storage
+    /// engine configuration (see `lazydp_store::StorageConfig`). Takes
+    /// effect in [`PrivateTrainer::make_private_stored`] /
+    /// [`Checkpoint::restore_stored`]; the trained model is bitwise
+    /// identical to the in-memory backend for any page size and cache
+    /// capacity.
+    ///
+    /// [`PrivateTrainer::make_private_stored`]: crate::PrivateTrainer::make_private_stored
+    /// [`Checkpoint::restore_stored`]: crate::Checkpoint::restore_stored
+    #[must_use]
+    pub fn with_storage(mut self, storage: StorageConfig) -> Self {
+        self.storage = Some(storage);
+        self
     }
 
     /// Disables ANS (the `LazyDP(w/o ANS)` ablation).
@@ -107,8 +148,11 @@ impl<N: RowNoise + Clone + Send + Sync> LazyDpOptimizer<N> {
     /// are sized from its embedding tables and partitioned into
     /// `cfg.dp.shards` shards — or 1 if `noise` is not addressable,
     /// since only addressable sources may be sampled shard-parallel).
+    /// Generic over the model's embedding backend: only row counts are
+    /// read here, so in-memory and disk-backed models build identical
+    /// optimizer state.
     #[must_use]
-    pub fn new(cfg: LazyDpConfig, model: &Dlrm, noise: N) -> Self {
+    pub fn new<T: EmbeddingStorage>(cfg: LazyDpConfig, model: &Dlrm<T>, noise: N) -> Self {
         let shards = if noise.addressable() {
             cfg.dp.shards
         } else {
@@ -182,14 +226,33 @@ impl<N: RowNoise + Clone + Send + Sync> LazyDpOptimizer<N> {
         self.history.iter().map(ShardedHistory::bytes).sum()
     }
 
+    /// Cumulative logical-work counters (inherent so callers don't need
+    /// to pin the `Optimizer<T>` backend parameter just to read them).
+    #[must_use]
+    pub fn counters(&self) -> KernelCounters {
+        self.counters
+    }
+
+    /// Algorithm name as the paper spells it (inherent twin of
+    /// [`Optimizer::name`], same backend-parameter reasoning as
+    /// [`counters`](Self::counters)).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        if self.cfg.ans {
+            "LazyDP"
+        } else {
+            "LazyDP(w/o ANS)"
+        }
+    }
+
     /// DP-SGD(F)-style clipped aggregate (ghost norms + reweighted
     /// backward), identical to the strongest eager baseline. An
     /// associated function (not a method) so [`Optimizer::step`] can run
     /// it concurrently with the lookahead flush, which borrows the
     /// history.
-    fn clipped_aggregate(
+    fn clipped_aggregate<T: EmbeddingStorage>(
         dp: &DpConfig,
-        model: &Dlrm,
+        model: &Dlrm<T>,
         batch: &MiniBatch,
         counters: &mut KernelCounters,
     ) -> (DlrmGrads, f64) {
@@ -226,8 +289,10 @@ impl<N: RowNoise + Clone + Send + Sync> LazyDpOptimizer<N> {
     /// data-parallel on the executor. Rows are visited in shard-major
     /// instead of global order, but each row's noise is addressed by its
     /// global id, so the released model is bitwise identical for any
-    /// shard count.
-    pub fn finalize_model(&mut self, model: &mut Dlrm) {
+    /// shard count — and for any embedding backend: on a disk-backed
+    /// table each bounded segment touches its rows through the page
+    /// cache, so release never needs the whole table resident.
+    pub fn finalize_model<T: EmbeddingStorage>(&mut self, model: &mut Dlrm<T>) {
         let lr = self.cfg.dp.lr;
         let per_step_std = self.cfg.dp.noise_std_per_coord();
         let exec = Executor::new(self.cfg.dp.threads);
@@ -256,10 +321,11 @@ impl<N: RowNoise + Clone + Send + Sync> LazyDpOptimizer<N> {
                         &mut self.counters,
                     );
                     for (e, nv) in seg.iter().zip(noise_buf.chunks_exact(dim)) {
-                        let row = table.row_mut(usize::try_from(e.row).expect("row fits usize"));
-                        for (w, &n) in row.iter_mut().zip(nv.iter()) {
-                            *w -= lr * n;
-                        }
+                        table.with_row_mut(e.row, |row| {
+                            for (w, &n) in row.iter_mut().zip(nv.iter()) {
+                                *w -= lr * n;
+                            }
+                        });
                         self.counters.table_rows_read += 1;
                         self.counters.table_rows_written += 1;
                     }
@@ -269,22 +335,28 @@ impl<N: RowNoise + Clone + Send + Sync> LazyDpOptimizer<N> {
     }
 }
 
-impl<N: RowNoise + Clone + Send + Sync> Optimizer for LazyDpOptimizer<N> {
+impl<T, N> Optimizer<T> for LazyDpOptimizer<N>
+where
+    T: EmbeddingStorage,
+    N: RowNoise + Clone + Send + Sync,
+{
     fn name(&self) -> &'static str {
-        if self.cfg.ans {
-            "LazyDP"
-        } else {
-            "LazyDP(w/o ANS)"
-        }
+        LazyDpOptimizer::name(self)
     }
 
-    fn step(&mut self, model: &mut Dlrm, batch: &MiniBatch, next: Option<&MiniBatch>) -> StepStats {
+    fn step(
+        &mut self,
+        model: &mut Dlrm<T>,
+        batch: &MiniBatch,
+        next: Option<&MiniBatch>,
+    ) -> StepStats {
         self.iter += 1;
         let iter = self.iter;
-        let cfg = self.cfg;
-        let std = cfg.dp.noise_std_per_coord();
-        let lr = cfg.dp.lr;
-        let exec = Executor::new(cfg.dp.threads);
+        let dp = self.cfg.dp;
+        let ans = self.cfg.ans;
+        let std = dp.noise_std_per_coord();
+        let lr = dp.lr;
+        let exec = Executor::new(dp.threads);
 
         // Lookahead pre-pass (Algorithm 1 line 12): dedup the rows each
         // table gathers *next* iteration. An empty next batch (Poisson
@@ -307,7 +379,11 @@ impl<N: RowNoise + Clone + Send + Sync> Optimizer for LazyDpOptimizer<N> {
         // source it runs shard-parallel on a scoped worker *while* the
         // main thread does the dense forward/backward. Stateful sources
         // keep the sequential 1-shard path below to preserve their draw
-        // order.
+        // order. The same worker asks the storage backend to fault in
+        // the pages of exactly the rows step t+1 gathers (the set
+        // LazyDP's delayed noising touches), so on a disk-backed table
+        // the next gather is served from the page cache — prefetch is a
+        // no-op for in-memory backends and never changes row values.
         let overlap = next_targets.is_some() && self.noise.addressable();
         let mut flushes: Vec<ShardedFlush> = Vec::new();
         let (mut grads, clipped) = if overlap {
@@ -315,6 +391,7 @@ impl<N: RowNoise + Clone + Send + Sync> Optimizer for LazyDpOptimizer<N> {
             let dims: Vec<usize> = model.tables.iter().map(|t| t.dim()).collect();
             let noise = &self.noise;
             let history = &mut self.history;
+            let model_ref: &Dlrm<T> = model;
             let (gc, fs, fc) = std::thread::scope(|s| {
                 let flush = s.spawn(move || {
                     let mut c = KernelCounters::new();
@@ -322,6 +399,7 @@ impl<N: RowNoise + Clone + Send + Sync> Optimizer for LazyDpOptimizer<N> {
                         .iter()
                         .enumerate()
                         .map(|(t, tg)| {
+                            model_ref.tables[t].prefetch_rows(tg);
                             flush_next_rows_sharded(
                                 t as u32,
                                 iter,
@@ -329,7 +407,7 @@ impl<N: RowNoise + Clone + Send + Sync> Optimizer for LazyDpOptimizer<N> {
                                 &mut history[t],
                                 dims[t],
                                 std,
-                                cfg.ans,
+                                ans,
                                 noise,
                                 &exec,
                                 &mut c,
@@ -338,7 +416,7 @@ impl<N: RowNoise + Clone + Send + Sync> Optimizer for LazyDpOptimizer<N> {
                         .collect();
                     (fs, c)
                 });
-                let gc = Self::clipped_aggregate(&cfg.dp, model, batch, &mut self.counters);
+                let gc = Self::clipped_aggregate(&dp, model_ref, batch, &mut self.counters);
                 let (fs, fc) = flush.join().expect("lookahead flush worker panicked");
                 (gc, fs, fc)
             });
@@ -346,9 +424,9 @@ impl<N: RowNoise + Clone + Send + Sync> Optimizer for LazyDpOptimizer<N> {
             flushes = fs;
             gc
         } else {
-            Self::clipped_aggregate(&cfg.dp, model, batch, &mut self.counters)
+            Self::clipped_aggregate(&dp, model, batch, &mut self.counters)
         };
-        grads.scale(1.0 / cfg.dp.nominal_batch as f32);
+        grads.scale(1.0 / dp.nominal_batch as f32);
         self.counters.duplicates_removed += grads.coalesce() as u64;
 
         // MLP layers: identical treatment to eager DP-SGD (gradient +
@@ -389,7 +467,7 @@ impl<N: RowNoise + Clone + Send + Sync> Optimizer for LazyDpOptimizer<N> {
                     let noise_buf = plan.sample_noise(
                         dim,
                         std,
-                        cfg.ans,
+                        ans,
                         &mut self.noise,
                         &exec,
                         &mut self.counters,
@@ -412,7 +490,7 @@ impl<N: RowNoise + Clone + Send + Sync> Optimizer for LazyDpOptimizer<N> {
         }
     }
 
-    fn finalize(&mut self, model: &mut Dlrm) {
+    fn finalize(&mut self, model: &mut Dlrm<T>) {
         self.finalize_model(model);
     }
 
@@ -469,10 +547,7 @@ mod tests {
 
         // LazyDP without ANS, same noise seed, one-batch lookahead.
         let mut lazy_model = model0.clone();
-        let lazy_cfg = LazyDpConfig {
-            dp: cfg,
-            ans: false,
-        };
+        let lazy_cfg = LazyDpConfig::new(cfg, false);
         let mut lazy = LazyDpOptimizer::new(lazy_cfg, &lazy_model, CounterNoise::new(99));
         let mut lazy_logits: Vec<Vec<f32>> = Vec::new();
         for i in 0..steps {
@@ -519,7 +594,7 @@ mod tests {
             eager.step(&mut eager_model, &empty, None);
         }
         let mut lazy_model = model0.clone();
-        let lazy_cfg = LazyDpConfig { dp: cfg, ans: true };
+        let lazy_cfg = LazyDpConfig::new(cfg, true);
         let mut lazy = LazyDpOptimizer::new(lazy_cfg, &lazy_model, CounterNoise::new(8));
         for _ in 0..steps {
             lazy.step(&mut lazy_model, &empty, Some(&empty));
@@ -557,7 +632,7 @@ mod tests {
             .collect();
         let run = |ans: bool| -> u64 {
             let mut model = model0.clone();
-            let lazy_cfg = LazyDpConfig { dp: cfg, ans };
+            let lazy_cfg = LazyDpConfig::new(cfg, ans);
             let mut opt = LazyDpOptimizer::new(lazy_cfg, &model, CounterNoise::new(3));
             for i in 0..steps {
                 opt.step(&mut model, &batches[i], Some(&batches[i + 1]));
@@ -581,7 +656,7 @@ mod tests {
         let (mut large, ds_large) = setup(1, 4096, 64);
         let cfg = LazyDpConfig::paper_default(8);
         let run = |model: &mut Dlrm, ds: &SyntheticDataset| -> u64 {
-            let mut opt = LazyDpOptimizer::new(cfg, model, CounterNoise::new(1));
+            let mut opt = LazyDpOptimizer::new(cfg.clone(), model, CounterNoise::new(1));
             let b0 = ds.batch_of(&(0..8).collect::<Vec<_>>());
             let b1 = ds.batch_of(&(8..16).collect::<Vec<_>>());
             let mlp = (model.bottom.params() + model.top.params()) as u64;
@@ -606,14 +681,14 @@ mod tests {
             .map(|i| ds.batch_of(&(i * 16..(i + 1) * 16).collect::<Vec<_>>()))
             .collect();
         let run = |shards: usize, threads: usize, ans: bool| -> Dlrm {
-            let cfg = LazyDpConfig {
-                dp: DpConfig::new(0.9, 1.0, 0.05, 16)
+            let cfg = LazyDpConfig::new(
+                DpConfig::new(0.9, 1.0, 0.05, 16)
                     .with_threads(threads)
                     .with_shards(shards),
                 ans,
-            };
+            );
             let mut model = model0.clone();
-            let mut opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(21));
+            let mut opt = LazyDpOptimizer::new(cfg.clone(), &model, CounterNoise::new(21));
             for i in 0..6 {
                 opt.step(&mut model, &batches[i], Some(&batches[i + 1]));
             }
@@ -639,12 +714,9 @@ mod tests {
     fn stateful_noise_falls_back_to_one_shard() {
         use lazydp_rng::SequentialNoise;
         let (model, _) = setup(2, 32, 16);
-        let cfg = LazyDpConfig {
-            dp: DpConfig::new(1.0, 1.0, 0.1, 8).with_shards(4),
-            ans: true,
-        };
+        let cfg = LazyDpConfig::new(DpConfig::new(1.0, 1.0, 0.1, 8).with_shards(4), true);
         let noise = SequentialNoise::new(Xoshiro256PlusPlus::seed_from(3));
-        let opt = LazyDpOptimizer::new(cfg, &model, noise);
+        let opt = LazyDpOptimizer::new(cfg.clone(), &model, noise);
         assert_eq!(
             opt.history_tables()[0].num_shards(),
             1,
@@ -656,7 +728,7 @@ mod tests {
     fn finalize_is_idempotent() {
         let (mut model, ds) = setup(2, 32, 32);
         let cfg = LazyDpConfig::paper_default(8);
-        let mut opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(5));
+        let mut opt = LazyDpOptimizer::new(cfg.clone(), &model, CounterNoise::new(5));
         let b0 = ds.batch_of(&(0..8).collect::<Vec<_>>());
         let b1 = ds.batch_of(&(8..16).collect::<Vec<_>>());
         opt.step(&mut model, &b0, Some(&b1));
@@ -673,7 +745,7 @@ mod tests {
         let batch = ds.batch_of(&(0..8).collect::<Vec<_>>());
         // Without lookahead, no embedding noise lands during the step …
         let mut m1 = model0.clone();
-        let lazy_cfg = LazyDpConfig { dp: cfg, ans: true };
+        let lazy_cfg = LazyDpConfig::new(cfg, true);
         let mut o1 = LazyDpOptimizer::new(lazy_cfg, &m1, CounterNoise::new(9));
         o1.step(&mut m1, &batch, None);
         let mlp = (m1.bottom.params() + m1.top.params()) as u64;
@@ -691,7 +763,7 @@ mod tests {
     fn overhead_counters_track_history_and_dedup() {
         let (mut model, ds) = setup(1, 64, 64);
         let cfg = LazyDpConfig::paper_default(16);
-        let mut opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(2));
+        let mut opt = LazyDpOptimizer::new(cfg.clone(), &model, CounterNoise::new(2));
         let b0 = ds.batch_of(&(0..16).collect::<Vec<_>>());
         let b1 = ds.batch_of(&(0..16).collect::<Vec<_>>()); // same rows → dups across samples possible
         opt.step(&mut model, &b0, Some(&b1));
@@ -709,11 +781,8 @@ mod tests {
         let (mut model, ds) = setup(2, 64, 256);
         let eval = ds.batch_of(&(0..128).collect::<Vec<_>>());
         let before = model.loss(&eval);
-        let cfg = LazyDpConfig {
-            dp: DpConfig::new(0.3, 5.0, 0.1, 32),
-            ans: true,
-        };
-        let mut opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(77));
+        let cfg = LazyDpConfig::new(DpConfig::new(0.3, 5.0, 0.1, 32), true);
+        let mut opt = LazyDpOptimizer::new(cfg.clone(), &model, CounterNoise::new(77));
         let mut loader = lazydp_data::LookaheadLoader::new(FixedBatchLoader::new(ds, 32));
         for _ in 0..40 {
             let (cur, next) = loader.advance();

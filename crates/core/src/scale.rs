@@ -243,7 +243,7 @@ mod tests {
         // Zero the table so both sides start identically.
         model.tables[0].as_mut_slice().fill(0.0);
         let mut opt =
-            LazyDpOptimizer::new(LazyDpConfig { dp, ans: true }, &model, CounterNoise::new(9));
+            LazyDpOptimizer::new(LazyDpConfig::new(dp, true), &model, CounterNoise::new(9));
         // Virtual-scale loop with a zero-init virtual table.
         let vt = {
             let mut v = VirtualTable::new(rows, dim, 2);

@@ -11,19 +11,26 @@
 use crate::optimizer::{LazyDpConfig, LazyDpOptimizer};
 use lazydp_data::{BatchSource, LookaheadLoader, LookaheadSource, PrefetchLoader};
 use lazydp_dpsgd::{KernelCounters, Optimizer, StepStats};
+use lazydp_embedding::{EmbeddingStorage, EmbeddingTable};
 use lazydp_model::Dlrm;
 use lazydp_privacy::RdpAccountant;
 use lazydp_rng::RowNoise;
+use lazydp_store::StoredTable;
+use std::io;
 
 /// A private training session created by
 /// [`make_private`](Self::make_private) (synchronous input pipeline),
 /// [`make_private_prefetch`](Self::make_private_prefetch) (async
-/// pipeline), or [`make_private_with`](Self::make_private_with) (any
-/// [`LookaheadSource`]). All three train the bitwise-same model given
-/// the same batch stream and noise seed.
+/// pipeline), [`make_private_with`](Self::make_private_with) (any
+/// [`LookaheadSource`]), or
+/// [`make_private_stored`](Self::make_private_stored) /
+/// [`make_private_stored_prefetch`](Self::make_private_stored_prefetch)
+/// (disk-backed embedding tables). All of them train the bitwise-same
+/// model given the same batch stream and noise seed — the backend
+/// parameter `T` changes where embedding rows live, never their values.
 #[derive(Debug)]
-pub struct PrivateTrainer<L, N> {
-    model: Dlrm,
+pub struct PrivateTrainer<L, N, T: EmbeddingStorage = EmbeddingTable> {
+    model: Dlrm<T>,
     optimizer: LazyDpOptimizer<N>,
     loader: L,
     accountant: RdpAccountant,
@@ -31,7 +38,12 @@ pub struct PrivateTrainer<L, N> {
     finalized: bool,
 }
 
-impl<S: BatchSource, N: RowNoise + Clone + Send + Sync> PrivateTrainer<LookaheadLoader<S>, N> {
+impl<S, N, T> PrivateTrainer<LookaheadLoader<S>, N, T>
+where
+    S: BatchSource,
+    N: RowNoise + Clone + Send + Sync,
+    T: EmbeddingStorage,
+{
     /// Wraps a model, batch source, and noise source into a LazyDP
     /// training session (the Fig. 9(a) `LazyDP.make_private` call) with
     /// the synchronous one-batch-lookahead loader.
@@ -55,7 +67,7 @@ impl<S: BatchSource, N: RowNoise + Clone + Send + Sync> PrivateTrainer<Lookahead
     /// Panics if `sampling_rate ∉ (0, 1]`.
     #[must_use]
     pub fn make_private(
-        model: Dlrm,
+        model: Dlrm<T>,
         cfg: LazyDpConfig,
         source: S,
         noise: N,
@@ -71,7 +83,46 @@ impl<S: BatchSource, N: RowNoise + Clone + Send + Sync> PrivateTrainer<Lookahead
     }
 }
 
-impl<N: RowNoise + Clone + Send + Sync> PrivateTrainer<PrefetchLoader, N> {
+impl<S, N> PrivateTrainer<LookaheadLoader<S>, N, StoredTable>
+where
+    S: BatchSource,
+    N: RowNoise + Clone + Send + Sync,
+{
+    /// [`make_private`](PrivateTrainer::make_private) with **disk-backed
+    /// embedding tables**: the in-memory model's tables are spilled to
+    /// the paged storage engine configured by `cfg.storage` (or the
+    /// `lazydp_store::StorageConfig` defaults when unset), and training
+    /// proceeds with only the page cache resident per table. The
+    /// released model is bitwise identical to the in-memory run — the
+    /// out-of-core tentpole invariant, proven by the workspace proptests
+    /// and `examples/out_of_core.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spill-file I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sampling_rate ∉ (0, 1]`.
+    pub fn make_private_stored(
+        model: Dlrm,
+        cfg: LazyDpConfig,
+        source: S,
+        noise: N,
+        sampling_rate: f64,
+    ) -> io::Result<Self> {
+        let model = store_model(model, &cfg)?;
+        Ok(Self::make_private_with(
+            model,
+            cfg,
+            LookaheadLoader::new(source),
+            noise,
+            sampling_rate,
+        ))
+    }
+}
+
+impl<N: RowNoise + Clone + Send + Sync, T: EmbeddingStorage> PrivateTrainer<PrefetchLoader, N, T> {
     /// [`make_private`](PrivateTrainer::make_private) with the
     /// asynchronous double-buffered input pipeline: batches are
     /// generated on a background thread and the next batch's indices
@@ -84,7 +135,7 @@ impl<N: RowNoise + Clone + Send + Sync> PrivateTrainer<PrefetchLoader, N> {
     /// Panics if `sampling_rate ∉ (0, 1]`.
     #[must_use]
     pub fn make_private_prefetch<S: BatchSource + Send + 'static>(
-        model: Dlrm,
+        model: Dlrm<T>,
         cfg: LazyDpConfig,
         source: S,
         noise: N,
@@ -100,7 +151,49 @@ impl<N: RowNoise + Clone + Send + Sync> PrivateTrainer<PrefetchLoader, N> {
     }
 }
 
-impl<L: LookaheadSource, N: RowNoise + Clone + Send + Sync> PrivateTrainer<L, N> {
+impl<N: RowNoise + Clone + Send + Sync> PrivateTrainer<PrefetchLoader, N, StoredTable> {
+    /// The full out-of-core pipeline: disk-backed embedding tables
+    /// (see [`make_private_stored`](PrivateTrainer::make_private_stored))
+    /// **and** the async input pipeline, whose
+    /// [`peek_next_indices`](PrefetchLoader::peek_next_indices) lookahead
+    /// window is what lets the optimizer fault step *t+1*'s pages in
+    /// while step *t*'s dense compute runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spill-file I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sampling_rate ∉ (0, 1]`.
+    pub fn make_private_stored_prefetch<S: BatchSource + Send + 'static>(
+        model: Dlrm,
+        cfg: LazyDpConfig,
+        source: S,
+        noise: N,
+        sampling_rate: f64,
+    ) -> io::Result<Self> {
+        let model = store_model(model, &cfg)?;
+        Ok(Self::make_private_with(
+            model,
+            cfg,
+            PrefetchLoader::new(source),
+            noise,
+            sampling_rate,
+        ))
+    }
+}
+
+/// Spills an in-memory model's tables to the storage engine configured
+/// by `cfg.storage` (engine defaults when unset).
+fn store_model(model: Dlrm, cfg: &LazyDpConfig) -> io::Result<Dlrm<StoredTable>> {
+    let storage = cfg.storage.clone().unwrap_or_default();
+    model.try_map_tables(|_, t| StoredTable::from_dense(&t, &storage))
+}
+
+impl<L: LookaheadSource, N: RowNoise + Clone + Send + Sync, T: EmbeddingStorage>
+    PrivateTrainer<L, N, T>
+{
     /// [`make_private`](PrivateTrainer::make_private) over an
     /// already-constructed lookahead pipeline (any [`LookaheadSource`]).
     ///
@@ -109,7 +202,7 @@ impl<L: LookaheadSource, N: RowNoise + Clone + Send + Sync> PrivateTrainer<L, N>
     /// Panics if `sampling_rate ∉ (0, 1]`.
     #[must_use]
     pub fn make_private_with(
-        model: Dlrm,
+        model: Dlrm<T>,
         cfg: LazyDpConfig,
         loader: L,
         noise: N,
@@ -160,7 +253,7 @@ impl<L: LookaheadSource, N: RowNoise + Clone + Send + Sync> PrivateTrainer<L, N>
     /// flushed — for evaluation *inside* the training loop only; never
     /// release this state).
     #[must_use]
-    pub fn model(&self) -> &Dlrm {
+    pub fn model(&self) -> &Dlrm<T> {
         &self.model
     }
 
@@ -181,7 +274,7 @@ impl<L: LookaheadSource, N: RowNoise + Clone + Send + Sync> PrivateTrainer<L, N>
 
     /// Finalizes and returns the releasable model.
     #[must_use]
-    pub fn finish(mut self) -> Dlrm {
+    pub fn finish(mut self) -> Dlrm<T> {
         self.finalize();
         self.model
     }
@@ -209,10 +302,7 @@ mod tests {
         let ds = dataset(256);
         let loader = PoissonLoader::new(ds, 32, 5);
         let q = loader.sampling_rate();
-        let cfg = LazyDpConfig {
-            dp: lazydp_dpsgd::DpConfig::new(0.5, 2.0, 0.05, 32),
-            ans: true,
-        };
+        let cfg = LazyDpConfig::new(lazydp_dpsgd::DpConfig::new(0.5, 2.0, 0.05, 32), true);
         let mut trainer =
             PrivateTrainer::make_private(model(), cfg, loader, CounterNoise::new(3), q);
         let stats = trainer.train_steps(10);
@@ -306,10 +396,7 @@ mod tests {
         let run = |ans: bool| -> f64 {
             let ds = dataset(256);
             let loader = FixedBatchLoader::new(ds, 32);
-            let cfg = LazyDpConfig {
-                dp: lazydp_dpsgd::DpConfig::paper_default(32),
-                ans,
-            };
+            let cfg = LazyDpConfig::new(lazydp_dpsgd::DpConfig::paper_default(32), ans);
             let mut t = PrivateTrainer::make_private(
                 model(),
                 cfg,

@@ -3,6 +3,7 @@
 
 use crate::counters::KernelCounters;
 use lazydp_data::MiniBatch;
+use lazydp_embedding::{EmbeddingStorage, EmbeddingTable};
 use lazydp_model::Dlrm;
 
 /// Per-step diagnostics returned by [`Optimizer::step`].
@@ -22,18 +23,32 @@ pub struct StepStats {
 /// lookahead (the LazyDP `InputQueue`); eager algorithms ignore it.
 /// LazyDP requires it for every step except the last before
 /// [`finalize`](Self::finalize).
-pub trait Optimizer {
+///
+/// `T` is the embedding backend the algorithm can drive. It defaults to
+/// the in-memory [`EmbeddingTable`], which every optimizer supports.
+/// Algorithms whose per-row work is `O(batch)` — LazyDP — additionally
+/// implement the trait for *every* [`EmbeddingStorage`], including the
+/// out-of-core `lazydp_store::StoredTable`; eager DP-SGD deliberately
+/// does not, because its dense full-table noisy update would thrash any
+/// bounded page cache (that full-table traffic is precisely what the
+/// paper removes).
+pub trait Optimizer<T: EmbeddingStorage = EmbeddingTable> {
     /// Algorithm name as the paper spells it (e.g. `"DP-SGD(F)"`).
     fn name(&self) -> &'static str;
 
     /// Performs one training iteration.
-    fn step(&mut self, model: &mut Dlrm, batch: &MiniBatch, next: Option<&MiniBatch>) -> StepStats;
+    fn step(
+        &mut self,
+        model: &mut Dlrm<T>,
+        batch: &MiniBatch,
+        next: Option<&MiniBatch>,
+    ) -> StepStats;
 
     /// Completes any deferred work so the model reaches its final,
     /// releasable state. Eager algorithms have nothing to do; LazyDP
     /// flushes all pending noise here (threat model §3: the adversary
     /// observes the *final* model).
-    fn finalize(&mut self, model: &mut Dlrm) {
+    fn finalize(&mut self, model: &mut Dlrm<T>) {
         let _ = model;
     }
 

@@ -6,7 +6,7 @@
 //! single vector using a reduction operation").
 
 use crate::sparse::SparseGrad;
-use crate::table::EmbeddingTable;
+use crate::storage::EmbeddingStorage;
 use lazydp_tensor::Matrix;
 
 /// Reduction applied to the gathered vectors of one sample.
@@ -104,11 +104,15 @@ impl EmbeddingBag {
     ///
     /// Samples with an empty index list produce a zero vector.
     ///
+    /// Generic over the table backend (any [`EmbeddingStorage`]): the
+    /// accumulation arithmetic is identical whether the rows come from
+    /// memory, shards, or disk pages.
+    ///
     /// # Panics
     ///
     /// Panics if any index is out of range for `table`.
     #[must_use]
-    pub fn forward(&self, table: &EmbeddingTable, batch: &BagIndices) -> Matrix {
+    pub fn forward<T: EmbeddingStorage>(&self, table: &T, batch: &BagIndices) -> Matrix {
         let mut out = Matrix::zeros(batch.batch_size(), table.dim());
         for i in 0..batch.batch_size() {
             let idxs = batch.sample(i);
@@ -117,9 +121,11 @@ impl EmbeddingBag {
             }
             let row = out.row_mut(i);
             for &idx in idxs {
-                for (o, &w) in row.iter_mut().zip(table.row(idx as usize).iter()) {
-                    *o += w;
-                }
+                table.with_row(idx, |trow| {
+                    for (o, &w) in row.iter_mut().zip(trow.iter()) {
+                        *o += w;
+                    }
+                });
             }
             if self.pooling == Pooling::Mean {
                 let inv = 1.0 / idxs.len() as f32;
@@ -222,6 +228,7 @@ impl EmbeddingBag {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::table::EmbeddingTable;
 
     fn table_with_rows(rows: &[&[f32]]) -> EmbeddingTable {
         let dim = rows[0].len();

@@ -23,7 +23,10 @@
 //! * [`ShardedTable`] / [`ShardSpec`] — the table hash-partitioned into
 //!   `S` independent shards so sparse updates (and, in `lazydp-core`,
 //!   the pending-noise flush) run shard-parallel while staying bitwise
-//!   identical to the 1-shard path.
+//!   identical to the 1-shard path,
+//! * [`EmbeddingStorage`] — the row-access trait those backends (and
+//!   `lazydp_store::StoredTable`, the out-of-core paged backend) share,
+//!   so the whole training stack is generic over where rows live.
 //!
 //! # Example: sharding a table without changing its contents
 //!
@@ -55,6 +58,7 @@ pub mod access;
 pub mod bag;
 pub mod shard;
 pub mod sparse;
+pub mod storage;
 pub mod table;
 pub mod virtual_table;
 
@@ -62,5 +66,6 @@ pub use access::AccessTracker;
 pub use bag::{EmbeddingBag, Pooling};
 pub use shard::{ShardSpec, ShardedTable};
 pub use sparse::SparseGrad;
+pub use storage::EmbeddingStorage;
 pub use table::EmbeddingTable;
 pub use virtual_table::VirtualTable;

@@ -73,6 +73,23 @@ impl ShardSpec {
         row / self.shards as u64
     }
 
+    /// The `(shard, local_row)` pair of a global row — **the** one
+    /// row→shard partition function of the workspace.
+    ///
+    /// Every structure that splits per-row state by shard —
+    /// [`ShardedTable`] here and `ShardedHistory` in `lazydp-core`
+    /// today; any future sharded layer (e.g. a shard-partitioned
+    /// `lazydp_store` backend) — must route through this single helper
+    /// rather than re-deriving the modulo arithmetic, so the partition
+    /// can never drift between layers: a row's weights and its noise
+    /// history are always owned by the same shard. (`lazydp_store`'s
+    /// row→page mapping is orthogonal — pages slice *within* a table's
+    /// row space, shards slice *across* it.)
+    #[must_use]
+    pub fn locate(&self, row: u64) -> (usize, u64) {
+        (self.shard_of(row), self.local_row(row))
+    }
+
     /// The global row for local index `local` of shard `shard`.
     ///
     /// # Panics
@@ -233,7 +250,8 @@ impl ShardedTable {
     #[must_use]
     pub fn row(&self, r: u64) -> &[f32] {
         assert!((r as usize) < self.rows, "row {r} out of {}", self.rows);
-        self.shards[self.spec.shard_of(r)].row(self.spec.local_row(r) as usize)
+        let (s, l) = self.spec.locate(r);
+        self.shards[s].row(l as usize)
     }
 
     /// Mutable global row `r`.
@@ -243,7 +261,8 @@ impl ShardedTable {
     /// Panics if `r >= rows`.
     pub fn row_mut(&mut self, r: u64) -> &mut [f32] {
         assert!((r as usize) < self.rows, "row {r} out of {}", self.rows);
-        self.shards[self.spec.shard_of(r)].row_mut(self.spec.local_row(r) as usize)
+        let (s, l) = self.spec.locate(r);
+        self.shards[s].row_mut(l as usize)
     }
 
     /// Gathers `indices` into a dense `indices.len() × dim` matrix, in
@@ -405,6 +424,16 @@ mod tests {
                     "parallel, {shards} shards, {threads} threads"
                 );
                 assert_eq!(par.max_abs_diff(&seq), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn locate_is_the_shard_of_local_row_pair() {
+        for shards in [1usize, 3, 8] {
+            let spec = ShardSpec::new(shards);
+            for row in 0..64u64 {
+                assert_eq!(spec.locate(row), (spec.shard_of(row), spec.local_row(row)));
             }
         }
     }

@@ -1,0 +1,270 @@
+//! The row-access surface shared by every embedding-table backend.
+//!
+//! LazyDP's training loop only ever touches an embedding table through a
+//! handful of row-granular operations: gather a batch's rows, apply a
+//! coalesced sparse update, and (at release time) add pending noise to
+//! individual rows. [`EmbeddingStorage`] captures exactly that surface,
+//! so the optimizer stack (`lazydp-core`), the DLRM forward/backward
+//! (`lazydp-model`), and checkpointing are written once and run
+//! unchanged against any backend:
+//!
+//! * [`EmbeddingTable`] — dense in-memory rows (the default),
+//! * [`ShardedTable`] — hash-partitioned in-memory shards,
+//! * `lazydp_store::StoredTable` — the out-of-core paged backend, where
+//!   only a bounded page cache is resident and the cold majority of the
+//!   table lives on disk.
+//!
+//! The contract is *bitwise*: for the same logical row contents, every
+//! backend must return identical bytes from [`with_row`] and apply
+//! identical arithmetic in [`sparse_update`] — backends change where a
+//! row lives, never what happens to it. Row borrows are scoped through
+//! closures ([`with_row`]/[`with_row_mut`]) rather than returned,
+//! because a paged backend can only pin a row while its page is held in
+//! the cache.
+//!
+//! [`with_row`]: EmbeddingStorage::with_row
+//! [`with_row_mut`]: EmbeddingStorage::with_row_mut
+//! [`sparse_update`]: EmbeddingStorage::sparse_update
+
+use crate::shard::ShardedTable;
+use crate::sparse::SparseGrad;
+use crate::table::EmbeddingTable;
+use lazydp_tensor::Matrix;
+
+/// Row-granular access to one embedding table, independent of where the
+/// rows live (RAM, shards, or disk pages). See the module docs for the
+/// bitwise contract between backends.
+pub trait EmbeddingStorage: std::fmt::Debug + Send + Sync {
+    /// Number of rows (embedding vectors).
+    fn rows(&self) -> usize;
+
+    /// Embedding dimension.
+    fn dim(&self) -> usize;
+
+    /// Bytes of weight payload the table logically holds (`rows × dim ×
+    /// 4`, regardless of how much of it is resident).
+    fn bytes(&self) -> u64;
+
+    /// Runs `f` on row `r` (a `dim`-wide slice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()`.
+    fn with_row<R>(&self, r: u64, f: impl FnOnce(&[f32]) -> R) -> R;
+
+    /// Runs `f` on row `r` mutably; the backend persists whatever `f`
+    /// writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()`.
+    fn with_row_mut<R>(&mut self, r: u64, f: impl FnOnce(&mut [f32]) -> R) -> R;
+
+    /// Total number of `f32` parameters.
+    fn elements(&self) -> usize {
+        self.rows() * self.dim()
+    }
+
+    /// Gathers `indices` into a dense `indices.len() × dim` matrix, in
+    /// input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    fn gather(&self, indices: &[u64]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.dim());
+        for (i, &idx) in indices.iter().enumerate() {
+            self.with_row(idx, |row| out.row_mut(i).copy_from_slice(row));
+        }
+        out
+    }
+
+    /// Sparse SGD update: `row[idx] -= lr * grad_row` for every entry —
+    /// identical arithmetic to [`EmbeddingTable::sparse_update`] on
+    /// every backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient dimension differs from the table's.
+    fn sparse_update(&mut self, grad: &SparseGrad, lr: f32) {
+        assert_eq!(grad.dim(), self.dim(), "sparse grad dim mismatch");
+        for (idx, values) in grad.iter() {
+            self.with_row_mut(idx, |row| {
+                for (w, &g) in row.iter_mut().zip(values.iter()) {
+                    *w -= lr * g;
+                }
+            });
+        }
+    }
+
+    /// Hints that the given **sorted, deduplicated** rows are about to
+    /// be accessed, letting a paged backend fault their pages in ahead
+    /// of the access. A no-op for resident backends. Purely a
+    /// performance hint: it never changes any row's value.
+    fn prefetch_rows(&self, sorted_rows: &[u64]) {
+        let _ = sorted_rows;
+    }
+
+    /// Materializes the table as a dense in-memory [`EmbeddingTable`]
+    /// (bitwise copy of every row).
+    fn to_dense_table(&self) -> EmbeddingTable {
+        let mut out = EmbeddingTable::zeros(self.rows(), self.dim());
+        for r in 0..self.rows() {
+            self.with_row(r as u64, |row| out.row_mut(r).copy_from_slice(row));
+        }
+        out
+    }
+}
+
+impl EmbeddingStorage for EmbeddingTable {
+    fn rows(&self) -> usize {
+        EmbeddingTable::rows(self)
+    }
+
+    fn dim(&self) -> usize {
+        EmbeddingTable::dim(self)
+    }
+
+    fn bytes(&self) -> u64 {
+        EmbeddingTable::bytes(self)
+    }
+
+    fn with_row<R>(&self, r: u64, f: impl FnOnce(&[f32]) -> R) -> R {
+        f(self.row(usize::try_from(r).expect("row fits usize")))
+    }
+
+    fn with_row_mut<R>(&mut self, r: u64, f: impl FnOnce(&mut [f32]) -> R) -> R {
+        f(self.row_mut(usize::try_from(r).expect("row fits usize")))
+    }
+
+    fn gather(&self, indices: &[u64]) -> Matrix {
+        EmbeddingTable::gather(self, indices)
+    }
+
+    fn sparse_update(&mut self, grad: &SparseGrad, lr: f32) {
+        EmbeddingTable::sparse_update(self, grad, lr);
+    }
+
+    fn to_dense_table(&self) -> EmbeddingTable {
+        self.clone()
+    }
+}
+
+impl EmbeddingStorage for ShardedTable {
+    fn rows(&self) -> usize {
+        ShardedTable::rows(self)
+    }
+
+    fn dim(&self) -> usize {
+        ShardedTable::dim(self)
+    }
+
+    fn bytes(&self) -> u64 {
+        ShardedTable::bytes(self)
+    }
+
+    fn with_row<R>(&self, r: u64, f: impl FnOnce(&[f32]) -> R) -> R {
+        f(self.row(r))
+    }
+
+    fn with_row_mut<R>(&mut self, r: u64, f: impl FnOnce(&mut [f32]) -> R) -> R {
+        f(self.row_mut(r))
+    }
+
+    fn gather(&self, indices: &[u64]) -> Matrix {
+        ShardedTable::gather(self, indices)
+    }
+
+    fn sparse_update(&mut self, grad: &SparseGrad, lr: f32) {
+        ShardedTable::sparse_update(self, grad, lr);
+    }
+
+    fn to_dense_table(&self) -> EmbeddingTable {
+        self.to_dense()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazydp_rng::{Prng, Xoshiro256PlusPlus};
+
+    fn dense(rows: usize, dim: usize) -> EmbeddingTable {
+        let mut rng = Xoshiro256PlusPlus::seed_from(5);
+        EmbeddingTable::init_uniform(rows, dim, &mut rng)
+    }
+
+    /// Exercises a backend purely through the trait surface and checks
+    /// it against the dense reference (shared with `lazydp_store`'s
+    /// tests in spirit: any backend must pass this).
+    fn check_backend<T: EmbeddingStorage>(mut backend: T, reference: &EmbeddingTable) {
+        assert_eq!(backend.rows(), reference.rows());
+        assert_eq!(backend.dim(), reference.dim());
+        assert_eq!(backend.bytes(), reference.bytes());
+        assert_eq!(backend.elements(), reference.elements());
+        for r in 0..reference.rows() as u64 {
+            backend.with_row(r, |row| assert_eq!(row, reference.row(r as usize)));
+        }
+        let idx = [0u64, 7, 3, 7];
+        assert_eq!(backend.gather(&idx), reference.gather(&idx));
+        // Mutate through the trait, then re-read.
+        let mut grad = SparseGrad::from_entries(
+            reference.dim(),
+            vec![
+                (2, vec![1.0; reference.dim()]),
+                (9, vec![-0.5; reference.dim()]),
+            ],
+        );
+        let _ = grad.coalesce();
+        let mut want = reference.clone();
+        want.sparse_update(&grad, 0.1);
+        backend.sparse_update(&grad, 0.1);
+        backend.with_row_mut(4, |row| row[0] = 42.0);
+        want.row_mut(4)[0] = 42.0;
+        backend.prefetch_rows(&[2, 9]); // must be value-invisible
+        assert_eq!(backend.to_dense_table(), want);
+    }
+
+    #[test]
+    fn dense_table_satisfies_the_trait_contract() {
+        let d = dense(12, 4);
+        check_backend(d.clone(), &d);
+    }
+
+    #[test]
+    fn sharded_table_satisfies_the_trait_contract() {
+        let d = dense(12, 4);
+        check_backend(ShardedTable::from_dense(&d, 3), &d);
+    }
+
+    #[test]
+    fn default_gather_and_update_match_inherent_ones() {
+        // A minimal backend that only supplies the two required row
+        // accessors must still gather/update exactly like the dense
+        // table (this is what keeps `lazydp_store` honest).
+        #[derive(Debug)]
+        struct Wrapper(EmbeddingTable);
+        impl EmbeddingStorage for Wrapper {
+            fn rows(&self) -> usize {
+                self.0.rows()
+            }
+            fn dim(&self) -> usize {
+                self.0.dim()
+            }
+            fn bytes(&self) -> u64 {
+                self.0.bytes()
+            }
+            fn with_row<R>(&self, r: u64, f: impl FnOnce(&[f32]) -> R) -> R {
+                f(self.0.row(r as usize))
+            }
+            fn with_row_mut<R>(&mut self, r: u64, f: impl FnOnce(&mut [f32]) -> R) -> R {
+                f(self.0.row_mut(r as usize))
+            }
+        }
+        let d = dense(10, 3);
+        check_backend(Wrapper(d.clone()), &d);
+        let mut rng = Xoshiro256PlusPlus::seed_from(9);
+        let probe: Vec<u64> = (0..6).map(|_| rng.next_u64() % 10).collect();
+        assert_eq!(Wrapper(d.clone()).gather(&probe), d.gather(&probe));
+    }
+}

@@ -5,7 +5,7 @@ use crate::config::DlrmConfig;
 use crate::interaction::{interaction_backward, interaction_forward};
 use crate::mlp::{Mlp, MlpCache, MlpGrads};
 use lazydp_data::MiniBatch;
-use lazydp_embedding::{EmbeddingBag, EmbeddingTable, Pooling, SparseGrad};
+use lazydp_embedding::{EmbeddingBag, EmbeddingStorage, EmbeddingTable, Pooling, SparseGrad};
 use lazydp_rng::Prng;
 use lazydp_tensor::{bce_with_logits, bce_with_logits_grad, Matrix};
 
@@ -69,14 +69,23 @@ impl DlrmGrads {
     }
 }
 
-/// The DLRM model.
+/// The DLRM model, generic over where its embedding rows live.
+///
+/// `T` is the embedding backend — any [`EmbeddingStorage`]: the default
+/// in-memory [`EmbeddingTable`], a hash-partitioned
+/// `lazydp_embedding::ShardedTable`, or the out-of-core
+/// `lazydp_store::StoredTable`. The MLPs are always resident (they are
+/// tiny next to the tables); only the embedding rows move backends. The
+/// whole forward/backward below is written against the trait, so every
+/// backend trains bitwise identically (see `EmbeddingStorage`'s
+/// contract).
 #[derive(Debug, Clone)]
-pub struct Dlrm {
+pub struct Dlrm<T: EmbeddingStorage = EmbeddingTable> {
     config: DlrmConfig,
     /// Bottom (dense-feature) MLP.
     pub bottom: Mlp,
     /// One embedding table per categorical feature.
-    pub tables: Vec<EmbeddingTable>,
+    pub tables: Vec<T>,
     /// One bag (gather+pool) per table.
     pub bags: Vec<EmbeddingBag>,
     /// Top (interaction) MLP ending in the click logit.
@@ -84,7 +93,7 @@ pub struct Dlrm {
 }
 
 impl Dlrm {
-    /// Builds and initializes a model from its configuration.
+    /// Builds and initializes an in-memory model from its configuration.
     ///
     /// # Panics
     ///
@@ -92,22 +101,114 @@ impl Dlrm {
     /// [`DlrmConfig::validate`]).
     #[must_use]
     pub fn new<R: Prng>(config: DlrmConfig, rng: &mut R) -> Self {
+        Dlrm::new_with(config, rng, |rows, dim, rng| {
+            EmbeddingTable::init_uniform(rows, dim, rng)
+        })
+    }
+
+    /// Per-example logit gradients of the BCE loss.
+    ///
+    /// `mean = true` gives ∂(mean loss)/∂z (plain SGD); `mean = false`
+    /// gives per-example ∂loss_i/∂z_i (the DP clipping convention —
+    /// DP-SGD averages *after* clipping).
+    ///
+    /// (Defined on the default instantiation — it never touches the
+    /// embedding backend — so `Dlrm::logit_grads(..)` keeps resolving
+    /// without a turbofish.)
+    #[must_use]
+    pub fn logit_grads(cache: &DlrmCache, labels: &[f32], mean: bool) -> Vec<f32> {
+        bce_with_logits_grad(&cache.logits(), labels, mean)
+    }
+}
+
+impl<T: EmbeddingStorage> Dlrm<T> {
+    /// Builds a model whose embedding tables come from `make_table(rows,
+    /// dim, rng)`. The RNG is threaded through in the exact order
+    /// [`Dlrm::new`] uses (bottom MLP, top MLP, then tables), so a
+    /// backend whose constructor draws the same values — e.g.
+    /// `StoredTable::init_uniform` — yields a model bitwise identical to
+    /// the in-memory one from the same seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new_with<R: Prng>(
+        config: DlrmConfig,
+        rng: &mut R,
+        mut make_table: impl FnMut(usize, usize, &mut R) -> T,
+    ) -> Self {
+        Self::try_new_with(config, rng, |rows, dim, rng| {
+            Ok::<T, std::convert::Infallible>(make_table(rows, dim, rng))
+        })
+        .expect("infallible table constructor")
+    }
+
+    /// [`new_with`](Self::new_with) for fallible table constructors
+    /// (disk-backed tables can hit I/O errors).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first `make_table` error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn try_new_with<R: Prng, E>(
+        config: DlrmConfig,
+        rng: &mut R,
+        mut make_table: impl FnMut(usize, usize, &mut R) -> Result<T, E>,
+    ) -> Result<Self, E> {
         config.validate().expect("invalid DLRM config");
         let bottom = Mlp::new(config.num_dense, &config.bottom_layers, rng);
         let top = Mlp::new(config.top_input_dim(), &config.top_layers, rng);
         let tables = config
             .table_rows
             .iter()
-            .map(|&rows| EmbeddingTable::init_uniform(rows as usize, config.embedding_dim, rng))
-            .collect();
+            .map(|&rows| make_table(rows as usize, config.embedding_dim, rng))
+            .collect::<Result<Vec<_>, E>>()?;
         let bags = vec![EmbeddingBag::new(Pooling::Sum); config.table_rows.len()];
-        Self {
+        Ok(Self {
             config,
             bottom,
             tables,
             bags,
             top,
-        }
+        })
+    }
+
+    /// Rebuilds the model on a different embedding backend, converting
+    /// each table with `f(table_index, table)`. MLPs, bags, and config
+    /// move over untouched, so the converted model is observationally
+    /// identical whenever `f` preserves row contents.
+    #[must_use]
+    pub fn map_tables<U: EmbeddingStorage>(self, mut f: impl FnMut(usize, T) -> U) -> Dlrm<U> {
+        self.try_map_tables(|i, t| Ok::<U, std::convert::Infallible>(f(i, t)))
+            .expect("infallible table conversion")
+    }
+
+    /// [`map_tables`](Self::map_tables) for fallible conversions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first conversion error.
+    pub fn try_map_tables<U: EmbeddingStorage, E>(
+        self,
+        mut f: impl FnMut(usize, T) -> Result<U, E>,
+    ) -> Result<Dlrm<U>, E> {
+        let tables = self
+            .tables
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect::<Result<Vec<_>, E>>()?;
+        Ok(Dlrm {
+            config: self.config,
+            bottom: self.bottom,
+            tables,
+            bags: self.bags,
+            top: self.top,
+        })
     }
 
     /// The model configuration.
@@ -146,16 +247,6 @@ impl Dlrm {
     pub fn loss(&self, batch: &MiniBatch) -> f64 {
         let cache = self.forward(batch);
         bce_with_logits(&cache.logits(), &batch.labels)
-    }
-
-    /// Per-example logit gradients of the BCE loss.
-    ///
-    /// `mean = true` gives ∂(mean loss)/∂z (plain SGD); `mean = false`
-    /// gives per-example ∂loss_i/∂z_i (the DP clipping convention —
-    /// DP-SGD averages *after* clipping).
-    #[must_use]
-    pub fn logit_grads(cache: &DlrmCache, labels: &[f32], mean: bool) -> Vec<f32> {
-        bce_with_logits_grad(&cache.logits(), labels, mean)
     }
 
     /// Per-batch backward pass.

@@ -1,0 +1,64 @@
+//! Out-of-core embedding storage engine: paged tables, a clock-eviction
+//! page cache, and lazy-noise-aware prefetch.
+//!
+//! LazyDP's central observation is that delaying noise until a row is
+//! actually accessed shrinks the per-step working set from the whole
+//! table to the batch's rows — which means the cold majority of the
+//! table never needs to be *resident* at all. This crate turns that
+//! observation into capacity: train embedding tables larger than RAM,
+//! bitwise identical to the in-memory path.
+//!
+//! Three layers:
+//!
+//! * [`PageFile`] — fixed-size row pages in a plain spill file, explicit
+//!   positioned I/O (no mmap, no dependencies), deleted on drop;
+//! * [`PageCache`] — a bounded hot set with clock (second-chance)
+//!   eviction, dirty write-back, and hit/miss/spill counters;
+//! * [`StoredTable`] — the disk-backed table implementing
+//!   `lazydp_embedding::EmbeddingStorage`, so `LazyDpOptimizer`, the
+//!   sharded pending-noise flush, `finalize_model`, and checkpointing
+//!   run against it unchanged.
+//!
+//! [`StorageConfig`] carries the knobs (page size, cache capacity in
+//! pages, spill directory) and flows through
+//! `LazyDpConfig::with_storage` / `PrivateTrainer::make_private_stored`
+//! in `lazydp-core`; the `LAZYDP_STORE_PAGES` environment variable
+//! ([`CACHE_PAGES_ENV`]) force-overrides the cache capacity so CI can
+//! exercise the eviction paths under the whole test suite.
+//!
+//! # Example: a table bigger than its cache
+//!
+//! ```
+//! use lazydp_embedding::{EmbeddingStorage, EmbeddingTable, SparseGrad};
+//! use lazydp_rng::Xoshiro256PlusPlus;
+//! use lazydp_store::{StorageConfig, StoredTable};
+//!
+//! let mut rng = Xoshiro256PlusPlus::seed_from(1);
+//! let dense = EmbeddingTable::init_uniform(256, 8, &mut rng);
+//! // 4 rows per page, at most 2 pages resident: ~97% of the table
+//! // lives only on disk at any moment.
+//! let cfg = StorageConfig::new().with_page_rows(4).with_cache_pages(2);
+//! let mut stored = StoredTable::from_dense(&dense, &cfg).expect("spill");
+//!
+//! // Same gathers, same sparse updates, bitwise.
+//! assert_eq!(stored.gather(&[0, 255, 7]), dense.gather(&[0, 255, 7]));
+//! let mut grad = SparseGrad::from_entries(8, vec![(200, vec![1.0; 8])]);
+//! let _ = grad.coalesce();
+//! let mut expect = dense.clone();
+//! expect.sparse_update(&grad, 0.05);
+//! stored.sparse_update(&grad, 0.05);
+//! assert_eq!(stored.to_dense(), expect);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod pagefile;
+pub mod stored;
+
+pub use cache::{CacheStats, PageCache};
+pub use config::{StorageConfig, CACHE_PAGES_ENV};
+pub use pagefile::PageFile;
+pub use stored::StoredTable;

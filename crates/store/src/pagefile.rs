@@ -1,0 +1,218 @@
+//! Fixed-size row pages persisted to a plain file.
+//!
+//! A [`PageFile`] is the disk half of the storage engine: `pages` slots
+//! of `page_elems` little-endian `f32`s each, accessed with explicit
+//! positioned reads/writes (`read_exact_at`/`write_all_at` on Unix, a
+//! seek-based fallback elsewhere). No mmap, no external dependencies —
+//! the file is created sparse (zero pages cost no disk until written),
+//! uniquely named, and deleted on drop, so `cargo test` leaves no stray
+//! spill files behind.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide counter making spill-file names unique even when many
+/// tables share one spill directory.
+static NEXT_FILE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A file of fixed-size `f32` pages with positioned I/O.
+#[derive(Debug)]
+pub struct PageFile {
+    file: File,
+    path: PathBuf,
+    page_elems: usize,
+    pages: usize,
+    /// Scratch byte buffer reused across reads/writes (one page).
+    scratch: Vec<u8>,
+}
+
+impl PageFile {
+    /// Creates a sparse, zero-filled page file in `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors (missing directory, permissions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages == 0` or `page_elems == 0`.
+    pub fn create(dir: &Path, pages: usize, page_elems: usize) -> io::Result<Self> {
+        assert!(pages > 0 && page_elems > 0, "empty page file");
+        let name = format!(
+            "lazydp-store-{}-{}.pages",
+            std::process::id(),
+            NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed)
+        );
+        let path = dir.join(name);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        // A sparse zero file: unwritten pages read back as 0.0, which is
+        // exactly the zero-initialized table the callers expect.
+        file.set_len((pages as u64) * (page_elems as u64) * 4)?;
+        Ok(Self {
+            file,
+            path,
+            page_elems,
+            pages,
+            scratch: vec![0u8; page_elems * 4],
+        })
+    }
+
+    /// Number of pages.
+    #[must_use]
+    pub fn pages(&self) -> usize {
+        self.pages
+    }
+
+    /// Elements per page.
+    #[must_use]
+    pub fn page_elems(&self) -> usize {
+        self.page_elems
+    }
+
+    /// Bytes per page.
+    #[must_use]
+    pub fn page_bytes(&self) -> u64 {
+        (self.page_elems * 4) as u64
+    }
+
+    /// The spill file's path (diagnostics; the file is deleted on drop).
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn offset(&self, page: usize) -> u64 {
+        assert!(page < self.pages, "page {page} out of {}", self.pages);
+        (page as u64) * self.page_bytes()
+    }
+
+    /// Reads page `page` into `out` (`page_elems` long).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range or `out` has the wrong length.
+    pub fn read_page(&mut self, page: usize, out: &mut [f32]) -> io::Result<()> {
+        assert_eq!(out.len(), self.page_elems, "page buffer length mismatch");
+        let off = self.offset(page);
+        read_exact_at(&mut self.file, &mut self.scratch, off)?;
+        for (v, b) in out.iter_mut().zip(self.scratch.chunks_exact(4)) {
+            *v = f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+        }
+        Ok(())
+    }
+
+    /// Writes `data` (`page_elems` long) as page `page`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range or `data` has the wrong length.
+    pub fn write_page(&mut self, page: usize, data: &[f32]) -> io::Result<()> {
+        assert_eq!(data.len(), self.page_elems, "page buffer length mismatch");
+        let off = self.offset(page);
+        for (b, &v) in self.scratch.chunks_exact_mut(4).zip(data.iter()) {
+            b.copy_from_slice(&v.to_le_bytes());
+        }
+        write_all_at(&mut self.file, &self.scratch, off)
+    }
+}
+
+impl Drop for PageFile {
+    fn drop(&mut self) {
+        // Best-effort cleanup: the spill file is scratch state, never a
+        // durability surface (checkpoints are), so a failed unlink only
+        // leaks temp-dir space.
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(unix)]
+fn read_exact_at(file: &mut File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(unix)]
+fn write_all_at(file: &mut File, buf: &[u8], offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.write_all_at(buf, offset)
+}
+
+#[cfg(not(unix))]
+fn read_exact_at(file: &mut File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    file.seek(SeekFrom::Start(offset))?;
+    file.read_exact(buf)
+}
+
+#[cfg(not(unix))]
+fn write_all_at(file: &mut File, buf: &[u8], offset: u64) -> io::Result<()> {
+    use std::io::{Seek, SeekFrom, Write};
+    file.seek(SeekFrom::Start(offset))?;
+    file.write_all(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir() -> PathBuf {
+        std::env::temp_dir()
+    }
+
+    #[test]
+    fn pages_round_trip_and_start_zeroed() {
+        let mut f = PageFile::create(&temp_dir(), 3, 4).expect("create");
+        let mut buf = [1.0f32; 4];
+        f.read_page(2, &mut buf).expect("read");
+        assert_eq!(buf, [0.0; 4], "sparse pages read back as zeros");
+        f.write_page(1, &[1.5, -2.0, 0.25, 1e-30]).expect("write");
+        f.read_page(1, &mut buf).expect("read");
+        assert_eq!(buf, [1.5, -2.0, 0.25, 1e-30], "bitwise round trip");
+        f.read_page(0, &mut buf).expect("read");
+        assert_eq!(buf, [0.0; 4], "neighbour pages untouched");
+    }
+
+    #[test]
+    fn file_is_deleted_on_drop() {
+        let f = PageFile::create(&temp_dir(), 1, 2).expect("create");
+        let path = f.path().to_path_buf();
+        assert!(path.exists());
+        drop(f);
+        assert!(!path.exists(), "spill file must be cleaned up");
+    }
+
+    #[test]
+    fn names_are_unique_within_a_directory() {
+        let a = PageFile::create(&temp_dir(), 1, 1).expect("a");
+        let b = PageFile::create(&temp_dir(), 1, 1).expect("b");
+        assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    #[should_panic(expected = "page 3 out of")]
+    fn rejects_out_of_range_pages() {
+        let mut f = PageFile::create(&temp_dir(), 3, 2).expect("create");
+        let mut buf = [0.0f32; 2];
+        let _ = f.read_page(3, &mut buf);
+    }
+
+    #[test]
+    fn create_fails_in_a_missing_directory() {
+        let missing = temp_dir().join("lazydp-definitely-missing-dir");
+        assert!(PageFile::create(&missing, 1, 1).is_err());
+    }
+}

@@ -1,0 +1,467 @@
+//! The disk-backed embedding table.
+
+use crate::cache::{CacheStats, PageCache};
+use crate::config::StorageConfig;
+use crate::pagefile::PageFile;
+use lazydp_embedding::{EmbeddingStorage, EmbeddingTable, SparseGrad};
+use lazydp_rng::Prng;
+use lazydp_tensor::Matrix;
+use std::io;
+use std::sync::Mutex;
+
+/// The paged engine state: the spill file and the page cache that fronts
+/// it. One lock guards both — every access is a (cache op, possible file
+/// op) pair that must be atomic.
+#[derive(Debug)]
+struct Engine {
+    file: PageFile,
+    cache: PageCache,
+}
+
+/// An out-of-core embedding table: rows live in fixed-size pages in a
+/// spill file; a bounded [`PageCache`] keeps the hot set resident with
+/// clock eviction and dirty write-back.
+///
+/// `StoredTable` implements [`EmbeddingStorage`], so the whole LazyDP
+/// training stack — `LazyDpOptimizer::step`, the sharded pending-noise
+/// flush, `finalize_model`, and checkpointing — runs against it
+/// unchanged, and (the tentpole invariant, proven by the workspace
+/// proptests and `examples/out_of_core.rs`) releases a model **bitwise
+/// identical** to the in-memory backend for any page size and any cache
+/// capacity, including a pathological 1-page cache.
+///
+/// # Determinism contract
+///
+/// Row *values* are exact regardless of cache behaviour: every read and
+/// write goes through the same coherent cache, and eviction only moves
+/// bytes, never transforms them. Eviction *order* (and therefore the
+/// hit/miss/spill counters) is deterministic for a fixed access
+/// schedule — sequential training produces identical counters run to
+/// run. When [`prefetch_rows`](EmbeddingStorage::prefetch_rows) runs
+/// concurrently with the dense compute (the lookahead overlap in
+/// `lazydp-core`), the two schedules interleave nondeterministically and
+/// counters may shift between runs; values never do.
+///
+/// # Concurrency
+///
+/// The engine sits behind a [`Mutex`], making shared-reference access
+/// (`gather` during the forward pass, `prefetch_rows` from the overlap
+/// worker) safe from any thread. Lock scope is one operation — batch
+/// operations take the lock once, not per row.
+#[derive(Debug)]
+pub struct StoredTable {
+    rows: usize,
+    dim: usize,
+    page_rows: usize,
+    pages: usize,
+    engine: Mutex<Engine>,
+}
+
+impl StoredTable {
+    /// Creates a zero-initialized stored table (sparse spill file: zero
+    /// pages cost no disk until written).
+    ///
+    /// # Errors
+    ///
+    /// Propagates spill-file creation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `dim == 0`.
+    pub fn zeros(rows: usize, dim: usize, cfg: &StorageConfig) -> io::Result<Self> {
+        assert!(
+            rows > 0 && dim > 0,
+            "table must be non-empty ({rows}x{dim})"
+        );
+        let page_rows = cfg.page_rows;
+        let pages = rows.div_ceil(page_rows);
+        let page_elems = page_rows * dim;
+        let file = PageFile::create(&cfg.effective_spill_dir(), pages, page_elems)?;
+        let cache = PageCache::new(cfg.effective_cache_pages(), page_elems);
+        Ok(Self {
+            rows,
+            dim,
+            page_rows,
+            pages,
+            engine: Mutex::new(Engine { file, cache }),
+        })
+    }
+
+    /// Spills a dense in-memory table to disk (bitwise copy of every
+    /// row, written page-sequentially, bypassing the cache).
+    ///
+    /// # Errors
+    ///
+    /// Propagates spill-file I/O errors.
+    pub fn from_dense(table: &EmbeddingTable, cfg: &StorageConfig) -> io::Result<Self> {
+        let out = Self::zeros(table.rows(), table.dim(), cfg)?;
+        {
+            let mut engine = out.lock();
+            let mut buf = vec![0.0f32; out.page_rows * out.dim];
+            for page in 0..out.pages {
+                buf.fill(0.0);
+                let first = page * out.page_rows;
+                let last = (first + out.page_rows).min(table.rows());
+                for (k, r) in (first..last).enumerate() {
+                    buf[k * out.dim..(k + 1) * out.dim].copy_from_slice(table.row(r));
+                }
+                engine.file.write_page(page, &buf)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Creates a table initialized exactly like
+    /// [`EmbeddingTable::init_uniform`] — the same RNG draw order, row
+    /// by row — so a stored model and an in-memory model built from the
+    /// same seed are bitwise identical from step 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spill-file I/O errors.
+    pub fn init_uniform<R: Prng>(
+        rows: usize,
+        dim: usize,
+        rng: &mut R,
+        cfg: &StorageConfig,
+    ) -> io::Result<Self> {
+        let out = Self::zeros(rows, dim, cfg)?;
+        let a = 1.0 / (rows as f32).sqrt();
+        {
+            let mut engine = out.lock();
+            let mut buf = vec![0.0f32; out.page_rows * out.dim];
+            for page in 0..out.pages {
+                buf.fill(0.0);
+                let first = page * out.page_rows;
+                let valid = ((first + out.page_rows).min(rows) - first) * dim;
+                for w in &mut buf[..valid] {
+                    *w = (rng.next_f32() * 2.0 - 1.0) * a;
+                }
+                engine.file.write_page(page, &buf)?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Engine> {
+        self.engine.lock().expect("storage engine lock poisoned")
+    }
+
+    /// `(page, first element within the page)` of a row.
+    fn locate(&self, r: u64) -> (usize, usize) {
+        let r = usize::try_from(r).expect("row fits usize");
+        assert!(r < self.rows, "row {r} out of {}", self.rows);
+        (r / self.page_rows, (r % self.page_rows) * self.dim)
+    }
+
+    /// Rows per page.
+    #[must_use]
+    pub fn page_rows(&self) -> usize {
+        self.page_rows
+    }
+
+    /// Total pages backing the table.
+    #[must_use]
+    pub fn total_pages(&self) -> usize {
+        self.pages
+    }
+
+    /// Page-cache capacity in pages.
+    #[must_use]
+    pub fn cache_pages(&self) -> usize {
+        self.lock().cache.capacity()
+    }
+
+    /// Bytes of weights resident in the cache right now (upper bound:
+    /// capacity × page bytes).
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        let engine = self.lock();
+        engine.cache.resident() as u64 * engine.file.page_bytes()
+    }
+
+    /// The cache counters so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.lock().cache.stats()
+    }
+
+    /// Writes every dirty cached page back to the spill file (pages stay
+    /// resident). Useful for bounding the data at risk; not required for
+    /// correctness — reads are always served through the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write I/O errors.
+    pub fn sync(&self) -> io::Result<()> {
+        let mut guard = self.lock();
+        let engine = &mut *guard;
+        engine.cache.flush(&mut engine.file)
+    }
+
+    /// Materializes the table in memory (page-sequential scan through
+    /// the cache — bitwise copy of every row).
+    #[must_use]
+    pub fn to_dense(&self) -> EmbeddingTable {
+        self.to_dense_table()
+    }
+
+    /// Maximum absolute element-wise difference to a dense table
+    /// (test/validation helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn max_abs_diff_dense(&self, other: &EmbeddingTable) -> f32 {
+        assert_eq!(
+            (self.rows, self.dim),
+            (other.rows(), other.dim()),
+            "table shape mismatch"
+        );
+        let mut worst = 0.0f32;
+        for r in 0..self.rows as u64 {
+            self.with_row(r, |row| {
+                for (a, b) in row.iter().zip(other.row(r as usize)) {
+                    worst = worst.max((a - b).abs());
+                }
+            });
+        }
+        worst
+    }
+}
+
+impl EmbeddingStorage for StoredTable {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn bytes(&self) -> u64 {
+        (self.rows * self.dim * 4) as u64
+    }
+
+    fn with_row<R>(&self, r: u64, f: impl FnOnce(&[f32]) -> R) -> R {
+        let (page, start) = self.locate(r);
+        let dim = self.dim;
+        let mut guard = self.lock();
+        let engine = &mut *guard;
+        engine
+            .cache
+            .with_page(page, &mut engine.file, |data| f(&data[start..start + dim]))
+            .expect("storage engine read failed")
+    }
+
+    fn with_row_mut<R>(&mut self, r: u64, f: impl FnOnce(&mut [f32]) -> R) -> R {
+        let (page, start) = self.locate(r);
+        let dim = self.dim;
+        let mut guard = self.lock();
+        let engine = &mut *guard;
+        engine
+            .cache
+            .with_page_mut(page, &mut engine.file, |data| {
+                f(&mut data[start..start + dim])
+            })
+            .expect("storage engine write failed")
+    }
+
+    fn gather(&self, indices: &[u64]) -> Matrix {
+        // One lock for the whole batch rather than per row.
+        let mut out = Matrix::zeros(indices.len(), self.dim);
+        let mut guard = self.lock();
+        let engine = &mut *guard;
+        for (i, &idx) in indices.iter().enumerate() {
+            let (page, start) = self.locate(idx);
+            engine
+                .cache
+                .with_page(page, &mut engine.file, |data| {
+                    out.row_mut(i)
+                        .copy_from_slice(&data[start..start + self.dim]);
+                })
+                .expect("storage engine read failed");
+        }
+        out
+    }
+
+    fn sparse_update(&mut self, grad: &SparseGrad, lr: f32) {
+        assert_eq!(grad.dim(), self.dim, "sparse grad dim mismatch");
+        let mut guard = self.lock();
+        let engine = &mut *guard;
+        for (idx, values) in grad.iter() {
+            let (page, start) = self.locate(idx);
+            engine
+                .cache
+                .with_page_mut(page, &mut engine.file, |data| {
+                    for (w, &g) in data[start..start + self.dim].iter_mut().zip(values.iter()) {
+                        *w -= lr * g;
+                    }
+                })
+                .expect("storage engine write failed");
+        }
+    }
+
+    /// Faults in the pages of the given **sorted** rows (each page once,
+    /// ascending page order — sorted input means duplicates coalesce
+    /// into consecutive hits the skip below removes for free).
+    ///
+    /// The lock is taken **per page**, not across the whole loop: this
+    /// runs on the lookahead overlap worker concurrently with the main
+    /// thread's forward-pass reads of the same table, and holding the
+    /// engine lock for the full multi-page I/O burst would stall those
+    /// reads — serializing exactly the overlap prefetch exists to
+    /// create.
+    fn prefetch_rows(&self, sorted_rows: &[u64]) {
+        let mut last_page = usize::MAX;
+        for &r in sorted_rows {
+            let (page, _) = self.locate(r);
+            if page == last_page {
+                continue;
+            }
+            last_page = page;
+            let mut guard = self.lock();
+            let engine = &mut *guard;
+            engine
+                .cache
+                .touch(page, &mut engine.file)
+                .expect("storage engine prefetch failed");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazydp_rng::Xoshiro256PlusPlus;
+
+    fn cfg(page_rows: usize, cache_pages: usize) -> StorageConfig {
+        // Explicit cache size; the LAZYDP_STORE_PAGES CI override is
+        // intentionally honored (identity must hold at ANY capacity).
+        StorageConfig::new()
+            .with_page_rows(page_rows)
+            .with_cache_pages(cache_pages)
+    }
+
+    fn dense(rows: usize, dim: usize) -> EmbeddingTable {
+        let mut rng = Xoshiro256PlusPlus::seed_from(3);
+        EmbeddingTable::init_uniform(rows, dim, &mut rng)
+    }
+
+    #[test]
+    fn from_dense_round_trips_bitwise_at_any_geometry() {
+        let d = dense(37, 5);
+        for (page_rows, cache_pages) in [(1usize, 1usize), (4, 2), (8, 100), (64, 1)] {
+            let s = StoredTable::from_dense(&d, &cfg(page_rows, cache_pages)).expect("spill");
+            assert_eq!(s.rows(), 37);
+            assert_eq!(s.dim(), 5);
+            assert_eq!(EmbeddingStorage::bytes(&s), d.bytes());
+            assert_eq!(s.to_dense(), d, "pages {page_rows} cache {cache_pages}");
+            assert_eq!(s.max_abs_diff_dense(&d), 0.0);
+        }
+    }
+
+    #[test]
+    fn init_uniform_matches_the_in_memory_table_bitwise() {
+        let mut r1 = Xoshiro256PlusPlus::seed_from(42);
+        let mut r2 = Xoshiro256PlusPlus::seed_from(42);
+        let mem = EmbeddingTable::init_uniform(100, 8, &mut r1);
+        let stored = StoredTable::init_uniform(100, 8, &mut r2, &cfg(16, 3)).expect("spill");
+        assert_eq!(stored.to_dense(), mem);
+        // Both RNGs drew the same number of values.
+        assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+
+    #[test]
+    fn updates_survive_a_one_page_cache() {
+        let d = dense(20, 3);
+        let mut s = StoredTable::from_dense(&d, &cfg(2, 1)).expect("spill");
+        let mut want = d.clone();
+        let mut grad = SparseGrad::from_entries(
+            3,
+            vec![(0, vec![1.0; 3]), (9, vec![-2.0; 3]), (19, vec![0.5; 3])],
+        );
+        let _ = grad.coalesce();
+        want.sparse_update(&grad, 0.1);
+        s.sparse_update(&grad, 0.1);
+        // Thrash the cache with reads of every row, then check.
+        let all: Vec<u64> = (0..20).collect();
+        let g = EmbeddingStorage::gather(&s, &all);
+        for r in 0..20usize {
+            assert_eq!(g.row(r), want.row(r), "row {r}");
+        }
+        // Counter asserts only hold when the cache is really smaller
+        // than the table (the LAZYDP_STORE_PAGES CI override may widen
+        // it — value identity above must hold either way).
+        if s.cache_pages() < s.total_pages() {
+            let stats = s.stats();
+            assert!(stats.evictions > 0, "an undersized cache must evict");
+            assert!(stats.write_backs > 0, "dirty pages must spill");
+        }
+    }
+
+    #[test]
+    fn gather_matches_dense_and_counts_hits() {
+        let d = dense(32, 4);
+        let s = StoredTable::from_dense(&d, &cfg(4, 8)).expect("spill");
+        let idx = [3u64, 31, 0, 3, 17, 3];
+        assert_eq!(EmbeddingStorage::gather(&s, &idx), d.gather(&idx));
+        let stats = s.stats();
+        if s.cache_pages() >= 2 {
+            assert!(stats.hits >= 2, "repeated rows hit the cache");
+        }
+        assert_eq!(stats.hit_rate(), stats.hits as f64 / 6.0);
+    }
+
+    #[test]
+    fn prefetch_is_value_invisible_and_warms_the_cache() {
+        let d = dense(64, 2);
+        let s = StoredTable::from_dense(&d, &cfg(8, 8)).expect("spill");
+        s.prefetch_rows(&[0, 1, 9, 17, 33]);
+        let misses_after_prefetch = s.stats().misses;
+        // The prefetched rows span 4 pages; if they all fit, the gather
+        // is served entirely from memory.
+        let _ = EmbeddingStorage::gather(&s, &[0, 1, 9, 17, 33]);
+        if s.cache_pages() >= 4 {
+            assert_eq!(s.stats().misses, misses_after_prefetch);
+        }
+        assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn spill_file_is_removed_on_drop() {
+        let dir = std::env::temp_dir().join("lazydp-store-test-spill");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let s = StoredTable::zeros(8, 2, &cfg(2, 1).with_spill_dir(&dir)).expect("spill");
+        drop(s);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("readdir")
+            .filter_map(Result::ok)
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "no stray spill files after drop: {leftovers:?}"
+        );
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn zeros_reads_back_zero_everywhere() {
+        let s = StoredTable::zeros(10, 4, &cfg(3, 2)).expect("spill");
+        for r in 0..10u64 {
+            s.with_row(r, |row| assert!(row.iter().all(|&w| w == 0.0)));
+        }
+        assert_eq!(s.total_pages(), 4);
+        assert_eq!(s.page_rows(), 3);
+    }
+
+    #[test]
+    fn sync_persists_dirty_pages() {
+        let mut s = StoredTable::zeros(4, 2, &cfg(2, 2)).expect("spill");
+        s.with_row_mut(3, |row| row.copy_from_slice(&[7.0, 8.0]));
+        s.sync().expect("sync");
+        assert!(s.stats().write_backs >= 1);
+        s.with_row(3, |row| assert_eq!(row, &[7.0, 8.0]));
+    }
+}

@@ -33,15 +33,12 @@ fn main() {
     let batches: Vec<_> = (0..=TOTAL_STEPS)
         .map(|i| ds.batch_of(&(i * BATCH..(i + 1) * BATCH).collect::<Vec<_>>()))
         .collect();
-    let cfg = LazyDpConfig {
-        dp: DpConfig::new(1.1, 1.0, 0.05, BATCH),
-        ans: false, // exact equality check below
-    };
+    let cfg = LazyDpConfig::new(DpConfig::new(1.1, 1.0, 0.05, BATCH), false);
     let q = BATCH as f64 / ds.len() as f64;
 
     // --- reference: uninterrupted run -----------------------------------
     let mut m_ref = model0.clone();
-    let mut o_ref = LazyDpOptimizer::new(cfg, &m_ref, CounterNoise::new(31));
+    let mut o_ref = LazyDpOptimizer::new(cfg.clone(), &m_ref, CounterNoise::new(31));
     for i in 0..TOTAL_STEPS {
         o_ref.step(&mut m_ref, &batches[i], Some(&batches[i + 1]));
     }
@@ -50,7 +47,7 @@ fn main() {
     // --- interrupted run: train, checkpoint to bytes, resume ------------
     let mut engine = PrivacyEngine::new(PrivacyBudget::new(4.0, 1e-6));
     let mut m = model0;
-    let mut o = LazyDpOptimizer::new(cfg, &m, CounterNoise::new(31));
+    let mut o = LazyDpOptimizer::new(cfg.clone(), &m, CounterNoise::new(31));
     for i in 0..INTERRUPT_AT {
         engine
             .try_compose(cfg.dp.noise_multiplier, q, 1)
@@ -74,7 +71,7 @@ fn main() {
 
     // …process restarts…
     let loaded = Checkpoint::load(&mut bytes.as_slice()).expect("deserialize");
-    let (mut m2, mut o2) = loaded.restore(cfg, CounterNoise::new(31));
+    let (mut m2, mut o2) = loaded.restore(cfg.clone(), CounterNoise::new(31));
     println!("resumed at iteration {}", o2.iteration());
     for i in INTERRUPT_AT..TOTAL_STEPS {
         engine

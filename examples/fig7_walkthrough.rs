@@ -66,7 +66,7 @@ fn main() {
     let mut eager = EagerDpSgd::new(dp, ClipStyle::Fast, CounterNoise::new(7));
     let mut lazy_m = model();
     let mut lazy = LazyDpOptimizer::new(
-        LazyDpConfig { dp, ans: false }, // w/o ANS: exact per-iteration noise
+        LazyDpConfig::new(dp, false), // w/o ANS: exact per-iteration noise
         &lazy_m,
         CounterNoise::new(7), // same noise stream as eager
     );

@@ -89,7 +89,7 @@ fn main() {
 
     // --- LazyDP -----------------------------------------------------------
     let mut l_model = fresh_model();
-    let cfg = LazyDpConfig { dp, ans: true };
+    let cfg = LazyDpConfig::new(dp, true);
     let mut lazy = LazyDpOptimizer::new(cfg, &l_model, CounterNoise::new(3));
     let t0 = Instant::now();
     let mut loader = LookaheadLoader::new(FixedBatchLoader::new(ds, BATCH));

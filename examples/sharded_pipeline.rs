@@ -38,7 +38,7 @@ fn main() {
         // Synchronous pipeline.
         let mut sync = PrivateTrainer::make_private(
             model.clone(),
-            cfg,
+            cfg.clone(),
             make_loader(),
             CounterNoise::new(5),
             q,

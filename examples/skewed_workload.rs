@@ -44,10 +44,7 @@ fn main() {
             Dlrm::new(DlrmConfig::tiny(1, ROWS, 8), &mut rng)
         };
         let mut opt = LazyDpOptimizer::new(
-            LazyDpConfig {
-                dp: DpConfig::paper_default(BATCH),
-                ans: true,
-            },
+            LazyDpConfig::new(DpConfig::paper_default(BATCH), true),
             &model,
             CounterNoise::new(3),
         );

@@ -39,5 +39,6 @@ pub use lazydp_exec as exec;
 pub use lazydp_model as model;
 pub use lazydp_privacy as privacy;
 pub use lazydp_rng as rng;
+pub use lazydp_store as store;
 pub use lazydp_sysmodel as sysmodel;
 pub use lazydp_tensor as tensor;

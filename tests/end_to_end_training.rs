@@ -68,7 +68,7 @@ fn every_optimizer_learns() {
     }
     for ans in [true, false] {
         let mut m = model0.clone();
-        let mut o = LazyDpOptimizer::new(LazyDpConfig { dp, ans }, &m, CounterNoise::new(11));
+        let mut o = LazyDpOptimizer::new(LazyDpConfig::new(dp, ans), &m, CounterNoise::new(11));
         let (b, a) = train(&mut o, &mut m, &ds);
         results.push((o.name().to_owned(), b, a));
     }
@@ -86,7 +86,7 @@ fn more_noise_hurts_utility() {
     let run = |sigma: f64| -> f64 {
         let mut m = model0.clone();
         let dp = DpConfig::new(sigma, 2.0, 0.1, BATCH);
-        let mut o = LazyDpOptimizer::new(LazyDpConfig { dp, ans: true }, &m, CounterNoise::new(13));
+        let mut o = LazyDpOptimizer::new(LazyDpConfig::new(dp, true), &m, CounterNoise::new(13));
         let (_, after) = train(&mut o, &mut m, &ds);
         after
     };
@@ -103,10 +103,7 @@ fn private_trainer_reports_consistent_budget_and_counters() {
     let (model0, ds) = setup();
     let loader = PoissonLoader::new(ds, BATCH, 3);
     let q = loader.sampling_rate();
-    let cfg = LazyDpConfig {
-        dp: DpConfig::new(1.1, 1.0, 0.05, BATCH),
-        ans: true,
-    };
+    let cfg = LazyDpConfig::new(DpConfig::new(1.1, 1.0, 0.05, BATCH), true);
     let mut trainer = PrivateTrainer::make_private(model0, cfg, loader, CounterNoise::new(4), q);
     let stats = trainer.train_steps(12);
     assert_eq!(stats.len(), 12);
@@ -138,7 +135,7 @@ fn lazydp_noise_work_is_orders_below_eager_at_larger_tables() {
         let b1 = ds.batch_of(&(16..32).collect::<Vec<_>>());
         if lazy {
             let mut o =
-                LazyDpOptimizer::new(LazyDpConfig { dp, ans: true }, &model, CounterNoise::new(1));
+                LazyDpOptimizer::new(LazyDpConfig::new(dp, true), &model, CounterNoise::new(1));
             o.step(&mut model, &b0, Some(&b1));
             o.counters().gaussian_samples
         } else {
@@ -180,10 +177,7 @@ fn trained_model_beats_chance_on_auc() {
     };
     let before_auc = auc(&eval.labels, &probs_of(&model));
     let mut opt = LazyDpOptimizer::new(
-        LazyDpConfig {
-            dp: DpConfig::new(0.2, 4.0, 0.1, BATCH),
-            ans: true,
-        },
+        LazyDpConfig::new(DpConfig::new(0.2, 4.0, 0.1, BATCH), true),
         &model,
         CounterNoise::new(3),
     );

@@ -61,7 +61,7 @@ fn lazydp_equals_eager_dpsgd_full_pipeline() {
 
     let mut lazy_model = model0;
     let mut lazy = LazyDpOptimizer::new(
-        LazyDpConfig { dp, ans: false },
+        LazyDpConfig::new(dp, false),
         &lazy_model,
         CounterNoise::new(2718),
     );
@@ -162,7 +162,7 @@ fn ans_toggle_is_distributionally_invisible() {
     let empty = MiniBatch::default();
     let run = |ans: bool, seed: u64| -> Vec<f64> {
         let mut m = model0.clone();
-        let mut opt = LazyDpOptimizer::new(LazyDpConfig { dp, ans }, &m, CounterNoise::new(seed));
+        let mut opt = LazyDpOptimizer::new(LazyDpConfig::new(dp, ans), &m, CounterNoise::new(seed));
         for _ in 0..steps {
             opt.step(&mut m, &empty, Some(&empty));
         }

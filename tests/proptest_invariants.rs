@@ -61,7 +61,7 @@ proptest! {
         }
         let mut lazy_model = model0;
         let mut lazy = LazyDpOptimizer::new(
-            LazyDpConfig { dp, ans: false },
+            LazyDpConfig::new(dp, false),
             &lazy_model,
             CounterNoise::new(seed),
         );
@@ -170,7 +170,7 @@ proptest! {
             let dp = DpConfig::new(0.8, 1.0, 0.05, 4).with_threads(threads);
             let mut model = model0.clone();
             let mut opt = LazyDpOptimizer::new(
-                LazyDpConfig { dp, ans },
+                LazyDpConfig::new(dp, ans),
                 &model,
                 CounterNoise::new(seed),
             );
@@ -231,7 +231,7 @@ proptest! {
             let dp = DpConfig::new(0.8, 1.0, 0.05, 4).with_shards(shards);
             let mut model = model0.clone();
             let mut opt = LazyDpOptimizer::new(
-                LazyDpConfig { dp, ans },
+                LazyDpConfig::new(dp, ans),
                 &model,
                 CounterNoise::new(seed),
             );
@@ -278,13 +278,13 @@ proptest! {
         };
         let mut rng = Xoshiro256PlusPlus::seed_from(seed ^ 0x00f0_0d1e);
         let model0 = Dlrm::new(DlrmConfig::tiny(tables, rows, 4), &mut rng);
-        let cfg = LazyDpConfig {
-            dp: DpConfig::new(0.8, 1.0, 0.05, 16).with_shards(shards),
-            ans: true,
-        };
+        let cfg = LazyDpConfig::new(
+            DpConfig::new(0.8, 1.0, 0.05, 16).with_shards(shards),
+            true,
+        );
         let q = 16.0 / 128.0;
         let mut sync_t = PrivateTrainer::make_private(
-            model0.clone(), cfg, mk_loader(), CounterNoise::new(seed), q);
+            model0.clone(), cfg.clone(), mk_loader(), CounterNoise::new(seed), q);
         let _ = sync_t.train_steps(5);
         let sync_model = sync_t.finish();
         let mut pre_t = PrivateTrainer::make_private_prefetch(
@@ -295,6 +295,68 @@ proptest! {
             prop_assert!(
                 a.max_abs_diff(b) == 0.0,
                 "table {t} diverged through the prefetch pipeline"
+            );
+        }
+    }
+
+    /// The out-of-core tentpole invariant: a full LazyDP run — `step`s
+    /// plus `finalize_model` — on the paged `StoredTable` backend is
+    /// **bitwise** identical to the in-memory run on Zipf-skewed
+    /// traces, across page geometries, cache capacities (including a
+    /// pathological 1-page cache), and shard counts {1, 4}. Paging
+    /// changes where rows live, never their values.
+    #[test]
+    fn stored_backend_matches_memory_backend(
+        exponent in 0.4f64..1.4,
+        seed in 0u64..1000,
+        page_rows in 1usize..9,
+        cache_pages in 1usize..10,
+        four_shards in proptest::bool::ANY,
+    ) {
+        use lazydp::data::AccessDistribution;
+        use lazydp::store::{StorageConfig, StoredTable};
+        let rows = 48u64;
+        let steps = 4usize;
+        let shards = if four_shards { 4usize } else { 1 };
+        let dist = AccessDistribution::zipf(rows, exponent);
+        let mut trace_rng = Xoshiro256PlusPlus::seed_from(seed ^ 0x0070_4a6e);
+        let script: Vec<Vec<u64>> = (0..=steps)
+            .map(|_| dist.sample_many(&mut trace_rng, 5))
+            .collect();
+        let (_, batches) = batches_from_script(2, rows, &script);
+        let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+        let model0 = Dlrm::new(DlrmConfig::tiny(2, rows, 4), &mut rng);
+        let cfg = LazyDpConfig::new(
+            DpConfig::new(0.8, 1.0, 0.05, 4).with_shards(shards),
+            true,
+        );
+
+        // In-memory reference.
+        let mut mem = model0.clone();
+        let mut o_mem = LazyDpOptimizer::new(cfg.clone(), &mem, CounterNoise::new(seed));
+        for i in 0..steps {
+            o_mem.step(&mut mem, &batches[i], Some(&batches[i + 1]));
+        }
+        o_mem.finalize_model(&mut mem);
+
+        // Paged backend over the same trace, seed, and config.
+        let scfg = StorageConfig::new()
+            .with_page_rows(page_rows)
+            .with_cache_pages(cache_pages);
+        let mut stored = model0
+            .try_map_tables(|_, t| StoredTable::from_dense(&t, &scfg))
+            .expect("spill dir must be writable");
+        let mut o_st = LazyDpOptimizer::new(cfg, &stored, CounterNoise::new(seed));
+        for i in 0..steps {
+            o_st.step(&mut stored, &batches[i], Some(&batches[i + 1]));
+        }
+        o_st.finalize_model(&mut stored);
+
+        for (t, (a, b)) in mem.tables.iter().zip(stored.tables.iter()).enumerate() {
+            prop_assert!(
+                b.max_abs_diff_dense(a) == 0.0,
+                "table {t} diverged on the paged backend \
+                 (page_rows {page_rows}, cache {cache_pages}, shards {shards})"
             );
         }
     }
