@@ -17,6 +17,7 @@ use lazydp_dpsgd::noise_update::dense_noisy_update;
 use lazydp_embedding::{EmbeddingTable, SparseGrad};
 use lazydp_rng::counter::CounterNoise;
 use lazydp_rng::{fill_standard_normal, GaussianSampler, Prng, Xoshiro256PlusPlus};
+use lazydp_tensor::{set_gemm_mode, GemmMode, Matrix};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -25,6 +26,68 @@ fn quick() -> Criterion {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_millis(1200))
+}
+
+/// The three GEMM variants at small/medium DLRM shapes, blocked
+/// micro-kernels vs the naive reference kernels — the local regression
+/// guard for the kernel layer (both are bitwise identical; only
+/// wall-clock may differ).
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    let mk = |rows: usize, cols: usize, seed: u32| {
+        Matrix::from_fn(rows, cols, |i, j| {
+            let x = (i as u32)
+                .wrapping_mul(2_654_435_761)
+                .wrapping_add((j as u32).wrapping_mul(40_503))
+                .wrapping_add(seed);
+            // ReLU-like zeros so the reference zero-skip path is live.
+            if x.is_multiple_of(3) {
+                0.0
+            } else {
+                ((x % 1000) as f32 - 500.0) / 250.0
+            }
+        })
+    };
+    for &(label, m, k, n) in &[
+        ("small-64x128x64", 64usize, 128usize, 64usize),
+        ("medium-256x512x512", 256, 512, 512),
+    ] {
+        let a = mk(m, k, 1);
+        let b = mk(k, n, 2);
+        let at = mk(k, m, 3);
+        let bt = mk(n, k, 4);
+        let flops = (2 * m * k * n) as u64;
+        group.throughput(Throughput::Elements(flops));
+        for (mode, tag) in [
+            (GemmMode::Blocked, "blocked"),
+            (GemmMode::Reference, "reference"),
+        ] {
+            let mut out = Matrix::zeros(0, 0);
+            group.bench_function(&format!("matmul/{tag}/{label}"), |bch| {
+                set_gemm_mode(mode);
+                bch.iter(|| {
+                    black_box(&a).matmul_into(black_box(&b), &mut out);
+                    black_box(out.as_slice()[0]);
+                });
+            });
+            group.bench_function(&format!("t_matmul/{tag}/{label}"), |bch| {
+                set_gemm_mode(mode);
+                bch.iter(|| {
+                    black_box(&at).t_matmul_into(black_box(&b), &mut out);
+                    black_box(out.as_slice()[0]);
+                });
+            });
+            group.bench_function(&format!("matmul_t/{tag}/{label}"), |bch| {
+                set_gemm_mode(mode);
+                bch.iter(|| {
+                    black_box(&a).matmul_t_into(black_box(&bt), &mut out);
+                    black_box(out.as_slice()[0]);
+                });
+            });
+        }
+    }
+    set_gemm_mode(GemmMode::Blocked);
+    group.finish();
 }
 
 /// Gaussian sampling throughput across buffer sizes (compute-bound ⇒
@@ -207,6 +270,6 @@ fn bench_parallel_noise(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_noise_sampling, bench_ans, bench_table_update, bench_gather_vs_stream, bench_parallel_noise
+    targets = bench_gemm, bench_noise_sampling, bench_ans, bench_table_update, bench_gather_vs_stream, bench_parallel_noise
 }
 criterion_main!(benches);

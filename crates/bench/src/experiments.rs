@@ -631,6 +631,10 @@ pub fn experiment_ids() -> Vec<(&'static str, &'static str)> {
             "storage",
             "out-of-core storage: page-cache capacity sweep (hit rate, spill bytes, bitwise identity)",
         ),
+        (
+            "kernels",
+            "kernel layer: blocked-GEMM GFLOP/s, single-pass Gaussian samples/s, step before/after",
+        ),
     ]
 }
 
@@ -661,6 +665,7 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "scaling" => crate::scaling::thread_scaling(),
         "sharding" => crate::sharding::shard_scaling(),
         "storage" => crate::storage::storage_sweep(),
+        "kernels" => crate::kernels::kernel_throughput(),
         _ => return None,
     })
 }

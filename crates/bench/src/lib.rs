@@ -36,6 +36,7 @@
 
 pub mod ablation;
 pub mod experiments;
+pub mod kernels;
 pub mod leak;
 pub mod scaling;
 pub mod sharding;

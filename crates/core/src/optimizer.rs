@@ -19,14 +19,14 @@
 //! sequential 1-shard path, preserving their draw order exactly.
 
 use crate::history::ShardedHistory;
-use crate::plan::{flush_next_rows_sharded, NoisePlan, ShardedFlush};
+use crate::plan::{flush_next_rows_sharded, NoisePlan, NoisePlanEntry, ShardedFlush};
 use lazydp_data::MiniBatch;
-use lazydp_dpsgd::clip::{clip_weights, clipped_fraction};
+use lazydp_dpsgd::clip::{clip_weights_into, clipped_fraction};
 use lazydp_dpsgd::{DpConfig, KernelCounters, Optimizer, StepStats};
-use lazydp_embedding::sparse::dedup_indices;
-use lazydp_embedding::{EmbeddingStorage, SparseGrad};
+use lazydp_embedding::sparse::dedup_indices_into;
+use lazydp_embedding::{CoalesceScratch, EmbeddingStorage};
 use lazydp_exec::Executor;
-use lazydp_model::{Dlrm, DlrmGrads, MlpGrads};
+use lazydp_model::{Dlrm, DlrmCache, DlrmGrads, DlrmScratch};
 use lazydp_rng::RowNoise;
 use lazydp_store::StorageConfig;
 
@@ -129,6 +129,32 @@ impl LazyDpConfig {
     }
 }
 
+/// Step-scoped scratch state of the LazyDP optimizer: the forward
+/// cache, gradient buffers, lookahead target lists, noise-plan entries,
+/// and every working vector the step needs. Lazily sized on the first
+/// step; after warm-up a steady-state [`LazyDpOptimizer::step`] on the
+/// sequential path performs **zero heap allocations** (pinned by the
+/// `alloc_steady_state` integration test).
+#[derive(Debug, Clone, Default)]
+struct StepScratch {
+    cache: DlrmCache,
+    model_scratch: DlrmScratch,
+    grads: DlrmGrads,
+    logit_g: Vec<f32>,
+    norms: Vec<f64>,
+    weights: Vec<f32>,
+    /// Deduped next-batch rows, one list per table.
+    targets: Vec<Vec<u64>>,
+    /// Phase-1 noise-plan entries (sequential flush path).
+    entries: Vec<NoisePlanEntry>,
+    /// Phase-2 sampled noise block and draw scratch.
+    noise_acc: Vec<f32>,
+    noise_buf: Vec<f32>,
+    /// Dense MLP noise buffer.
+    dense_buf: Vec<f32>,
+    coalesce: CoalesceScratch,
+}
+
 /// The LazyDP optimizer (Algorithm 1): DP-SGD(F)-style gradient
 /// derivation, lazy noise updates driven by one-batch lookahead, and
 /// (optionally) aggregated noise sampling. The sparse bookkeeping is
@@ -141,6 +167,7 @@ pub struct LazyDpOptimizer<N> {
     history: Vec<ShardedHistory>,
     iter: u64,
     counters: KernelCounters,
+    scratch: StepScratch,
 }
 
 impl<N: RowNoise + Clone + Send + Sync> LazyDpOptimizer<N> {
@@ -168,6 +195,7 @@ impl<N: RowNoise + Clone + Send + Sync> LazyDpOptimizer<N> {
                 .collect(),
             iter: 0,
             counters: KernelCounters::new(),
+            scratch: StepScratch::default(),
         }
     }
 
@@ -198,6 +226,7 @@ impl<N: RowNoise + Clone + Send + Sync> LazyDpOptimizer<N> {
             history,
             iter,
             counters: KernelCounters::new(),
+            scratch: StepScratch::default(),
         }
     }
 
@@ -249,33 +278,42 @@ impl<N: RowNoise + Clone + Send + Sync> LazyDpOptimizer<N> {
     /// backward), identical to the strongest eager baseline. An
     /// associated function (not a method) so [`Optimizer::step`] can run
     /// it concurrently with the lookahead flush, which borrows the
-    /// history.
+    /// history. The gradients land in `scratch.grads`; every working
+    /// buffer comes from `scratch`, so the steady-state aggregate
+    /// allocates nothing.
     fn clipped_aggregate<T: EmbeddingStorage>(
         dp: &DpConfig,
         model: &Dlrm<T>,
         batch: &MiniBatch,
         counters: &mut KernelCounters,
-    ) -> (DlrmGrads, f64) {
+        scratch: &mut StepScratch,
+    ) -> f64 {
         if batch.is_empty() {
-            let zero = DlrmGrads {
-                bottom: MlpGrads::zeros_like(&model.bottom),
-                top: MlpGrads::zeros_like(&model.top),
-                tables: model
-                    .tables
-                    .iter()
-                    .map(|t| SparseGrad::new(t.dim()))
-                    .collect(),
-            };
-            return (zero, 0.0);
+            scratch.grads.reset_for(model);
+            return 0.0;
         }
-        let cache = model.forward(batch);
+        model.forward_with(batch, &mut scratch.cache, &mut scratch.model_scratch);
         counters.rows_gathered += batch.total_lookups() as u64;
-        let gl = Dlrm::logit_grads(&cache, &batch.labels, false);
+        Dlrm::logit_grads_into(&scratch.cache, &batch.labels, false, &mut scratch.logit_g);
         let c = dp.max_grad_norm;
-        let norms = model.per_example_grad_norms(&cache, batch, &gl);
-        let w = clip_weights(&norms, c);
-        let grads = model.backward(&cache, batch, &gl, Some(&w));
-        (grads, clipped_fraction(&norms, c))
+        model.per_example_grad_norms_with(
+            &scratch.cache,
+            batch,
+            &scratch.logit_g,
+            &mut scratch.norms,
+            &mut scratch.model_scratch,
+        );
+        clip_weights_into(&scratch.norms, c, &mut scratch.weights);
+        let StepScratch {
+            cache,
+            model_scratch,
+            grads,
+            logit_g,
+            weights,
+            ..
+        } = scratch;
+        model.backward_with(cache, batch, logit_g, Some(weights), grads, model_scratch);
+        clipped_fraction(&scratch.norms, c)
     }
 
     /// Flushes every pending noise update, bringing the model to the
@@ -359,43 +397,53 @@ where
         let exec = Executor::new(dp.threads);
 
         // Lookahead pre-pass (Algorithm 1 line 12): dedup the rows each
-        // table gathers *next* iteration. An empty next batch (Poisson
-        // sampling) may carry no per-table index lists at all; treat
-        // that as "no rows gathered next iteration".
-        let next_targets: Option<Vec<Vec<u64>>> = next.map(|next_batch| {
-            (0..model.tables.len())
-                .map(|t| {
-                    let idx: &[u64] = next_batch.sparse.get(t).map_or(&[], |s| s.flat_indices());
-                    let (targets, dups) = dedup_indices(idx);
-                    self.counters.duplicates_removed += dups as u64;
-                    targets
-                })
-                .collect()
-        });
+        // table gathers *next* iteration into the per-table scratch
+        // lists. An empty next batch (Poisson sampling) may carry no
+        // per-table index lists at all; treat that as "no rows gathered
+        // next iteration".
+        let has_next = next.is_some();
+        if let Some(next_batch) = next {
+            self.scratch
+                .targets
+                .resize_with(model.tables.len(), Vec::new);
+            for (t, targets) in self.scratch.targets.iter_mut().enumerate() {
+                let idx: &[u64] = next_batch.sparse.get(t).map_or(&[], |s| s.flat_indices());
+                self.counters.duplicates_removed += dedup_indices_into(idx, targets) as u64;
+            }
+        }
 
         // Gradient derivation and lookahead flush. The flush needs only
         // the next-batch targets, the history shards, and the (pure)
         // noise source — never the gradients — so with an addressable
-        // source it runs shard-parallel on a scoped worker *while* the
-        // main thread does the dense forward/backward. Stateful sources
-        // keep the sequential 1-shard path below to preserve their draw
-        // order. The same worker asks the storage backend to fault in
-        // the pages of exactly the rows step t+1 gathers (the set
-        // LazyDP's delayed noising touches), so on a disk-backed table
-        // the next gather is served from the page cache — prefetch is a
-        // no-op for in-memory backends and never changes row values.
-        let overlap = next_targets.is_some() && self.noise.addressable();
+        // source and a multi-width executor it runs shard-parallel on a
+        // scoped worker *while* the main thread does the dense
+        // forward/backward. Stateful sources keep the sequential 1-shard
+        // path below to preserve their draw order; a single-width
+        // executor takes the same sequential path (the overlap worker
+        // would only interleave with itself), which also keeps the
+        // steady-state step allocation-free. Values are identical either
+        // way: addressable noise is a pure function of the address. The
+        // flushing side also asks the storage backend to fault in the
+        // pages of exactly the rows step t+1 gathers (the set LazyDP's
+        // delayed noising touches), so on a disk-backed table the next
+        // gather is served from the page cache — prefetch is a no-op for
+        // in-memory backends and never changes row values.
+        let single_shard = self.history.iter().all(|h| h.num_shards() == 1);
+        let overlap = has_next && self.noise.addressable() && (dp.threads > 1 || !single_shard);
         let mut flushes: Vec<ShardedFlush> = Vec::new();
-        let (mut grads, clipped) = if overlap {
-            let targets = next_targets.as_ref().expect("overlap implies lookahead");
+        let clipped = if overlap {
+            let targets = std::mem::take(&mut self.scratch.targets);
             let dims: Vec<usize> = model.tables.iter().map(|t| t.dim()).collect();
             let noise = &self.noise;
             let history = &mut self.history;
+            let scratch = &mut self.scratch;
+            let counters = &mut self.counters;
             let model_ref: &Dlrm<T> = model;
-            let (gc, fs, fc) = std::thread::scope(|s| {
+            let targets_ref = &targets;
+            let (cl, fs, fc) = std::thread::scope(|s| {
                 let flush = s.spawn(move || {
                     let mut c = KernelCounters::new();
-                    let fs: Vec<ShardedFlush> = targets
+                    let fs: Vec<ShardedFlush> = targets_ref
                         .iter()
                         .enumerate()
                         .map(|(t, tg)| {
@@ -416,31 +464,47 @@ where
                         .collect();
                     (fs, c)
                 });
-                let gc = Self::clipped_aggregate(&dp, model_ref, batch, &mut self.counters);
+                let cl = Self::clipped_aggregate(&dp, model_ref, batch, counters, scratch);
                 let (fs, fc) = flush.join().expect("lookahead flush worker panicked");
-                (gc, fs, fc)
+                (cl, fs, fc)
             });
             self.counters.merge(&fc);
+            self.scratch.targets = targets;
             flushes = fs;
-            gc
+            cl
         } else {
-            Self::clipped_aggregate(&dp, model, batch, &mut self.counters)
+            Self::clipped_aggregate(&dp, model, batch, &mut self.counters, &mut self.scratch)
         };
-        grads.scale(1.0 / dp.nominal_batch as f32);
-        self.counters.duplicates_removed += grads.coalesce() as u64;
+        self.scratch.grads.scale(1.0 / dp.nominal_batch as f32);
+        {
+            let StepScratch {
+                grads, coalesce, ..
+            } = &mut self.scratch;
+            self.counters.duplicates_removed += grads.coalesce_with(coalesce) as u64;
+        }
 
         // MLP layers: identical treatment to eager DP-SGD (gradient +
         // dense noise every iteration) — Algorithm 1 omits them because
         // "both DP-SGD(F) and LazyDP apply the identical DP protection
         // for MLP layers".
-        model.bottom.apply(&grads.bottom, lr);
-        model.top.apply(&grads.top, lr);
-        model
-            .bottom
-            .apply_dense_noise(&mut self.noise, iter, 0, std, lr);
-        model
-            .top
-            .apply_dense_noise(&mut self.noise, iter, 64, std, lr);
+        model.bottom.apply(&self.scratch.grads.bottom, lr);
+        model.top.apply(&self.scratch.grads.top, lr);
+        model.bottom.apply_dense_noise_with(
+            &mut self.noise,
+            iter,
+            0,
+            std,
+            lr,
+            &mut self.scratch.dense_buf,
+        );
+        model.top.apply_dense_noise_with(
+            &mut self.noise,
+            iter,
+            64,
+            std,
+            lr,
+            &mut self.scratch.dense_buf,
+        );
         self.counters.gaussian_samples += (model.bottom.params() + model.top.params()) as u64;
 
         // Embedding tables: merge the (sparse) gradient with the lazy
@@ -448,38 +512,55 @@ where
         // one sparse update (Algorithm 1 lines 11–25).
         for (t, table) in model.tables.iter_mut().enumerate() {
             let dim = table.dim();
-            let mut update = std::mem::replace(&mut grads.tables[t], SparseGrad::new(dim));
+            let StepScratch {
+                grads,
+                targets,
+                entries,
+                noise_acc,
+                noise_buf,
+                ..
+            } = &mut self.scratch;
+            let update = &mut grads.tables[t];
             if overlap {
                 // The flush was sampled concurrently above; land it.
-                flushes[t].merge_into(&mut update);
-            } else if let Some(targets) = &next_targets {
-                // Stateful noise: serial two-phase flush through the
-                // live stream (phase 1 bookkeeping, phase 2 sampling).
-                let plan = NoisePlan::for_next_rows(
-                    t as u32,
+                flushes[t].merge_into(update);
+            } else if has_next {
+                // Sequential two-phase flush (a stateful source drawing
+                // through the live stream, or a single-width executor
+                // over an unsharded history): phase 1 bookkeeping,
+                // phase 2 sampling, both through step-scoped scratch.
+                let tg: &[u64] = &targets[t];
+                table.prefetch_rows(tg);
+                NoisePlan::plan_next_rows(
+                    tg,
                     iter,
-                    &targets[t],
                     &mut self.history[t].shards_mut()[0],
-                    &mut update,
+                    update,
                     &mut self.counters,
+                    entries,
                 );
-                if !plan.is_empty() {
-                    let noise_buf = plan.sample_noise(
+                if !entries.is_empty() {
+                    NoisePlan::sample_entries_into(
+                        t as u32,
+                        iter,
+                        entries,
                         dim,
                         std,
                         ans,
                         &mut self.noise,
                         &exec,
                         &mut self.counters,
+                        noise_acc,
+                        noise_buf,
                     );
-                    for (e, nv) in plan.entries().iter().zip(noise_buf.chunks_exact(dim)) {
+                    for (e, nv) in entries.iter().zip(noise_acc.chunks_exact(dim)) {
                         for (w, &n) in update.entry_mut(e.slot).iter_mut().zip(nv.iter()) {
                             *w += n;
                         }
                     }
                 }
             }
-            table.sparse_update(&update, lr);
+            table.sparse_update(update, lr);
             self.counters.table_rows_read += update.len() as u64;
             self.counters.table_rows_written += update.len() as u64;
         }

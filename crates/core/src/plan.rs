@@ -74,11 +74,32 @@ impl NoisePlan {
         update: &mut SparseGrad,
         counters: &mut KernelCounters,
     ) -> Self {
+        let mut entries = Vec::new();
+        Self::plan_next_rows(targets, iter, history, update, counters, &mut entries);
+        Self {
+            table_id,
+            iter,
+            entries,
+        }
+    }
+
+    /// The phase-1 walk of [`for_next_rows`](Self::for_next_rows) into a
+    /// caller-owned entry buffer (cleared and refilled), so the per-step
+    /// flush plans without allocating. Pair with
+    /// [`sample_entries_into`](Self::sample_entries_into).
+    pub fn plan_next_rows(
+        targets: &[u64],
+        iter: u64,
+        history: &mut HistoryTable,
+        update: &mut SparseGrad,
+        counters: &mut KernelCounters,
+        entries: &mut Vec<NoisePlanEntry>,
+    ) {
         // The coalesced prefix stays binary-searchable; rows appended
         // below are new (targets are deduped), so they never need to be
         // found again within this plan.
         let sorted_len = update.len();
-        let mut entries = Vec::new();
+        entries.clear();
         for &row in targets {
             counters.history_reads += 1;
             counters.history_writes += 1;
@@ -95,11 +116,6 @@ impl NoisePlan {
                 }
             };
             entries.push(NoisePlanEntry { row, delays, slot });
-        }
-        Self {
-            table_id,
-            iter,
-            entries,
         }
     }
 
@@ -233,10 +249,52 @@ impl NoisePlan {
     where
         N: RowNoise + Clone + Send + Sync,
     {
-        let mut acc = vec![0.0f32; entries.len() * dim];
-        if dim > 0 && noise.addressable() {
+        let mut acc = Vec::new();
+        let mut buf = Vec::new();
+        Self::sample_entries_into(
+            table_id,
+            iter,
+            entries,
+            dim,
+            per_step_std,
+            ans,
+            noise,
+            exec,
+            counters,
+            &mut acc,
+            &mut buf,
+        );
+        acc
+    }
+
+    /// [`sample_entries`](Self::sample_entries) into caller-owned
+    /// buffers: `acc` receives the `entries.len() × dim` noise block and
+    /// `buf` is the `dim`-wide draw scratch. On a single-width executor
+    /// (or a stateful source) the whole phase runs through these
+    /// buffers with zero allocation; the multi-worker path still hands
+    /// each chunk its own scratch (worker threads are scoped to the
+    /// region, so per-chunk buffers cannot be pooled across steps).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_entries_into<N>(
+        table_id: u32,
+        iter: u64,
+        entries: &[NoisePlanEntry],
+        dim: usize,
+        per_step_std: f32,
+        ans: bool,
+        noise: &mut N,
+        exec: &Executor,
+        counters: &mut KernelCounters,
+        acc: &mut Vec<f32>,
+        buf: &mut Vec<f32>,
+    ) where
+        N: RowNoise + Clone + Send + Sync,
+    {
+        acc.clear();
+        acc.resize(entries.len() * dim, 0.0);
+        if dim > 0 && exec.is_parallel() && noise.addressable() {
             let noise = &*noise;
-            exec.par_for(&mut acc, ENTRIES_PER_CHUNK * dim, |c, chunk| {
+            exec.par_for(acc.as_mut_slice(), ENTRIES_PER_CHUNK * dim, |c, chunk| {
                 // One scratch buffer and one noise handle per chunk —
                 // reused across its rows (the per-row allocations the
                 // serial flush paid are gone). Cloning is free and sound
@@ -259,16 +317,19 @@ impl NoisePlan {
                 }
             });
         } else if dim > 0 {
-            // Stateful source: draw sequentially in plan order through
-            // the live reference so the stream advances per draw.
-            let mut buf = vec![0.0f32; dim];
+            // Inline path (single worker, or a stateful source that must
+            // draw sequentially in plan order through the live
+            // reference): same values — an addressable source is a pure
+            // function of the address, and chunking never changes the
+            // per-row arithmetic.
+            buf.clear();
+            buf.resize(dim, 0.0);
             for (e, out) in entries.iter().zip(acc.chunks_mut(dim)) {
-                Self::accumulate_entry(table_id, iter, e, per_step_std, ans, noise, &mut buf, out);
+                Self::accumulate_entry(table_id, iter, e, per_step_std, ans, noise, buf, out);
             }
         }
         let draws: u64 = entries.iter().map(|e| if ans { 1 } else { e.delays }).sum();
         counters.gaussian_samples += draws * dim as u64;
-        acc
     }
 
     /// Accumulates one entry's pending noise into `out` (scratch `buf`

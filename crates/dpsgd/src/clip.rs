@@ -8,19 +8,29 @@
 /// Panics if `c <= 0` or a squared norm is negative/NaN.
 #[must_use]
 pub fn clip_weights(norms_sq: &[f64], c: f64) -> Vec<f32> {
+    let mut out = Vec::new();
+    clip_weights_into(norms_sq, c, &mut out);
+    out
+}
+
+/// [`clip_weights`] into a caller-owned vector (cleared and refilled;
+/// no allocation at steady state).
+///
+/// # Panics
+///
+/// Panics if `c <= 0` or a squared norm is negative/NaN.
+pub fn clip_weights_into(norms_sq: &[f64], c: f64, out: &mut Vec<f32>) {
     assert!(c > 0.0, "clipping threshold must be positive");
-    norms_sq
-        .iter()
-        .map(|&n| {
-            assert!(n >= 0.0, "squared norm must be non-negative, got {n}");
-            let norm = n.sqrt();
-            if norm <= c {
-                1.0
-            } else {
-                (c / norm) as f32
-            }
-        })
-        .collect()
+    out.clear();
+    out.extend(norms_sq.iter().map(|&n| {
+        assert!(n >= 0.0, "squared norm must be non-negative, got {n}");
+        let norm = n.sqrt();
+        if norm <= c {
+            1.0
+        } else {
+            (c / norm) as f32
+        }
+    }));
 }
 
 /// Fraction of examples whose gradient was actually clipped (norm > C) —

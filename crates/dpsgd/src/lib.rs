@@ -53,7 +53,7 @@ pub mod optimizer;
 pub mod parallel_update;
 pub mod sgd;
 
-pub use clip::clip_weights;
+pub use clip::{clip_weights, clip_weights_into};
 pub use config::DpConfig;
 pub use counters::KernelCounters;
 pub use eager::{ClipStyle, EagerDpSgd};

@@ -5,13 +5,23 @@ use crate::counters::KernelCounters;
 use crate::noise_update::sparse_grad_update;
 use crate::optimizer::{Optimizer, StepStats};
 use lazydp_data::MiniBatch;
-use lazydp_model::Dlrm;
+use lazydp_embedding::CoalesceScratch;
+use lazydp_model::{Dlrm, DlrmCache, DlrmGrads, DlrmScratch};
 
 /// Plain mini-batch SGD with sparse embedding updates (paper Fig. 4(a)).
-#[derive(Debug, Clone)]
+///
+/// Owns its forward cache, gradient buffers, and scratch arena: after
+/// the first step sizes them, steady-state steps perform no heap
+/// allocations (the same arena discipline as `LazyDpOptimizer`).
+#[derive(Debug, Clone, Default)]
 pub struct SgdOptimizer {
     lr: f32,
     counters: KernelCounters,
+    cache: DlrmCache,
+    grads: DlrmGrads,
+    scratch: DlrmScratch,
+    logit_g: Vec<f32>,
+    coalesce: CoalesceScratch,
 }
 
 impl SgdOptimizer {
@@ -26,6 +36,7 @@ impl SgdOptimizer {
         Self {
             lr,
             counters: KernelCounters::new(),
+            ..Self::default()
         }
     }
 }
@@ -44,14 +55,21 @@ impl Optimizer for SgdOptimizer {
         if batch.is_empty() {
             return StepStats::default();
         }
-        let cache = model.forward(batch);
+        model.forward_with(batch, &mut self.cache, &mut self.scratch);
         self.counters.rows_gathered += batch.total_lookups() as u64;
-        let gl = Dlrm::logit_grads(&cache, &batch.labels, true);
-        let mut grads = model.backward(&cache, batch, &gl, None);
-        self.counters.duplicates_removed += grads.coalesce() as u64;
-        model.bottom.apply(&grads.bottom, self.lr);
-        model.top.apply(&grads.top, self.lr);
-        for (table, g) in model.tables.iter_mut().zip(grads.tables.iter()) {
+        Dlrm::logit_grads_into(&self.cache, &batch.labels, true, &mut self.logit_g);
+        model.backward_with(
+            &self.cache,
+            batch,
+            &self.logit_g,
+            None,
+            &mut self.grads,
+            &mut self.scratch,
+        );
+        self.counters.duplicates_removed += self.grads.coalesce_with(&mut self.coalesce) as u64;
+        model.bottom.apply(&self.grads.bottom, self.lr);
+        model.top.apply(&self.grads.top, self.lr);
+        for (table, g) in model.tables.iter_mut().zip(self.grads.tables.iter()) {
             sparse_grad_update(table, g, self.lr, &mut self.counters);
         }
         self.counters.steps += 1;

@@ -113,7 +113,24 @@ impl EmbeddingBag {
     /// Panics if any index is out of range for `table`.
     #[must_use]
     pub fn forward<T: EmbeddingStorage>(&self, table: &T, batch: &BagIndices) -> Matrix {
-        let mut out = Matrix::zeros(batch.batch_size(), table.dim());
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(table, batch, &mut out);
+        out
+    }
+
+    /// [`forward`](Self::forward) into a caller-owned output matrix
+    /// (reshaped, zeroed, and refilled; no allocation at steady state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range for `table`.
+    pub fn forward_into<T: EmbeddingStorage>(
+        &self,
+        table: &T,
+        batch: &BagIndices,
+        out: &mut Matrix,
+    ) {
+        out.reset_zeroed(batch.batch_size(), table.dim());
         for i in 0..batch.batch_size() {
             let idxs = batch.sample(i);
             if idxs.is_empty() {
@@ -134,7 +151,6 @@ impl EmbeddingBag {
                 }
             }
         }
-        out
     }
 
     /// Backward: per-row sparse gradient from the pooled-output gradient
@@ -148,12 +164,30 @@ impl EmbeddingBag {
     /// Panics if `grad_out` has the wrong shape.
     #[must_use]
     pub fn backward(&self, grad_out: &Matrix, batch: &BagIndices, dim: usize) -> SparseGrad {
+        let mut grad = SparseGrad::new(dim);
+        self.backward_into(grad_out, batch, dim, &mut grad);
+        grad
+    }
+
+    /// [`backward`](Self::backward) into a caller-owned sparse gradient
+    /// (reset and refilled, keeping its allocations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_out` has the wrong shape.
+    pub fn backward_into(
+        &self,
+        grad_out: &Matrix,
+        batch: &BagIndices,
+        dim: usize,
+        grad: &mut SparseGrad,
+    ) {
         assert_eq!(
             grad_out.shape(),
             (batch.batch_size(), dim),
             "grad_out shape mismatch"
         );
-        let mut grad = SparseGrad::new(dim);
+        grad.reset(dim);
         for i in 0..batch.batch_size() {
             let idxs = batch.sample(i);
             if idxs.is_empty() {
@@ -171,7 +205,6 @@ impl EmbeddingBag {
                 }
             }
         }
-        grad
     }
 
     /// Per-example squared gradient norm of this bag's weights, without
@@ -189,20 +222,52 @@ impl EmbeddingBag {
     /// Panics if `grad_out` has the wrong number of rows.
     #[must_use]
     pub fn per_example_norm_sq(&self, grad_out: &Matrix, batch: &BagIndices) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.per_example_norm_sq_into(grad_out, batch, &mut out, &mut Vec::new());
+        out
+    }
+
+    /// [`per_example_norm_sq`](Self::per_example_norm_sq) into
+    /// caller-owned buffers. Duplicate counts come from sorting the
+    /// sample's lookups into `idx_scratch` and measuring runs — no hash
+    /// map, no allocation at steady state, and identical results (the
+    /// `Σ c²` terms are exact small integers, so summation order cannot
+    /// change the value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_out` has the wrong number of rows.
+    pub fn per_example_norm_sq_into(
+        &self,
+        grad_out: &Matrix,
+        batch: &BagIndices,
+        out: &mut Vec<f64>,
+        idx_scratch: &mut Vec<u64>,
+    ) {
         assert_eq!(
             grad_out.rows(),
             batch.batch_size(),
             "grad_out rows mismatch"
         );
-        let mut out = Vec::with_capacity(batch.batch_size());
-        let mut counts: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        out.clear();
         for i in 0..batch.batch_size() {
             let idxs = batch.sample(i);
-            counts.clear();
-            for &idx in idxs {
-                *counts.entry(idx).or_insert(0) += 1;
+            idx_scratch.clear();
+            idx_scratch.extend_from_slice(idxs);
+            idx_scratch.sort_unstable();
+            let mut c_sq = 0.0f64;
+            let mut run = 0u64;
+            let mut prev = 0u64;
+            for &idx in idx_scratch.iter() {
+                if run > 0 && idx == prev {
+                    run += 1;
+                } else {
+                    c_sq += (run * run) as f64;
+                    prev = idx;
+                    run = 1;
+                }
             }
-            let c_sq: f64 = counts.values().map(|&c| f64::from(c) * f64::from(c)).sum();
+            c_sq += (run * run) as f64;
             let delta_sq: f64 = grad_out
                 .row(i)
                 .iter()
@@ -221,7 +286,6 @@ impl EmbeddingBag {
             };
             out.push(c_sq * delta_sq * scale);
         }
-        out
     }
 }
 

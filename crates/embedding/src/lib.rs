@@ -65,7 +65,7 @@ pub mod virtual_table;
 pub use access::AccessTracker;
 pub use bag::{EmbeddingBag, Pooling};
 pub use shard::{ShardSpec, ShardedTable};
-pub use sparse::SparseGrad;
+pub use sparse::{CoalesceScratch, SparseGrad};
 pub use storage::EmbeddingStorage;
 pub use table::EmbeddingTable;
 pub use virtual_table::VirtualTable;

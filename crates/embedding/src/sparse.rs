@@ -46,6 +46,16 @@ impl SparseGrad {
         g
     }
 
+    /// Empties the gradient (and re-dims it), keeping both backing
+    /// allocations — the arena-reuse entry point: a cleared gradient
+    /// refilled with at most as many entries as it ever held allocates
+    /// nothing.
+    pub fn reset(&mut self, dim: usize) {
+        self.dim = dim;
+        self.indices.clear();
+        self.values.clear();
+    }
+
     /// Appends an entry.
     ///
     /// # Panics
@@ -154,29 +164,48 @@ impl SparseGrad {
     /// Returns the number of duplicate entries that were merged away —
     /// the quantity LazyDP's overhead accounting tracks (Fig. 11).
     pub fn coalesce(&mut self) -> usize {
+        self.coalesce_with(&mut CoalesceScratch::default())
+    }
+
+    /// [`coalesce`](Self::coalesce) through caller-owned scratch: the
+    /// permutation and the merged entry buffers live in `scratch` and
+    /// are swapped with the gradient's own buffers at the end, so a
+    /// steady-state training step coalesces without touching the heap.
+    ///
+    /// Duplicate rows are summed in their original entry order (the
+    /// in-place sort is made stable by an index tie-break), so the
+    /// result is bitwise identical to the historical allocating
+    /// implementation.
+    pub fn coalesce_with(&mut self, scratch: &mut CoalesceScratch) -> usize {
         if self.indices.len() <= 1 {
             return 0;
         }
         let before = self.indices.len();
-        let mut order: Vec<usize> = (0..self.indices.len()).collect();
-        order.sort_by_key(|&i| self.indices[i]);
-        let mut new_indices: Vec<u64> = Vec::with_capacity(before);
-        let mut new_values: Vec<f32> = Vec::with_capacity(before * self.dim);
-        for &src in &order {
+        scratch.order.clear();
+        scratch.order.extend(0..before as u32);
+        // Unstable sort (no temp buffer) made stable via the index
+        // tie-break, preserving the duplicate accumulation order.
+        scratch
+            .order
+            .sort_unstable_by_key(|&i| (self.indices[i as usize], i));
+        scratch.indices.clear();
+        scratch.values.clear();
+        for &src in &scratch.order {
+            let src = src as usize;
             let idx = self.indices[src];
             let vals = &self.values[src * self.dim..(src + 1) * self.dim];
-            if new_indices.last() == Some(&idx) {
-                let start = new_values.len() - self.dim;
-                for (acc, &v) in new_values[start..].iter_mut().zip(vals.iter()) {
+            if scratch.indices.last() == Some(&idx) {
+                let start = scratch.values.len() - self.dim;
+                for (acc, &v) in scratch.values[start..].iter_mut().zip(vals.iter()) {
                     *acc += v;
                 }
             } else {
-                new_indices.push(idx);
-                new_values.extend_from_slice(vals);
+                scratch.indices.push(idx);
+                scratch.values.extend_from_slice(vals);
             }
         }
-        self.indices = new_indices;
-        self.values = new_values;
+        std::mem::swap(&mut self.indices, &mut scratch.indices);
+        std::mem::swap(&mut self.values, &mut scratch.values);
         before - self.indices.len()
     }
 
@@ -203,6 +232,17 @@ impl SparseGrad {
     }
 }
 
+/// Reusable buffers for [`SparseGrad::coalesce_with`]: the sort
+/// permutation plus the merged index/value arrays (swapped into the
+/// gradient each call, so the gradient's previous buffers become next
+/// call's scratch).
+#[derive(Debug, Clone, Default)]
+pub struct CoalesceScratch {
+    order: Vec<u32>,
+    indices: Vec<u64>,
+    values: Vec<f32>,
+}
+
 /// Deduplicates a list of row indices, returning the sorted unique set
 /// and the number of duplicates removed.
 ///
@@ -212,11 +252,21 @@ impl SparseGrad {
 /// from gradient coalescing.
 #[must_use]
 pub fn dedup_indices(indices: &[u64]) -> (Vec<u64>, usize) {
-    let mut sorted = indices.to_vec();
-    sorted.sort_unstable();
-    sorted.dedup();
-    let dups = indices.len() - sorted.len();
+    let mut sorted = Vec::new();
+    let dups = dedup_indices_into(indices, &mut sorted);
     (sorted, dups)
+}
+
+/// [`dedup_indices`] into a caller-owned vector (cleared and refilled;
+/// the in-place unstable sort and `Vec::dedup` allocate nothing), so
+/// the per-step lookahead dedup reuses one buffer per table. Returns
+/// the number of duplicates removed.
+pub fn dedup_indices_into(indices: &[u64], out: &mut Vec<u64>) -> usize {
+    out.clear();
+    out.extend_from_slice(indices);
+    out.sort_unstable();
+    out.dedup();
+    indices.len() - out.len()
 }
 
 #[cfg(test)]

@@ -146,6 +146,15 @@ impl Executor {
         self.threads
     }
 
+    /// Whether this executor would ever spawn workers (`threads > 1`).
+    /// Kernels with an allocation-free inline path (e.g. the noise-plan
+    /// sampler) use this to stay on caller-owned scratch when no
+    /// parallelism is available anyway.
+    #[must_use]
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+
     /// Splits `data` into consecutive chunks of `chunk_len` elements
     /// (the last may be shorter) and calls `f(chunk_index, chunk)` for
     /// each, distributing chunks over the workers dynamically.

@@ -2,15 +2,23 @@
 //! interaction + top MLP (paper Fig. 1).
 
 use crate::config::DlrmConfig;
-use crate::interaction::{interaction_backward, interaction_forward};
+use crate::interaction::{
+    interaction_backward, interaction_backward_into, interaction_forward_into,
+};
 use crate::mlp::{Mlp, MlpCache, MlpGrads};
 use lazydp_data::MiniBatch;
-use lazydp_embedding::{EmbeddingBag, EmbeddingStorage, EmbeddingTable, Pooling, SparseGrad};
+use lazydp_embedding::{
+    CoalesceScratch, EmbeddingBag, EmbeddingStorage, EmbeddingTable, Pooling, SparseGrad,
+};
 use lazydp_rng::Prng;
-use lazydp_tensor::{bce_with_logits, bce_with_logits_grad, Matrix};
+use lazydp_tensor::{bce_with_logits, bce_with_logits_grad, Matrix, ScratchArena};
 
 /// Forward-pass cache for one mini-batch.
-#[derive(Debug, Clone)]
+///
+/// Reusable: [`Dlrm::forward_with`] reshapes every cached matrix in
+/// place, so a trainer-owned cache stops allocating once each buffer has
+/// reached its steady-state size.
+#[derive(Debug, Clone, Default)]
 pub struct DlrmCache {
     /// Bottom-MLP cache.
     pub bottom: MlpCache,
@@ -26,10 +34,40 @@ impl DlrmCache {
     pub fn logits(&self) -> Vec<f32> {
         self.top.output().as_slice().to_vec()
     }
+
+    /// The output logits as a borrowed slice (the `B × 1` top output,
+    /// row-major — allocation-free accessor for the hot loop).
+    #[must_use]
+    pub fn logits_slice(&self) -> &[f32] {
+        self.top.output().as_slice()
+    }
+}
+
+/// Reusable working state for the DLRM forward/backward passes — the
+/// model-level slice of the step-scoped scratch arena. Owned by the
+/// trainer/optimizer and lazily sized on the first step; with it, the
+/// whole forward + ghost-norm + reweighted-backward pipeline performs
+/// zero heap allocations at steady state.
+#[derive(Debug, Clone, Default)]
+pub struct DlrmScratch {
+    /// Dense-feature input matrix (`B × num_dense`).
+    x: Matrix,
+    /// Logit-gradient column (`B × 1`).
+    g: Matrix,
+    /// Gradient of the top-MLP input (the interaction output).
+    grad_top_in: Matrix,
+    /// Per-interaction-input gradients.
+    inter_grads: Vec<Matrix>,
+    /// Discarded input-gradient of the bottom MLP.
+    grad_x: Matrix,
+    /// Typed buffer pools for the MLP passes.
+    arena: ScratchArena,
+    /// Sorted-run scratch for the embedding ghost norms.
+    bag_idx: Vec<u64>,
 }
 
 /// Gradients of every trainable tensor in the model.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DlrmGrads {
     /// Bottom-MLP gradients.
     pub bottom: MlpGrads,
@@ -66,6 +104,42 @@ impl DlrmGrads {
     /// Coalesces every table gradient, returning total duplicates merged.
     pub fn coalesce(&mut self) -> usize {
         self.tables.iter_mut().map(SparseGrad::coalesce).sum()
+    }
+
+    /// [`coalesce`](Self::coalesce) through caller-owned scratch (see
+    /// [`SparseGrad::coalesce_with`]).
+    pub fn coalesce_with(&mut self, scratch: &mut CoalesceScratch) -> usize {
+        self.tables
+            .iter_mut()
+            .map(|t| t.coalesce_with(scratch))
+            .sum()
+    }
+
+    /// (Re)shapes `self` to match `model` — MLP gradients zeroed, table
+    /// gradients empty — reusing existing allocations where shapes
+    /// already agree.
+    pub fn reset_for<T: EmbeddingStorage>(&mut self, model: &Dlrm<T>) {
+        if self.bottom.layers.len() != model.bottom.layers().len() {
+            self.bottom = MlpGrads::zeros_like(&model.bottom);
+        } else {
+            self.bottom.set_zero();
+        }
+        if self.top.layers.len() != model.top.layers().len() {
+            self.top = MlpGrads::zeros_like(&model.top);
+        } else {
+            self.top.set_zero();
+        }
+        if self.tables.len() != model.tables.len() {
+            self.tables = model
+                .tables
+                .iter()
+                .map(|t| SparseGrad::new(t.dim()))
+                .collect();
+        } else {
+            for (g, t) in self.tables.iter_mut().zip(model.tables.iter()) {
+                g.reset(t.dim());
+            }
+        }
     }
 }
 
@@ -118,6 +192,13 @@ impl Dlrm {
     #[must_use]
     pub fn logit_grads(cache: &DlrmCache, labels: &[f32], mean: bool) -> Vec<f32> {
         bce_with_logits_grad(&cache.logits(), labels, mean)
+    }
+
+    /// [`logit_grads`](Self::logit_grads) into a caller-owned vector,
+    /// reading the logits straight off the cached top output
+    /// (allocation-free at steady state).
+    pub fn logit_grads_into(cache: &DlrmCache, labels: &[f32], mean: bool, out: &mut Vec<f32>) {
+        lazydp_tensor::bce_with_logits_grad_into(cache.logits_slice(), labels, mean, out);
     }
 }
 
@@ -224,22 +305,48 @@ impl<T: EmbeddingStorage> Dlrm<T> {
     /// Panics if the batch is inconsistent or empty.
     #[must_use]
     pub fn forward(&self, batch: &MiniBatch) -> DlrmCache {
+        let mut cache = DlrmCache::default();
+        self.forward_with(batch, &mut cache, &mut DlrmScratch::default());
+        cache
+    }
+
+    /// [`forward`](Self::forward) into a reusable cache with working
+    /// buffers from `scratch` — the zero-allocation forward of the
+    /// training hot loop. Bitwise identical to the allocating path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is inconsistent or empty.
+    pub fn forward_with(
+        &self,
+        batch: &MiniBatch,
+        cache: &mut DlrmCache,
+        scratch: &mut DlrmScratch,
+    ) {
         assert!(batch.is_consistent(), "inconsistent mini-batch");
         assert!(!batch.is_empty(), "empty mini-batch");
-        let x = Matrix::from_vec(batch.batch_size(), batch.num_dense, batch.dense.clone());
-        let bottom = self.bottom.forward(&x);
-        let mut inter_inputs = Vec::with_capacity(1 + self.tables.len());
-        inter_inputs.push(bottom.output().clone());
+        scratch
+            .x
+            .assign_from_slice(batch.batch_size(), batch.num_dense, &batch.dense);
+        self.bottom.forward_into(&scratch.x, &mut cache.bottom);
+        cache
+            .inter_inputs
+            .resize_with(1 + self.tables.len(), || Matrix::zeros(0, 0));
+        cache.inter_inputs[0].copy_from(cache.bottom.output());
         for (t, table) in self.tables.iter().enumerate() {
-            inter_inputs.push(self.bags[t].forward(table, &batch.sparse[t]));
+            self.bags[t].forward_into(table, &batch.sparse[t], &mut cache.inter_inputs[t + 1]);
         }
-        let top_in = interaction_forward(self.config.interaction, &inter_inputs);
-        let top = self.top.forward(&top_in);
-        DlrmCache {
-            bottom,
-            inter_inputs,
-            top,
+        // The interaction output is written straight into the top MLP's
+        // input activation slot, skipping a copy.
+        if cache.top.activations.is_empty() {
+            cache.top.activations.push(Matrix::zeros(0, 0));
         }
+        interaction_forward_into(
+            self.config.interaction,
+            &cache.inter_inputs,
+            &mut cache.top.activations[0],
+        );
+        self.top.forward_in_place(&mut cache.top);
     }
 
     /// Mean BCE loss of a batch (convenience for tests/examples).
@@ -269,32 +376,77 @@ impl<T: EmbeddingStorage> Dlrm<T> {
         grad_logits: &[f32],
         weights: Option<&[f32]>,
     ) -> DlrmGrads {
+        let mut grads = DlrmGrads::default();
+        self.backward_with(
+            cache,
+            batch,
+            grad_logits,
+            weights,
+            &mut grads,
+            &mut DlrmScratch::default(),
+        );
+        grads
+    }
+
+    /// [`backward`](Self::backward) into caller-owned gradients with
+    /// working buffers from `scratch` (zero allocation at steady state;
+    /// bitwise identical to the allocating path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree with the cached batch size.
+    pub fn backward_with(
+        &self,
+        cache: &DlrmCache,
+        batch: &MiniBatch,
+        grad_logits: &[f32],
+        weights: Option<&[f32]>,
+        grads: &mut DlrmGrads,
+        scratch: &mut DlrmScratch,
+    ) {
         let b = batch.batch_size();
         assert_eq!(grad_logits.len(), b, "one logit grad per example");
-        let mut g = Matrix::from_vec(b, 1, grad_logits.to_vec());
+        scratch.g.assign_from_slice(b, 1, grad_logits);
         if let Some(w) = weights {
             assert_eq!(w.len(), b, "one weight per example");
             for (i, &wi) in w.iter().enumerate() {
-                g.row_mut(i)[0] *= wi;
+                scratch.g.row_mut(i)[0] *= wi;
             }
         }
-        let (top_grads, grad_top_in) = self.top.backward(&cache.top, &g);
-        let inter_grads =
-            interaction_backward(self.config.interaction, &cache.inter_inputs, &grad_top_in);
-        let (bottom_grads, _) = self.bottom.backward(&cache.bottom, &inter_grads[0]);
-        let tables = (0..self.tables.len())
-            .map(|t| {
-                self.bags[t].backward(
-                    &inter_grads[t + 1],
-                    &batch.sparse[t],
-                    self.config.embedding_dim,
-                )
-            })
-            .collect();
-        DlrmGrads {
-            bottom: bottom_grads,
-            top: top_grads,
-            tables,
+        if grads.tables.len() != self.tables.len() {
+            grads.tables = self
+                .tables
+                .iter()
+                .map(|t| SparseGrad::new(t.dim()))
+                .collect();
+        }
+        self.top.backward_into(
+            &cache.top,
+            &scratch.g,
+            &mut grads.top,
+            &mut scratch.grad_top_in,
+            &mut scratch.arena,
+        );
+        interaction_backward_into(
+            self.config.interaction,
+            &cache.inter_inputs,
+            &scratch.grad_top_in,
+            &mut scratch.inter_grads,
+        );
+        self.bottom.backward_into(
+            &cache.bottom,
+            &scratch.inter_grads[0],
+            &mut grads.bottom,
+            &mut scratch.grad_x,
+            &mut scratch.arena,
+        );
+        for t in 0..self.tables.len() {
+            self.bags[t].backward_into(
+                &scratch.inter_grads[t + 1],
+                &batch.sparse[t],
+                self.config.embedding_dim,
+                &mut grads.tables[t],
+            );
         }
     }
 
@@ -311,25 +463,72 @@ impl<T: EmbeddingStorage> Dlrm<T> {
         batch: &MiniBatch,
         grad_logits: &[f32],
     ) -> Vec<f64> {
+        let mut norms = Vec::new();
+        self.per_example_grad_norms_with(
+            cache,
+            batch,
+            grad_logits,
+            &mut norms,
+            &mut DlrmScratch::default(),
+        );
+        norms
+    }
+
+    /// [`per_example_grad_norms`](Self::per_example_grad_norms) into a
+    /// caller-owned vector with working buffers from `scratch` (zero
+    /// allocation at steady state; identical results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree with the cached batch size.
+    pub fn per_example_grad_norms_with(
+        &self,
+        cache: &DlrmCache,
+        batch: &MiniBatch,
+        grad_logits: &[f32],
+        norms: &mut Vec<f64>,
+        scratch: &mut DlrmScratch,
+    ) {
         let b = batch.batch_size();
         assert_eq!(grad_logits.len(), b, "one logit grad per example");
-        let g = Matrix::from_vec(b, 1, grad_logits.to_vec());
-        let (mut norms, grad_top_in) = self.top.backward_ghost_norms(&cache.top, &g);
-        let inter_grads =
-            interaction_backward(self.config.interaction, &cache.inter_inputs, &grad_top_in);
-        let (bottom_norms, _) = self
-            .bottom
-            .backward_ghost_norms(&cache.bottom, &inter_grads[0]);
+        scratch.g.assign_from_slice(b, 1, grad_logits);
+        self.top.backward_ghost_norms_into(
+            &cache.top,
+            &scratch.g,
+            norms,
+            &mut scratch.grad_top_in,
+            &mut scratch.arena,
+        );
+        interaction_backward_into(
+            self.config.interaction,
+            &cache.inter_inputs,
+            &scratch.grad_top_in,
+            &mut scratch.inter_grads,
+        );
+        let mut bottom_norms = scratch.arena.take_f64(0);
+        self.bottom.backward_ghost_norms_into(
+            &cache.bottom,
+            &scratch.inter_grads[0],
+            &mut bottom_norms,
+            &mut scratch.grad_x,
+            &mut scratch.arena,
+        );
         for (n, bn) in norms.iter_mut().zip(bottom_norms.iter()) {
             *n += bn;
         }
+        let mut emb_norms = bottom_norms; // reuse the pooled buffer
         for t in 0..self.tables.len() {
-            let emb_norms = self.bags[t].per_example_norm_sq(&inter_grads[t + 1], &batch.sparse[t]);
+            self.bags[t].per_example_norm_sq_into(
+                &scratch.inter_grads[t + 1],
+                &batch.sparse[t],
+                &mut emb_norms,
+                &mut scratch.bag_idx,
+            );
             for (n, en) in norms.iter_mut().zip(emb_norms.iter()) {
                 *n += en;
             }
         }
-        norms
+        scratch.arena.put_f64(emb_norms);
     }
 
     /// Materialized per-example gradients (DP-SGD(B) style). Memory is

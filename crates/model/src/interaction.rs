@@ -17,6 +17,20 @@ use lazydp_tensor::Matrix;
 /// Panics if `inputs` is empty or shapes disagree.
 #[must_use]
 pub fn interaction_forward(kind: InteractionKind, inputs: &[Matrix]) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    interaction_forward_into(kind, inputs, &mut out);
+    out
+}
+
+/// [`interaction_forward`] into a caller-owned output matrix (reshaped
+/// and overwritten in place; no allocation at steady state). The
+/// arithmetic — including the plain ascending dot accumulation of the
+/// pairwise terms — is identical to the allocating path.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or shapes disagree.
+pub fn interaction_forward_into(kind: InteractionKind, inputs: &[Matrix], out: &mut Matrix) {
     assert!(!inputs.is_empty(), "interaction needs at least one input");
     let (batch, dim) = inputs[0].shape();
     for m in inputs {
@@ -28,16 +42,18 @@ pub fn interaction_forward(kind: InteractionKind, inputs: &[Matrix]) -> Matrix {
     }
     match kind {
         InteractionKind::Concat => {
-            let mut out = inputs[0].clone();
-            for m in &inputs[1..] {
-                out = out.hcat(m);
+            out.reset_zeroed(batch, dim * inputs.len());
+            for b in 0..batch {
+                let row = out.row_mut(b);
+                for (i, m) in inputs.iter().enumerate() {
+                    row[i * dim..(i + 1) * dim].copy_from_slice(m.row(b));
+                }
             }
-            out
         }
         InteractionKind::Dot => {
             let n = inputs.len();
             let pairs = n * (n - 1) / 2;
-            let mut out = Matrix::zeros(batch, dim + pairs);
+            out.reset_zeroed(batch, dim + pairs);
             for b in 0..batch {
                 let row = out.row_mut(b);
                 row[..dim].copy_from_slice(inputs[0].row(b));
@@ -53,7 +69,6 @@ pub fn interaction_forward(kind: InteractionKind, inputs: &[Matrix]) -> Matrix {
                     }
                 }
             }
-            out
         }
     }
 }
@@ -70,20 +85,40 @@ pub fn interaction_backward(
     inputs: &[Matrix],
     grad_out: &Matrix,
 ) -> Vec<Matrix> {
+    let mut grads = Vec::new();
+    interaction_backward_into(kind, inputs, grad_out, &mut grads);
+    grads
+}
+
+/// [`interaction_backward`] into a caller-owned vector of per-input
+/// gradient matrices (each reshaped and overwritten in place).
+///
+/// # Panics
+///
+/// Panics if shapes disagree with what [`interaction_forward`] produced.
+pub fn interaction_backward_into(
+    kind: InteractionKind,
+    inputs: &[Matrix],
+    grad_out: &Matrix,
+    grads: &mut Vec<Matrix>,
+) {
     assert!(!inputs.is_empty(), "interaction needs at least one input");
     let (batch, dim) = inputs[0].shape();
+    grads.resize_with(inputs.len(), || Matrix::zeros(0, 0));
     match kind {
         InteractionKind::Concat => {
             assert_eq!(grad_out.shape(), (batch, dim * inputs.len()), "grad shape");
-            (0..inputs.len())
-                .map(|i| grad_out.col_slice(i * dim, dim))
-                .collect()
+            for (i, g) in grads.iter_mut().enumerate() {
+                grad_out.col_slice_into(i * dim, dim, g);
+            }
         }
         InteractionKind::Dot => {
             let n = inputs.len();
             let pairs = n * (n - 1) / 2;
             assert_eq!(grad_out.shape(), (batch, dim + pairs), "grad shape");
-            let mut grads = vec![Matrix::zeros(batch, dim); n];
+            for g in grads.iter_mut() {
+                g.reset_zeroed(batch, dim);
+            }
             for b in 0..batch {
                 let g = grad_out.row(b);
                 // Pass-through part for the bottom vector.
@@ -103,7 +138,6 @@ pub fn interaction_backward(
                     }
                 }
             }
-            grads
         }
     }
 }

@@ -45,6 +45,6 @@ pub mod metrics;
 pub mod mlp;
 
 pub use config::{DlrmConfig, InteractionKind};
-pub use dlrm::{Dlrm, DlrmCache, DlrmGrads};
+pub use dlrm::{Dlrm, DlrmCache, DlrmGrads, DlrmScratch};
 pub use metrics::{accuracy, auc, calibration, log_loss};
 pub use mlp::{LayerGrad, Mlp, MlpCache, MlpGrads};

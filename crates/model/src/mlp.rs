@@ -14,7 +14,7 @@
 
 use lazydp_rng::{Prng, RowNoise};
 use lazydp_tensor::ops::add_bias;
-use lazydp_tensor::{Activation, InitKind, Matrix};
+use lazydp_tensor::{Activation, InitKind, Matrix, ScratchArena};
 
 /// One linear layer `y = act(x·W + b)` with `W: in × out`.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,7 +105,7 @@ impl LayerGrad {
 }
 
 /// Gradients of a whole MLP (one [`LayerGrad`] per layer).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MlpGrads {
     /// Per-layer gradients, front to back.
     pub layers: Vec<LayerGrad>,
@@ -155,10 +155,24 @@ impl MlpGrads {
             l.scale(alpha);
         }
     }
+
+    /// Overwrites every gradient value with exact `+0.0` (the
+    /// empty-batch reset of a reused gradient buffer; `scale(0.0)`
+    /// would keep `-0.0`/NaN bits).
+    pub fn set_zero(&mut self) {
+        for l in &mut self.layers {
+            l.dw.as_mut_slice().fill(0.0);
+            l.db.fill(0.0);
+        }
+    }
 }
 
 /// Forward cache: the input and every layer's post-activation output.
-#[derive(Debug, Clone)]
+///
+/// Reusable: [`Mlp::forward_into`] reshapes the cached matrices in
+/// place, so a cache driven by a trainer allocates only until every
+/// activation has reached its steady-state size.
+#[derive(Debug, Clone, Default)]
 pub struct MlpCache {
     /// `activations[0]` is the input; `activations[l+1]` is layer `l`'s
     /// output.
@@ -227,15 +241,49 @@ impl Mlp {
     /// Panics if `x.cols()` differs from the first layer's input width.
     #[must_use]
     pub fn forward(&self, x: &Matrix) -> MlpCache {
-        let mut activations = Vec::with_capacity(self.layers.len() + 1);
-        activations.push(x.clone());
-        for layer in &self.layers {
-            let mut z = activations.last().expect("non-empty").matmul(&layer.weight);
-            add_bias(&mut z, &layer.bias);
-            layer.activation.forward_inplace(&mut z);
-            activations.push(z);
+        let mut cache = MlpCache::default();
+        self.forward_into(x, &mut cache);
+        cache
+    }
+
+    /// [`forward`](Self::forward) into a reusable cache: every
+    /// activation matrix is reshaped and overwritten in place, so
+    /// steady-state forward passes allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` differs from the first layer's input width.
+    pub fn forward_into(&self, x: &Matrix, cache: &mut MlpCache) {
+        if cache.activations.is_empty() {
+            cache.activations.push(Matrix::zeros(0, 0));
         }
-        MlpCache { activations }
+        cache.activations[0].copy_from(x);
+        self.forward_in_place(cache);
+    }
+
+    /// Runs the forward pass over a cache whose `activations[0]` the
+    /// caller has already filled with the layer input (the DLRM path
+    /// writes the interaction output straight into that slot, skipping a
+    /// copy). The remaining activation slots are reshaped in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache has no input activation.
+    pub fn forward_in_place(&self, cache: &mut MlpCache) {
+        assert!(
+            !cache.activations.is_empty(),
+            "cache needs its input activation filled"
+        );
+        cache
+            .activations
+            .resize_with(self.layers.len() + 1, || Matrix::zeros(0, 0));
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (done, rest) = cache.activations.split_at_mut(l + 1);
+            let z = &mut rest[0];
+            done[l].matmul_into(&layer.weight, z);
+            add_bias(z, &layer.bias);
+            layer.activation.forward_inplace(z);
+        }
     }
 
     /// Standard per-batch backward pass.
@@ -244,19 +292,52 @@ impl Mlp {
     /// MLP input. `grad_out` is `∂L/∂output` (post-activation).
     #[must_use]
     pub fn backward(&self, cache: &MlpCache, grad_out: &Matrix) -> (MlpGrads, Matrix) {
-        let mut grads = Vec::with_capacity(self.layers.len());
-        let mut grad = grad_out.clone();
+        let mut grads = MlpGrads::default();
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_into(
+            cache,
+            grad_out,
+            &mut grads,
+            &mut grad_in,
+            &mut ScratchArena::new(),
+        );
+        (grads, grad_in)
+    }
+
+    /// [`backward`](Self::backward) into caller-owned gradients and
+    /// input-gradient matrix, with working matrices checked out of
+    /// `arena` — the zero-allocation backward of the training hot loop.
+    /// `grads` is (re)shaped to match the MLP on first use.
+    ///
+    /// The activation backward runs in place on a ping-pong pair of
+    /// scratch matrices; per-layer arithmetic (and therefore every
+    /// output bit) is identical to the allocating path.
+    pub fn backward_into(
+        &self,
+        cache: &MlpCache,
+        grad_out: &Matrix,
+        grads: &mut MlpGrads,
+        grad_in: &mut Matrix,
+        arena: &mut ScratchArena,
+    ) {
+        if grads.layers.len() != self.layers.len() {
+            *grads = MlpGrads::zeros_like(self);
+        }
+        let mut grad = arena.take_matrix(0, 0);
+        grad.copy_from(grad_out);
+        let mut next = arena.take_matrix(0, 0);
         for (l, layer) in self.layers.iter().enumerate().rev() {
             let a_out = &cache.activations[l + 1];
             let a_in = &cache.activations[l];
-            let dz = layer.activation.backward(a_out, &grad);
-            let dw = a_in.t_matmul(&dz);
-            let db = dz.col_sums();
-            grad = dz.matmul_t(&layer.weight);
-            grads.push(LayerGrad { dw, db });
+            layer.activation.backward_inplace(a_out, &mut grad); // grad is now dz
+            a_in.t_matmul_into(&grad, &mut grads.layers[l].dw);
+            grad.col_sums_into(&mut grads.layers[l].db);
+            grad.matmul_t_into(&layer.weight, &mut next);
+            std::mem::swap(&mut grad, &mut next);
         }
-        grads.reverse();
-        (MlpGrads { layers: grads }, grad)
+        std::mem::swap(grad_in, &mut grad);
+        arena.put_matrix(grad);
+        arena.put_matrix(next);
     }
 
     /// Ghost-norm backward pass (DP-SGD(F), §2.5): per-example squared
@@ -267,22 +348,55 @@ impl Mlp {
     /// embedding ghost norms).
     #[must_use]
     pub fn backward_ghost_norms(&self, cache: &MlpCache, grad_out: &Matrix) -> (Vec<f64>, Matrix) {
+        let mut norms = Vec::new();
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_ghost_norms_into(
+            cache,
+            grad_out,
+            &mut norms,
+            &mut grad_in,
+            &mut ScratchArena::new(),
+        );
+        (norms, grad_in)
+    }
+
+    /// [`backward_ghost_norms`](Self::backward_ghost_norms) into
+    /// caller-owned buffers (same arithmetic, no allocation at steady
+    /// state).
+    pub fn backward_ghost_norms_into(
+        &self,
+        cache: &MlpCache,
+        grad_out: &Matrix,
+        norms: &mut Vec<f64>,
+        grad_in: &mut Matrix,
+        arena: &mut ScratchArena,
+    ) {
         let batch = grad_out.rows();
-        let mut norms = vec![0.0f64; batch];
-        let mut grad = grad_out.clone();
+        norms.clear();
+        norms.resize(batch, 0.0);
+        let mut grad = arena.take_matrix(0, 0);
+        grad.copy_from(grad_out);
+        let mut next = arena.take_matrix(0, 0);
+        let mut a_norms = arena.take_f64(0);
+        let mut d_norms = arena.take_f64(0);
         for (l, layer) in self.layers.iter().enumerate().rev() {
             let a_out = &cache.activations[l + 1];
             let a_in = &cache.activations[l];
-            let dz = layer.activation.backward(a_out, &grad);
-            let a_norms = a_in.row_norms_sq();
-            let d_norms = dz.row_norms_sq();
+            layer.activation.backward_inplace(a_out, &mut grad); // grad is now dz
+            a_in.row_norms_sq_into(&mut a_norms);
+            grad.row_norms_sq_into(&mut d_norms);
             for i in 0..batch {
                 // ‖a_i δ_iᵀ‖² = ‖a_i‖²·‖δ_i‖²; bias grad adds ‖δ_i‖².
                 norms[i] += a_norms[i] * d_norms[i] + d_norms[i];
             }
-            grad = dz.matmul_t(&layer.weight);
+            grad.matmul_t_into(&layer.weight, &mut next);
+            std::mem::swap(&mut grad, &mut next);
         }
-        (norms, grad)
+        std::mem::swap(grad_in, &mut grad);
+        arena.put_f64(d_norms);
+        arena.put_f64(a_norms);
+        arena.put_matrix(grad);
+        arena.put_matrix(next);
     }
 
     /// Reweighted backward pass (the second pass of DP-SGD(R)/(F)):
@@ -300,14 +414,44 @@ impl Mlp {
         grad_out: &Matrix,
         weights: &[f32],
     ) -> (MlpGrads, Matrix) {
+        let mut grads = MlpGrads::default();
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_weighted_into(
+            cache,
+            grad_out,
+            weights,
+            &mut grads,
+            &mut grad_in,
+            &mut ScratchArena::new(),
+        );
+        (grads, grad_in)
+    }
+
+    /// [`backward_weighted`](Self::backward_weighted) into caller-owned
+    /// buffers (see [`backward_into`](Self::backward_into)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != grad_out.rows()`.
+    pub fn backward_weighted_into(
+        &self,
+        cache: &MlpCache,
+        grad_out: &Matrix,
+        weights: &[f32],
+        grads: &mut MlpGrads,
+        grad_in: &mut Matrix,
+        arena: &mut ScratchArena,
+    ) {
         assert_eq!(weights.len(), grad_out.rows(), "one weight per example");
-        let mut scaled = grad_out.clone();
+        let mut scaled = arena.take_matrix(0, 0);
+        scaled.copy_from(grad_out);
         for (i, &w) in weights.iter().enumerate() {
             for v in scaled.row_mut(i) {
                 *v *= w;
             }
         }
-        self.backward(cache, &scaled)
+        self.backward_into(cache, &scaled, grads, grad_in, arena);
+        arena.put_matrix(scaled);
     }
 
     /// Materialized per-example gradients (DP-SGD(B), §2.4): one
@@ -382,11 +526,27 @@ impl Mlp {
         scale: f32,
         lr: f32,
     ) {
+        self.apply_dense_noise_with(noise, iter, param_base, scale, lr, &mut Vec::new());
+    }
+
+    /// [`apply_dense_noise`](Self::apply_dense_noise) drawing into a
+    /// caller-owned noise buffer (resized per layer, allocation-free at
+    /// steady state).
+    pub fn apply_dense_noise_with<N: RowNoise>(
+        &mut self,
+        noise: &mut N,
+        iter: u64,
+        param_base: u32,
+        scale: f32,
+        lr: f32,
+        buf: &mut Vec<f32>,
+    ) {
         for (l, layer) in self.layers.iter_mut().enumerate() {
             let param = param_base + l as u32;
             let w = layer.weight.as_mut_slice();
-            let mut buf = vec![0.0f32; w.len() + layer.bias.len()];
-            noise.fill_unit_dense(param, iter, 0, &mut buf);
+            buf.clear();
+            buf.resize(w.len() + layer.bias.len(), 0.0);
+            noise.fill_unit_dense(param, iter, 0, buf);
             for (x, &n) in w.iter_mut().zip(buf.iter()) {
                 *x -= lr * scale * n;
             }

@@ -42,24 +42,59 @@ pub fn box_muller(u1: f64, u2: f64) -> (f64, f64) {
     (r * theta.cos(), r * theta.sin())
 }
 
+/// Box–Muller pairs converted per batched-uniform refill of
+/// [`fill_mapped`] (64 raw `u64` draws per refill).
+const FILL_BATCH_PAIRS: usize = 32;
+
+/// The single-pass fill kernel shared by every Gaussian fill: draws
+/// uniforms in batches of `2 × FILL_BATCH_PAIRS` raw `u64`s
+/// ([`Prng::fill_u64`]), converts each pair through Box–Muller, and
+/// applies `f` to each `f32` sample as it is stored — so an affine
+/// output transform (mean/std) costs no second sweep over `out`.
+///
+/// Uniform consumption is *identical* to the historical two-pass
+/// implementation: `2 * ceil(out.len() / 2)` draws in the same order,
+/// converted by the same [`u64_to_unit_f64`]/[`u64_to_unit_f64_open`]
+/// mapping — the stream position and every produced bit match it
+/// exactly (pinned by `single_pass_fill_is_bitwise_the_two_pass_fill`).
+///
+/// [`u64_to_unit_f64`]: crate::prng::u64_to_unit_f64
+/// [`u64_to_unit_f64_open`]: crate::prng::u64_to_unit_f64_open
+#[inline]
+fn fill_mapped<R: Prng>(rng: &mut R, out: &mut [f32], f: impl Fn(f32) -> f32) {
+    use crate::prng::{u64_to_unit_f64, u64_to_unit_f64_open};
+    let mut uniforms = [0u64; 2 * FILL_BATCH_PAIRS];
+    let mut blocks = out.chunks_exact_mut(2 * FILL_BATCH_PAIRS);
+    for block in &mut blocks {
+        rng.fill_u64(&mut uniforms);
+        for (pair, u) in block.chunks_exact_mut(2).zip(uniforms.chunks_exact(2)) {
+            let (z0, z1) = box_muller(u64_to_unit_f64_open(u[0]), u64_to_unit_f64(u[1]));
+            pair[0] = f(z0 as f32);
+            pair[1] = f(z1 as f32);
+        }
+    }
+    let rem = blocks.into_remainder();
+    let mut pairs = rem.chunks_exact_mut(2);
+    for pair in &mut pairs {
+        let (z0, z1) = box_muller(rng.next_f64_open(), rng.next_f64());
+        pair[0] = f(z0 as f32);
+        pair[1] = f(z1 as f32);
+    }
+    if let Some(last) = pairs.into_remainder().first_mut() {
+        let (z0, _z1) = box_muller(rng.next_f64_open(), rng.next_f64());
+        *last = f(z0 as f32);
+    }
+}
+
 /// Fills `out` with independent standard-normal `f32` samples using
-/// Box–Muller over the supplied uniform generator.
+/// Box–Muller over the supplied uniform generator, drawing uniforms in
+/// batches (see `fill_mapped`).
 ///
 /// Consumes exactly `2 * ceil(out.len() / 2)` uniforms, so the stream
 /// position after the call is a deterministic function of `out.len()` —
 /// a property the counter-based noise sources rely on.
 pub fn fill_standard_normal<R: Prng>(rng: &mut R, out: &mut [f32]) {
-    let mut chunks = out.chunks_exact_mut(2);
-    for pair in &mut chunks {
-        let (z0, z1) = box_muller(rng.next_f64_open(), rng.next_f64());
-        pair[0] = z0 as f32;
-        pair[1] = z1 as f32;
-    }
-    let rem = chunks.into_remainder();
-    if let Some(last) = rem.first_mut() {
-        let (z0, _z1) = box_muller(rng.next_f64_open(), rng.next_f64());
-        *last = z0 as f32;
-    }
+    fill_mapped(rng, out, |z| z);
 }
 
 /// Number of Gaussian samples needed to noise a tensor of `elements`
@@ -122,13 +157,22 @@ impl GaussianSampler {
         self.std
     }
 
-    /// Fills `out` with samples.
+    /// Fills `out` with samples in a single pass: the `mean + std·z`
+    /// affine is folded into the Box–Muller conversion loop instead of a
+    /// second sweep over `out`. Bitwise identical to the historical
+    /// two-pass implementation (`fill_standard_normal` followed by an
+    /// affine sweep), including the identity short-circuit for
+    /// `N(0, 1)`, and consumes the same uniforms in the same order.
     pub fn fill<R: Prng>(&self, rng: &mut R, out: &mut [f32]) {
-        fill_standard_normal(rng, out);
-        if self.mean != 0.0 || self.std != 1.0 {
-            for x in out {
-                *x = self.mean + self.std * *x;
-            }
+        if self.mean == 0.0 && self.std == 1.0 {
+            // The affine would not be a bitwise no-op here (it maps the
+            // rare exact `-0.0` sample to `+0.0`), so N(0,1) keeps the
+            // raw path — exactly as the two-pass version skipped its
+            // scaling sweep.
+            fill_standard_normal(rng, out);
+        } else {
+            let (mean, std) = (self.mean, self.std);
+            fill_mapped(rng, out, move |z| mean + std * z);
         }
     }
 
@@ -192,6 +236,86 @@ mod tests {
         assert!(kurt.abs() < 0.08, "excess kurtosis {kurt}");
         let ks = stats::ks_statistic_normal(&mut xs, 0.0, 1.0);
         assert!(ks < stats::ks_critical(xs.len(), 0.001), "ks {ks}");
+    }
+
+    /// The pre-single-pass implementation, kept verbatim as the
+    /// regression reference: unit normals first, then a separate
+    /// mean/std sweep.
+    fn two_pass_fill<R: Prng>(sampler: &GaussianSampler, rng: &mut R, out: &mut [f32]) {
+        let mut chunks = out.chunks_exact_mut(2);
+        for pair in &mut chunks {
+            let (z0, z1) = box_muller(rng.next_f64_open(), rng.next_f64());
+            pair[0] = z0 as f32;
+            pair[1] = z1 as f32;
+        }
+        if let Some(last) = chunks.into_remainder().first_mut() {
+            let (z0, _z1) = box_muller(rng.next_f64_open(), rng.next_f64());
+            *last = z0 as f32;
+        }
+        if sampler.mean() != 0.0 || sampler.std() != 1.0 {
+            for x in out {
+                *x = sampler.mean() + sampler.std() * *x;
+            }
+        }
+    }
+
+    #[test]
+    fn single_pass_fill_is_bitwise_the_two_pass_fill() {
+        // The satellite regression: folding the affine into the
+        // conversion loop (and batching the uniform draws) must change
+        // neither a single output bit nor the PRNG stream position —
+        // for every parity/length class around the batch size and for
+        // identity and non-identity affines alike.
+        for &(mean, std) in &[(0.0f32, 1.0f32), (3.0, 0.5), (-1.25, 2.0), (0.0, 0.125)] {
+            let sampler = GaussianSampler::new(mean, std);
+            for len in [0usize, 1, 2, 5, 63, 64, 65, 128, 1023] {
+                let mut rng_new = Xoshiro256PlusPlus::seed_from(42 + len as u64);
+                let mut rng_ref = Xoshiro256PlusPlus::seed_from(42 + len as u64);
+                let mut got = vec![0.0f32; len];
+                let mut want = vec![0.0f32; len];
+                sampler.fill(&mut rng_new, &mut got);
+                two_pass_fill(&sampler, &mut rng_ref, &mut want);
+                let got_bits: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+                let want_bits: Vec<u32> = want.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(got_bits, want_bits, "mean {mean} std {std} len {len}");
+                assert_eq!(
+                    rng_new.next_u64(),
+                    rng_ref.next_u64(),
+                    "stream position moved (mean {mean} std {std} len {len})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counter_stream_fill_unit_is_bitwise_stable_under_batching() {
+        // fill_unit paths run the same batched kernel over a counter
+        // stream; the values must equal a pair-at-a-time conversion of
+        // the same counters.
+        use crate::counter::{CounterNoise, RowNoise};
+        use crate::prng::{u64_to_unit_f64, u64_to_unit_f64_open};
+        let noise = CounterNoise::new(99);
+        let mut got = vec![0.0f32; 129];
+        let mut n = noise;
+        n.fill_unit(3, 17, 5, &mut got);
+        let mut stream = noise.stream_for(3, 17, 5);
+        for (i, &g) in got.iter().enumerate() {
+            if i % 2 == 0 {
+                let (z0, z1) = box_muller(
+                    u64_to_unit_f64_open(stream.next_u64()),
+                    u64_to_unit_f64(stream.next_u64()),
+                );
+                assert_eq!(g.to_bits(), (z0 as f32).to_bits(), "element {i}");
+                if i + 1 < got.len() {
+                    assert_eq!(
+                        got[i + 1].to_bits(),
+                        (z1 as f32).to_bits(),
+                        "element {}",
+                        i + 1
+                    );
+                }
+            }
+        }
     }
 
     #[test]

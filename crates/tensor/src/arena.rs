@@ -1,0 +1,163 @@
+//! Step-scoped scratch arena: reusable buffers for the training hot
+//! loop.
+//!
+//! A LazyDP training step needs a zoo of short-lived buffers — MLP
+//! activation/gradient matrices, per-example norm vectors, deduped
+//! index lists, noise accumulation buffers. Allocating them per step
+//! puts the allocator on the critical path of every iteration. The
+//! [`ScratchArena`] is a typed pool with a checkout/checkin discipline:
+//!
+//! * [`take_f32`](ScratchArena::take_f32) (and the `f64`/`u64`/
+//!   [`Matrix`] variants) pops a recycled buffer, clears it, and resizes
+//!   it to the requested length;
+//! * the caller uses it as an ordinary owned `Vec`/[`Matrix`] and
+//!   [`put_f32`](ScratchArena::put_f32)s it back when done.
+//!
+//! Because a training step performs the *same* take/put sequence every
+//! iteration (LIFO pool order), each slot is re-issued the same backing
+//! buffer each step; once every buffer's capacity has grown to its
+//! steady-state size (the first step or two), **no take or put touches
+//! the heap again**. The arena is owned by the trainer/optimizer and
+//! lazily sized on first use — there is nothing to configure.
+//!
+//! # Example
+//!
+//! ```
+//! use lazydp_tensor::ScratchArena;
+//!
+//! let mut arena = ScratchArena::new();
+//! let mut buf = arena.take_f32(128);
+//! buf[0] = 1.0;
+//! arena.put_f32(buf);
+//! // The next take of any length reuses the same allocation.
+//! let again = arena.take_f32(64);
+//! assert_eq!(again.len(), 64);
+//! ```
+
+use crate::matrix::Matrix;
+
+/// A typed pool of reusable scratch buffers (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct ScratchArena {
+    f32s: Vec<Vec<f32>>,
+    f64s: Vec<Vec<f64>>,
+    u64s: Vec<Vec<u64>>,
+    mats: Vec<Matrix>,
+}
+
+impl ScratchArena {
+    /// Creates an empty arena. Buffers are created (and sized) lazily on
+    /// first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out an `f32` buffer of length `len`, zero-filled.
+    #[must_use]
+    pub fn take_f32(&mut self, len: usize) -> Vec<f32> {
+        let mut v = self.f32s.pop().unwrap_or_default();
+        v.clear();
+        v.resize(len, 0.0);
+        v
+    }
+
+    /// Returns an `f32` buffer to the pool.
+    pub fn put_f32(&mut self, v: Vec<f32>) {
+        self.f32s.push(v);
+    }
+
+    /// Checks out an `f64` buffer of length `len`, zero-filled.
+    #[must_use]
+    pub fn take_f64(&mut self, len: usize) -> Vec<f64> {
+        let mut v = self.f64s.pop().unwrap_or_default();
+        v.clear();
+        v.resize(len, 0.0);
+        v
+    }
+
+    /// Returns an `f64` buffer to the pool.
+    pub fn put_f64(&mut self, v: Vec<f64>) {
+        self.f64s.push(v);
+    }
+
+    /// Checks out a `u64` buffer of length `len`, zero-filled.
+    #[must_use]
+    pub fn take_u64(&mut self, len: usize) -> Vec<u64> {
+        let mut v = self.u64s.pop().unwrap_or_default();
+        v.clear();
+        v.resize(len, 0);
+        v
+    }
+
+    /// Returns a `u64` buffer to the pool.
+    pub fn put_u64(&mut self, v: Vec<u64>) {
+        self.u64s.push(v);
+    }
+
+    /// Checks out a `rows × cols` zero matrix.
+    #[must_use]
+    pub fn take_matrix(&mut self, rows: usize, cols: usize) -> Matrix {
+        let mut m = self.mats.pop().unwrap_or_else(|| Matrix::zeros(0, 0));
+        m.reset_zeroed(rows, cols);
+        m
+    }
+
+    /// Returns a matrix to the pool.
+    pub fn put_matrix(&mut self, m: Matrix) {
+        self.mats.push(m);
+    }
+
+    /// Number of buffers currently parked in the pools (diagnostics).
+    #[must_use]
+    pub fn pooled(&self) -> usize {
+        self.f32s.len() + self.f64s.len() + self.u64s.len() + self.mats.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_cleared_and_sized() {
+        let mut a = ScratchArena::new();
+        let mut v = a.take_f32(4);
+        v.fill(7.0);
+        a.put_f32(v);
+        let v2 = a.take_f32(6);
+        assert_eq!(v2, vec![0.0; 6], "stale contents must not leak");
+        a.put_f32(v2);
+        assert_eq!(a.pooled(), 1);
+    }
+
+    #[test]
+    fn buffers_are_recycled_not_reallocated() {
+        let mut a = ScratchArena::new();
+        let v = a.take_f32(1000);
+        let cap = v.capacity();
+        let ptr = v.as_ptr();
+        a.put_f32(v);
+        let v2 = a.take_f32(500);
+        assert_eq!(v2.capacity(), cap);
+        assert_eq!(v2.as_ptr(), ptr, "same backing allocation");
+        a.put_f32(v2);
+    }
+
+    #[test]
+    fn matrices_reshape_in_place() {
+        let mut a = ScratchArena::new();
+        let m = a.take_matrix(8, 8);
+        a.put_matrix(m);
+        let m2 = a.take_matrix(4, 3);
+        assert_eq!(m2.shape(), (4, 3));
+        assert!(m2.as_slice().iter().all(|&x| x == 0.0));
+        a.put_matrix(m2);
+        let mut b = a.take_u64(3);
+        b[0] = 9;
+        a.put_u64(b);
+        let c = a.take_f64(2);
+        assert_eq!(c, vec![0.0, 0.0]);
+        a.put_f64(c);
+    }
+}

@@ -1,0 +1,643 @@
+//! Register-blocked GEMM micro-kernels — the dense-compute layer.
+//!
+//! The three GEMM variants backprop needs ([`Matrix::matmul`],
+//! [`Matrix::t_matmul`], [`Matrix::matmul_t`]) share one packed,
+//! register-blocked implementation here. The structure follows the
+//! classic BLIS decomposition, scaled down to the MLP sizes of this
+//! workload:
+//!
+//! * the **B operand** is packed, one k-panel at a time, into a
+//!   cache-aligned thread-local scratch buffer laid out as [`NR`]-wide
+//!   micro-panels (k-major), so the micro-kernel streams it linearly;
+//! * the **A operand** block ([`MR`] rows × panel depth) is packed
+//!   k-major so the inner loop is two `chunks_exact` streams with no
+//!   bounds checks;
+//! * the **micro-kernel** keeps an `MR × NR` accumulator block in
+//!   registers and issues one [`f32::mul_add`] per element per k step.
+//!
+//! # Determinism contract (extends DESIGN.md invariant #4)
+//!
+//! Every output element is accumulated by a **single accumulator in
+//! ascending k order** (`matmul`/`t_matmul`), or by the fixed
+//! eight-lane accumulation tree of [`dot_tree`] (`matmul_t`). Blocking
+//! only changes *which* elements are computed together, never the
+//! per-element operation sequence, so results are **bitwise identical
+//! for any tile size (`kc`), any executor chunking, and any thread
+//! count** — and bitwise identical to the naive reference kernels
+//! ([`reference_matmul`], [`reference_t_matmul`], [`reference_matmul_t`]),
+//! which keep the pre-blocking loop structure (including the zero-skip
+//! fast path) over the same shared accumulation primitives. The
+//! zero-skip is bitwise-neutral for finite inputs because
+//! `a.mul_add(b, acc) == acc` exactly when `a == 0.0` and `b` is finite
+//! (a property the GEMM proptests pin down).
+//!
+//! The blocked and reference kernels therefore agree bit-for-bit; the
+//! [`GemmMode`] switch exists so benchmarks can measure the before/after
+//! throughput on the same build, not because the results differ.
+
+use crate::matrix::Matrix;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// SIMD lanes the accumulation tree of [`dot_tree`] is built from
+/// (eight `f32`s — one AVX2 vector).
+pub const LANES: usize = 8;
+
+/// Columns per micro-panel / micro-kernel width (two AVX2 vectors).
+pub const NR: usize = 16;
+
+/// Rows per micro-kernel block.
+pub const MR: usize = 6;
+
+/// Default k-panel depth: how many rows of B are packed per panel.
+/// MLP layers in this workload have `k ≤ 1024`, so most GEMMs pack B in
+/// at most four panels.
+pub const DEFAULT_KC: usize = 256;
+
+/// `matmul_t` computes this many output columns (rows of B) per sweep of
+/// the shared `a` row, reusing each loaded `a` vector eight times.
+const NRT: usize = 8;
+
+/// Rounds an executor chunk-row count up for the blocked drivers: a
+/// multiple of [`MR`] (so only the final block runs a narrow
+/// micro-kernel) and at least `4 × MR` rows (so per-chunk A-packing and
+/// scratch checkout amortize). Purely a performance choice — chunking
+/// never affects the computed bits.
+#[must_use]
+pub fn blocked_chunk_rows(chunk_rows: usize, total_rows: usize) -> usize {
+    chunk_rows
+        .next_multiple_of(MR)
+        .max(4 * MR)
+        .clamp(1, total_rows.max(1))
+}
+
+/// Which kernel implementation [`Matrix::matmul`] and friends dispatch
+/// to. Both produce bitwise-identical results (see the module docs);
+/// the switch exists so the `kernels` experiment can measure the
+/// before/after throughput within one binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GemmMode {
+    /// The packed, register-blocked micro-kernels (the default).
+    #[default]
+    Blocked,
+    /// The pre-blocking naive loops (zero-skip i-k-j / dot loops) over
+    /// the same accumulation primitives.
+    Reference,
+}
+
+static GEMM_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the kernel implementation process-wide. Safe to flip at any
+/// time: both modes are bitwise identical.
+pub fn set_gemm_mode(mode: GemmMode) {
+    GEMM_MODE.store(mode as u8, Ordering::Relaxed);
+}
+
+/// The currently selected kernel implementation.
+#[must_use]
+pub fn gemm_mode() -> GemmMode {
+    if GEMM_MODE.load(Ordering::Relaxed) == GemmMode::Reference as u8 {
+        GemmMode::Reference
+    } else {
+        GemmMode::Blocked
+    }
+}
+
+thread_local! {
+    /// Per-thread packed-B panel (reused across calls; on the inline
+    /// single-thread path this makes steady-state GEMMs allocation-free).
+    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread packed-A block.
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Hands `f` a 64-byte-aligned `len`-element scratch slice from `cell`,
+/// growing the backing buffer only when a larger panel than ever before
+/// is requested.
+fn with_pack_buf<R>(cell: &RefCell<Vec<f32>>, len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    let mut v = cell.borrow_mut();
+    if v.len() < len + NR {
+        v.resize(len + NR, 0.0);
+    }
+    // Offset into the buffer so the slice starts on a cache line.
+    let addr = v.as_ptr() as usize;
+    let off = ((64 - (addr & 63)) & 63) / std::mem::size_of::<f32>();
+    f(&mut v[off..off + len])
+}
+
+/// Packs rows `k0..k0+kx` of `b` into k-major [`NR`]-wide micro-panels:
+/// `out[jp*kx*NR + k*NR + jj] = b[k0+k][jp*NR+jj]` (zero-padded past the
+/// last column).
+fn pack_b_panel(b: &Matrix, k0: usize, kx: usize, out: &mut [f32]) {
+    let n = b.cols();
+    for jp in 0..n.div_ceil(NR) {
+        let j0 = jp * NR;
+        let nrw = NR.min(n - j0);
+        let dst_panel = &mut out[jp * kx * NR..(jp + 1) * kx * NR];
+        for (k, dst) in dst_panel.chunks_exact_mut(NR).enumerate() {
+            dst[..nrw].copy_from_slice(&b.row(k0 + k)[j0..j0 + nrw]);
+            for d in &mut dst[nrw..] {
+                *d = 0.0;
+            }
+        }
+    }
+}
+
+/// Packs an `m × kx` block of A k-major for `matmul`: the block's rows
+/// are `m` *rows* of `a` (`out[k*m + mm] = a[i0+mm][k0+k]`).
+fn pack_a_rows(a: &Matrix, i0: usize, m: usize, k0: usize, kx: usize, out: &mut [f32]) {
+    for mm in 0..m {
+        for (k, &v) in a.row(i0 + mm)[k0..k0 + kx].iter().enumerate() {
+            out[k * m + mm] = v;
+        }
+    }
+}
+
+/// Packs an `m × kx` block of A k-major for `t_matmul`: the block's rows
+/// are `m` *columns* of `a` (`out[k*m + mm] = a[k0+k][i0+mm]`), read as
+/// contiguous `m`-wide slices of `a`'s rows.
+fn pack_a_cols(a: &Matrix, i0: usize, m: usize, k0: usize, kx: usize, out: &mut [f32]) {
+    for k in 0..kx {
+        out[k * m..(k + 1) * m].copy_from_slice(&a.row(k0 + k)[i0..i0 + m]);
+    }
+}
+
+/// The micro-kernel: accumulates an `M × NR` output block over one
+/// packed k-panel. `apan` is k-major `M`-wide, `bpan` k-major `NR`-wide;
+/// each output element receives one `mul_add` per k step, ascending —
+/// the canonical accumulation order of the determinism contract.
+///
+/// `inline(never)` is deliberate: compiled standalone, LLVM keeps the
+/// `M × NR` accumulator block in vector registers for the whole k loop;
+/// inlined into the packing drivers it has been observed to spill.
+#[inline(never)]
+#[allow(clippy::needless_range_loop)]
+fn micro_kernel<const M: usize>(
+    apan: &[f32],
+    bpan: &[f32],
+    out_rows: &mut [f32],
+    ldc: usize,
+    j0: usize,
+    nrw: usize,
+) {
+    let mut acc = [[0.0f32; NR]; M];
+    for m in 0..M {
+        let base = m * ldc + j0;
+        acc[m][..nrw].copy_from_slice(&out_rows[base..base + nrw]);
+    }
+    for (ak, bk) in apan.chunks_exact(M).zip(bpan.chunks_exact(NR)) {
+        let bk: &[f32; NR] = bk.try_into().expect("NR-wide b micro-panel");
+        for (m, am) in acc.iter_mut().enumerate() {
+            let a = ak[m];
+            for (j, accv) in am.iter_mut().enumerate() {
+                *accv = a.mul_add(bk[j], *accv);
+            }
+        }
+    }
+    for m in 0..M {
+        let base = m * ldc + j0;
+        out_rows[base..base + nrw].copy_from_slice(&acc[m][..nrw]);
+    }
+}
+
+/// Sweeps the row blocks of one output chunk against a packed B panel.
+#[allow(clippy::too_many_arguments)]
+fn row_block_sweep(
+    a: &Matrix,
+    bpan: &[f32],
+    out_chunk: &mut [f32],
+    i0: usize,
+    n: usize,
+    k0: usize,
+    kx: usize,
+    pack_a: impl Fn(&Matrix, usize, usize, usize, usize, &mut [f32]),
+) {
+    let rows_here = out_chunk.len() / n;
+    let jpanels = n.div_ceil(NR);
+    let mut rb = 0;
+    while rb < rows_here {
+        let m = (rows_here - rb).min(MR);
+        PACK_A.with(|cell| {
+            with_pack_buf(cell, kx * m, |apan| {
+                pack_a(a, i0 + rb, m, k0, kx, apan);
+                let out_rows = &mut out_chunk[rb * n..(rb + m) * n];
+                for jp in 0..jpanels {
+                    let j0 = jp * NR;
+                    let nrw = NR.min(n - j0);
+                    let bp = &bpan[jp * kx * NR..(jp + 1) * kx * NR];
+                    match m {
+                        6 => micro_kernel::<6>(apan, bp, out_rows, n, j0, nrw),
+                        5 => micro_kernel::<5>(apan, bp, out_rows, n, j0, nrw),
+                        4 => micro_kernel::<4>(apan, bp, out_rows, n, j0, nrw),
+                        3 => micro_kernel::<3>(apan, bp, out_rows, n, j0, nrw),
+                        2 => micro_kernel::<2>(apan, bp, out_rows, n, j0, nrw),
+                        _ => micro_kernel::<1>(apan, bp, out_rows, n, j0, nrw),
+                    }
+                }
+            });
+        });
+        rb += m;
+    }
+}
+
+/// Shared driver for the two accumulating GEMMs (`matmul` and
+/// `t_matmul`): packs **all** of B's k-panels into the thread-local
+/// scratch once, then runs a single chunk-parallel region in which each
+/// row chunk sweeps the panels in ascending k — one executor
+/// spawn/join per GEMM instead of one per panel, with the per-element
+/// accumulation order (and therefore every output bit) unchanged. `k`
+/// is the contraction length; `pack_a` decides whether A blocks come
+/// from rows (`matmul`) or columns (`t_matmul`).
+#[allow(clippy::too_many_arguments)]
+fn blocked_driver(
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+    k: usize,
+    kc: usize,
+    chunk_rows: usize,
+    pack_a: impl Fn(&Matrix, usize, usize, usize, usize, &mut [f32]) + Sync,
+) {
+    let n = b.cols();
+    let kc = kc.max(1);
+    let panel_stride = n.div_ceil(NR) * NR;
+    PACK_B.with(|cell| {
+        with_pack_buf(cell, k * panel_stride, |bpack| {
+            let mut k0 = 0;
+            while k0 < k {
+                let kx = kc.min(k - k0);
+                pack_b_panel(
+                    b,
+                    k0,
+                    kx,
+                    &mut bpack[k0 * panel_stride..(k0 + kx) * panel_stride],
+                );
+                k0 += kx;
+            }
+            let bpack: &[f32] = bpack;
+            let pack_a = &pack_a;
+            lazydp_exec::global().par_for(out.as_mut_slice(), chunk_rows * n, move |c, chunk| {
+                let mut k0 = 0;
+                while k0 < k {
+                    let kx = kc.min(k - k0);
+                    let bpan = &bpack[k0 * panel_stride..(k0 + kx) * panel_stride];
+                    row_block_sweep(a, bpan, chunk, c * chunk_rows, n, k0, kx, pack_a);
+                    k0 += kx;
+                }
+            });
+        });
+    });
+}
+
+/// Blocked `out += a · b` over a zeroed `out` (the [`Matrix::matmul`]
+/// kernel).
+pub(crate) fn matmul_blocked(
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+    kc: usize,
+    chunk_rows: usize,
+) {
+    blocked_driver(a, b, out, a.cols(), kc, chunk_rows, pack_a_rows);
+}
+
+/// Blocked `out += aᵀ · b` over a zeroed `out` (the
+/// [`Matrix::t_matmul`] kernel). The contraction runs over `a`'s rows
+/// (the batch dimension of the weight-gradient GEMM), ascending.
+pub(crate) fn t_matmul_blocked(
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+    kc: usize,
+    chunk_rows: usize,
+) {
+    blocked_driver(a, b, out, a.rows(), kc, chunk_rows, pack_a_cols);
+}
+
+/// Reduces the eight accumulation lanes of a [`dot_tree`] in the fixed
+/// pairwise order — the one tree every `matmul_t` implementation shares.
+#[inline(always)]
+fn reduce_lanes(l: &[f32; LANES]) -> f32 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+/// Dot product with the fixed eight-lane `mul_add` accumulation tree:
+/// lane `t` accumulates elements `t, t+8, t+16, …` ascending, the lanes
+/// are reduced pairwise (`reduce_lanes`), and the `len % 8` tail is
+/// folded in last through a single sequential accumulator. This is the
+/// canonical inner product of [`Matrix::matmul_t`]; any blocking of that
+/// kernel must reproduce it bit-for-bit.
+#[must_use]
+pub fn dot_tree(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot_tree length mismatch");
+    let mut lanes = [0.0f32; LANES];
+    let mut ac = a.chunks_exact(LANES);
+    let mut bc = b.chunks_exact(LANES);
+    for (av, bv) in (&mut ac).zip(&mut bc) {
+        for t in 0..LANES {
+            lanes[t] = av[t].mul_add(bv[t], lanes[t]);
+        }
+    }
+    let mut rem = 0.0f32;
+    for (&x, &y) in ac.remainder().iter().zip(bc.remainder()) {
+        rem = x.mul_add(y, rem);
+    }
+    reduce_lanes(&lanes) + rem
+}
+
+/// One output row of `matmul_t`: `out_row[j] = dot_tree(a_row, b.row(j))`,
+/// computed [`NRT`] columns at a time so each loaded `a` vector is
+/// reused across [`NRT`] (= 8) rows of B.
+fn matmul_t_row(a_row: &[f32], b: &Matrix, out_row: &mut [f32]) {
+    let n = b.rows();
+    let k = a_row.len();
+    let k8 = k - k % LANES;
+    let mut j = 0;
+    while j + NRT <= n {
+        let brows: [&[f32]; NRT] = std::array::from_fn(|jj| b.row(j + jj));
+        let mut lanes = [[0.0f32; LANES]; NRT];
+        let mut pos = 0;
+        while pos < k8 {
+            let av: &[f32; LANES] = a_row[pos..pos + LANES].try_into().expect("lane chunk");
+            for (jj, lane) in lanes.iter_mut().enumerate() {
+                let bv: &[f32; LANES] = brows[jj][pos..pos + LANES].try_into().expect("lane chunk");
+                for t in 0..LANES {
+                    lane[t] = av[t].mul_add(bv[t], lane[t]);
+                }
+            }
+            pos += LANES;
+        }
+        let mut rems = [0.0f32; NRT];
+        for p in k8..k {
+            let x = a_row[p];
+            for (jj, r) in rems.iter_mut().enumerate() {
+                *r = x.mul_add(brows[jj][p], *r);
+            }
+        }
+        for (jj, (lane, rem)) in lanes.iter().zip(rems.iter()).enumerate() {
+            out_row[j + jj] = reduce_lanes(lane) + rem;
+        }
+        j += NRT;
+    }
+    while j < n {
+        out_row[j] = dot_tree(a_row, b.row(j));
+        j += 1;
+    }
+}
+
+/// Blocked `out = a · bᵀ` (the [`Matrix::matmul_t`] kernel).
+pub(crate) fn matmul_t_blocked(a: &Matrix, b: &Matrix, out: &mut Matrix, chunk_rows: usize) {
+    let n = b.rows();
+    lazydp_exec::global().par_for(out.as_mut_slice(), chunk_rows * n, |c, chunk| {
+        for (r, out_row) in chunk.chunks_mut(n).enumerate() {
+            matmul_t_row(a.row(c * chunk_rows + r), b, out_row);
+        }
+    });
+}
+
+/// Reference `matmul` kernel: the pre-blocking i-k-j loop with its
+/// zero-skip fast path, over the shared single-accumulator `mul_add`
+/// accumulation. Bitwise identical to [`matmul_blocked`] for finite
+/// inputs.
+pub(crate) fn reference_matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix, chunk_rows: usize) {
+    let n = b.cols();
+    lazydp_exec::global().par_for(out.as_mut_slice(), chunk_rows * n, |c, out_chunk| {
+        for (k_row, out_row) in out_chunk.chunks_mut(n).enumerate() {
+            let a_row = a.row(c * chunk_rows + k_row);
+            for (k, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(k);
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o = av.mul_add(bv, *o);
+                }
+            }
+        }
+    });
+}
+
+/// Reference `t_matmul` kernel (pre-blocking structure, shared
+/// accumulation; see [`reference_matmul_into`]).
+pub(crate) fn reference_t_matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix, chunk_rows: usize) {
+    let n = b.cols();
+    lazydp_exec::global().par_for(out.as_mut_slice(), chunk_rows * n, |c, out_chunk| {
+        for (k_row, out_row) in out_chunk.chunks_mut(n).enumerate() {
+            let i = c * chunk_rows + k_row;
+            for r in 0..a.rows() {
+                let av = a.row(r)[i];
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(r);
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o = av.mul_add(bv, *o);
+                }
+            }
+        }
+    });
+}
+
+/// Reference `matmul_t` kernel: one [`dot_tree`] per output element in
+/// the plain double loop.
+pub(crate) fn reference_matmul_t_into(a: &Matrix, b: &Matrix, out: &mut Matrix, chunk_rows: usize) {
+    let n = b.rows();
+    lazydp_exec::global().par_for(out.as_mut_slice(), chunk_rows * n, |c, out_chunk| {
+        for (k_row, out_row) in out_chunk.chunks_mut(n).enumerate() {
+            let a_row = a.row(c * chunk_rows + k_row);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = dot_tree(a_row, b.row(j));
+            }
+        }
+    });
+}
+
+/// `a · b` through the blocked kernel with explicit tile parameters
+/// (`kc` k-panel depth, `chunk_rows` executor chunking) — exposed so the
+/// invariance proptests can sweep tilings.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+#[must_use]
+pub fn matmul_with_tiles(a: &Matrix, b: &Matrix, kc: usize, chunk_rows: usize) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul_with_tiles dimension mismatch");
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    if out.is_empty() || a.cols() == 0 {
+        return out;
+    }
+    matmul_blocked(a, b, &mut out, kc, chunk_rows.clamp(1, a.rows().max(1)));
+    out
+}
+
+/// `aᵀ · b` through the blocked kernel with explicit tile parameters
+/// (see [`matmul_with_tiles`]).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+#[must_use]
+pub fn t_matmul_with_tiles(a: &Matrix, b: &Matrix, kc: usize, chunk_rows: usize) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "t_matmul_with_tiles dimension mismatch");
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    if out.is_empty() || a.rows() == 0 {
+        return out;
+    }
+    t_matmul_blocked(a, b, &mut out, kc, chunk_rows.clamp(1, a.cols().max(1)));
+    out
+}
+
+/// `a · bᵀ` through the blocked kernel with explicit executor chunking
+/// (see [`matmul_with_tiles`]; `matmul_t` has no k-panel).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+#[must_use]
+pub fn matmul_t_with_tiles(a: &Matrix, b: &Matrix, chunk_rows: usize) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_t_with_tiles dimension mismatch");
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    if out.is_empty() || a.cols() == 0 {
+        return out;
+    }
+    matmul_t_blocked(a, b, &mut out, chunk_rows.clamp(1, a.rows().max(1)));
+    out
+}
+
+/// `a · b` through the reference kernel (pre-blocking loop structure).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+#[must_use]
+pub fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "reference_matmul dimension mismatch");
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    if out.is_empty() || a.cols() == 0 {
+        return out;
+    }
+    reference_matmul_into(a, b, &mut out, a.rows().max(1));
+    out
+}
+
+/// `aᵀ · b` through the reference kernel.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+#[must_use]
+pub fn reference_t_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "reference_t_matmul dimension mismatch");
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    if out.is_empty() || a.rows() == 0 {
+        return out;
+    }
+    reference_t_matmul_into(a, b, &mut out, a.cols().max(1));
+    out
+}
+
+/// `a · bᵀ` through the reference kernel.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+#[must_use]
+pub fn reference_matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "reference_matmul_t dimension mismatch");
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    if out.is_empty() || a.cols() == 0 {
+        return out;
+    }
+    reference_matmul_t_into(a, b, &mut out, a.rows().max(1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(rows: usize, cols: usize, seed: u32, zeros: bool) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| {
+            let x = (i as u32)
+                .wrapping_mul(2_654_435_761)
+                .wrapping_add((j as u32).wrapping_mul(40_503))
+                .wrapping_add(seed);
+            let v = ((x % 1000) as f32 - 500.0) / 250.0;
+            if zeros && x.is_multiple_of(5) {
+                0.0
+            } else {
+                v
+            }
+        })
+    }
+
+    #[test]
+    fn blocked_matches_reference_bitwise_on_awkward_shapes() {
+        // Shapes chosen to exercise every tail: rows % MR, cols % NR,
+        // k % kc, k % LANES all nonzero.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (5, 7, 3),
+            (33, 130, 47),
+            (64, 64, 64),
+        ] {
+            let a = pseudo_random(m, k, 1, true);
+            let b = pseudo_random(k, n, 2, true);
+            let at = pseudo_random(k, m, 4, true); // t_matmul: shared leading dim k
+            let bt = pseudo_random(n, k, 3, true); // matmul_t: shared trailing dim k
+            assert_eq!(
+                matmul_with_tiles(&a, &b, 32, 4),
+                reference_matmul(&a, &b),
+                "matmul {m}x{k}x{n}"
+            );
+            assert_eq!(
+                t_matmul_with_tiles(&at, &b, 16, 3),
+                reference_t_matmul(&at, &b),
+                "t_matmul {m}x{k}x{n}"
+            );
+            assert_eq!(
+                matmul_t_with_tiles(&a, &bt, 5),
+                reference_matmul_t(&a, &bt),
+                "matmul_t {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn tile_sizes_do_not_change_bits() {
+        let a = pseudo_random(23, 61, 7, true);
+        let b = pseudo_random(61, 29, 8, false);
+        let base = matmul_with_tiles(&a, &b, DEFAULT_KC, 23);
+        for kc in [1usize, 3, 8, 61, 100] {
+            for chunk in [1usize, 5, 23] {
+                assert_eq!(
+                    base,
+                    matmul_with_tiles(&a, &b, kc, chunk),
+                    "kc={kc} chunk={chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_tree_matches_f64_dot_closely() {
+        let a: Vec<f32> = (0..103)
+            .map(|i| ((i * 37) % 19) as f32 / 7.0 - 1.0)
+            .collect();
+        let b: Vec<f32> = (0..103)
+            .map(|i| ((i * 53) % 23) as f32 / 9.0 - 1.0)
+            .collect();
+        let exact = crate::vecops::dot(&a, &b);
+        let got = f64::from(dot_tree(&a, &b));
+        assert!((got - exact).abs() < 1e-3, "{got} vs {exact}");
+    }
+
+    #[test]
+    fn gemm_mode_roundtrip() {
+        assert_eq!(gemm_mode(), GemmMode::Blocked);
+        set_gemm_mode(GemmMode::Reference);
+        assert_eq!(gemm_mode(), GemmMode::Reference);
+        set_gemm_mode(GemmMode::Blocked);
+        assert_eq!(gemm_mode(), GemmMode::Blocked);
+    }
+}

@@ -20,13 +20,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
+pub mod gemm;
 pub mod init;
 pub mod loss;
 pub mod matrix;
 pub mod ops;
 pub mod vecops;
 
+pub use arena::ScratchArena;
+pub use gemm::{gemm_mode, set_gemm_mode, GemmMode};
 pub use init::{xavier_uniform, InitKind};
-pub use loss::{bce_with_logits, bce_with_logits_grad, mse};
+pub use loss::{bce_with_logits, bce_with_logits_grad, bce_with_logits_grad_into, mse};
 pub use matrix::Matrix;
 pub use ops::Activation;

@@ -39,13 +39,27 @@ pub fn bce_with_logits(logits: &[f32], labels: &[f32]) -> f64 {
 /// Panics if lengths differ.
 #[must_use]
 pub fn bce_with_logits_grad(logits: &[f32], labels: &[f32], mean: bool) -> Vec<f32> {
+    let mut out = Vec::new();
+    bce_with_logits_grad_into(logits, labels, mean, &mut out);
+    out
+}
+
+/// [`bce_with_logits_grad`] into a caller-owned vector (cleared and
+/// refilled; no allocation at steady state).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn bce_with_logits_grad_into(logits: &[f32], labels: &[f32], mean: bool, out: &mut Vec<f32>) {
     assert_eq!(logits.len(), labels.len(), "logit/label length mismatch");
     let scale = if mean { 1.0 / logits.len() as f32 } else { 1.0 };
-    logits
-        .iter()
-        .zip(labels.iter())
-        .map(|(&z, &y)| (crate::ops::sigmoid(z) - y) * scale)
-        .collect()
+    out.clear();
+    out.extend(
+        logits
+            .iter()
+            .zip(labels.iter())
+            .map(|(&z, &y)| (crate::ops::sigmoid(z) - y) * scale),
+    );
 }
 
 /// Mean squared error.

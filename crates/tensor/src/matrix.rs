@@ -1,12 +1,15 @@
 //! Row-major `f32` matrix with the GEMM variants needed by backprop.
 //!
-//! The three GEMM variants run on the [`lazydp_exec`] executor,
-//! parallelized over *output rows*: every output row is computed by the
-//! same sequential inner loop regardless of how rows are chunked, so
-//! results are bitwise identical for any thread count (the determinism
-//! the equivalence tests rely on). Small products run inline — the
-//! executor is only engaged once a chunk holds enough FLOPs to pay for
-//! a worker.
+//! The three GEMM variants dispatch to the register-blocked micro-kernels
+//! of [`crate::gemm`] and run on the [`lazydp_exec`] executor,
+//! parallelized over *output rows*: every output element is accumulated
+//! in the same fixed order regardless of tiling or how rows are chunked,
+//! so results are bitwise identical for any tile size and thread count
+//! (the determinism the equivalence tests rely on). Small products run
+//! inline — the executor is only engaged once a chunk holds enough FLOPs
+//! to pay for a worker. Each GEMM also has an `_into` variant that
+//! reuses a caller-owned output matrix, so steady-state training steps
+//! allocate nothing (see [`crate::arena::ScratchArena`]).
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -31,13 +34,23 @@ fn rows_per_chunk(total_rows: usize, flops_per_row: usize) -> usize {
 /// This is deliberately a small, dependency-free implementation: the
 /// reproduction's correctness claims (LazyDP ≡ DP-SGD) rely on bit-level
 /// determinism, which an external BLAS would not guarantee across
-/// machines. Sizes in this workspace are small (MLP layers up to
-/// 1024×1024), so the simple `i-k-j` loop is adequate.
+/// machines. The GEMMs run on the register-blocked micro-kernels of
+/// [`crate::gemm`], whose fixed per-element accumulation order keeps
+/// results bitwise identical across tile sizes, thread counts, and the
+/// naive reference kernels.
 #[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Default for Matrix {
+    /// An empty `0 × 0` matrix — the natural starting state for
+    /// scratch-arena slots that are reshaped in place on first use.
+    fn default() -> Self {
+        Self::zeros(0, 0)
+    }
 }
 
 impl fmt::Debug for Matrix {
@@ -177,6 +190,44 @@ impl Matrix {
         self.data
     }
 
+    /// Reshapes the matrix to `rows × cols` with every element zero,
+    /// reusing the existing allocation (no heap traffic once the
+    /// capacity has grown to fit — the scratch-arena contract).
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` a copy of `other` (shape and contents), reusing the
+    /// existing allocation.
+    pub fn copy_from(&mut self, other: &Self) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Makes `self` a `rows × cols` matrix holding a copy of the
+    /// row-major `data` slice, reusing the existing allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn assign_from_slice(&mut self, rows: usize, cols: usize, data: &[f32]) {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} != {rows}x{cols}",
+            data.len()
+        );
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.extend_from_slice(data);
+    }
+
     /// Row `i` as a slice.
     ///
     /// # Panics
@@ -223,32 +274,38 @@ impl Matrix {
     /// Panics on dimension mismatch.
     #[must_use]
     pub fn matmul(&self, other: &Self) -> Self {
+        let mut out = Self::zeros(0, 0);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`matmul`](Self::matmul) into a caller-owned output matrix
+    /// (reshaped and overwritten; no allocation once `out`'s capacity
+    /// has grown to fit).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul_into(&self, other: &Self, out: &mut Self) {
         assert_eq!(
             self.cols, other.rows,
             "matmul {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Self::zeros(self.rows, other.cols);
+        out.reset_zeroed(self.rows, other.cols);
         if out.is_empty() || self.cols == 0 {
-            return out;
+            return;
         }
         let chunk_rows = rows_per_chunk(self.rows, self.cols * other.cols);
-        lazydp_exec::global().par_for(&mut out.data, chunk_rows * other.cols, |c, out_chunk| {
-            // i-k-j ordering: streams `other` rows, cache friendly.
-            for (k_row, out_row) in out_chunk.chunks_mut(other.cols).enumerate() {
-                let a_row = self.row(c * chunk_rows + k_row);
-                for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                        *o += a * b;
-                    }
-                }
+        match crate::gemm::gemm_mode() {
+            crate::gemm::GemmMode::Blocked => {
+                let chunk_rows = crate::gemm::blocked_chunk_rows(chunk_rows, self.rows);
+                crate::gemm::matmul_blocked(self, other, out, crate::gemm::DEFAULT_KC, chunk_rows);
             }
-        });
-        out
+            crate::gemm::GemmMode::Reference => {
+                crate::gemm::reference_matmul_into(self, other, out, chunk_rows);
+            }
+        }
     }
 
     /// `selfᵀ · other` without materializing the transpose.
@@ -261,36 +318,42 @@ impl Matrix {
     /// Panics on dimension mismatch (`self.rows != other.rows`).
     #[must_use]
     pub fn t_matmul(&self, other: &Self) -> Self {
+        let mut out = Self::zeros(0, 0);
+        self.t_matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`t_matmul`](Self::t_matmul) into a caller-owned output matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch (`self.rows != other.rows`).
+    pub fn t_matmul_into(&self, other: &Self, out: &mut Self) {
         assert_eq!(
             self.rows, other.rows,
             "t_matmul {}x{} ᵀ· {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Self::zeros(self.cols, other.cols);
+        out.reset_zeroed(self.cols, other.cols);
         if out.is_empty() || self.rows == 0 {
-            return out;
+            return;
         }
         let chunk_rows = rows_per_chunk(self.cols, self.rows * other.cols);
-        lazydp_exec::global().par_for(&mut out.data, chunk_rows * other.cols, |c, out_chunk| {
-            // Each worker owns a band of *output* rows (columns `i` of
-            // `self`) and accumulates over examples `r` in ascending
-            // order — the same per-element order as the sequential
-            // r-outer loop, so results match it bitwise.
-            for (k_row, out_row) in out_chunk.chunks_mut(other.cols).enumerate() {
-                let i = c * chunk_rows + k_row;
-                for r in 0..self.rows {
-                    let a = self.data[r * self.cols + i];
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[r * other.cols..(r + 1) * other.cols];
-                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                        *o += a * b;
-                    }
-                }
+        match crate::gemm::gemm_mode() {
+            crate::gemm::GemmMode::Blocked => {
+                let chunk_rows = crate::gemm::blocked_chunk_rows(chunk_rows, self.cols);
+                crate::gemm::t_matmul_blocked(
+                    self,
+                    other,
+                    out,
+                    crate::gemm::DEFAULT_KC,
+                    chunk_rows,
+                );
             }
-        });
-        out
+            crate::gemm::GemmMode::Reference => {
+                crate::gemm::reference_t_matmul_into(self, other, out, chunk_rows);
+            }
+        }
     }
 
     /// `self · otherᵀ` without materializing the transpose.
@@ -303,30 +366,35 @@ impl Matrix {
     /// Panics on dimension mismatch (`self.cols != other.cols`).
     #[must_use]
     pub fn matmul_t(&self, other: &Self) -> Self {
+        let mut out = Self::zeros(0, 0);
+        self.matmul_t_into(other, &mut out);
+        out
+    }
+
+    /// [`matmul_t`](Self::matmul_t) into a caller-owned output matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch (`self.cols != other.cols`).
+    pub fn matmul_t_into(&self, other: &Self, out: &mut Self) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_t {}x{} · {}x{}ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Self::zeros(self.rows, other.rows);
+        out.reset_zeroed(self.rows, other.rows);
         if out.is_empty() || self.cols == 0 {
-            return out;
+            return;
         }
         let chunk_rows = rows_per_chunk(self.rows, self.cols * other.rows);
-        lazydp_exec::global().par_for(&mut out.data, chunk_rows * other.rows, |c, out_chunk| {
-            for (k_row, out_row) in out_chunk.chunks_mut(other.rows).enumerate() {
-                let a_row = self.row(c * chunk_rows + k_row);
-                for (o, j) in out_row.iter_mut().zip(0..other.rows) {
-                    let b_row = other.row(j);
-                    let mut acc = 0.0f32;
-                    for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                        acc += a * b;
-                    }
-                    *o = acc;
-                }
+        match crate::gemm::gemm_mode() {
+            crate::gemm::GemmMode::Blocked => {
+                crate::gemm::matmul_t_blocked(self, other, out, chunk_rows);
             }
-        });
-        out
+            crate::gemm::GemmMode::Reference => {
+                crate::gemm::reference_matmul_t_into(self, other, out, chunk_rows);
+            }
+        }
     }
 
     /// Element-wise sum `self + other`.
@@ -422,9 +490,19 @@ impl Matrix {
     /// Per-row squared L2 norms (length = `rows`).
     #[must_use]
     pub fn row_norms_sq(&self) -> Vec<f64> {
-        self.rows_iter()
-            .map(|r| r.iter().map(|&x| f64::from(x) * f64::from(x)).sum())
-            .collect()
+        let mut out = Vec::new();
+        self.row_norms_sq_into(&mut out);
+        out
+    }
+
+    /// [`row_norms_sq`](Self::row_norms_sq) into a caller-owned vector
+    /// (cleared and refilled; no allocation at steady state).
+    pub fn row_norms_sq_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            self.rows_iter()
+                .map(|r| r.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>()),
+        );
     }
 
     /// Horizontal concatenation `[self | other]`.
@@ -450,13 +528,23 @@ impl Matrix {
     /// Panics if the range exceeds `cols`.
     #[must_use]
     pub fn col_slice(&self, start: usize, width: usize) -> Self {
+        let mut out = Self::zeros(0, 0);
+        self.col_slice_into(start, width, &mut out);
+        out
+    }
+
+    /// [`col_slice`](Self::col_slice) into a caller-owned matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds `cols`.
+    pub fn col_slice_into(&self, start: usize, width: usize, out: &mut Self) {
         assert!(start + width <= self.cols, "col_slice out of range");
-        let mut out = Self::zeros(self.rows, width);
+        out.reset_zeroed(self.rows, width);
         for i in 0..self.rows {
             out.row_mut(i)
                 .copy_from_slice(&self.row(i)[start..start + width]);
         }
-        out
     }
 
     /// Extracts a single row as a new `1 × cols` matrix.
@@ -473,13 +561,21 @@ impl Matrix {
     /// gradient of a linear layer).
     #[must_use]
     pub fn col_sums(&self) -> Vec<f32> {
-        let mut out = vec![0.0f32; self.cols];
+        let mut out = Vec::new();
+        self.col_sums_into(&mut out);
+        out
+    }
+
+    /// [`col_sums`](Self::col_sums) into a caller-owned vector (cleared
+    /// and refilled; no allocation at steady state).
+    pub fn col_sums_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.cols, 0.0);
         for r in self.rows_iter() {
             for (o, &x) in out.iter_mut().zip(r.iter()) {
                 *o += x;
             }
         }
-        out
     }
 
     /// Maximum absolute element-wise difference to `other`.

@@ -56,31 +56,36 @@ impl Activation {
     /// Panics on shape mismatch.
     #[must_use]
     pub fn backward(&self, a: &Matrix, grad_a: &Matrix) -> Matrix {
+        let mut out = grad_a.clone();
+        self.backward_inplace(a, &mut out);
+        out
+    }
+
+    /// [`backward`](Self::backward) in place: transforms the upstream
+    /// gradient `grad` into the pre-activation gradient using the
+    /// cached post-activation output `a`, allocating nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn backward_inplace(&self, a: &Matrix, grad: &mut Matrix) {
         assert_eq!(
             a.shape(),
-            grad_a.shape(),
+            grad.shape(),
             "activation backward shape mismatch"
         );
         match self {
-            Self::Linear => grad_a.clone(),
-            Self::Relu => Matrix::from_vec(
-                a.rows(),
-                a.cols(),
-                a.as_slice()
-                    .iter()
-                    .zip(grad_a.as_slice())
-                    .map(|(&av, &gv)| if av > 0.0 { gv } else { 0.0 })
-                    .collect(),
-            ),
-            Self::Sigmoid => Matrix::from_vec(
-                a.rows(),
-                a.cols(),
-                a.as_slice()
-                    .iter()
-                    .zip(grad_a.as_slice())
-                    .map(|(&av, &gv)| gv * av * (1.0 - av))
-                    .collect(),
-            ),
+            Self::Linear => {}
+            Self::Relu => {
+                for (g, &av) in grad.as_mut_slice().iter_mut().zip(a.as_slice()) {
+                    *g = if av > 0.0 { *g } else { 0.0 };
+                }
+            }
+            Self::Sigmoid => {
+                for (g, &av) in grad.as_mut_slice().iter_mut().zip(a.as_slice()) {
+                    *g = *g * av * (1.0 - av);
+                }
+            }
         }
     }
 }

@@ -1,0 +1,131 @@
+//! Property tests of the GEMM kernel layer's determinism contract:
+//!
+//! * the register-blocked kernels are **bitwise identical** to the
+//!   naive reference kernels (the pre-blocking loop structure over the
+//!   shared accumulation primitives) for arbitrary shapes and contents;
+//! * the zero-skip fast path of the reference kernels is bitwise
+//!   neutral (`a.mul_add(b, acc) == acc` exactly when `a == 0.0` and
+//!   `b` is finite) — the blocked kernels have no skip, so agreement on
+//!   zero-heavy operands *is* the neutrality proof;
+//! * results are invariant across tile sizes (`kc`, executor chunk
+//!   rows) and across `LAZYDP_THREADS`-style executor widths.
+
+use lazydp_tensor::gemm::{
+    matmul_t_with_tiles, matmul_with_tiles, reference_matmul, reference_matmul_t,
+    reference_t_matmul, t_matmul_with_tiles,
+};
+use lazydp_tensor::Matrix;
+use proptest::prelude::*;
+
+/// Deterministic matrix with a tunable fraction of exact zeros (the
+/// ReLU-sparse pattern the zero-skip fast path exists for).
+fn matrix_with_zeros(rows: usize, cols: usize, seed: u64, zero_mod: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        let x = (i as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((j as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add(seed);
+        let x = x ^ (x >> 29);
+        if zero_mod > 0 && x.is_multiple_of(zero_mod) {
+            0.0
+        } else {
+            ((x % 2000) as f32 - 1000.0) / 333.0
+        }
+    })
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Blocked == reference, bitwise, for every GEMM variant — across
+    /// random shapes, zero densities (zero-skip neutrality), and tile
+    /// sizes.
+    #[test]
+    fn blocked_gemms_match_reference_bitwise_across_tiles(
+        m in 1usize..40,
+        k in 1usize..70,
+        n in 1usize..40,
+        seed in 0u64..1_000,
+        zero_mod in 0u64..5, // 0 = dense, 2 = half zeros, …
+        kc in 1usize..80,
+        chunk in 1usize..40,
+    ) {
+        let a = matrix_with_zeros(m, k, seed, zero_mod);
+        let b = matrix_with_zeros(k, n, seed ^ 1, zero_mod);
+        let at = matrix_with_zeros(k, m, seed ^ 2, zero_mod);
+        let bt = matrix_with_zeros(n, k, seed ^ 3, zero_mod);
+        prop_assert_eq!(
+            bits(&matmul_with_tiles(&a, &b, kc, chunk)),
+            bits(&reference_matmul(&a, &b)),
+            "matmul {}x{}x{} kc={} chunk={}", m, k, n, kc, chunk
+        );
+        prop_assert_eq!(
+            bits(&t_matmul_with_tiles(&at, &b, kc, chunk)),
+            bits(&reference_t_matmul(&at, &b)),
+            "t_matmul {}x{}x{} kc={} chunk={}", m, k, n, kc, chunk
+        );
+        prop_assert_eq!(
+            bits(&matmul_t_with_tiles(&a, &bt, chunk)),
+            bits(&reference_matmul_t(&a, &bt)),
+            "matmul_t {}x{}x{} chunk={}", m, k, n, chunk
+        );
+    }
+
+    /// The dispatched kernels (`Matrix::matmul` & co.) are bitwise
+    /// invariant across executor widths — the `LAZYDP_THREADS` leg of
+    /// the determinism contract, including zero-heavy operands.
+    #[test]
+    fn dispatched_gemms_are_thread_count_invariant(
+        m in 1usize..48,
+        k in 1usize..64,
+        n in 1usize..48,
+        seed in 0u64..1_000,
+        zero_mod in 0u64..4,
+    ) {
+        let a = matrix_with_zeros(m, k, seed, zero_mod);
+        let b = matrix_with_zeros(k, n, seed ^ 5, zero_mod);
+        let at = matrix_with_zeros(k, m, seed ^ 6, zero_mod);
+        let bt = matrix_with_zeros(n, k, seed ^ 7, zero_mod);
+        let initial = lazydp_exec::global_threads();
+        lazydp_exec::set_global_threads(1);
+        let (mm, tm, mt) = (a.matmul(&b), at.t_matmul(&b), a.matmul_t(&bt));
+        for threads in [2usize, 3, 8] {
+            lazydp_exec::set_global_threads(threads);
+            prop_assert_eq!(bits(&mm), bits(&a.matmul(&b)), "matmul, {} threads", threads);
+            prop_assert_eq!(bits(&tm), bits(&at.t_matmul(&b)), "t_matmul, {} threads", threads);
+            prop_assert_eq!(bits(&mt), bits(&a.matmul_t(&bt)), "matmul_t, {} threads", threads);
+        }
+        lazydp_exec::set_global_threads(initial);
+    }
+
+    /// Explicit zero-skip neutrality: a fully dense operand versus the
+    /// same operand with values *replaced* by zero must differ only
+    /// through the zeroed contributions — i.e. the reference kernel
+    /// (which skips zeros) and the blocked kernel (which multiplies
+    /// through them) agree bit-for-bit on all-zero rows and columns too.
+    #[test]
+    fn zero_rows_and_columns_are_bitwise_neutral(
+        m in 1usize..24,
+        k in 2usize..40,
+        n in 1usize..24,
+        seed in 0u64..1_000,
+        zero_row in 0usize..40,
+    ) {
+        let mut a = matrix_with_zeros(m, k, seed, 0);
+        let zr = zero_row % k;
+        // Zero one whole contraction slice: column `zr` of A.
+        for i in 0..m {
+            a.row_mut(i)[zr] = 0.0;
+        }
+        let b = matrix_with_zeros(k, n, seed ^ 9, 3);
+        prop_assert_eq!(
+            bits(&matmul_with_tiles(&a, &b, 16, 8)),
+            bits(&reference_matmul(&a, &b)),
+            "zeroed contraction column {} of {}", zr, k
+        );
+    }
+}
