@@ -146,12 +146,10 @@ pub fn storage_sweep_with(cfg: &DlrmConfig, batch: usize, timed_steps: usize) ->
             .with_page_rows(page_rows)
             .with_cache_pages(cache_pages);
         let (secs, stats, released) = stored_run(&model0, &ds, batch, timed_steps, storage);
-        let diff = reference
-            .tables
-            .iter()
-            .zip(released.tables.iter())
-            .map(|(a, b)| a.max_abs_diff(b))
-            .fold(0.0f32, f32::max);
+        let mut diff = 0.0f32;
+        for (a, b) in reference.tables.iter().zip(released.tables.iter()) {
+            diff = diff.max(a.max_abs_diff(b));
+        }
         assert_eq!(
             diff, 0.0,
             "storage backend at {frac}×cache must release the identical model"

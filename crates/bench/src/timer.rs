@@ -1,0 +1,55 @@
+//! Wall-clock measurement, quarantined.
+//!
+//! The workspace lint pass (rule **D2**) bans `std::time::Instant` and
+//! `SystemTime` everywhere outside `crates/bench`: wall-clock reads are
+//! inherently non-deterministic, so a timing call sitting next to
+//! training logic is a standing invitation to let "how long did it
+//! take" leak into "what did it compute". Examples and demos that want
+//! to report timings use this [`Stopwatch`] instead — the clock read
+//! stays inside the bench crate, and the call site advertises that it
+//! is measurement, not computation.
+
+use std::time::{Duration, Instant};
+
+/// A started wall clock. Measurement only — a `Stopwatch` reading must
+/// never feed back into training state (DESIGN.md invariant #1).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the clock.
+    #[must_use]
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed seconds as a float, convenient for rate arithmetic.
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+        assert!(sw.elapsed_secs() >= 0.0);
+    }
+}

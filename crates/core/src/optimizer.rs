@@ -440,8 +440,8 @@ where
             let counters = &mut self.counters;
             let model_ref: &Dlrm<T> = model;
             let targets_ref = &targets;
-            let (cl, fs, fc) = std::thread::scope(|s| {
-                let flush = s.spawn(move || {
+            let ((fs, fc), cl) = lazydp_exec::overlap(
+                move || {
                     let mut c = KernelCounters::new();
                     let fs: Vec<ShardedFlush> = targets_ref
                         .iter()
@@ -463,11 +463,9 @@ where
                         })
                         .collect();
                     (fs, c)
-                });
-                let cl = Self::clipped_aggregate(&dp, model_ref, batch, counters, scratch);
-                let (fs, fc) = flush.join().expect("lookahead flush worker panicked");
-                (cl, fs, fc)
-            });
+                },
+                || Self::clipped_aggregate(&dp, model_ref, batch, counters, scratch),
+            );
             self.counters.merge(&fc);
             self.scratch.targets = targets;
             flushes = fs;

@@ -174,11 +174,7 @@ impl SyntheticDataset {
         let mut rng = self.sample_rng.derive(i as u64).stream(0);
         let mut dense = vec![0.0f32; self.config.num_dense];
         gaussian::fill_standard_normal(&mut rng, &mut dense);
-        let mut logit: f64 = dense
-            .iter()
-            .zip(self.dense_weights.iter())
-            .map(|(&x, &w)| f64::from(x) * f64::from(w))
-            .sum();
+        let mut logit: f64 = lazydp_tensor::vecops::dot(&dense, &self.dense_weights);
         let mut indices = Vec::with_capacity(self.config.table_rows.len());
         for (t, dist) in self.config.distributions.iter().enumerate() {
             let rows: Vec<u64> = (0..self.config.pooling)

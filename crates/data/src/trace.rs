@@ -254,7 +254,10 @@ pub fn expected_unique_zipf(rows: u64, exponent: f64, draws: u64) -> f64 {
 #[must_use]
 pub fn generalized_harmonic(n: u64, s: f64) -> f64 {
     let head = n.min(100_000);
-    let mut h: f64 = (1..=head).map(|r| (r as f64).powf(-s)).sum();
+    let mut h = 0.0f64;
+    for r in 1..=head {
+        h += (r as f64).powf(-s);
+    }
     if n > head {
         let a = head as f64;
         let b = n as f64;

@@ -15,26 +15,6 @@
 use crate::counters::KernelCounters;
 use lazydp_embedding::{EmbeddingTable, SparseGrad};
 use lazydp_rng::RowNoise;
-use std::collections::HashMap;
-
-/// Builds a row → values map from a **coalesced** sparse gradient.
-///
-/// # Panics
-///
-/// Panics if `grad` still contains duplicate rows (call
-/// [`SparseGrad::coalesce`] first); duplicates would silently drop
-/// gradient mass here.
-fn grad_map(grad: &SparseGrad) -> HashMap<u64, &[f32]> {
-    let mut map = HashMap::with_capacity(grad.len());
-    for (idx, vals) in grad.iter() {
-        let prev = map.insert(idx, vals);
-        assert!(
-            prev.is_none(),
-            "gradient must be coalesced (duplicate row {idx})"
-        );
-    }
-    map
-}
 
 /// SGD sparse update: `θ[r] -= lr · g[r]` for gathered rows only.
 pub fn sparse_grad_update(
@@ -68,14 +48,19 @@ pub fn dense_noisy_update<N: RowNoise>(
     counters: &mut KernelCounters,
 ) {
     assert_eq!(grad.dim(), table.dim(), "grad dim mismatch");
-    let map = grad_map(grad);
+    // Gathered rows are found by binary search over the coalesced
+    // (sorted) gradient — no per-call map, no unordered container.
+    assert!(
+        grad.is_coalesced(),
+        "gradient must be coalesced (sorted, duplicate-free rows)"
+    );
     let dim = table.dim();
     let mut buf = vec![0.0f32; dim];
     let rows = table.rows();
     for r in 0..rows {
         noise.fill_unit(table_id, r as u64, iter, &mut buf);
         let row = table.row_mut(r);
-        if let Some(g) = map.get(&(r as u64)) {
+        if let Some(g) = grad.find(r as u64) {
             for ((w, &n), &gv) in row.iter_mut().zip(buf.iter()).zip(g.iter()) {
                 *w -= lr * (noise_std * n + gv);
             }
@@ -110,12 +95,15 @@ pub fn sparse_noisy_update<N: RowNoise>(
     assert_eq!(grad.dim(), table.dim(), "grad dim mismatch");
     let dim = table.dim();
     let mut buf = vec![0.0f32; dim];
-    let mut seen = std::collections::HashSet::with_capacity(grad.len());
+    // Coalesced gradients are sorted strictly increasing, so duplicates
+    // are caught by a monotonicity check instead of a hash set.
+    let mut last_idx: Option<u64> = None;
     for (idx, g) in grad.iter() {
         assert!(
-            seen.insert(idx),
-            "gradient must be coalesced (duplicate row {idx})"
+            last_idx.is_none_or(|l| l < idx),
+            "gradient must be coalesced (row {idx} out of order or duplicated)"
         );
+        last_idx = Some(idx);
         noise.fill_unit(table_id, idx, iter, &mut buf);
         let row = table.row_mut(idx as usize);
         for ((w, &n), &gv) in row.iter_mut().zip(buf.iter()).zip(g.iter()) {

@@ -268,11 +268,7 @@ impl EmbeddingBag {
                 }
             }
             c_sq += (run * run) as f64;
-            let delta_sq: f64 = grad_out
-                .row(i)
-                .iter()
-                .map(|&x| f64::from(x) * f64::from(x))
-                .sum();
+            let delta_sq = lazydp_tensor::vecops::norm_sq(grad_out.row(i));
             let scale = match self.pooling {
                 Pooling::Sum => 1.0,
                 Pooling::Mean => {

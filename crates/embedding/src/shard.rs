@@ -326,11 +326,11 @@ impl ShardedTable {
             (other.spec, other.rows, other.dim),
             "sharded table shape mismatch"
         );
-        self.shards
-            .iter()
-            .zip(other.shards.iter())
-            .map(|(a, b)| a.max_abs_diff(b))
-            .fold(0.0, f32::max)
+        let mut m = 0.0f32;
+        for (a, b) in self.shards.iter().zip(other.shards.iter()) {
+            m = m.max(a.max_abs_diff(b));
+        }
+        m
     }
 }
 

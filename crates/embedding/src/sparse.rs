@@ -6,7 +6,7 @@
 //! duplicated embedding indices" is 61% of the overhead), so it is a
 //! first-class, instrumentable operation here.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A sparse gradient over an embedding table: a list of `(row, values)`
 /// entries, each `values` being a `dim`-wide vector.
@@ -209,19 +209,40 @@ impl SparseGrad {
         before - self.indices.len()
     }
 
-    /// Sums the squared L2 norms of all entries (in `f64`).
+    /// Sums the squared L2 norms of all entries (in `f64`, accumulated
+    /// through the pinned [`vecops::norm_sq`](lazydp_tensor::vecops)
+    /// primitive).
     #[must_use]
     pub fn norm_sq(&self) -> f64 {
-        self.values
-            .iter()
-            .map(|&x| f64::from(x) * f64::from(x))
-            .sum()
+        lazydp_tensor::vecops::norm_sq(&self.values)
     }
 
-    /// Converts to a dense map for test comparisons.
+    /// Whether entries are sorted by strictly increasing row index —
+    /// i.e. whether [`coalesce`](Self::coalesce) has run since the last
+    /// mutation. The update kernels require this.
     #[must_use]
-    pub fn to_dense_map(&self) -> HashMap<u64, Vec<f32>> {
-        let mut m: HashMap<u64, Vec<f32>> = HashMap::new();
+    pub fn is_coalesced(&self) -> bool {
+        self.indices.windows(2).all(|w| w[0] < w[1])
+    }
+
+    /// Binary-searches a **coalesced** gradient for `index`.
+    ///
+    /// Returns `None` both for absent rows and (unreliably) on
+    /// uncoalesced gradients — callers should check
+    /// [`is_coalesced`](Self::is_coalesced) first.
+    #[must_use]
+    pub fn find(&self, index: u64) -> Option<&[f32]> {
+        self.indices
+            .binary_search(&index)
+            .ok()
+            .map(|i| &self.values[i * self.dim..(i + 1) * self.dim])
+    }
+
+    /// Converts to a dense map for test comparisons (a `BTreeMap` so
+    /// downstream iteration is deterministic).
+    #[must_use]
+    pub fn to_dense_map(&self) -> BTreeMap<u64, Vec<f32>> {
+        let mut m: BTreeMap<u64, Vec<f32>> = BTreeMap::new();
         for (idx, vals) in self.iter() {
             let e = m.entry(idx).or_insert_with(|| vec![0.0; self.dim]);
             for (a, &v) in e.iter_mut().zip(vals.iter()) {

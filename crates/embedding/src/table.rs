@@ -148,11 +148,7 @@ impl EmbeddingTable {
     /// L2 norm of the full table (test helper).
     #[must_use]
     pub fn frob_norm(&self) -> f64 {
-        self.weights
-            .iter()
-            .map(|&x| f64::from(x) * f64::from(x))
-            .sum::<f64>()
-            .sqrt()
+        lazydp_tensor::vecops::norm(&self.weights)
     }
 
     /// Maximum absolute element-wise difference to another table.
@@ -167,11 +163,7 @@ impl EmbeddingTable {
             (other.rows, other.dim),
             "table shape mismatch"
         );
-        self.weights
-            .iter()
-            .zip(other.weights.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        lazydp_tensor::vecops::max_abs_diff(&self.weights, &other.weights)
     }
 }
 

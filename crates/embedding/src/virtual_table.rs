@@ -12,7 +12,7 @@
 
 use crate::sparse::SparseGrad;
 use lazydp_rng::counter::CounterRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An embedding table with lazily materialized rows.
 ///
@@ -27,7 +27,7 @@ pub struct VirtualTable {
     dim: usize,
     init: CounterRng,
     init_bound: f32,
-    materialized: HashMap<u64, Vec<f32>>,
+    materialized: BTreeMap<u64, Vec<f32>>,
 }
 
 impl VirtualTable {
@@ -45,7 +45,7 @@ impl VirtualTable {
             dim,
             init: CounterRng::new(seed ^ 0x7fe1_57ab_1e00_cafe),
             init_bound: 1.0 / (logical_rows as f64).sqrt() as f32,
-            materialized: HashMap::new(),
+            materialized: BTreeMap::new(),
         }
     }
 

@@ -233,9 +233,57 @@ impl Executor {
     }
 }
 
+/// Runs `a` on a freshly spawned scoped thread while `b` runs on the
+/// calling thread, then joins and returns both results.
+///
+/// This is the **only** sanctioned way to overlap two pieces of work that
+/// are not chunk-addressed (e.g. LazyDP's pending-noise flush for step
+/// `t+1` overlapped with step `t`'s clipped aggregation). Keeping the
+/// raw `std::thread::scope` here, inside the executor crate, means the
+/// lint pass (rule D3) can verify that no other crate spawns threads —
+/// every parallel region in the training path is either chunk-addressed
+/// ([`Executor::par_for`] / [`Executor::par_map_chunks`]) or an explicit
+/// two-sided overlap whose sides touch disjoint state.
+///
+/// Determinism: `overlap(a, b)` computes exactly `(a(), b())` — each
+/// side runs once, to completion, and the results are returned in a
+/// fixed order. Scheduling affects only wall-clock interleaving, never
+/// values, provided the two sides share no mutable state (which safe
+/// Rust enforces at the closure captures).
+///
+/// # Panics
+///
+/// Propagates a panic from either closure.
+pub fn overlap<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB,
+    RA: Send,
+{
+    std::thread::scope(|s| {
+        let worker = s.spawn(a);
+        let rb = b();
+        let ra = worker.join().expect("overlap worker panicked");
+        (ra, rb)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn overlap_returns_both_results_in_order() {
+        let xs = [1u64, 2, 3];
+        let (a, b) = overlap(|| xs.iter().copied().max().unwrap_or(0), || xs.len());
+        assert_eq!((a, b), (3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap worker panicked")]
+    fn overlap_propagates_worker_panic() {
+        let _ = overlap(|| panic!("boom"), || 1u32);
+    }
 
     #[test]
     fn par_for_visits_every_chunk_once_with_stable_indices() {

@@ -1,0 +1,226 @@
+//! The `lint.toml` allowlist: every exemption from a rule must be
+//! written down **with a justification**.
+//!
+//! The format is a small TOML subset parsed by hand (the linter has no
+//! dependencies): an array of `[[allow]]` tables with string keys
+//! `rule`, `path`, `reason` and an optional integer `line`.
+//!
+//! ```toml
+//! # Justified exemptions only. `reason` is mandatory.
+//! [[allow]]
+//! rule = "D1"
+//! path = "crates/store/src/cache.rs"
+//! reason = "page->frame map is point-lookup only; eviction order comes from the clock hand"
+//! ```
+//!
+//! An entry without a `line` covers every violation of `rule` in `path`;
+//! with a `line` it covers exactly that line. Entries that match nothing
+//! are reported as *stale* so the file cannot rot.
+
+use crate::rules::{rule_known, Violation};
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule ID the exemption applies to.
+    pub rule: String,
+    /// Workspace-relative path (forward slashes) the exemption covers.
+    pub path: String,
+    /// Optional 1-based line restriction.
+    pub line: Option<u32>,
+    /// The mandatory written justification.
+    pub reason: String,
+}
+
+impl AllowEntry {
+    /// Whether this entry suppresses `v`.
+    #[must_use]
+    pub fn matches(&self, v: &Violation) -> bool {
+        self.rule == v.rule && self.path == v.path && self.line.is_none_or(|l| l == v.line)
+    }
+}
+
+/// Parses `lint.toml` text into entries.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for: unknown keys or
+/// rules, malformed lines, keys outside an `[[allow]]` table, and
+/// entries missing `rule`, `path`, or a non-empty `reason`.
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
+    #[derive(Default)]
+    struct Partial {
+        rule: Option<String>,
+        path: Option<String>,
+        line: Option<u32>,
+        reason: Option<String>,
+        at_line: usize,
+    }
+    fn finish(p: Partial) -> Result<AllowEntry, String> {
+        let at = p.at_line;
+        let rule = p
+            .rule
+            .ok_or(format!("[[allow]] at line {at}: missing `rule`"))?;
+        if !rule_known(&rule) {
+            return Err(format!("[[allow]] at line {at}: unknown rule `{rule}`"));
+        }
+        let path = p
+            .path
+            .ok_or(format!("[[allow]] at line {at}: missing `path`"))?;
+        let reason = p
+            .reason
+            .ok_or(format!("[[allow]] at line {at}: missing `reason`"))?;
+        if reason.trim().len() < 10 {
+            return Err(format!(
+                "[[allow]] at line {at}: `reason` must be a written \
+                 justification (got {reason:?})"
+            ));
+        }
+        Ok(AllowEntry {
+            rule,
+            path,
+            line: p.line,
+            reason,
+        })
+    }
+
+    let mut entries = Vec::new();
+    let mut cur: Option<Partial> = None;
+    for (ln0, raw) in text.lines().enumerate() {
+        let ln = ln0 + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(p) = cur.take() {
+                entries.push(finish(p)?);
+            }
+            cur = Some(Partial {
+                at_line: ln,
+                ..Partial::default()
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "lint.toml line {ln}: expected `key = value`, got {raw:?}"
+            ));
+        };
+        let Some(p) = cur.as_mut() else {
+            return Err(format!(
+                "lint.toml line {ln}: `{}` outside an [[allow]] table",
+                key.trim()
+            ));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "rule" => p.rule = Some(parse_string(value, ln)?),
+            "path" => p.path = Some(parse_string(value, ln)?),
+            "reason" => p.reason = Some(parse_string(value, ln)?),
+            "line" => {
+                p.line = Some(value.parse().map_err(|_| {
+                    format!("lint.toml line {ln}: `line` must be an integer, got {value:?}")
+                })?);
+            }
+            other => {
+                return Err(format!("lint.toml line {ln}: unknown key `{other}`"));
+            }
+        }
+    }
+    if let Some(p) = cur.take() {
+        entries.push(finish(p)?);
+    }
+    Ok(entries)
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn parse_string(value: &str, ln: usize) -> Result<String, String> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].replace("\\\"", "\""))
+    } else {
+        Err(format!(
+            "lint.toml line {ln}: expected a double-quoted string, got {value:?}"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_comments() {
+        let text = r##"
+# header comment
+[[allow]]
+rule = "D1"            # trailing comment
+path = "crates/store/src/cache.rs"
+reason = "lookup-only map, never iterated"
+
+[[allow]]
+rule = "D4"
+path = "crates/data/src/trace.rs"
+line = 257
+reason = "sequential fixed-order f64 reduction"
+"##;
+        let e = parse(text).expect("parses");
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].rule, "D1");
+        assert_eq!(e[0].line, None);
+        assert_eq!(e[1].line, Some(257));
+    }
+
+    #[test]
+    fn rejects_missing_or_trivial_reason() {
+        let missing = "[[allow]]\nrule = \"D1\"\npath = \"src/lib.rs\"\n";
+        assert!(parse(missing).unwrap_err().contains("missing `reason`"));
+        let trivial = "[[allow]]\nrule = \"D1\"\npath = \"src/lib.rs\"\nreason = \"ok\"\n";
+        assert!(parse(trivial)
+            .unwrap_err()
+            .contains("written justification"));
+    }
+
+    #[test]
+    fn rejects_unknown_rule_and_key() {
+        let bad_rule = "[[allow]]\nrule = \"Z9\"\npath = \"x\"\nreason = \"long enough reason\"\n";
+        assert!(parse(bad_rule).unwrap_err().contains("unknown rule"));
+        let bad_key = "[[allow]]\nrule = \"D1\"\nfile = \"x\"\n";
+        assert!(parse(bad_key).unwrap_err().contains("unknown key"));
+    }
+
+    #[test]
+    fn line_restriction_matches() {
+        let e = AllowEntry {
+            rule: "D1".into(),
+            path: "a.rs".into(),
+            line: Some(5),
+            reason: "r".into(),
+        };
+        let mk = |line| Violation {
+            rule: "D1",
+            path: "a.rs".into(),
+            line,
+            col: 1,
+            snippet: String::new(),
+            message: String::new(),
+        };
+        assert!(e.matches(&mk(5)));
+        assert!(!e.matches(&mk(6)));
+    }
+}

@@ -1,0 +1,202 @@
+//! Report assembly and rendering (human text and the stable `--json`
+//! schema documented at the crate root).
+
+use crate::allowlist::AllowEntry;
+use crate::rules::{Violation, RULES};
+
+/// The result of one `check` run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Workspace root the run scanned (as given).
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Violations not covered by any allowlist entry. Non-empty ⇒ the
+    /// check fails (exit code 1).
+    pub violations: Vec<Violation>,
+    /// Violations suppressed by an allowlist entry, with the entry's
+    /// justification.
+    pub allowed: Vec<(Violation, String)>,
+    /// Allowlist entries that matched nothing (stale; reported as
+    /// warnings so `lint.toml` cannot rot, but not fatal).
+    pub stale_allows: Vec<AllowEntry>,
+}
+
+impl Report {
+    /// Whether the check passed.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the human-readable report.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for v in &self.violations {
+            s.push_str(&format!(
+                "{}:{}:{}: [{}] {}\n    {}\n",
+                v.path, v.line, v.col, v.rule, v.message, v.snippet
+            ));
+        }
+        for e in &self.stale_allows {
+            s.push_str(&format!(
+                "warning: stale lint.toml entry matches nothing: rule {} path {}{}\n",
+                e.rule,
+                e.path,
+                e.line.map(|l| format!(" line {l}")).unwrap_or_default()
+            ));
+        }
+        s.push_str(&format!(
+            "{} file(s) scanned, {} violation(s), {} allowlisted, {} stale allow(s)\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.allowed.len(),
+            self.stale_allows.len()
+        ));
+        if self.clean() {
+            s.push_str("lazydp-lint: clean\n");
+        } else {
+            s.push_str(
+                "lazydp-lint: FAILED — fix the violation or add a justified lint.toml entry\n",
+            );
+        }
+        s
+    }
+
+    /// Renders the stable JSON schema (`schema_version` 1; see the crate
+    /// docs for the field contract).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"schema_version\": 1,\n");
+        s.push_str(&format!("  \"root\": {},\n", json_str(&self.root)));
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!(
+            "  \"rules\": [{}],\n",
+            RULES
+                .iter()
+                .map(|r| json_str(r.id))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        s.push_str(&format!("  \"clean\": {},\n", self.clean()));
+        s.push_str("  \"violations\": [\n");
+        let items: Vec<String> = self
+            .violations
+            .iter()
+            .map(|v| violation_json(v, None))
+            .collect();
+        s.push_str(&items.join(",\n"));
+        if !items.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("  ],\n  \"allowed\": [\n");
+        let items: Vec<String> = self
+            .allowed
+            .iter()
+            .map(|(v, reason)| violation_json(v, Some(reason)))
+            .collect();
+        s.push_str(&items.join(",\n"));
+        if !items.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("  ],\n  \"stale_allows\": [\n");
+        let items: Vec<String> = self
+            .stale_allows
+            .iter()
+            .map(|e| {
+                format!(
+                    "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"reason\": {}}}",
+                    json_str(&e.rule),
+                    json_str(&e.path),
+                    e.line.map_or("null".to_string(), |l| l.to_string()),
+                    json_str(&e.reason)
+                )
+            })
+            .collect();
+        s.push_str(&items.join(",\n"));
+        if !items.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn violation_json(v: &Violation, reason: Option<&str>) -> String {
+    let mut s = format!(
+        "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"column\": {}, \
+         \"message\": {}, \"snippet\": {}",
+        json_str(v.rule),
+        json_str(&v.path),
+        v.line,
+        v.col,
+        json_str(&v.message),
+        json_str(&v.snippet)
+    );
+    if let Some(r) = reason {
+        s.push_str(&format!(", \"reason\": {}", json_str(r)));
+    }
+    s.push('}');
+    s
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            root: ".".into(),
+            files_scanned: 2,
+            violations: vec![Violation {
+                rule: "D1",
+                path: "crates/x/src/a.rs".into(),
+                line: 3,
+                col: 7,
+                snippet: "let m: HashMap<u8, \"q\"> = x();".into(),
+                message: "msg".into(),
+            }],
+            allowed: vec![],
+            stale_allows: vec![],
+        }
+    }
+
+    #[test]
+    fn text_report_has_file_line_and_rule() {
+        let t = sample().to_text();
+        assert!(t.contains("crates/x/src/a.rs:3:7: [D1]"));
+        assert!(t.contains("FAILED"));
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let j = sample().to_json();
+        assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.contains("\"clean\": false"));
+        assert!(j.contains("\\\"q\\\""), "quotes escaped: {j}");
+        // Sanity: balanced braces/brackets.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

@@ -1,0 +1,525 @@
+//! The rule engine: seven lexical rules that machine-check the
+//! determinism & privacy contract documented in `ARCHITECTURE.md`.
+//!
+//! Every rule reports [`Violation`]s with a `file:line` span and a rule
+//! ID; exemptions live in `lint.toml` (see [`crate::allowlist`]) and
+//! each must carry a written justification.
+//!
+//! | ID | Invariant protected |
+//! |----|---------------------|
+//! | D1 | Bitwise replay: no `HashMap`/`HashSet` in non-test code (unordered iteration) |
+//! | D2 | Replayability: no `Instant`/`SystemTime` outside `crates/bench` |
+//! | D3 | Deterministic parallelism: no `std::thread::{spawn,scope}` outside `lazydp_exec` |
+//! | D4 | Fixed accumulation order: no float `.sum()`/`.fold(…)` outside `lazydp_tensor` |
+//! | D5 | Memory safety: every crate root carries `#![forbid(unsafe_code)]` |
+//! | P1 | DP hygiene: no debug-printing of gradient-bearing values in non-test code |
+//! | P2 | Owned noise: no `rand::`/entropy-seeded sampling outside `lazydp_rng` |
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A rule's identity and documentation, surfaced by `lazydp-lint rules`.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable rule ID (`D1`…`D5`, `P1`, `P2`).
+    pub id: &'static str,
+    /// One-line description of what the rule flags.
+    pub summary: &'static str,
+    /// The contract invariant the rule protects.
+    pub invariant: &'static str,
+}
+
+/// The rule table. IDs are stable and part of the `--json` schema.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "D1",
+        summary: "no HashMap/HashSet in non-test code",
+        invariant: "unordered iteration breaks bitwise replay; use BTreeMap, \
+                    sorted Vec iteration, or allowlist lookup-only maps",
+    },
+    Rule {
+        id: "D2",
+        summary: "no Instant::now/SystemTime outside crates/bench",
+        invariant: "wall-clock reads make runs unreplayable; timing belongs in \
+                    lazydp_bench helpers (e.g. Stopwatch)",
+    },
+    Rule {
+        id: "D3",
+        summary: "no std::thread::{spawn,scope} outside lazydp_exec",
+        invariant: "all parallelism goes through the deterministic executor \
+                    (chunk-addressed par_for/par_map_chunks/overlap)",
+    },
+    Rule {
+        id: "D4",
+        summary: "no float .sum()/.fold(...) reductions outside lazydp_tensor",
+        invariant: "determinism rule 3: float accumulation order is pinned by \
+                    lazydp_tensor's primitives (vecops, dot_tree, gemm)",
+    },
+    Rule {
+        id: "D5",
+        summary: "every crate root carries #![forbid(unsafe_code)]",
+        invariant: "the whole workspace is forbid-unsafe; keep it that way for \
+                    every future crate",
+    },
+    Rule {
+        id: "P1",
+        summary: "no println!/eprintln!/dbg! of gradient-bearing values in \
+                  non-test code",
+        invariant: "raw per-example gradients and norms must only leave the \
+                    process through the clip->noise release path, never logs",
+    },
+    Rule {
+        id: "P2",
+        summary: "no rand::-direct or entropy-seeded sampling outside lazydp_rng",
+        invariant: "noise must come from the owned, replayable GaussianSampler \
+                    / CounterRng streams",
+    },
+];
+
+/// Whether `id` names a known rule.
+#[must_use]
+pub fn rule_known(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// One reported rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable rule ID.
+    pub rule: &'static str,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The trimmed source line the violation sits on.
+    pub snippet: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Token-index ranges (inclusive) that belong to `#[test]` functions or
+/// `#[cfg(test)]` items. Rules other than D5 skip these.
+fn test_regions(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let (attr_end, is_test) = scan_attribute(toks, i + 1);
+        if !is_test {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes (e.g. #[should_panic] after
+        // #[test]) and find the item body.
+        let mut j = attr_end + 1;
+        while j + 1 < toks.len() && toks[j].is_punct('#') && toks[j + 1].is_punct('[') {
+            let (e, _) = scan_attribute(toks, j + 1);
+            j = e + 1;
+        }
+        // The item runs to the first `;` at depth 0 or to the matching
+        // `}` of its first depth-0 `{`.
+        let mut depth = 0i32;
+        let mut end = toks.len() - 1;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokenKind::Punct('{' | '(' | '[') => depth += 1,
+                TokenKind::Punct('}' | ')' | ']') => {
+                    depth -= 1;
+                    if depth == 0 && toks[j].is_punct('}') {
+                        end = j;
+                        break;
+                    }
+                }
+                TokenKind::Punct(';') if depth == 0 => {
+                    end = j;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        regions.push((attr_start, end));
+        i = end + 1;
+    }
+    regions
+}
+
+/// Scans an attribute starting at its `[` token index; returns the index
+/// of the closing `]` and whether the attribute marks test code
+/// (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]` — but not
+/// `#[cfg(not(test))]`).
+fn scan_attribute(toks: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut j = open;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j, has_test && !has_not);
+                }
+            }
+            TokenKind::Ident => {
+                if toks[j].text == "test" {
+                    has_test = true;
+                } else if toks[j].text == "not" {
+                    has_not = true;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (toks.len() - 1, false)
+}
+
+/// Lints one file's source text. `rel_path` must be workspace-relative
+/// with forward slashes (it drives the per-crate rule exemptions).
+#[must_use]
+pub fn check_source(rel_path: &str, source: &str) -> Vec<Violation> {
+    let toks = lex(source);
+    let regions = test_regions(&toks);
+    let lines: Vec<&str> = source.lines().collect();
+    let in_test = |ti: usize| regions.iter().any(|&(a, b)| ti >= a && ti <= b);
+    let snippet = |line: u32| -> String {
+        lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+    let mut out = Vec::new();
+    let mut push = |rule: &'static str, t: &Token, message: String| {
+        out.push(Violation {
+            rule,
+            path: rel_path.to_string(),
+            line: t.line,
+            col: t.col,
+            snippet: snippet(t.line),
+            message,
+        });
+    };
+
+    let in_bench = rel_path.starts_with("crates/bench/");
+    let in_exec = rel_path.starts_with("crates/exec/");
+    let in_tensor = rel_path.starts_with("crates/tensor/");
+    let in_rng = rel_path.starts_with("crates/rng/");
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_test(i) {
+            continue;
+        }
+        let name = t.text.as_str();
+
+        // D1: unordered containers.
+        if name == "HashMap" || name == "HashSet" {
+            push(
+                "D1",
+                t,
+                format!(
+                    "`{name}` in non-test code: iteration order is \
+                     nondeterministic and breaks bitwise replay; use \
+                     BTreeMap/BTreeSet, a sorted Vec, or allowlist a \
+                     provably lookup-only use"
+                ),
+            );
+        }
+
+        // D2: wall clock.
+        if !in_bench && (name == "Instant" || name == "SystemTime") {
+            push(
+                "D2",
+                t,
+                format!(
+                    "wall-clock type `{name}` outside crates/bench: timing \
+                     belongs in lazydp_bench (e.g. `Stopwatch`), or \
+                     allowlist a measurement-only span"
+                ),
+            );
+        }
+
+        // D3: raw threads. Matches `thread::spawn`, `thread::scope`,
+        // and `thread::Builder` (whose `.spawn` method call would
+        // otherwise slip past the path pattern).
+        if !in_exec
+            && (name == "spawn" || name == "scope" || name == "Builder")
+            && i >= 3
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks[i - 3].is_ident("thread")
+        {
+            push(
+                "D3",
+                t,
+                format!(
+                    "`thread::{name}` outside lazydp_exec: all parallelism \
+                     must go through the deterministic executor \
+                     (par_for/par_map_chunks/overlap)"
+                ),
+            );
+        }
+
+        // D4: float reductions.
+        if !in_tensor && (name == "sum" || name == "fold") && i >= 1 && toks[i - 1].is_punct('.') {
+            if let Some(ev) = float_reduction_evidence(&toks, i) {
+                push(
+                    "D4",
+                    t,
+                    format!(
+                        "float `.{name}(…)` reduction outside lazydp_tensor \
+                         ({ev}): route through lazydp_tensor's pinned \
+                         accumulation primitives (vecops/dot_tree) so the \
+                         accumulation order stays fixed, or allowlist with \
+                         justification"
+                    ),
+                );
+            }
+        }
+
+        // P1: gradient-bearing debug output.
+        if let Some(mac) = FORMAT_MACROS.iter().find(|m| **m == name) {
+            if i + 1 < toks.len() && toks[i + 1].is_punct('!') {
+                if *mac == "dbg" {
+                    push(
+                        "P1",
+                        t,
+                        "`dbg!` in non-test code: debug output must never \
+                         ship; remove it"
+                            .to_string(),
+                    );
+                } else if let Some(arg) = sensitive_macro_arg(&toks, i + 2) {
+                    push(
+                        "P1",
+                        t,
+                        format!(
+                            "`{name}!` formats gradient-bearing value \
+                             `{arg}` in non-test code: raw per-example \
+                             gradients/norms must not leak into logs; only \
+                             released (post clip->noise) values may be \
+                             printed — allowlist those with justification"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // P2: foreign randomness.
+        if !in_rng {
+            if ENTROPY_IDENTS.contains(&name) {
+                push(
+                    "P2",
+                    t,
+                    format!(
+                        "`{name}` outside lazydp_rng: noise must come from \
+                         the owned, replayable GaussianSampler/CounterRng \
+                         streams, never ambient entropy"
+                    ),
+                );
+            } else if name == "rand"
+                && i + 2 < toks.len()
+                && toks[i + 1].is_punct(':')
+                && toks[i + 2].is_punct(':')
+            {
+                push(
+                    "P2",
+                    t,
+                    "direct `rand::` path outside lazydp_rng: sample through \
+                     lazydp_rng's owned streams instead"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    // D5: crate roots must forbid unsafe code (checked on the whole
+    // token stream — attribute position does not matter lexically).
+    if is_crate_root(rel_path) && !has_forbid_unsafe(&toks) {
+        out.push(Violation {
+            rule: "D5",
+            path: rel_path.to_string(),
+            line: 1,
+            col: 1,
+            snippet: snippet(1),
+            message: "crate root is missing `#![forbid(unsafe_code)]`: every \
+                      crate in the workspace forbids unsafe code"
+                .to_string(),
+        });
+    }
+
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+const FORMAT_MACROS: &[&str] = &[
+    "println", "eprintln", "print", "eprint", "format", "write", "writeln", "dbg",
+];
+
+const ENTROPY_IDENTS: &[&str] = &[
+    "thread_rng",
+    "ThreadRng",
+    "from_entropy",
+    "from_os_rng",
+    "OsRng",
+    "StdRng",
+    "SmallRng",
+    "getrandom",
+];
+
+/// Whether `rel_path` is a crate root (`src/lib.rs` of the facade or of
+/// any `crates/*` member).
+fn is_crate_root(rel_path: &str) -> bool {
+    rel_path == "src/lib.rs"
+        || (rel_path.starts_with("crates/")
+            && rel_path.ends_with("/src/lib.rs")
+            && rel_path.matches('/').count() == 3)
+}
+
+fn has_forbid_unsafe(toks: &[Token]) -> bool {
+    toks.windows(4).any(|w| {
+        w[0].is_ident("forbid")
+            && w[1].is_punct('(')
+            && w[2].is_ident("unsafe_code")
+            && w[3].is_punct(')')
+    })
+}
+
+/// D4's float-evidence heuristic: a `.sum`/`.fold` call is flagged when
+/// float-ness is lexically evident. Returns a short description of the
+/// evidence, or `None` if the reduction looks integral/unknowable.
+///
+/// Evidence, in order:
+/// 1. a `::<… f32/f64 …>` turbofish (an integral turbofish proves the
+///    opposite and suppresses the heuristic entirely),
+/// 2. a float literal or `f32`/`f64` identifier in the surrounding
+///    statement (bounded window delimited by `;`/`{`/`}`).
+///
+/// The heuristic can miss reductions whose float-ness only shows in a
+/// signature elsewhere (false negatives are acceptable; the rule is a
+/// ratchet, not a proof), but it never needs type inference.
+fn float_reduction_evidence(toks: &[Token], i: usize) -> Option<&'static str> {
+    // Turbofish after `.sum`/`.fold`.
+    if i + 3 < toks.len()
+        && toks[i + 1].is_punct(':')
+        && toks[i + 2].is_punct(':')
+        && toks[i + 3].is_punct('<')
+    {
+        let mut j = i + 4;
+        let mut depth = 1i32;
+        let mut float = false;
+        let mut integral = false;
+        while j < toks.len() && depth > 0 {
+            match &toks[j].kind {
+                TokenKind::Punct('<') => depth += 1,
+                TokenKind::Punct('>') => depth -= 1,
+                TokenKind::Ident => match toks[j].text.as_str() {
+                    "f32" | "f64" => float = true,
+                    "u8" | "u16" | "u32" | "u64" | "u128" | "usize" | "i8" | "i16" | "i32"
+                    | "i64" | "i128" | "isize" => integral = true,
+                    _ => {}
+                },
+                _ => {}
+            }
+            j += 1;
+        }
+        if float {
+            return Some("f32/f64 turbofish");
+        }
+        if integral {
+            return None; // provably integral
+        }
+    }
+    // Statement window scan.
+    const WINDOW: usize = 64;
+    let start = (0..i)
+        .rev()
+        .take(WINDOW)
+        .find(|&j| matches!(toks[j].kind, TokenKind::Punct(';' | '{' | '}')))
+        .map_or(i.saturating_sub(WINDOW), |j| j + 1);
+    let end = (i..toks.len())
+        .take(WINDOW)
+        .find(|&j| matches!(toks[j].kind, TokenKind::Punct(';' | '{' | '}')))
+        .unwrap_or((i + WINDOW).min(toks.len()));
+    for t in &toks[start..end] {
+        match &t.kind {
+            TokenKind::Float => return Some("float literal in statement"),
+            TokenKind::Ident if t.text == "f32" || t.text == "f64" => {
+                return Some("f32/f64 in statement")
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// If the macro argument list opening at token `open_paren_idx` mentions
+/// a gradient-bearing identifier, returns that identifier.
+fn sensitive_macro_arg(toks: &[Token], open_paren_idx: usize) -> Option<String> {
+    let open = toks.get(open_paren_idx)?;
+    let close = match open.kind {
+        TokenKind::Punct('(') => ')',
+        TokenKind::Punct('[') => ']',
+        TokenKind::Punct('{') => '}',
+        _ => return None,
+    };
+    let open_c = match open.kind {
+        TokenKind::Punct(c) => c,
+        _ => unreachable!(),
+    };
+    let mut depth = 0i32;
+    for t in &toks[open_paren_idx..] {
+        match t.kind {
+            TokenKind::Punct(c) if c == open_c => depth += 1,
+            TokenKind::Punct(c) if c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenKind::Ident => {
+                let lower = t.text.to_lowercase();
+                if t.text == "SparseGrad" || lower.contains("grad") || lower.contains("norm") {
+                    return Some(t.text.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_region_detection_skips_cfg_test_mods() {
+        let src = "fn real() { let m: HashMap<u8,u8> = x(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { let s: HashSet<u8> = y(); }\n}\n";
+        let v = check_source("crates/model/src/fake.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "D1");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_code() {
+        let src = "#[cfg(not(test))]\nfn real() { let m: HashMap<u8,u8> = x(); }\n";
+        let v = check_source("crates/model/src/fake.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn rule_table_ids_are_unique() {
+        let mut ids: Vec<_> = RULES.iter().map(|r| r.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), RULES.len());
+        assert!(rule_known("D1") && rule_known("P2") && !rule_known("Z9"));
+    }
+}

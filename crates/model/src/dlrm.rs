@@ -81,9 +81,11 @@ impl DlrmGrads {
     /// Total squared L2 norm across all tensors.
     #[must_use]
     pub fn norm_sq(&self) -> f64 {
-        self.bottom.norm_sq()
-            + self.top.norm_sq()
-            + self.tables.iter().map(SparseGrad::norm_sq).sum::<f64>()
+        let mut total = self.bottom.norm_sq() + self.top.norm_sq();
+        for t in &self.tables {
+            total += t.norm_sq();
+        }
+        total
     }
 
     /// Total L2 norm.

@@ -46,12 +46,12 @@ pub fn auc(labels: &[f32], scores: &[f32]) -> f64 {
         }
         i = j + 1;
     }
-    let rank_sum_pos: f64 = labels
-        .iter()
-        .zip(ranks.iter())
-        .filter(|(&y, _)| y >= 0.5)
-        .map(|(_, &r)| r)
-        .sum();
+    let mut rank_sum_pos = 0.0f64;
+    for (&y, &r) in labels.iter().zip(ranks.iter()) {
+        if y >= 0.5 {
+            rank_sum_pos += r;
+        }
+    }
     let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
     u / (n_pos as f64 * n_neg as f64)
 }
@@ -67,16 +67,13 @@ pub fn log_loss(labels: &[f32], probs: &[f32]) -> f64 {
     assert_eq!(labels.len(), probs.len(), "label/prob length mismatch");
     assert!(!labels.is_empty(), "empty evaluation set");
     let eps = 1e-7f64;
-    labels
-        .iter()
-        .zip(probs.iter())
-        .map(|(&y, &p)| {
-            let p = f64::from(p).clamp(eps, 1.0 - eps);
-            let y = f64::from(y);
-            -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
-        })
-        .sum::<f64>()
-        / labels.len() as f64
+    let mut loss = 0.0f64;
+    for (&y, &p) in labels.iter().zip(probs.iter()) {
+        let p = f64::from(p).clamp(eps, 1.0 - eps);
+        let y = f64::from(y);
+        loss += -(y * p.ln() + (1.0 - y) * (1.0 - p).ln());
+    }
+    loss / labels.len() as f64
 }
 
 /// Calibration ratio: mean predicted probability / empirical click rate.
@@ -89,8 +86,16 @@ pub fn log_loss(labels: &[f32], probs: &[f32]) -> f64 {
 pub fn calibration(labels: &[f32], probs: &[f32]) -> f64 {
     assert_eq!(labels.len(), probs.len(), "label/prob length mismatch");
     assert!(!labels.is_empty(), "empty evaluation set");
-    let mean_pred = probs.iter().map(|&p| f64::from(p)).sum::<f64>() / probs.len() as f64;
-    let ctr = labels.iter().map(|&y| f64::from(y)).sum::<f64>() / labels.len() as f64;
+    let mut pred_total = 0.0f64;
+    for &p in probs {
+        pred_total += f64::from(p);
+    }
+    let mean_pred = pred_total / probs.len() as f64;
+    let mut label_total = 0.0f64;
+    for &y in labels {
+        label_total += f64::from(y);
+    }
+    let ctr = label_total / labels.len() as f64;
     assert!(ctr > 0.0, "no positive labels — calibration undefined");
     mean_pred / ctr
 }

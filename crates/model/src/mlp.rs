@@ -75,12 +75,7 @@ impl LayerGrad {
     /// Squared L2 norm of the layer gradient.
     #[must_use]
     pub fn norm_sq(&self) -> f64 {
-        self.dw.frob_norm_sq()
-            + self
-                .db
-                .iter()
-                .map(|&x| f64::from(x) * f64::from(x))
-                .sum::<f64>()
+        self.dw.frob_norm_sq() + lazydp_tensor::vecops::norm_sq(&self.db)
     }
 
     /// In-place `self += alpha * other`.

@@ -15,9 +15,16 @@ pub fn mean_var(xs: &[f64]) -> (f64, f64) {
         return (0.0, 0.0);
     }
     let n = xs.len() as f64;
-    let mean = xs.iter().sum::<f64>() / n;
-    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-    (mean, var)
+    let mut total = 0.0f64;
+    for &x in xs {
+        total += x;
+    }
+    let mean = total / n;
+    let mut sq = 0.0f64;
+    for &x in xs {
+        sq += (x - mean) * (x - mean);
+    }
+    (mean, sq / n)
 }
 
 /// Sample skewness (third standardized moment). Zero for symmetric data.
@@ -28,8 +35,11 @@ pub fn skewness(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let n = xs.len() as f64;
-    let m3 = xs.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / n;
-    m3 / var.powf(1.5)
+    let mut m3 = 0.0f64;
+    for &x in xs {
+        m3 += (x - mean).powi(3);
+    }
+    m3 / n / var.powf(1.5)
 }
 
 /// Excess kurtosis (fourth standardized moment minus 3). Zero for a
@@ -41,8 +51,11 @@ pub fn excess_kurtosis(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let n = xs.len() as f64;
-    let m4 = xs.iter().map(|x| (x - mean).powi(4)).sum::<f64>() / n;
-    m4 / (var * var) - 3.0
+    let mut m4 = 0.0f64;
+    for &x in xs {
+        m4 += (x - mean).powi(4);
+    }
+    m4 / n / (var * var) - 3.0
 }
 
 /// The error function `erf(x)`, via the Abramowitz & Stegun 7.1.26

@@ -60,9 +60,11 @@ pub fn poisson_sample<R: Prng>(rng: &mut R, n: usize, q: f64) -> Vec<usize> {
 /// Panics if `k > n`.
 pub fn sample_without_replacement<R: Prng>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
     assert!(k <= n, "cannot sample {k} distinct items from {n}");
-    // Sparse Fisher-Yates via a swap map: O(k) memory.
-    use std::collections::HashMap;
-    let mut swaps: HashMap<usize, usize> = HashMap::with_capacity(k * 2);
+    // Sparse Fisher-Yates via a swap map: O(k) memory. A BTreeMap keeps
+    // the routine free of unordered containers (it is point-lookup only,
+    // but the determinism contract bans HashMap outright).
+    use std::collections::BTreeMap;
+    let mut swaps: BTreeMap<usize, usize> = BTreeMap::new();
     let mut out = Vec::with_capacity(k);
     for i in 0..k {
         let j = i + rng.next_below((n - i) as u64) as usize;

@@ -137,12 +137,12 @@ impl Workload {
 /// sweeps over the 26 Criteo tables re-solve identical instances many
 /// times.
 fn cached_zipf_exponent(rows: u64, fraction: f64, mass: f64) -> f64 {
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
     use std::sync::{Mutex, OnceLock};
-    type ZipfCache = Mutex<HashMap<(u64, u64, u64), f64>>;
+    type ZipfCache = Mutex<BTreeMap<(u64, u64, u64), f64>>;
     static CACHE: OnceLock<ZipfCache> = OnceLock::new();
     let key = (rows, fraction.to_bits(), mass.to_bits());
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
     if let Some(&v) = cache.lock().expect("cache lock").get(&key) {
         return v;
     }

@@ -82,12 +82,10 @@ fn main() {
     o2.finalize_model(&mut m2);
 
     // --- equality + budget report ----------------------------------------
-    let max_diff = m_ref
-        .tables
-        .iter()
-        .zip(m2.tables.iter())
-        .map(|(a, b)| a.max_abs_diff(b))
-        .fold(0.0f32, f32::max);
+    let mut max_diff = 0.0f32;
+    for (a, b) in m_ref.tables.iter().zip(m2.tables.iter()) {
+        max_diff = max_diff.max(a.max_abs_diff(b));
+    }
     println!("\nresumed-vs-uninterrupted max |Δweight| = {max_diff:.2e}");
     assert!(max_diff < 1e-6, "resume must be exact");
 

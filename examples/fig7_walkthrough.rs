@@ -111,11 +111,7 @@ fn main() {
     // Final release: LazyDP flushes pending noise and must match eager.
     lazy.finalize_model(&mut lazy_m);
     let (e, l) = (row_of(&eager_m), row_of(&lazy_m));
-    let max_diff = e
-        .iter()
-        .zip(l.iter())
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f32, f32::max);
+    let max_diff = lazydp::tensor::vecops::max_abs_diff(&e, &l);
     println!(
         "\nafter finalize: DP-SGD row {} vs LazyDP row {}",
         fmt(&e),

@@ -20,7 +20,7 @@ use lazydp::model::{Dlrm, DlrmConfig};
 use lazydp::privacy::RdpAccountant;
 use lazydp::rng::counter::CounterNoise;
 use lazydp::rng::Xoshiro256PlusPlus;
-use std::time::Instant;
+use lazydp_bench::timer::Stopwatch;
 
 const BATCH: usize = 64;
 const STEPS: usize = 30;
@@ -52,7 +52,7 @@ fn main() {
     let mut sgd_model = fresh_model();
     let mut sgd = SgdOptimizer::new(0.05);
     let before = sgd_model.loss(&eval);
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let mut loader = LookaheadLoader::new(FixedBatchLoader::new(ds.clone(), BATCH));
     for _ in 0..STEPS {
         let (cur, _) = loader.advance();
@@ -71,7 +71,7 @@ fn main() {
     // --- eager DP-SGD(F) --------------------------------------------------
     let mut f_model = fresh_model();
     let mut dpf = EagerDpSgd::new(dp, ClipStyle::Fast, CounterNoise::new(3));
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let mut loader = LookaheadLoader::new(FixedBatchLoader::new(ds.clone(), BATCH));
     for _ in 0..STEPS {
         let (cur, _) = loader.advance();
@@ -91,7 +91,7 @@ fn main() {
     let mut l_model = fresh_model();
     let cfg = LazyDpConfig::new(dp, true);
     let mut lazy = LazyDpOptimizer::new(cfg, &l_model, CounterNoise::new(3));
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let mut loader = LookaheadLoader::new(FixedBatchLoader::new(ds, BATCH));
     for _ in 0..STEPS {
         let (cur, next) = loader.advance();

@@ -63,12 +63,10 @@ fn main() {
         released.len()
     );
     for (label, m) in &released {
-        let diff = base
-            .tables
-            .iter()
-            .zip(m.tables.iter())
-            .map(|(a, b)| a.max_abs_diff(b))
-            .fold(0.0f32, f32::max);
+        let mut diff = 0.0f32;
+        for (a, b) in base.tables.iter().zip(m.tables.iter()) {
+            diff = diff.max(a.max_abs_diff(b));
+        }
         println!("  {label}: max |Δ| vs {base_label} = {diff}");
         assert_eq!(diff, 0.0, "configurations must be bitwise identical");
     }

@@ -20,7 +20,7 @@ use lazydp::lazy::TerabyteLazyEmbedding;
 use lazydp::model::config::CRITEO_TB_CAPPED_ROWS;
 use lazydp::rng::counter::CounterNoise;
 use lazydp::rng::Xoshiro256PlusPlus;
-use std::time::Instant;
+use lazydp_bench::timer::Stopwatch;
 
 const DIM: usize = 128;
 const BATCH: usize = 2048;
@@ -31,7 +31,7 @@ fn main() {
     let mut rng = Xoshiro256PlusPlus::seed_from(1);
 
     println!("building 26 virtual Criteo tables (logical 96 GB) + HistoryTables…");
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let mut tables: Vec<TerabyteLazyEmbedding<CounterNoise>> = CRITEO_TB_CAPPED_ROWS
         .iter()
         .enumerate()
@@ -61,7 +61,7 @@ fn main() {
         dists.iter().map(|d| d.sample_many(rng, BATCH)).collect()
     };
     let mut cur = draw_batch(&mut rng);
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     for _ in 0..STEPS {
         let next = draw_batch(&mut rng);
         for (t, table) in tables.iter_mut().enumerate() {
@@ -115,11 +115,7 @@ fn main() {
     println!("\nrow-level release (flush_row): row 12345 of table 0");
     println!(
         "  pending-noise settled: value moved by {:.2e}",
-        before
-            .iter()
-            .zip(after.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max)
+        lazydp::tensor::vecops::max_abs_diff(&before, &after)
     );
     println!("\n✔ the paper's thesis, executed: private training cost tracks the batch,");
     println!("  not the table — 96 GB of logical model, megabytes of physical state.");
