@@ -635,6 +635,10 @@ pub fn experiment_ids() -> Vec<(&'static str, &'static str)> {
             "kernels",
             "kernel layer: blocked-GEMM GFLOP/s, single-pass Gaussian samples/s, step before/after",
         ),
+        (
+            "roofline",
+            "roofline: forward/backward/fused-clipped GFLOP/s vs measured FMA peak",
+        ),
     ]
 }
 
@@ -666,6 +670,7 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "sharding" => crate::sharding::shard_scaling(),
         "storage" => crate::storage::storage_sweep(),
         "kernels" => crate::kernels::kernel_throughput(),
+        "roofline" => crate::roofline::roofline(),
         _ => return None,
     })
 }

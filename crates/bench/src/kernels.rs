@@ -6,6 +6,11 @@
 //!   loop structure), on small and medium DLRM-shaped products. The
 //!   two implementations are bitwise identical (see
 //!   `lazydp_tensor::gemm`), so the speedup column is pure wall-clock.
+//! * **DP backward** — the fused ghost-clipping backward (one chain:
+//!   ghost norms + clip + clipped aggregate, clip factors applied in
+//!   the weight-grad GEMM epilogue) versus the two-pass
+//!   ghost-norms-then-reweighted-backward it replaces. Bitwise
+//!   identical outputs; 2 GEMMs per layer instead of 3.
 //! * **Gaussian sampling** — single-pass `GaussianSampler::fill`
 //!   (affine folded into the Box–Muller conversion, batched uniforms)
 //!   versus the historical two-pass fill-then-scale sweep.
@@ -21,7 +26,7 @@ use crate::table::Table;
 use lazydp_core::{LazyDpConfig, LazyDpOptimizer};
 use lazydp_data::{AccessDistribution, MiniBatch, SyntheticConfig, SyntheticDataset};
 use lazydp_dpsgd::{DpConfig, Optimizer};
-use lazydp_model::{Dlrm, DlrmConfig};
+use lazydp_model::{Dlrm, DlrmConfig, Mlp, MlpGrads};
 use lazydp_rng::counter::CounterNoise;
 use lazydp_rng::{fill_standard_normal, GaussianSampler, Xoshiro256PlusPlus};
 use lazydp_tensor::{set_gemm_mode, GemmMode, Matrix};
@@ -212,6 +217,83 @@ pub fn kernel_throughput() -> Table {
         ]);
     }
 
+    // DP backward: two-pass ghost-norms + reweighted backward versus
+    // the fused clipped backward (bitwise-identical outputs; the fused
+    // pass runs 2 GEMMs per layer instead of 3 by reusing the ghost
+    // chain's activation gradients).
+    let (dp_shapes, dp_reps) = if cfg!(debug_assertions) {
+        (
+            vec![
+                ("small", 8usize, 16usize, vec![16usize, 1]),
+                ("medium", 12, 24, vec![24, 1]),
+            ],
+            2usize,
+        )
+    } else {
+        (
+            // Same DLRM MLP scales as the GEMM sweep: small ≈ the
+            // bottom MLP at batch 64, medium ≈ the top MLP at batch 256.
+            vec![
+                ("small", 64, 128, vec![128, 64, 1]),
+                ("medium", 256, 512, vec![512, 256, 1]),
+            ],
+            15usize,
+        )
+    };
+    for (label, batch, in_dim, widths) in dp_shapes {
+        let mut rng = Xoshiro256PlusPlus::seed_from(31);
+        let mlp = Mlp::new(in_dim, &widths, &mut rng);
+        let x = bench_matrix(batch, in_dim, 9);
+        let cache = mlp.forward(&x);
+        let g = bench_matrix(batch, *widths.last().expect("non-empty widths"), 10);
+        let clip = |n: &[f64], w: &mut Vec<f32>| {
+            w.clear();
+            w.extend(n.iter().map(|&v| {
+                let l2 = v.sqrt();
+                if l2 <= 1.0 {
+                    1.0
+                } else {
+                    (1.0 / l2) as f32
+                }
+            }));
+        };
+        let mut grads = MlpGrads::default();
+        let mut grad_in = Matrix::zeros(0, 0);
+        let mut arena = lazydp_tensor::ScratchArena::new();
+        let mut nbuf = Vec::new();
+        let mut wbuf = Vec::new();
+        let t_two = time_per_call(dp_reps, || {
+            mlp.backward_ghost_norms_into(&cache, &g, &mut nbuf, &mut grad_in, &mut arena);
+            clip(&nbuf, &mut wbuf);
+            mlp.backward_weighted_into(&cache, &g, &wbuf, &mut grads, &mut grad_in, &mut arena);
+        });
+        let mut dz = Vec::new();
+        let t_fused = time_per_call(dp_reps, || {
+            mlp.backward_clipped_into(
+                &cache,
+                &g,
+                clip,
+                &mut grads,
+                &mut grad_in,
+                &mut dz,
+                &mut arena,
+            );
+        });
+        let widths_str = widths
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("-");
+        t.push_row(vec![
+            "dp_backward".into(),
+            format!("{label} batch {batch}, MLP {in_dim}-{widths_str}"),
+            format!("{:.3}", t_two * 1e3),
+            format!("{:.3}", t_fused * 1e3),
+            format!("{:.2}x", t_two / t_fused),
+            "ms/pass".into(),
+        ]);
+    }
+
     // Gaussian fill: two-pass reference vs the single-pass kernel.
     let sampler = GaussianSampler::new(0.5, 0.3);
     let mut buf = vec![0.0f32; fill_len];
@@ -269,15 +351,18 @@ mod tests {
     #[test]
     fn kernels_experiment_renders_with_sane_numbers() {
         let t = kernel_throughput();
-        assert!(t.rows.len() >= 8, "expected GEMM + fill + step rows");
+        assert!(
+            t.rows.len() >= 10,
+            "expected GEMM + DP-backward + fill + step rows"
+        );
         for row in &t.rows {
             let before: f64 = row[2].parse().expect("numeric before");
             let after: f64 = row[3].parse().expect("numeric after");
             assert!(before > 0.0 && after > 0.0, "{row:?}");
             assert!(row[4].ends_with('x'), "{row:?}");
         }
-        // Every GEMM variant appears at both shapes.
-        for kernel in ["matmul", "t_matmul", "matmul_t"] {
+        // Every GEMM variant and the DP backward appear at both shapes.
+        for kernel in ["matmul", "t_matmul", "matmul_t", "dp_backward"] {
             assert_eq!(t.rows.iter().filter(|r| r[0] == kernel).count(), 2);
         }
     }

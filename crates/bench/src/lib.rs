@@ -38,6 +38,7 @@ pub mod ablation;
 pub mod experiments;
 pub mod kernels;
 pub mod leak;
+pub mod roofline;
 pub mod scaling;
 pub mod sharding;
 pub mod storage;

@@ -142,7 +142,6 @@ struct StepScratch {
     grads: DlrmGrads,
     logit_g: Vec<f32>,
     norms: Vec<f64>,
-    weights: Vec<f32>,
     /// Deduped next-batch rows, one list per table.
     targets: Vec<Vec<u64>>,
     /// Phase-1 noise-plan entries (sequential flush path).
@@ -296,23 +295,31 @@ impl<N: RowNoise + Clone + Send + Sync> LazyDpOptimizer<N> {
         counters.rows_gathered += batch.total_lookups() as u64;
         Dlrm::logit_grads_into(&scratch.cache, &batch.labels, false, &mut scratch.logit_g);
         let c = dp.max_grad_norm;
-        model.per_example_grad_norms_with(
-            &scratch.cache,
-            batch,
-            &scratch.logit_g,
-            &mut scratch.norms,
-            &mut scratch.model_scratch,
-        );
-        clip_weights_into(&scratch.norms, c, &mut scratch.weights);
         let StepScratch {
             cache,
             model_scratch,
             grads,
             logit_g,
-            weights,
+            norms,
             ..
         } = scratch;
-        model.backward_with(cache, batch, logit_g, Some(weights), grads, model_scratch);
+        // Fused ghost-clipping backward: ghost norms, clip factors, and
+        // the clipped aggregate in one gradient chain — bitwise
+        // identical to the old norms-then-reweighted-backward pair. The
+        // norms are copied out of the closure so the clipped fraction
+        // can be reported without re-deriving them.
+        model.backward_clipped_with(
+            cache,
+            batch,
+            logit_g,
+            |n, w| {
+                norms.clear();
+                norms.extend_from_slice(n);
+                clip_weights_into(n, c, w);
+            },
+            grads,
+            model_scratch,
+        );
         clipped_fraction(&scratch.norms, c)
     }
 

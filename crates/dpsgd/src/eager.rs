@@ -94,9 +94,14 @@ impl<N: RowNoise + Clone + Send + Sync> EagerDpSgd<N> {
         let c = self.cfg.max_grad_norm;
         match self.style {
             ClipStyle::Fast => {
-                let norms = model.per_example_grad_norms(&cache, batch, &gl);
-                let w = clip_weights(&norms, c);
-                let grads = model.backward(&cache, batch, &gl, Some(&w));
+                // Fused ghost-clipping backward: one gradient chain
+                // yields the ghost norms and the clipped aggregate
+                // (bitwise-identical to norms-then-reweighted-backward).
+                let mut norms = Vec::new();
+                let grads = model.backward_clipped(&cache, batch, &gl, |n, w| {
+                    norms.extend_from_slice(n);
+                    *w = clip_weights(n, c);
+                });
                 (grads, clipped_fraction(&norms, c))
             }
             ClipStyle::Reweighted => {

@@ -75,10 +75,14 @@ impl<N: RowNoise> Optimizer for EanaOptimizer<N> {
         let cache = model.forward(batch);
         self.counters.rows_gathered += batch.total_lookups() as u64;
         let gl = Dlrm::logit_grads(&cache, &batch.labels, false);
-        let norms = model.per_example_grad_norms(&cache, batch, &gl);
         let c = self.cfg.max_grad_norm;
-        let w = clip_weights(&norms, c);
-        let mut grads = model.backward(&cache, batch, &gl, Some(&w));
+        // Fused ghost-clipping backward (same single-chain pass as the
+        // eager DP-SGD(F) baseline and the LazyDP step).
+        let mut norms = Vec::new();
+        let mut grads = model.backward_clipped(&cache, batch, &gl, |n, w| {
+            norms.extend_from_slice(n);
+            *w = clip_weights(n, c);
+        });
         grads.scale(1.0 / self.cfg.nominal_batch as f32);
         self.counters.duplicates_removed += grads.coalesce() as u64;
         let std = self.cfg.noise_std_per_coord();

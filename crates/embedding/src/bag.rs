@@ -207,6 +207,50 @@ impl EmbeddingBag {
         }
     }
 
+    /// Weighted backward: like [`backward_into`](Self::backward_into)
+    /// but multiplies example `i`'s contribution by `w[i]` — the sparse
+    /// half of the clipped-aggregate backward, fed the *unscaled*
+    /// gradient chain so the clip factor applies exactly once, at the
+    /// gradient-entry write (`entry = scale · (w_i · δ_i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_out` has the wrong shape or
+    /// `w.len() != batch.batch_size()`.
+    pub fn backward_weighted_into(
+        &self,
+        grad_out: &Matrix,
+        batch: &BagIndices,
+        w: &[f32],
+        dim: usize,
+        grad: &mut SparseGrad,
+    ) {
+        assert_eq!(
+            grad_out.shape(),
+            (batch.batch_size(), dim),
+            "grad_out shape mismatch"
+        );
+        assert_eq!(w.len(), batch.batch_size(), "one weight per example");
+        grad.reset(dim);
+        for (i, &wi) in w.iter().enumerate() {
+            let idxs = batch.sample(i);
+            if idxs.is_empty() {
+                continue;
+            }
+            let g = grad_out.row(i);
+            let scale = match self.pooling {
+                Pooling::Sum => 1.0,
+                Pooling::Mean => 1.0 / idxs.len() as f32,
+            };
+            for &idx in idxs {
+                let entry = grad.push_zeros(idx);
+                for (e, &gv) in entry.iter_mut().zip(g.iter()) {
+                    *e = scale * (wi * gv);
+                }
+            }
+        }
+    }
+
     /// Per-example squared gradient norm of this bag's weights, without
     /// materializing per-example gradients — the embedding half of the
     /// DP-SGD(F) *ghost norm* trick (paper §2.5, Denison et al.).

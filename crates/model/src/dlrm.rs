@@ -64,6 +64,11 @@ pub struct DlrmScratch {
     arena: ScratchArena,
     /// Sorted-run scratch for the embedding ghost norms.
     bag_idx: Vec<u64>,
+    /// Per-layer top-MLP activation gradients stashed between the two
+    /// phases of the fused clipped backward.
+    top_dz: Vec<Matrix>,
+    /// Same for the bottom MLP.
+    bottom_dz: Vec<Matrix>,
 }
 
 /// Gradients of every trainable tensor in the model.
@@ -409,12 +414,6 @@ impl<T: EmbeddingStorage> Dlrm<T> {
         let b = batch.batch_size();
         assert_eq!(grad_logits.len(), b, "one logit grad per example");
         scratch.g.assign_from_slice(b, 1, grad_logits);
-        if let Some(w) = weights {
-            assert_eq!(w.len(), b, "one weight per example");
-            for (i, &wi) in w.iter().enumerate() {
-                scratch.g.row_mut(i)[0] *= wi;
-            }
-        }
         if grads.tables.len() != self.tables.len() {
             grads.tables = self
                 .tables
@@ -422,11 +421,119 @@ impl<T: EmbeddingStorage> Dlrm<T> {
                 .map(|t| SparseGrad::new(t.dim()))
                 .collect();
         }
-        self.top.backward_into(
+        // The weighted path propagates the *unscaled* gradient chain
+        // (identical bits to the ghost-norm chain) and applies the
+        // per-example weights only at the parameter-gradient sites —
+        // the arrangement under which the fused clipped backward is
+        // bitwise-identical to this two-pass path.
+        if let Some(w) = weights {
+            assert_eq!(w.len(), b, "one weight per example");
+            self.top.backward_weighted_into(
+                &cache.top,
+                &scratch.g,
+                w,
+                &mut grads.top,
+                &mut scratch.grad_top_in,
+                &mut scratch.arena,
+            );
+        } else {
+            self.top.backward_into(
+                &cache.top,
+                &scratch.g,
+                &mut grads.top,
+                &mut scratch.grad_top_in,
+                &mut scratch.arena,
+            );
+        }
+        interaction_backward_into(
+            self.config.interaction,
+            &cache.inter_inputs,
+            &scratch.grad_top_in,
+            &mut scratch.inter_grads,
+        );
+        if let Some(w) = weights {
+            self.bottom.backward_weighted_into(
+                &cache.bottom,
+                &scratch.inter_grads[0],
+                w,
+                &mut grads.bottom,
+                &mut scratch.grad_x,
+                &mut scratch.arena,
+            );
+            for t in 0..self.tables.len() {
+                self.bags[t].backward_weighted_into(
+                    &scratch.inter_grads[t + 1],
+                    &batch.sparse[t],
+                    w,
+                    self.config.embedding_dim,
+                    &mut grads.tables[t],
+                );
+            }
+        } else {
+            self.bottom.backward_into(
+                &cache.bottom,
+                &scratch.inter_grads[0],
+                &mut grads.bottom,
+                &mut scratch.grad_x,
+                &mut scratch.arena,
+            );
+            for t in 0..self.tables.len() {
+                self.bags[t].backward_into(
+                    &scratch.inter_grads[t + 1],
+                    &batch.sparse[t],
+                    self.config.embedding_dim,
+                    &mut grads.tables[t],
+                );
+            }
+        }
+    }
+
+    /// Fused ghost-clipping backward over the whole model: one gradient
+    /// chain computes the per-example ghost norms (dense MLPs + sparse
+    /// bags, in the exact accumulation order of
+    /// [`per_example_grad_norms_with`](Self::per_example_grad_norms_with)),
+    /// `clip` turns them into per-example weights, and the clipped
+    /// aggregate gradients come from the cached per-layer activation
+    /// gradients with the weights applied inside the weight-grad GEMM
+    /// epilogue — the chain is never re-run, and per-example weight
+    /// gradients are never materialized.
+    ///
+    /// Bitwise-identical to `per_example_grad_norms_with` + `clip` +
+    /// `backward_with(Some(w))` (proptest-pinned), at two GEMMs per
+    /// dense layer instead of three.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree with the cached batch size.
+    pub fn backward_clipped_with(
+        &self,
+        cache: &DlrmCache,
+        batch: &MiniBatch,
+        grad_logits: &[f32],
+        clip: impl FnOnce(&[f64], &mut Vec<f32>),
+        grads: &mut DlrmGrads,
+        scratch: &mut DlrmScratch,
+    ) {
+        let b = batch.batch_size();
+        assert_eq!(grad_logits.len(), b, "one logit grad per example");
+        scratch.g.assign_from_slice(b, 1, grad_logits);
+        if grads.tables.len() != self.tables.len() {
+            grads.tables = self
+                .tables
+                .iter()
+                .map(|t| SparseGrad::new(t.dim()))
+                .collect();
+        }
+        // Phase A: ghost-norm chain with per-layer dz stashing. The
+        // norm accumulation order (top layers, then bottom layers, then
+        // each bag) replicates per_example_grad_norms_with bit for bit.
+        let mut norms = scratch.arena.take_f64(0);
+        self.top.backward_ghost_norms_cached_into(
             &cache.top,
             &scratch.g,
-            &mut grads.top,
+            &mut norms,
             &mut scratch.grad_top_in,
+            &mut scratch.top_dz,
             &mut scratch.arena,
         );
         interaction_backward_into(
@@ -435,21 +542,81 @@ impl<T: EmbeddingStorage> Dlrm<T> {
             &scratch.grad_top_in,
             &mut scratch.inter_grads,
         );
-        self.bottom.backward_into(
+        let mut bottom_norms = scratch.arena.take_f64(0);
+        self.bottom.backward_ghost_norms_cached_into(
             &cache.bottom,
             &scratch.inter_grads[0],
-            &mut grads.bottom,
+            &mut bottom_norms,
             &mut scratch.grad_x,
+            &mut scratch.bottom_dz,
             &mut scratch.arena,
         );
+        for (n, bn) in norms.iter_mut().zip(bottom_norms.iter()) {
+            *n += bn;
+        }
+        let mut emb_norms = bottom_norms; // reuse the pooled buffer
         for t in 0..self.tables.len() {
-            self.bags[t].backward_into(
+            self.bags[t].per_example_norm_sq_into(
                 &scratch.inter_grads[t + 1],
                 &batch.sparse[t],
+                &mut emb_norms,
+                &mut scratch.bag_idx,
+            );
+            for (n, en) in norms.iter_mut().zip(emb_norms.iter()) {
+                *n += en;
+            }
+        }
+        scratch.arena.put_f64(emb_norms);
+        let mut w = scratch.arena.take_f32(0);
+        clip(&norms, &mut w);
+        // Phase B: clipped parameter gradients from the cached dz; the
+        // interaction gradients still hold Phase A's (unscaled) values,
+        // so the bag backward reads them directly.
+        self.top
+            .weighted_grads_from_cached(&cache.top, &scratch.top_dz, &w, &mut grads.top);
+        self.bottom.weighted_grads_from_cached(
+            &cache.bottom,
+            &scratch.bottom_dz,
+            &w,
+            &mut grads.bottom,
+        );
+        for t in 0..self.tables.len() {
+            self.bags[t].backward_weighted_into(
+                &scratch.inter_grads[t + 1],
+                &batch.sparse[t],
+                &w,
                 self.config.embedding_dim,
                 &mut grads.tables[t],
             );
         }
+        scratch.arena.put_f32(w);
+        scratch.arena.put_f64(norms);
+    }
+
+    /// [`backward_clipped_with`](Self::backward_clipped_with) allocating
+    /// its own outputs and scratch (tests and examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree with the cached batch size.
+    #[must_use]
+    pub fn backward_clipped(
+        &self,
+        cache: &DlrmCache,
+        batch: &MiniBatch,
+        grad_logits: &[f32],
+        clip: impl FnOnce(&[f64], &mut Vec<f32>),
+    ) -> DlrmGrads {
+        let mut grads = DlrmGrads::default();
+        self.backward_clipped_with(
+            cache,
+            batch,
+            grad_logits,
+            clip,
+            &mut grads,
+            &mut DlrmScratch::default(),
+        );
+        grads
     }
 
     /// Per-example gradient L2 norms via ghost norms (DP-SGD(F) style):
@@ -672,6 +839,39 @@ mod tests {
         model.top.layers_mut()[0].weight[(0, 0)] = orig;
         let fd = ((up - down) / (2.0 * f64::from(eps))) as f32;
         assert!((expect - fd).abs() < 1e-2, "top w grad {expect} vs {fd}");
+    }
+
+    fn clip_min_one(norms: &[f64], c: f64, w: &mut Vec<f32>) {
+        w.clear();
+        w.extend(norms.iter().map(|&n| {
+            let norm = n.sqrt();
+            if norm <= c {
+                1.0
+            } else {
+                (c / norm) as f32
+            }
+        }));
+    }
+
+    #[test]
+    fn fused_clipped_backward_matches_two_pass_bitwise() {
+        let (model, batch, _) = tiny_setup(6);
+        let cache = model.forward(&batch);
+        let gl = Dlrm::logit_grads(&cache, &batch.labels, true);
+        // Middle C clips some examples; tiny C clips all; huge C none.
+        for c in [1e-4f64, 0.05, 1e6] {
+            let norms = model.per_example_grad_norms(&cache, &batch, &gl);
+            let mut w = Vec::new();
+            clip_min_one(&norms, c, &mut w);
+            let two_pass = model.backward(&cache, &batch, &gl, Some(&w));
+            let mut seen = Vec::new();
+            let fused = model.backward_clipped(&cache, &batch, &gl, |n, out| {
+                seen = n.to_vec();
+                clip_min_one(n, c, out);
+            });
+            assert_eq!(seen, norms, "C={c}: fused ghost norms");
+            assert_eq!(two_pass, fused, "C={c}: clipped aggregate grads");
+        }
     }
 
     #[test]

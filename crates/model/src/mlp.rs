@@ -395,9 +395,18 @@ impl Mlp {
     }
 
     /// Reweighted backward pass (the second pass of DP-SGD(R)/(F)):
-    /// computes `Σ_i w_i · grad_i` in a single per-batch GEMM by scaling
-    /// each example's output gradient row by `w_i` — valid because the
-    /// backward graph is linear in the output gradient.
+    /// computes `Σ_i w_i · grad_i` by propagating the **unscaled**
+    /// gradient chain (identical bits to the ghost-norm chain) and
+    /// applying `w_i` only at the parameter-gradient reductions — the
+    /// weight-grad GEMM (`aᵀ · diag(w) · δ`, fused into the packed-B
+    /// epilogue) and the weighted bias column-sums. Valid because the
+    /// backward graph is linear in the output gradient, and the only
+    /// arrangement under which the fused clipped pass can be
+    /// bitwise-identical to this two-pass path.
+    ///
+    /// The returned input gradient is **unscaled** (per-example rows,
+    /// no `w_i` applied) — callers propagating it must apply weights at
+    /// their own parameter-gradient sites.
     ///
     /// # Panics
     ///
@@ -438,15 +447,162 @@ impl Mlp {
         arena: &mut ScratchArena,
     ) {
         assert_eq!(weights.len(), grad_out.rows(), "one weight per example");
-        let mut scaled = arena.take_matrix(0, 0);
-        scaled.copy_from(grad_out);
-        for (i, &w) in weights.iter().enumerate() {
-            for v in scaled.row_mut(i) {
-                *v *= w;
-            }
+        if grads.layers.len() != self.layers.len() {
+            *grads = MlpGrads::zeros_like(self);
         }
-        self.backward_into(cache, &scaled, grads, grad_in, arena);
-        arena.put_matrix(scaled);
+        let mut grad = arena.take_matrix(0, 0);
+        grad.copy_from(grad_out);
+        let mut next = arena.take_matrix(0, 0);
+        for (l, layer) in self.layers.iter().enumerate().rev() {
+            let a_out = &cache.activations[l + 1];
+            let a_in = &cache.activations[l];
+            layer.activation.backward_inplace(a_out, &mut grad); // grad is now dz
+            a_in.t_matmul_scaled_into(&grad, weights, &mut grads.layers[l].dw);
+            grad.weighted_col_sums_into(weights, &mut grads.layers[l].db);
+            grad.matmul_t_into(&layer.weight, &mut next);
+            std::mem::swap(&mut grad, &mut next);
+        }
+        std::mem::swap(grad_in, &mut grad);
+        arena.put_matrix(grad);
+        arena.put_matrix(next);
+    }
+
+    /// Ghost-norm backward that additionally stashes each layer's
+    /// post-activation gradient `δ` (dz) into `dz_cache` — the first
+    /// phase of the fused clipped backward. The chain, the norm
+    /// accumulation, and the returned input gradient are bit-identical
+    /// to [`backward_ghost_norms_into`](Self::backward_ghost_norms_into);
+    /// the stash costs two buffer swaps per layer, no copies.
+    pub fn backward_ghost_norms_cached_into(
+        &self,
+        cache: &MlpCache,
+        grad_out: &Matrix,
+        norms: &mut Vec<f64>,
+        grad_in: &mut Matrix,
+        dz_cache: &mut Vec<Matrix>,
+        arena: &mut ScratchArena,
+    ) {
+        let batch = grad_out.rows();
+        norms.clear();
+        norms.resize(batch, 0.0);
+        dz_cache.resize_with(self.layers.len(), || Matrix::zeros(0, 0));
+        let mut grad = arena.take_matrix(0, 0);
+        grad.copy_from(grad_out);
+        let mut next = arena.take_matrix(0, 0);
+        let mut a_norms = arena.take_f64(0);
+        let mut d_norms = arena.take_f64(0);
+        for (l, layer) in self.layers.iter().enumerate().rev() {
+            let a_out = &cache.activations[l + 1];
+            let a_in = &cache.activations[l];
+            layer.activation.backward_inplace(a_out, &mut grad); // grad is now dz
+            a_in.row_norms_sq_into(&mut a_norms);
+            grad.row_norms_sq_into(&mut d_norms);
+            for i in 0..batch {
+                // ‖a_i δ_iᵀ‖² = ‖a_i‖²·‖δ_i‖²; bias grad adds ‖δ_i‖².
+                norms[i] += a_norms[i] * d_norms[i] + d_norms[i];
+            }
+            grad.matmul_t_into(&layer.weight, &mut next);
+            // Stash dz without copying: park it in the cache slot, then
+            // continue the chain with the freshly propagated gradient.
+            // Whatever the slots previously held is fully overwritten by
+            // the next iteration's kernels.
+            std::mem::swap(&mut grad, &mut dz_cache[l]);
+            std::mem::swap(&mut grad, &mut next);
+        }
+        std::mem::swap(grad_in, &mut grad);
+        arena.put_f64(d_norms);
+        arena.put_f64(a_norms);
+        arena.put_matrix(grad);
+        arena.put_matrix(next);
+    }
+
+    /// Second phase of the fused clipped backward: parameter gradients
+    /// from the dz matrices stashed by
+    /// [`backward_ghost_norms_cached_into`](Self::backward_ghost_norms_cached_into),
+    /// with clip factors applied inside the weight-grad GEMM epilogue.
+    /// The per-layer GEMM inputs and kernels are exactly those of
+    /// [`backward_weighted_into`](Self::backward_weighted_into), so the
+    /// grads match that two-pass path bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dz_cache` doesn't hold one matrix per layer.
+    pub fn weighted_grads_from_cached(
+        &self,
+        cache: &MlpCache,
+        dz_cache: &[Matrix],
+        weights: &[f32],
+        grads: &mut MlpGrads,
+    ) {
+        assert_eq!(dz_cache.len(), self.layers.len(), "one dz per layer");
+        if grads.layers.len() != self.layers.len() {
+            *grads = MlpGrads::zeros_like(self);
+        }
+        for (l, _) in self.layers.iter().enumerate().rev() {
+            let a_in = &cache.activations[l];
+            a_in.t_matmul_scaled_into(&dz_cache[l], weights, &mut grads.layers[l].dw);
+            dz_cache[l].weighted_col_sums_into(weights, &mut grads.layers[l].db);
+        }
+    }
+
+    /// Fused ghost-clipping backward (ROADMAP item 1, after FlashDP):
+    /// one pass computes per-example ghost norms *and* the clipped
+    /// aggregate gradient, never materializing per-example weight
+    /// gradients and never re-running the gradient chain. `clip` maps
+    /// the per-example squared norms to per-example weights (e.g.
+    /// `min(1, C/‖g_i‖)`).
+    ///
+    /// Versus ghost-norms-then-weighted-backward this saves one full
+    /// activation-gradient chain — per layer, the 3-GEMM two-pass
+    /// backward (ghost `δ·Wᵀ` + weighted `aᵀ·diag(w)δ` + weighted
+    /// `δ·Wᵀ`) becomes 2 GEMMs — while producing **bit-identical**
+    /// gradients, norms, and input gradient (pinned by proptests).
+    #[must_use]
+    pub fn backward_clipped(
+        &self,
+        cache: &MlpCache,
+        grad_out: &Matrix,
+        clip: impl FnOnce(&[f64], &mut Vec<f32>),
+    ) -> (MlpGrads, Matrix) {
+        let mut grads = MlpGrads::default();
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_clipped_into(
+            cache,
+            grad_out,
+            clip,
+            &mut grads,
+            &mut grad_in,
+            &mut Vec::new(),
+            &mut ScratchArena::new(),
+        );
+        (grads, grad_in)
+    }
+
+    /// [`backward_clipped`](Self::backward_clipped) into caller-owned
+    /// buffers: `dz_cache` holds the per-layer activation gradients
+    /// between the two phases (resized on first use, reused after), the
+    /// arena supplies the norm and weight vectors — zero steady-state
+    /// allocation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_clipped_into(
+        &self,
+        cache: &MlpCache,
+        grad_out: &Matrix,
+        clip: impl FnOnce(&[f64], &mut Vec<f32>),
+        grads: &mut MlpGrads,
+        grad_in: &mut Matrix,
+        dz_cache: &mut Vec<Matrix>,
+        arena: &mut ScratchArena,
+    ) {
+        let mut norms = arena.take_f64(0);
+        self.backward_ghost_norms_cached_into(
+            cache, grad_out, &mut norms, grad_in, dz_cache, arena,
+        );
+        let mut weights = arena.take_f32(0);
+        clip(&norms, &mut weights);
+        self.weighted_grads_from_cached(cache, dz_cache, &weights, grads);
+        arena.put_f32(weights);
+        arena.put_f64(norms);
     }
 
     /// Materialized per-example gradients (DP-SGD(B), §2.4): one
@@ -687,6 +843,49 @@ mod tests {
         for (a, b) in wg.layers.iter().zip(expect.layers.iter()) {
             assert!(a.dw.max_abs_diff(&b.dw) < 1e-5);
         }
+    }
+
+    fn clip_min_one(norms: &[f64], c: f64, w: &mut Vec<f32>) {
+        w.clear();
+        w.extend(norms.iter().map(|&n| {
+            let norm = n.sqrt();
+            if norm <= c {
+                1.0
+            } else {
+                (c / norm) as f32
+            }
+        }));
+    }
+
+    #[test]
+    fn fused_clipped_backward_matches_two_pass_bitwise() {
+        let (mlp, x) = mlp_and_input(&[7, 4, 2]);
+        let cache = mlp.forward(&x);
+        let grad_out = Matrix::from_fn(4, 2, |i, j| ((i * 3 + 2 * j) as f32).sin());
+        // Middle C clips some examples; tiny C clips all; huge C none.
+        for c in [1e-3f64, 0.5, 1e6] {
+            let (norms, gi_two) = mlp.backward_ghost_norms(&cache, &grad_out);
+            let mut w = Vec::new();
+            clip_min_one(&norms, c, &mut w);
+            let (grads_two, _) = mlp.backward_weighted(&cache, &grad_out, &w);
+            let (grads_fused, gi_fused) =
+                mlp.backward_clipped(&cache, &grad_out, |n, w| clip_min_one(n, c, w));
+            assert_eq!(grads_two, grads_fused, "C={c}");
+            assert_eq!(gi_two, gi_fused, "C={c} input grad");
+        }
+    }
+
+    #[test]
+    fn weighted_backward_input_grad_is_unscaled() {
+        // Contract: backward_weighted_into propagates the unscaled
+        // chain, so its input gradient equals the plain backward's.
+        let (mlp, x) = mlp_and_input(&[5, 2]);
+        let cache = mlp.forward(&x);
+        let grad_out = Matrix::from_fn(4, 2, |i, j| (i as f32 - 0.4) * (j as f32 + 0.9));
+        let weights = [0.25f32, 1.0, 0.0, 1.75];
+        let (_, gi_weighted) = mlp.backward_weighted(&cache, &grad_out, &weights);
+        let (_, gi_plain) = mlp.backward(&cache, &grad_out);
+        assert_eq!(gi_weighted, gi_plain);
     }
 
     #[test]

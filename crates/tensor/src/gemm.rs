@@ -56,7 +56,7 @@ pub const DEFAULT_KC: usize = 256;
 
 /// `matmul_t` computes this many output columns (rows of B) per sweep of
 /// the shared `a` row, reusing each loaded `a` vector eight times.
-const NRT: usize = 8;
+pub(crate) const NRT: usize = 8;
 
 /// Rounds an executor chunk-row count up for the blocked drivers: a
 /// multiple of [`MR`] (so only the final block runs a narrow
@@ -85,21 +85,75 @@ pub enum GemmMode {
     Reference,
 }
 
+/// `GEMM_MODE` encoding: 0 = not yet resolved (first [`gemm_mode`] call
+/// reads `LAZYDP_GEMM`), 1 = [`GemmMode::Blocked`],
+/// 2 = [`GemmMode::Reference`].
 static GEMM_MODE: AtomicU8 = AtomicU8::new(0);
 
-/// Selects the kernel implementation process-wide. Safe to flip at any
-/// time: both modes are bitwise identical.
-pub fn set_gemm_mode(mode: GemmMode) {
-    GEMM_MODE.store(mode as u8, Ordering::Relaxed);
+fn encode_gemm_mode(mode: GemmMode) -> u8 {
+    match mode {
+        GemmMode::Blocked => 1,
+        GemmMode::Reference => 2,
+    }
 }
 
-/// The currently selected kernel implementation.
+/// Parses a `LAZYDP_GEMM` value (`"blocked"` or `"reference"`,
+/// case-insensitive, surrounding whitespace ignored). Anything else is
+/// `None` — unknown values fall back to the default rather than
+/// panicking, mirroring `LAZYDP_THREADS`.
+#[must_use]
+pub fn parse_gemm_mode(value: &str) -> Option<GemmMode> {
+    let v = value.trim();
+    if v.eq_ignore_ascii_case("blocked") {
+        Some(GemmMode::Blocked)
+    } else if v.eq_ignore_ascii_case("reference") {
+        Some(GemmMode::Reference)
+    } else {
+        None
+    }
+}
+
+/// Kernel implementation from the `LAZYDP_GEMM` environment variable
+/// (if set to a value [`parse_gemm_mode`] accepts) or the default.
+#[must_use]
+pub fn detect_gemm_mode() -> GemmMode {
+    std::env::var("LAZYDP_GEMM")
+        .ok()
+        .and_then(|v| parse_gemm_mode(&v))
+        .unwrap_or_default()
+}
+
+/// Selects the kernel implementation process-wide, overriding any
+/// `LAZYDP_GEMM` setting. Safe to flip at any time: both modes are
+/// bitwise identical.
+pub fn set_gemm_mode(mode: GemmMode) {
+    GEMM_MODE.store(encode_gemm_mode(mode), Ordering::Relaxed);
+}
+
+/// The currently selected kernel implementation. The first call
+/// resolves it from `LAZYDP_GEMM` (mirroring how `LAZYDP_THREADS`
+/// resolves the executor width); later calls return the cached (or
+/// [`set_gemm_mode`]-overridden) value.
 #[must_use]
 pub fn gemm_mode() -> GemmMode {
-    if GEMM_MODE.load(Ordering::Relaxed) == GemmMode::Reference as u8 {
-        GemmMode::Reference
-    } else {
-        GemmMode::Blocked
+    match GEMM_MODE.load(Ordering::Relaxed) {
+        1 => GemmMode::Blocked,
+        2 => GemmMode::Reference,
+        _ => {
+            let detected = detect_gemm_mode();
+            // compare_exchange so a concurrent set_gemm_mode is never
+            // clobbered by this lazy init.
+            match GEMM_MODE.compare_exchange(
+                0,
+                encode_gemm_mode(detected),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => detected,
+                Err(2) => GemmMode::Reference,
+                Err(_) => GemmMode::Blocked,
+            }
+        }
     }
 }
 
@@ -109,6 +163,10 @@ thread_local! {
     static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
     /// Per-thread packed-A block.
     static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread macro-tile accumulator (the 2-D driver computes each
+    /// output tile contiguously here, then copies it into the strided
+    /// output rows).
+    static TILE_C: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Hands `f` a 64-byte-aligned `len`-element scratch slice from `cell`,
@@ -125,17 +183,61 @@ fn with_pack_buf<R>(cell: &RefCell<Vec<f32>>, len: usize, f: impl FnOnce(&mut [f
     f(&mut v[off..off + len])
 }
 
-/// Packs rows `k0..k0+kx` of `b` into k-major [`NR`]-wide micro-panels:
-/// `out[jp*kx*NR + k*NR + jj] = b[k0+k][jp*NR+jj]` (zero-padded past the
-/// last column).
-fn pack_b_panel(b: &Matrix, k0: usize, kx: usize, out: &mut [f32]) {
-    let n = b.cols();
-    for jp in 0..n.div_ceil(NR) {
-        let j0 = jp * NR;
-        let nrw = NR.min(n - j0);
+/// Packs rows `k0..k0+kx` of `b`, columns `j_start..j_start+jw`, into
+/// k-major [`NR`]-wide micro-panels:
+/// `out[jp*kx*NR + k*NR + jj] = b[k0+k][j_start + jp*NR + jj]`
+/// (zero-padded past the last column). `j_start = 0, jw = b.cols()`
+/// packs the whole row range; the macro-tile driver packs narrower
+/// column slabs per tile.
+fn pack_b_panel_range(
+    b: &Matrix,
+    k0: usize,
+    kx: usize,
+    j_start: usize,
+    jw: usize,
+    out: &mut [f32],
+) {
+    for jp in 0..jw.div_ceil(NR) {
+        let j0 = j_start + jp * NR;
+        let nrw = NR.min(j_start + jw - j0);
         let dst_panel = &mut out[jp * kx * NR..(jp + 1) * kx * NR];
         for (k, dst) in dst_panel.chunks_exact_mut(NR).enumerate() {
             dst[..nrw].copy_from_slice(&b.row(k0 + k)[j0..j0 + nrw]);
+            for d in &mut dst[nrw..] {
+                *d = 0.0;
+            }
+        }
+    }
+}
+
+/// [`pack_b_panel_range`] with the fused clip epilogue folded into the
+/// packing: every packed element is pre-scaled by its contraction row's
+/// clip factor, `out[..] = w[k0+k] * b[k0+k][j]`. One extra `f32`
+/// multiply per packed element — applied exactly once per GEMM because
+/// the packed panel is reused by every row block — realizes
+/// `aᵀ · diag(w) · b` with the micro-kernel untouched. (The clip factor
+/// indexes the *contraction* dimension, so it cannot be applied to the
+/// accumulator block after the k loop; pre-scaling the packed operand is
+/// the in-tile placement that preserves the per-element operation
+/// sequence `acc = a.mul_add(w*b, acc)`, ascending k.)
+fn pack_b_panel_range_scaled(
+    b: &Matrix,
+    w: &[f32],
+    k0: usize,
+    kx: usize,
+    j_start: usize,
+    jw: usize,
+    out: &mut [f32],
+) {
+    for jp in 0..jw.div_ceil(NR) {
+        let j0 = j_start + jp * NR;
+        let nrw = NR.min(j_start + jw - j0);
+        let dst_panel = &mut out[jp * kx * NR..(jp + 1) * kx * NR];
+        for (k, dst) in dst_panel.chunks_exact_mut(NR).enumerate() {
+            let wk = w[k0 + k];
+            for (d, &s) in dst[..nrw].iter_mut().zip(&b.row(k0 + k)[j0..j0 + nrw]) {
+                *d = wk * s;
+            }
             for d in &mut dst[nrw..] {
                 *d = 0.0;
             }
@@ -162,17 +264,20 @@ fn pack_a_cols(a: &Matrix, i0: usize, m: usize, k0: usize, kx: usize, out: &mut 
     }
 }
 
-/// The micro-kernel: accumulates an `M × NR` output block over one
-/// packed k-panel. `apan` is k-major `M`-wide, `bpan` k-major `NR`-wide;
-/// each output element receives one `mul_add` per k step, ascending —
-/// the canonical accumulation order of the determinism contract.
+/// The scalar micro-kernel body: accumulates an `M × NR` output block
+/// over one packed k-panel. `apan` is k-major `M`-wide, `bpan` k-major
+/// `NR`-wide; each output element receives one `mul_add` per k step,
+/// ascending — the canonical accumulation order of the determinism
+/// contract. The AVX2 body in [`crate::simd`] reproduces exactly this
+/// operation sequence (one fused multiply-add per element per k,
+/// identical rounding), so the runtime SIMD gate never changes a bit.
 ///
 /// `inline(never)` is deliberate: compiled standalone, LLVM keeps the
 /// `M × NR` accumulator block in vector registers for the whole k loop;
 /// inlined into the packing drivers it has been observed to spill.
 #[inline(never)]
 #[allow(clippy::needless_range_loop)]
-fn micro_kernel<const M: usize>(
+pub(crate) fn micro_kernel_scalar<const M: usize>(
     apan: &[f32],
     bpan: &[f32],
     out_rows: &mut [f32],
@@ -200,6 +305,25 @@ fn micro_kernel<const M: usize>(
     }
 }
 
+/// Sweeps every column micro-panel of one packed B slab against a packed
+/// `M`-row A block. Monomorphized per `M`, so the `match` on the row
+/// count runs **once per row block** — narrow final blocks (`m < MR`) no
+/// longer re-dispatch through the generic kernel inside the jp loop.
+fn panel_sweep<const M: usize>(
+    apan: &[f32],
+    bpan: &[f32],
+    out_rows: &mut [f32],
+    n: usize,
+    kx: usize,
+) {
+    for jp in 0..n.div_ceil(NR) {
+        let j0 = jp * NR;
+        let nrw = NR.min(n - j0);
+        let bp = &bpan[jp * kx * NR..(jp + 1) * kx * NR];
+        crate::simd::micro_kernel::<M>(apan, bp, out_rows, n, j0, nrw);
+    }
+}
+
 /// Sweeps the row blocks of one output chunk against a packed B panel.
 #[allow(clippy::too_many_arguments)]
 fn row_block_sweep(
@@ -213,7 +337,6 @@ fn row_block_sweep(
     pack_a: impl Fn(&Matrix, usize, usize, usize, usize, &mut [f32]),
 ) {
     let rows_here = out_chunk.len() / n;
-    let jpanels = n.div_ceil(NR);
     let mut rb = 0;
     while rb < rows_here {
         let m = (rows_here - rb).min(MR);
@@ -221,18 +344,13 @@ fn row_block_sweep(
             with_pack_buf(cell, kx * m, |apan| {
                 pack_a(a, i0 + rb, m, k0, kx, apan);
                 let out_rows = &mut out_chunk[rb * n..(rb + m) * n];
-                for jp in 0..jpanels {
-                    let j0 = jp * NR;
-                    let nrw = NR.min(n - j0);
-                    let bp = &bpan[jp * kx * NR..(jp + 1) * kx * NR];
-                    match m {
-                        6 => micro_kernel::<6>(apan, bp, out_rows, n, j0, nrw),
-                        5 => micro_kernel::<5>(apan, bp, out_rows, n, j0, nrw),
-                        4 => micro_kernel::<4>(apan, bp, out_rows, n, j0, nrw),
-                        3 => micro_kernel::<3>(apan, bp, out_rows, n, j0, nrw),
-                        2 => micro_kernel::<2>(apan, bp, out_rows, n, j0, nrw),
-                        _ => micro_kernel::<1>(apan, bp, out_rows, n, j0, nrw),
-                    }
+                match m {
+                    6 => panel_sweep::<6>(apan, bpan, out_rows, n, kx),
+                    5 => panel_sweep::<5>(apan, bpan, out_rows, n, kx),
+                    4 => panel_sweep::<4>(apan, bpan, out_rows, n, kx),
+                    3 => panel_sweep::<3>(apan, bpan, out_rows, n, kx),
+                    2 => panel_sweep::<2>(apan, bpan, out_rows, n, kx),
+                    _ => panel_sweep::<1>(apan, bpan, out_rows, n, kx),
                 }
             });
         });
@@ -240,36 +358,190 @@ fn row_block_sweep(
     }
 }
 
-/// Shared driver for the two accumulating GEMMs (`matmul` and
-/// `t_matmul`): packs **all** of B's k-panels into the thread-local
-/// scratch once, then runs a single chunk-parallel region in which each
-/// row chunk sweeps the panels in ascending k — one executor
-/// spawn/join per GEMM instead of one per panel, with the per-element
-/// accumulation order (and therefore every output bit) unchanged. `k`
-/// is the contraction length; `pack_a` decides whether A blocks come
-/// from rows (`matmul`) or columns (`t_matmul`).
+/// Minimum multiply-add count a macro-tile must carry before the 2-D
+/// tiled driver engages (matches the per-chunk floor of the row split:
+/// below this a tile's pack/spawn overhead outweighs the arithmetic).
+const TILE_MIN_FLOPS: usize = 1 << 19;
+
+/// Column-slab width for the 2-D macro-tile driver, or `None` when the
+/// row-only split already feeds every worker (or the executor is
+/// sequential, or the product is too small to amortize per-tile
+/// packing). The decision reads only shape and the process-wide thread
+/// count — never scheduling state — and tiling never changes the
+/// per-element accumulation order, so both paths produce identical
+/// bits; the choice is purely a performance one.
+fn macro_tile_cols(rows: usize, n: usize, k: usize, chunk_rows: usize) -> Option<usize> {
+    let threads = lazydp_exec::global_threads();
+    if threads <= 1 || n < 2 * NR {
+        return None;
+    }
+    let row_chunks = rows.div_ceil(chunk_rows.max(1));
+    if row_chunks >= threads {
+        return None;
+    }
+    // Enough column slabs to feed the idle workers, but never so many
+    // that a tile drops below the flop floor.
+    let want = threads.div_ceil(row_chunks);
+    let by_work = (rows * n * k) / (row_chunks * TILE_MIN_FLOPS);
+    let ncb = want.min(by_work).min(n.div_ceil(2 * NR));
+    if ncb <= 1 {
+        return None;
+    }
+    Some(n.div_ceil(ncb).next_multiple_of(NR))
+}
+
+/// One output macro-tile of the 2-D driver: the row segments
+/// (`rows[r] = out[i0 + r][j0 .. j0 + width]`) it owns exclusively.
+struct MacroTile<'a> {
+    rows: Vec<&'a mut [f32]>,
+    i0: usize,
+    j0: usize,
+}
+
+/// Splits a row-major `rows_total × n` output into disjoint
+/// `row_block × col_block` macro-tiles (edge tiles are smaller), in
+/// row-block-major order. Pure shape arithmetic: the tile grid depends
+/// only on `(rows_total, n, row_block, col_block)`.
+fn split_macro_tiles(
+    out: &mut [f32],
+    n: usize,
+    row_block: usize,
+    col_block: usize,
+) -> Vec<MacroTile<'_>> {
+    let rows_total = out.len() / n;
+    let ncb = n.div_ceil(col_block);
+    let nrb = rows_total.div_ceil(row_block);
+    let mut tiles: Vec<MacroTile<'_>> = Vec::with_capacity(nrb * ncb);
+    for rb in 0..nrb {
+        for cb in 0..ncb {
+            tiles.push(MacroTile {
+                rows: Vec::with_capacity(row_block),
+                i0: rb * row_block,
+                j0: cb * col_block,
+            });
+        }
+    }
+    for (r, row) in out.chunks_mut(n).enumerate() {
+        let rb = r / row_block;
+        let mut rest = row;
+        for cb in 0..ncb {
+            let w = col_block.min(n - cb * col_block);
+            let (seg, tail) = rest.split_at_mut(w);
+            tiles[rb * ncb + cb].rows.push(seg);
+            rest = tail;
+        }
+    }
+    tiles
+}
+
+/// The 2-D macro-tile driver: partitions the output over both the ic
+/// (row) and jc (column) macro-loops and hands one tile per `par_for`
+/// chunk to the executor. Each worker packs the B column slab its tile
+/// needs into its **own** thread-local scratch (per-thread packed-B
+/// panels — the row driver packs B once on the calling thread instead),
+/// accumulates the tile in a thread-local buffer over ascending k, and
+/// copies the finished tile into the strided output rows.
+///
+/// Determinism: the tile grid is pure shape arithmetic and `par_for`
+/// assigns work by stable chunk index, so *what* each tile computes is
+/// thread-count independent; within a tile every output element keeps
+/// the single-accumulator ascending-k order. Results are therefore
+/// bitwise identical to the row driver and the reference kernels.
+///
+/// This path allocates its tile descriptors per call — acceptable
+/// because it only runs on a parallel executor, whose scoped workers
+/// allocate per region by construction (the steady-state zero-alloc
+/// contract is scoped to the sequential path, which never gets here).
+#[allow(clippy::too_many_arguments)]
+fn tiled_driver(
+    a: &Matrix,
+    n: usize,
+    out: &mut Matrix,
+    k: usize,
+    kc: usize,
+    chunk_rows: usize,
+    col_block: usize,
+    pack_a: impl Fn(&Matrix, usize, usize, usize, usize, &mut [f32]) + Sync,
+    pack_b: impl Fn(usize, usize, usize, usize, &mut [f32]) + Sync,
+) {
+    let mut tiles = split_macro_tiles(out.as_mut_slice(), n, chunk_rows, col_block);
+    lazydp_exec::global().par_for(&mut tiles, 1, |_, tile_chunk| {
+        let tile = &mut tile_chunk[0];
+        let h = tile.rows.len();
+        let w = tile.rows[0].len();
+        let panel_stride = w.div_ceil(NR) * NR;
+        PACK_B.with(|bcell| {
+            with_pack_buf(bcell, k * panel_stride, |bpack| {
+                let mut k0 = 0;
+                while k0 < k {
+                    let kx = kc.min(k - k0);
+                    pack_b(
+                        k0,
+                        kx,
+                        tile.j0,
+                        w,
+                        &mut bpack[k0 * panel_stride..(k0 + kx) * panel_stride],
+                    );
+                    k0 += kx;
+                }
+                TILE_C.with(|ccell| {
+                    with_pack_buf(ccell, h * w, |local| {
+                        local.fill(0.0);
+                        let mut k0 = 0;
+                        while k0 < k {
+                            let kx = kc.min(k - k0);
+                            let bpan = &bpack[k0 * panel_stride..(k0 + kx) * panel_stride];
+                            row_block_sweep(a, bpan, local, tile.i0, w, k0, kx, &pack_a);
+                            k0 += kx;
+                        }
+                        for (src, dst) in local.chunks_exact(w).zip(tile.rows.iter_mut()) {
+                            dst.copy_from_slice(src);
+                        }
+                    });
+                });
+            });
+        });
+    });
+}
+
+/// Shared driver for the accumulating GEMMs (`matmul`, `t_matmul`, and
+/// the scaled weight-gradient variant). When the row split alone cannot
+/// feed the executor it defers to the 2-D [`tiled_driver`]; otherwise it
+/// packs **all** of B's k-panels into the thread-local scratch once,
+/// then runs a single chunk-parallel region in which each row chunk
+/// sweeps the panels in ascending k — one executor spawn/join per GEMM
+/// instead of one per panel, with the per-element accumulation order
+/// (and therefore every output bit) unchanged. `k` is the contraction
+/// length; `pack_a` decides whether A blocks come from rows (`matmul`)
+/// or columns (`t_matmul`); `pack_b(k0, kx, j0, jw, dst)` fills one
+/// packed B slab (plain or clip-scaled).
 #[allow(clippy::too_many_arguments)]
 fn blocked_driver(
     a: &Matrix,
-    b: &Matrix,
+    n: usize,
     out: &mut Matrix,
     k: usize,
     kc: usize,
     chunk_rows: usize,
     pack_a: impl Fn(&Matrix, usize, usize, usize, usize, &mut [f32]) + Sync,
+    pack_b: impl Fn(usize, usize, usize, usize, &mut [f32]) + Sync,
 ) {
-    let n = b.cols();
     let kc = kc.max(1);
+    if let Some(col_block) = macro_tile_cols(out.rows(), n, k, chunk_rows) {
+        tiled_driver(a, n, out, k, kc, chunk_rows, col_block, pack_a, pack_b);
+        return;
+    }
     let panel_stride = n.div_ceil(NR) * NR;
     PACK_B.with(|cell| {
         with_pack_buf(cell, k * panel_stride, |bpack| {
             let mut k0 = 0;
             while k0 < k {
                 let kx = kc.min(k - k0);
-                pack_b_panel(
-                    b,
+                pack_b(
                     k0,
                     kx,
+                    0,
+                    n,
                     &mut bpack[k0 * panel_stride..(k0 + kx) * panel_stride],
                 );
                 k0 += kx;
@@ -298,7 +570,16 @@ pub(crate) fn matmul_blocked(
     kc: usize,
     chunk_rows: usize,
 ) {
-    blocked_driver(a, b, out, a.cols(), kc, chunk_rows, pack_a_rows);
+    blocked_driver(
+        a,
+        b.cols(),
+        out,
+        a.cols(),
+        kc,
+        chunk_rows,
+        pack_a_rows,
+        |k0, kx, j0, jw, dst| pack_b_panel_range(b, k0, kx, j0, jw, dst),
+    );
 }
 
 /// Blocked `out += aᵀ · b` over a zeroed `out` (the
@@ -311,7 +592,44 @@ pub(crate) fn t_matmul_blocked(
     kc: usize,
     chunk_rows: usize,
 ) {
-    blocked_driver(a, b, out, a.rows(), kc, chunk_rows, pack_a_cols);
+    blocked_driver(
+        a,
+        b.cols(),
+        out,
+        a.rows(),
+        kc,
+        chunk_rows,
+        pack_a_cols,
+        |k0, kx, j0, jw, dst| pack_b_panel_range(b, k0, kx, j0, jw, dst),
+    );
+}
+
+/// Blocked `out += aᵀ · diag(w) · b` over a zeroed `out` — the fused
+/// clipped weight-gradient GEMM (`∂L/∂W = aᵀ · diag(clip) · δ`). The
+/// per-example clip factors `w` are folded into the B packing
+/// ([`pack_b_panel_range_scaled`]), so per output element the operation
+/// sequence is `acc = a_ki.mul_add(w_k * b_kj, acc)` over ascending k —
+/// exactly what [`reference_t_matmul_scaled_into`] computes, and exactly
+/// what the two-pass path computes once its weighted backward routes
+/// through this kernel.
+pub(crate) fn t_matmul_scaled_blocked(
+    a: &Matrix,
+    b: &Matrix,
+    w: &[f32],
+    out: &mut Matrix,
+    kc: usize,
+    chunk_rows: usize,
+) {
+    blocked_driver(
+        a,
+        b.cols(),
+        out,
+        a.rows(),
+        kc,
+        chunk_rows,
+        pack_a_cols,
+        |k0, kx, j0, jw, dst| pack_b_panel_range_scaled(b, w, k0, kx, j0, jw, dst),
+    );
 }
 
 /// Reduces the eight accumulation lanes of a [`dot_tree`] in the fixed
@@ -319,6 +637,19 @@ pub(crate) fn t_matmul_blocked(
 #[inline(always)]
 fn reduce_lanes(l: &[f32; LANES]) -> f32 {
     ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+/// Scalar body of the eight-lane dot accumulation over the
+/// `LANES`-aligned prefix: lane `t` gathers elements `t, t+8, t+16, …`
+/// ascending via one `mul_add` each. The AVX2 body in [`crate::simd`]
+/// performs the identical per-lane operation sequence with one
+/// `vfmaddps` per eight elements, so both produce the same bits.
+pub(crate) fn dot_lanes_scalar(a: &[f32], b: &[f32], lanes: &mut [f32; LANES]) {
+    for (av, bv) in a.chunks_exact(LANES).zip(b.chunks_exact(LANES)) {
+        for t in 0..LANES {
+            lanes[t] = av[t].mul_add(bv[t], lanes[t]);
+        }
+    }
 }
 
 /// Dot product with the fixed eight-lane `mul_add` accumulation tree:
@@ -330,19 +661,37 @@ fn reduce_lanes(l: &[f32; LANES]) -> f32 {
 #[must_use]
 pub fn dot_tree(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len(), "dot_tree length mismatch");
+    let k8 = a.len() - a.len() % LANES;
     let mut lanes = [0.0f32; LANES];
-    let mut ac = a.chunks_exact(LANES);
-    let mut bc = b.chunks_exact(LANES);
-    for (av, bv) in (&mut ac).zip(&mut bc) {
-        for t in 0..LANES {
-            lanes[t] = av[t].mul_add(bv[t], lanes[t]);
-        }
-    }
+    crate::simd::dot_lanes(&a[..k8], &b[..k8], &mut lanes);
     let mut rem = 0.0f32;
-    for (&x, &y) in ac.remainder().iter().zip(bc.remainder()) {
+    for (&x, &y) in a[k8..].iter().zip(&b[k8..]) {
         rem = x.mul_add(y, rem);
     }
     reduce_lanes(&lanes) + rem
+}
+
+/// Scalar body of the [`NRT`]-row lane accumulation of `matmul_t`: for
+/// each of the eight B rows, lane `t` gathers elements `t, t+8, …` of
+/// the `k8`-aligned prefix ascending, one `mul_add` per element — the
+/// same per-lane sequence as [`dot_lanes_scalar`], eight rows at a time.
+pub(crate) fn mt_lanes_scalar(
+    a_row: &[f32],
+    brows: &[&[f32]; NRT],
+    k8: usize,
+    lanes: &mut [[f32; LANES]; NRT],
+) {
+    let mut pos = 0;
+    while pos < k8 {
+        let av: &[f32; LANES] = a_row[pos..pos + LANES].try_into().expect("lane chunk");
+        for (jj, lane) in lanes.iter_mut().enumerate() {
+            let bv: &[f32; LANES] = brows[jj][pos..pos + LANES].try_into().expect("lane chunk");
+            for t in 0..LANES {
+                lane[t] = av[t].mul_add(bv[t], lane[t]);
+            }
+        }
+        pos += LANES;
+    }
 }
 
 /// One output row of `matmul_t`: `out_row[j] = dot_tree(a_row, b.row(j))`,
@@ -356,17 +705,7 @@ fn matmul_t_row(a_row: &[f32], b: &Matrix, out_row: &mut [f32]) {
     while j + NRT <= n {
         let brows: [&[f32]; NRT] = std::array::from_fn(|jj| b.row(j + jj));
         let mut lanes = [[0.0f32; LANES]; NRT];
-        let mut pos = 0;
-        while pos < k8 {
-            let av: &[f32; LANES] = a_row[pos..pos + LANES].try_into().expect("lane chunk");
-            for (jj, lane) in lanes.iter_mut().enumerate() {
-                let bv: &[f32; LANES] = brows[jj][pos..pos + LANES].try_into().expect("lane chunk");
-                for t in 0..LANES {
-                    lane[t] = av[t].mul_add(bv[t], lane[t]);
-                }
-            }
-            pos += LANES;
-        }
+        crate::simd::mt_lanes(a_row, &brows, k8, &mut lanes);
         let mut rems = [0.0f32; NRT];
         for p in k8..k {
             let x = a_row[p];
@@ -438,6 +777,39 @@ pub(crate) fn reference_t_matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix, 
     });
 }
 
+/// Reference fused clipped weight-gradient kernel
+/// (`out += aᵀ · diag(w) · b`): the `t_matmul` reference loop with the
+/// clip factor applied to the B element before the shared `mul_add` —
+/// `acc = a_ki.mul_add(w_k * b_kj, acc)`, ascending k, exactly the
+/// per-element operation sequence of [`t_matmul_scaled_blocked`] (which
+/// computes `w_k * b_kj` once at packing time). The zero-skip stays
+/// bitwise-neutral: `w_k * b_kj` is finite whenever `w` and `b` are.
+pub(crate) fn reference_t_matmul_scaled_into(
+    a: &Matrix,
+    b: &Matrix,
+    w: &[f32],
+    out: &mut Matrix,
+    chunk_rows: usize,
+) {
+    let n = b.cols();
+    assert_eq!(w.len(), a.rows(), "one scale per contraction row");
+    lazydp_exec::global().par_for(out.as_mut_slice(), chunk_rows * n, |c, out_chunk| {
+        for (k_row, out_row) in out_chunk.chunks_mut(n).enumerate() {
+            let i = c * chunk_rows + k_row;
+            for (r, &wr) in w.iter().enumerate() {
+                let av = a.row(r)[i];
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(r);
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o = av.mul_add(wr * bv, *o);
+                }
+            }
+        }
+    });
+}
+
 /// Reference `matmul_t` kernel: one [`dot_tree`] per output element in
 /// the plain double loop.
 pub(crate) fn reference_matmul_t_into(a: &Matrix, b: &Matrix, out: &mut Matrix, chunk_rows: usize) {
@@ -487,6 +859,30 @@ pub fn t_matmul_with_tiles(a: &Matrix, b: &Matrix, kc: usize, chunk_rows: usize)
     out
 }
 
+/// `aᵀ · diag(w) · b` through the blocked fused-clip kernel with
+/// explicit tile parameters (see [`matmul_with_tiles`]).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or if `w.len() != a.rows()`.
+#[must_use]
+pub fn t_matmul_scaled_with_tiles(
+    a: &Matrix,
+    b: &Matrix,
+    w: &[f32],
+    kc: usize,
+    chunk_rows: usize,
+) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "t_matmul_scaled dimension mismatch");
+    assert_eq!(w.len(), a.rows(), "one clip factor per contraction row");
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    if out.is_empty() || a.rows() == 0 {
+        return out;
+    }
+    t_matmul_scaled_blocked(a, b, w, &mut out, kc, chunk_rows.clamp(1, a.cols().max(1)));
+    out
+}
+
 /// `a · bᵀ` through the blocked kernel with explicit executor chunking
 /// (see [`matmul_with_tiles`]; `matmul_t` has no k-panel).
 ///
@@ -501,6 +897,78 @@ pub fn matmul_t_with_tiles(a: &Matrix, b: &Matrix, chunk_rows: usize) -> Matrix 
         return out;
     }
     matmul_t_blocked(a, b, &mut out, chunk_rows.clamp(1, a.rows().max(1)));
+    out
+}
+
+/// `a · b` forced through the 2-D macro-tile driver with explicit row
+/// and column blocks — exposed so the invariance tests and benches can
+/// pin the tiled path bitwise against the row driver and the reference
+/// kernels regardless of the automatic engagement heuristics.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+#[must_use]
+pub fn matmul_macro_tiled(
+    a: &Matrix,
+    b: &Matrix,
+    kc: usize,
+    row_block: usize,
+    col_block: usize,
+) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul_macro_tiled dimension mismatch");
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    if out.is_empty() || a.cols() == 0 {
+        return out;
+    }
+    let n = b.cols();
+    tiled_driver(
+        a,
+        n,
+        &mut out,
+        a.cols(),
+        kc.max(1),
+        row_block.clamp(1, a.rows().max(1)),
+        col_block.clamp(1, n),
+        pack_a_rows,
+        |k0, kx, j0, jw, dst| pack_b_panel_range(b, k0, kx, j0, jw, dst),
+    );
+    out
+}
+
+/// `aᵀ · diag(w) · b` forced through the 2-D macro-tile driver (see
+/// [`matmul_macro_tiled`]).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or if `w.len() != a.rows()`.
+#[must_use]
+pub fn t_matmul_scaled_macro_tiled(
+    a: &Matrix,
+    b: &Matrix,
+    w: &[f32],
+    kc: usize,
+    row_block: usize,
+    col_block: usize,
+) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "t_matmul_scaled dimension mismatch");
+    assert_eq!(w.len(), a.rows(), "one clip factor per contraction row");
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    if out.is_empty() || a.rows() == 0 {
+        return out;
+    }
+    let n = b.cols();
+    tiled_driver(
+        a,
+        n,
+        &mut out,
+        a.rows(),
+        kc.max(1),
+        row_block.clamp(1, a.cols().max(1)),
+        col_block.clamp(1, n),
+        pack_a_cols,
+        |k0, kx, j0, jw, dst| pack_b_panel_range_scaled(b, w, k0, kx, j0, jw, dst),
+    );
     out
 }
 
@@ -533,6 +1001,23 @@ pub fn reference_t_matmul(a: &Matrix, b: &Matrix) -> Matrix {
         return out;
     }
     reference_t_matmul_into(a, b, &mut out, a.cols().max(1));
+    out
+}
+
+/// `aᵀ · diag(w) · b` through the reference fused-clip kernel.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or if `w.len() != a.rows()`.
+#[must_use]
+pub fn reference_t_matmul_scaled(a: &Matrix, b: &Matrix, w: &[f32]) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "t_matmul_scaled dimension mismatch");
+    assert_eq!(w.len(), a.rows(), "one clip factor per contraction row");
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    if out.is_empty() || a.rows() == 0 {
+        return out;
+    }
+    reference_t_matmul_scaled_into(a, b, w, &mut out, a.cols().max(1));
     out
 }
 
@@ -617,6 +1102,112 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn scaled_blocked_matches_scaled_reference_bitwise() {
+        for &(k, m, n) in &[
+            (1usize, 1usize, 1usize),
+            (5, 7, 3),
+            (33, 130, 47),
+            (64, 64, 64),
+        ] {
+            let a = pseudo_random(k, m, 11, true);
+            let b = pseudo_random(k, n, 12, true);
+            let w: Vec<f32> = (0..k).map(|i| ((i * 29) % 17) as f32 / 16.0).collect();
+            assert_eq!(
+                t_matmul_scaled_with_tiles(&a, &b, &w, 16, 3),
+                reference_t_matmul_scaled(&a, &b, &w),
+                "t_matmul_scaled {k}x{m}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_with_unit_weights_matches_unscaled_bitwise() {
+        let a = pseudo_random(33, 19, 13, true);
+        let b = pseudo_random(33, 21, 14, false);
+        let ones = vec![1.0f32; 33];
+        assert_eq!(
+            t_matmul_scaled_with_tiles(&a, &b, &ones, 16, 3),
+            t_matmul_with_tiles(&a, &b, 16, 3),
+        );
+    }
+
+    #[test]
+    fn macro_tiled_driver_matches_row_driver_bitwise() {
+        let a = pseudo_random(37, 53, 21, true);
+        let b = pseudo_random(53, 71, 22, true);
+        let base = matmul_with_tiles(&a, &b, DEFAULT_KC, 37);
+        for col_block in [1usize, 7, NR, 2 * NR, 71] {
+            for row_block in [1usize, 6, 17, 37] {
+                assert_eq!(
+                    base,
+                    matmul_macro_tiled(&a, &b, 16, row_block, col_block),
+                    "row_block={row_block} col_block={col_block}"
+                );
+            }
+        }
+        let at = pseudo_random(53, 37, 23, true);
+        let w: Vec<f32> = (0..53).map(|i| ((i * 13) % 11) as f32 / 10.0).collect();
+        let sbase = t_matmul_scaled_with_tiles(&at, &b, &w, DEFAULT_KC, 37);
+        for col_block in [5usize, NR, 71] {
+            assert_eq!(
+                sbase,
+                t_matmul_scaled_macro_tiled(&at, &b, &w, 16, 11, col_block),
+                "scaled col_block={col_block}"
+            );
+        }
+    }
+
+    #[test]
+    fn macro_tile_engagement_is_shape_driven() {
+        // Sequential executor: never tiles regardless of shape.
+        let threads = lazydp_exec::global_threads();
+        if threads <= 1 {
+            assert_eq!(macro_tile_cols(6, 4096, 512, 6), None);
+            return;
+        }
+        // Enough row chunks for every worker: stays on the row split.
+        assert_eq!(macro_tile_cols(6 * threads * 4, 4096, 512, 6), None);
+        // Tall-thin output: too narrow to split columns.
+        assert_eq!(macro_tile_cols(6, NR, 512, 6), None);
+        // Few fat rows, wide output, deep k: tiles engage, NR-aligned.
+        let cols = macro_tile_cols(MR, 4096, 2048, MR);
+        if let Some(cb) = cols {
+            assert!(cb.is_multiple_of(NR), "col block {cb} not NR-aligned");
+            assert!(cb >= 2 * NR);
+        } else {
+            panic!("expected macro tiling to engage for 6x4096x2048");
+        }
+    }
+
+    #[test]
+    fn gemm_mode_env_parsing() {
+        assert_eq!(parse_gemm_mode("blocked"), Some(GemmMode::Blocked));
+        assert_eq!(parse_gemm_mode(" Reference "), Some(GemmMode::Reference));
+        assert_eq!(parse_gemm_mode("BLOCKED"), Some(GemmMode::Blocked));
+        assert_eq!(parse_gemm_mode(""), None);
+        assert_eq!(parse_gemm_mode("fast"), None);
+    }
+
+    #[test]
+    fn simd_gate_does_not_change_bits() {
+        let a = pseudo_random(19, 67, 31, true);
+        let b = pseudo_random(67, 23, 32, true);
+        let bt = pseudo_random(23, 67, 33, true);
+        let w: Vec<f32> = (0..67).map(|i| ((i * 7) % 5) as f32 / 4.0).collect();
+        let at = pseudo_random(67, 19, 34, true);
+        let was = crate::simd::simd_enabled();
+        crate::simd::set_simd_enabled(true);
+        let mm_on = matmul_with_tiles(&a, &b, 16, 5);
+        let mt_on = matmul_t_with_tiles(&a, &bt, 5);
+        let sc_on = t_matmul_scaled_with_tiles(&at, &b, &w, 16, 5);
+        crate::simd::set_simd_enabled(false);
+        assert_eq!(mm_on, matmul_with_tiles(&a, &b, 16, 5));
+        assert_eq!(mt_on, matmul_t_with_tiles(&a, &bt, 5));
+        assert_eq!(sc_on, t_matmul_scaled_with_tiles(&at, &b, &w, 16, 5));
+        crate::simd::set_simd_enabled(was);
     }
 
     #[test]

@@ -356,6 +356,62 @@ impl Matrix {
         }
     }
 
+    /// `selfᵀ · diag(w) · other` without materializing either the
+    /// transpose or the row-scaled copy of `other`.
+    ///
+    /// This is the *clipped* weight-gradient GEMM of DP backprop
+    /// (`∂L/∂W = aᵀ · diag(w) · δ` with one clip factor per example):
+    /// the factor indexes the contraction dimension, so the blocked
+    /// kernel folds it into the packed-B panel (one multiply per packed
+    /// element) and the reference kernel multiplies it into each
+    /// `mul_add` operand — identical operation sequences, hence
+    /// bitwise-identical to each other and to scaling `other`'s rows
+    /// up front in exact arithmetic (not bitwise vs. pre-scaling,
+    /// which rounds at a different point).
+    #[must_use]
+    pub fn t_matmul_scaled(&self, other: &Self, w: &[f32]) -> Self {
+        let mut out = Self::zeros(0, 0);
+        self.t_matmul_scaled_into(other, w, &mut out);
+        out
+    }
+
+    /// [`t_matmul_scaled`](Self::t_matmul_scaled) into a caller-owned
+    /// output matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch (`self.rows != other.rows`) or if
+    /// `w.len() != self.rows`.
+    pub fn t_matmul_scaled_into(&self, other: &Self, w: &[f32], out: &mut Self) {
+        assert_eq!(
+            self.rows, other.rows,
+            "t_matmul_scaled {}x{} ᵀ· {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(w.len(), self.rows, "one scale factor per example row");
+        out.reset_zeroed(self.cols, other.cols);
+        if out.is_empty() || self.rows == 0 {
+            return;
+        }
+        let chunk_rows = rows_per_chunk(self.cols, self.rows * other.cols);
+        match crate::gemm::gemm_mode() {
+            crate::gemm::GemmMode::Blocked => {
+                let chunk_rows = crate::gemm::blocked_chunk_rows(chunk_rows, self.cols);
+                crate::gemm::t_matmul_scaled_blocked(
+                    self,
+                    other,
+                    w,
+                    out,
+                    crate::gemm::DEFAULT_KC,
+                    chunk_rows,
+                );
+            }
+            crate::gemm::GemmMode::Reference => {
+                crate::gemm::reference_t_matmul_scaled_into(self, other, w, out, chunk_rows);
+            }
+        }
+    }
+
     /// `self · otherᵀ` without materializing the transpose.
     ///
     /// This is the input-gradient GEMM of backprop
@@ -574,6 +630,27 @@ impl Matrix {
         for r in self.rows_iter() {
             for (o, &x) in out.iter_mut().zip(r.iter()) {
                 *o += x;
+            }
+        }
+    }
+
+    /// Weighted column-wise sum `Σᵢ w[i] · row(i)` into a caller-owned
+    /// vector (cleared and refilled; no allocation at steady state) —
+    /// the clipped bias gradient of a linear layer. Rows accumulate
+    /// ascending through one `mul_add` per element, so the result is
+    /// deterministic and matches scaling each row first in exact
+    /// arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.len() != self.rows`.
+    pub fn weighted_col_sums_into(&self, w: &[f32], out: &mut Vec<f32>) {
+        assert_eq!(w.len(), self.rows, "one weight per row");
+        out.clear();
+        out.resize(self.cols, 0.0);
+        for (r, &wi) in self.rows_iter().zip(w.iter()) {
+            for (o, &x) in out.iter_mut().zip(r.iter()) {
+                *o = wi.mul_add(x, *o);
             }
         }
     }

@@ -1,0 +1,295 @@
+//! Runtime-gated SIMD bodies for the GEMM kernel layer.
+//!
+//! This is the **only** module in the workspace allowed to contain
+//! `unsafe` code (the tensor crate root carries `#![deny(unsafe_code)]`
+//! and this file opts back in; every other crate root keeps
+//! `#![forbid(unsafe_code)]`). The unsafe surface is exactly three
+//! `core::arch::x86_64` kernel bodies plus the `unsafe {}` calls that
+//! dispatch to them behind a runtime CPU-feature gate.
+//!
+//! # The bitwise contract
+//!
+//! Each AVX2 body reproduces the *exact* operation sequence of its
+//! scalar twin in [`crate::gemm`]: one fused multiply-add per output
+//! element per ascending k step, in the same lane/element order.
+//! `vfmadd231ps` performs the IEEE-754 fusedMultiplyAdd per lane with a
+//! single rounding — the same operation `f32::mul_add` specifies — so
+//! enabling or disabling the gate never changes a single output bit.
+//! The `simd_on_off_is_bitwise_identical` test and the gemm proptests
+//! pin this.
+//!
+//! # The gate
+//!
+//! Resolution is lazy and process-wide, mirroring `LAZYDP_THREADS` and
+//! `LAZYDP_GEMM`: the first kernel call reads the `LAZYDP_SIMD` env
+//! override (`on`/`1`/`true` or `off`/`0`/`false`) and then requires
+//! runtime detection of `avx2` **and** `fma`. [`set_simd_enabled`] can
+//! flip the gate later (tests and benches use this), but an enable
+//! request is ANDed with CPU support — the gate can never route to an
+//! AVX2 body on hardware that lacks it, which would be undefined
+//! behavior, not just a wrong answer.
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::gemm::{LANES, NR, NRT};
+
+/// Lazily resolved gate: 0 = not yet resolved, 1 = SIMD on, 2 = SIMD off.
+static SIMD_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Parses a `LAZYDP_SIMD` override: `on`/`1`/`true` force-requests the
+/// SIMD bodies (still subject to CPU support), `off`/`0`/`false` forces
+/// the scalar fallbacks, anything else is ignored.
+#[must_use]
+pub fn parse_simd_override(value: &str) -> Option<bool> {
+    let v = value.trim();
+    if ["on", "1", "true"]
+        .iter()
+        .any(|s| v.eq_ignore_ascii_case(s))
+    {
+        Some(true)
+    } else if ["off", "0", "false"]
+        .iter()
+        .any(|s| v.eq_ignore_ascii_case(s))
+    {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Whether this CPU can run the AVX2+FMA bodies at all.
+#[must_use]
+pub fn cpu_supports_simd() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Resolves the gate from the environment: the `LAZYDP_SIMD` override
+/// (default: on) ANDed with runtime CPU-feature detection.
+#[must_use]
+pub fn detect_simd() -> bool {
+    let want = std::env::var("LAZYDP_SIMD")
+        .ok()
+        .and_then(|v| parse_simd_override(&v))
+        .unwrap_or(true);
+    want && cpu_supports_simd()
+}
+
+/// Overrides the process-wide SIMD gate. An enable request is ANDed
+/// with CPU support: forcing SIMD on hardware without AVX2+FMA would be
+/// undefined behavior, so it silently resolves to the scalar fallback
+/// there (check [`simd_enabled`] afterwards if you must know).
+pub fn set_simd_enabled(on: bool) {
+    let enc = if on && cpu_supports_simd() { 1 } else { 2 };
+    SIMD_MODE.store(enc, Ordering::Relaxed);
+}
+
+/// Whether kernel calls currently route to the AVX2 bodies. Resolves
+/// the gate from [`detect_simd`] on first use.
+#[must_use]
+pub fn simd_enabled() -> bool {
+    match SIMD_MODE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let detected = detect_simd();
+            let enc = if detected { 1 } else { 2 };
+            match SIMD_MODE.compare_exchange(0, enc, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => detected,
+                Err(1) => true,
+                Err(_) => false,
+            }
+        }
+    }
+}
+
+/// Gate-dispatched micro-kernel: AVX2 body when the gate is open,
+/// [`crate::gemm::micro_kernel_scalar`] otherwise. Both produce
+/// identical bits (module docs).
+#[inline]
+pub(crate) fn micro_kernel<const M: usize>(
+    apan: &[f32],
+    bpan: &[f32],
+    out_rows: &mut [f32],
+    ldc: usize,
+    j0: usize,
+    nrw: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_enabled() {
+        // SAFETY: the gate only reports true after runtime detection of
+        // avx2 and fma on this CPU (`set_simd_enabled` re-checks too).
+        unsafe { x86::micro_kernel_avx::<M>(apan, bpan, out_rows, ldc, j0, nrw) };
+        return;
+    }
+    crate::gemm::micro_kernel_scalar::<M>(apan, bpan, out_rows, ldc, j0, nrw);
+}
+
+/// Gate-dispatched eight-lane dot accumulation over the aligned prefix
+/// (`a.len()` must be a multiple of [`LANES`]); scalar twin:
+/// [`crate::gemm::dot_lanes_scalar`].
+#[inline]
+pub(crate) fn dot_lanes(a: &[f32], b: &[f32], lanes: &mut [f32; LANES]) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_enabled() {
+        // SAFETY: gate implies runtime avx2+fma detection succeeded.
+        unsafe { x86::dot_lanes_avx(a, b, lanes) };
+        return;
+    }
+    crate::gemm::dot_lanes_scalar(a, b, lanes);
+}
+
+/// Gate-dispatched [`NRT`]-row lane accumulation of `matmul_t`; scalar
+/// twin: [`crate::gemm::mt_lanes_scalar`].
+#[inline]
+pub(crate) fn mt_lanes(
+    a_row: &[f32],
+    brows: &[&[f32]; NRT],
+    k8: usize,
+    lanes: &mut [[f32; LANES]; NRT],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_enabled() {
+        // SAFETY: gate implies runtime avx2+fma detection succeeded.
+        unsafe { x86::mt_lanes_avx(a_row, brows, k8, lanes) };
+        return;
+    }
+    crate::gemm::mt_lanes_scalar(a_row, brows, k8, lanes);
+}
+
+/// The AVX2+FMA kernel bodies. Every function here carries
+/// `#[target_feature(enable = "avx2", enable = "fma")]` and is `unsafe`
+/// to call precisely because of that requirement; the dispatchers above
+/// are the only callers and they hold the runtime-detection proof.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::{
+        __m256, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_storeu_ps,
+    };
+
+    use super::{LANES, NR, NRT};
+
+    /// AVX2 body of the `M × NR` micro-kernel. `NR` (= 16) spans two
+    /// `__m256` registers per row; each ascending k step broadcasts one
+    /// packed A element and issues one `vfmadd231ps` per half-row —
+    /// per lane the identical single-rounding fused multiply-add, in
+    /// the identical order, as the scalar body's `mul_add` loop.
+    ///
+    /// Partial column panels (`nrw < NR`) stage through an `NR`-wide
+    /// scratch row exactly like the scalar kernel: padding lanes start
+    /// at zero, accumulate only `a · 0.0`, and are never stored back.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::needless_range_loop)]
+    pub(super) unsafe fn micro_kernel_avx<const M: usize>(
+        apan: &[f32],
+        bpan: &[f32],
+        out_rows: &mut [f32],
+        ldc: usize,
+        j0: usize,
+        nrw: usize,
+    ) {
+        let mut stage = [[0.0f32; NR]; M];
+        for m in 0..M {
+            let base = m * ldc + j0;
+            stage[m][..nrw].copy_from_slice(&out_rows[base..base + nrw]);
+        }
+        let mut acc: [[__m256; 2]; M] = std::array::from_fn(|m| {
+            [
+                _mm256_loadu_ps(stage[m].as_ptr()),
+                _mm256_loadu_ps(stage[m].as_ptr().add(LANES)),
+            ]
+        });
+        for (ak, bk) in apan.chunks_exact(M).zip(bpan.chunks_exact(NR)) {
+            let b0 = _mm256_loadu_ps(bk.as_ptr());
+            let b1 = _mm256_loadu_ps(bk.as_ptr().add(LANES));
+            for (m, am) in acc.iter_mut().enumerate() {
+                let a = _mm256_set1_ps(ak[m]);
+                am[0] = _mm256_fmadd_ps(a, b0, am[0]);
+                am[1] = _mm256_fmadd_ps(a, b1, am[1]);
+            }
+        }
+        for m in 0..M {
+            _mm256_storeu_ps(stage[m].as_mut_ptr(), acc[m][0]);
+            _mm256_storeu_ps(stage[m].as_mut_ptr().add(LANES), acc[m][1]);
+            let base = m * ldc + j0;
+            out_rows[base..base + nrw].copy_from_slice(&stage[m][..nrw]);
+        }
+    }
+
+    /// AVX2 body of the eight-lane dot accumulation: the whole lane
+    /// array is one `__m256` accumulator, one `vfmadd231ps` per eight
+    /// elements — lane `t` sees the same ascending `mul_add` chain as
+    /// the scalar body.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn dot_lanes_avx(a: &[f32], b: &[f32], lanes: &mut [f32; LANES]) {
+        let mut acc = _mm256_loadu_ps(lanes.as_ptr());
+        for (av, bv) in a.chunks_exact(LANES).zip(b.chunks_exact(LANES)) {
+            acc = _mm256_fmadd_ps(
+                _mm256_loadu_ps(av.as_ptr()),
+                _mm256_loadu_ps(bv.as_ptr()),
+                acc,
+            );
+        }
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    }
+
+    /// AVX2 body of the [`NRT`]-row lane accumulation: one `__m256`
+    /// accumulator per B row, each loaded `a` vector reused across all
+    /// eight rows, one `vfmadd231ps` per row per eight elements.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn mt_lanes_avx(
+        a_row: &[f32],
+        brows: &[&[f32]; NRT],
+        k8: usize,
+        lanes: &mut [[f32; LANES]; NRT],
+    ) {
+        let mut acc: [__m256; NRT] = std::array::from_fn(|jj| _mm256_loadu_ps(lanes[jj].as_ptr()));
+        let mut pos = 0;
+        while pos < k8 {
+            let av = _mm256_loadu_ps(a_row.as_ptr().add(pos));
+            for (jj, accv) in acc.iter_mut().enumerate() {
+                *accv = _mm256_fmadd_ps(av, _mm256_loadu_ps(brows[jj].as_ptr().add(pos)), *accv);
+            }
+            pos += LANES;
+        }
+        for (jj, accv) in acc.iter().enumerate() {
+            _mm256_storeu_ps(lanes[jj].as_mut_ptr(), *accv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_parsing_is_case_insensitive_and_strict() {
+        for v in ["on", "ON", " 1 ", "true", "True"] {
+            assert_eq!(parse_simd_override(v), Some(true), "{v:?}");
+        }
+        for v in ["off", "OFF", "0", "false", " False "] {
+            assert_eq!(parse_simd_override(v), Some(false), "{v:?}");
+        }
+        for v in ["", "yes", "no", "2", "avx2"] {
+            assert_eq!(parse_simd_override(v), None, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn gate_never_enables_without_cpu_support() {
+        let before = simd_enabled();
+        set_simd_enabled(true);
+        assert_eq!(simd_enabled(), cpu_supports_simd());
+        set_simd_enabled(false);
+        assert!(!simd_enabled());
+        set_simd_enabled(before);
+        assert_eq!(simd_enabled(), before && cpu_supports_simd());
+    }
+}

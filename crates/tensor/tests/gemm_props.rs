@@ -11,8 +11,9 @@
 //!   rows) and across `LAZYDP_THREADS`-style executor widths.
 
 use lazydp_tensor::gemm::{
-    matmul_t_with_tiles, matmul_with_tiles, reference_matmul, reference_matmul_t,
-    reference_t_matmul, t_matmul_with_tiles,
+    matmul_macro_tiled, matmul_t_with_tiles, matmul_with_tiles, reference_matmul,
+    reference_matmul_t, reference_t_matmul, reference_t_matmul_scaled, t_matmul_scaled_macro_tiled,
+    t_matmul_scaled_with_tiles, t_matmul_with_tiles,
 };
 use lazydp_tensor::Matrix;
 use proptest::prelude::*;
@@ -98,6 +99,93 @@ proptest! {
             prop_assert_eq!(bits(&mm), bits(&a.matmul(&b)), "matmul, {} threads", threads);
             prop_assert_eq!(bits(&tm), bits(&at.t_matmul(&b)), "t_matmul, {} threads", threads);
             prop_assert_eq!(bits(&mt), bits(&a.matmul_t(&bt)), "matmul_t, {} threads", threads);
+        }
+        lazydp_exec::set_global_threads(initial);
+    }
+
+    /// The fused scale-in-the-epilogue weight-gradient kernel: blocked
+    /// == reference, bitwise, across shapes, clip-factor contents
+    /// (including all-zero and all-one weights), zero densities, and
+    /// tile sizes.
+    #[test]
+    fn scaled_t_matmul_matches_reference_bitwise_across_tiles(
+        k in 1usize..70,
+        m in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1_000,
+        zero_mod in 0u64..5,
+        kc in 1usize..80,
+        chunk in 1usize..40,
+        wkind in 0u8..4, // 0 = mixed, 1 = all ones, 2 = all zeros, 3 = tiny
+    ) {
+        let at = matrix_with_zeros(k, m, seed ^ 11, zero_mod);
+        let b = matrix_with_zeros(k, n, seed ^ 12, zero_mod);
+        let w: Vec<f32> = (0..k).map(|i| match wkind {
+            1 => 1.0,
+            2 => 0.0,
+            3 => 1e-4,
+            _ => ((i as u64).wrapping_mul(seed | 1) % 17) as f32 / 16.0,
+        }).collect();
+        prop_assert_eq!(
+            bits(&t_matmul_scaled_with_tiles(&at, &b, &w, kc, chunk)),
+            bits(&reference_t_matmul_scaled(&at, &b, &w)),
+            "t_matmul_scaled {}x{}x{} kc={} chunk={} wkind={}", k, m, n, kc, chunk, wkind
+        );
+    }
+
+    /// The 2-D macro-tile driver is bitwise identical to the row-split
+    /// driver (and therefore to the reference kernels) for arbitrary
+    /// row/column blockings of both the plain and the scaled GEMM.
+    #[test]
+    fn macro_tiled_drivers_match_row_driver_bitwise(
+        m in 1usize..40,
+        k in 1usize..64,
+        n in 1usize..48,
+        seed in 0u64..1_000,
+        zero_mod in 0u64..4,
+        kc in 1usize..70,
+        row_block in 1usize..40,
+        col_block in 1usize..48,
+    ) {
+        let a = matrix_with_zeros(m, k, seed ^ 21, zero_mod);
+        let b = matrix_with_zeros(k, n, seed ^ 22, zero_mod);
+        prop_assert_eq!(
+            bits(&matmul_macro_tiled(&a, &b, kc, row_block, col_block)),
+            bits(&reference_matmul(&a, &b)),
+            "macro matmul {}x{}x{} kc={} rb={} cb={}", m, k, n, kc, row_block, col_block
+        );
+        let at = matrix_with_zeros(k, m, seed ^ 23, zero_mod);
+        let w: Vec<f32> = (0..k).map(|i| ((i as u64).wrapping_mul(3) % 13) as f32 / 12.0).collect();
+        prop_assert_eq!(
+            bits(&t_matmul_scaled_macro_tiled(&at, &b, &w, kc, row_block, col_block)),
+            bits(&reference_t_matmul_scaled(&at, &b, &w)),
+            "macro scaled {}x{}x{} kc={} rb={} cb={}", m, k, n, kc, row_block, col_block
+        );
+    }
+
+    /// The scaled dispatched kernel is bitwise invariant across
+    /// executor widths, like the plain kernels.
+    #[test]
+    fn scaled_dispatch_is_thread_count_invariant(
+        k in 1usize..64,
+        m in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1_000,
+        zero_mod in 0u64..4,
+    ) {
+        let at = matrix_with_zeros(k, m, seed ^ 31, zero_mod);
+        let b = matrix_with_zeros(k, n, seed ^ 32, zero_mod);
+        let w: Vec<f32> = (0..k).map(|i| ((i * 5) % 9) as f32 / 8.0).collect();
+        let initial = lazydp_exec::global_threads();
+        lazydp_exec::set_global_threads(1);
+        let base = at.t_matmul_scaled(&b, &w);
+        for threads in [2usize, 3, 8] {
+            lazydp_exec::set_global_threads(threads);
+            prop_assert_eq!(
+                bits(&base),
+                bits(&at.t_matmul_scaled(&b, &w)),
+                "t_matmul_scaled, {} threads", threads
+            );
         }
         lazydp_exec::set_global_threads(initial);
     }

@@ -8,6 +8,15 @@
 //! same batch cycle runs again with counting enabled and the test
 //! asserts not a single byte was requested.
 //!
+//! Since the fused ghost-clipping backward landed,
+//! `LazyDpOptimizer::step` runs `Dlrm::backward_clipped_with` (ghost
+//! norms + clip + clipped aggregate in one chain), so the zero-byte
+//! assertion below covers the fused path — including its cached-`dz`
+//! buffers, which the scratch sizes during warm-up like everything
+//! else. (The macro-tiled GEMM driver may allocate per-tile panels,
+//! but it only engages on multi-thread executors; this test pins the
+//! sequential path.)
+//!
 //! The file holds exactly one `#[test]` so no concurrent test thread
 //! can pollute the counters.
 

@@ -1,0 +1,95 @@
+//! The fused ghost-clipping backward contract, through the public
+//! facade: `Dlrm::backward_clipped` (ghost norms + clip + clipped
+//! aggregate in one chain, 2 GEMMs per MLP layer) is **bitwise
+//! identical** to the two-pass path it replaced
+//! (`per_example_grad_norms` → `clip_weights` → `backward(Some(&w))`,
+//! 3 GEMMs per layer) — across batch sizes, executor thread counts,
+//! and clip thresholds including the all-clipped and none-clipped
+//! edges.
+
+use lazydp::data::{MiniBatch, SyntheticConfig, SyntheticDataset};
+use lazydp::dpsgd::clip_weights;
+use lazydp::model::{Dlrm, DlrmConfig, DlrmGrads};
+use lazydp::rng::Xoshiro256PlusPlus;
+
+const TABLES: usize = 3;
+const ROWS: u64 = 64;
+const DIM: usize = 8;
+
+fn setup(batch: usize) -> (Dlrm, MiniBatch) {
+    let mut rng = Xoshiro256PlusPlus::seed_from(977);
+    let model = Dlrm::new(DlrmConfig::tiny(TABLES, ROWS, DIM), &mut rng);
+    let ds = SyntheticDataset::new(SyntheticConfig::small(TABLES, ROWS, batch));
+    let b = ds.batch_of(&(0..batch).collect::<Vec<_>>());
+    (model, b)
+}
+
+/// Deterministic non-trivial logit gradient (e.g. logistic-loss-like
+/// residuals of both signs and varying magnitude).
+fn logit_grads(batch: usize) -> Vec<f32> {
+    (0..batch)
+        .map(|i| ((i as f32) * 0.37 - batch as f32 * 0.15).sin() * 0.8)
+        .collect()
+}
+
+fn grads_bits_equal(a: &DlrmGrads, b: &DlrmGrads) -> bool {
+    // PartialEq on f32 is what we want *almost* everywhere, but it
+    // treats -0.0 == 0.0; compare through bits to pin sign-of-zero too.
+    let key = |g: &DlrmGrads| {
+        let mut v: Vec<u32> = Vec::new();
+        for mlp in [&g.bottom, &g.top] {
+            for l in &mlp.layers {
+                v.extend(l.dw.as_slice().iter().map(|x| x.to_bits()));
+                v.extend(l.db.iter().map(|x| x.to_bits()));
+            }
+        }
+        for t in &g.tables {
+            for (row, grad) in t.iter() {
+                v.push(u32::try_from(row).expect("tiny tables"));
+                v.extend(grad.iter().map(|x| x.to_bits()));
+            }
+        }
+        v
+    };
+    key(a) == key(b)
+}
+
+#[test]
+fn fused_clipped_backward_is_bitwise_two_pass_everywhere() {
+    let initial = lazydp::exec::global_threads();
+    for batch in [1usize, 5, 24] {
+        let (model, b) = setup(batch);
+        let cache = model.forward(&b);
+        let gl = logit_grads(batch);
+
+        // Thresholds: all-clipped (tiny C), realistic, none-clipped
+        // (huge C, every weight exactly 1.0).
+        for c in [1e-6f64, 0.5, 1e9] {
+            lazydp::exec::set_global_threads(1);
+            let norms = model.per_example_grad_norms(&cache, &b, &gl);
+            let w = clip_weights(&norms, c);
+            if c == 1e9 {
+                assert!(w.iter().all(|&x| x == 1.0), "huge C must clip nothing");
+            }
+            let two_pass = model.backward(&cache, &b, &gl, Some(&w));
+
+            for threads in [1usize, 2, 4] {
+                lazydp::exec::set_global_threads(threads);
+                let mut seen_norms = Vec::new();
+                let fused = model.backward_clipped(&cache, &b, &gl, |n, out| {
+                    seen_norms.extend_from_slice(n);
+                    *out = clip_weights(n, c);
+                });
+                assert_eq!(
+                    seen_norms, norms,
+                    "fused ghost norms differ (batch {batch}, C={c}, {threads} threads)"
+                );
+                assert!(
+                    grads_bits_equal(&fused, &two_pass),
+                    "fused != two-pass (batch {batch}, C={c}, {threads} threads)"
+                );
+            }
+        }
+    }
+    lazydp::exec::set_global_threads(initial);
+}
