@@ -620,6 +620,10 @@ pub fn experiment_ids() -> Vec<(&'static str, &'static str)> {
             "privacy-utility trade-off: sigma vs AUC (functional)",
         ),
         (
+            "adafest",
+            "DP-AdaFEST vs eager/LazyDP: noise traffic vs table size (functional)",
+        ),
+        (
             "scaling",
             "thread scaling: LazyDP step wall-clock vs executor width",
         ),
@@ -666,6 +670,7 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "abl_skew" => crate::ablation::abl_skew(),
         "abl_queue" => crate::ablation::abl_queue(),
         "utility" => crate::utility::utility_tradeoff(),
+        "adafest" => crate::adafest::adafest_traffic(),
         "scaling" => crate::scaling::thread_scaling(),
         "sharding" => crate::sharding::shard_scaling(),
         "storage" => crate::storage::storage_sweep(),

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod adafest;
 pub mod experiments;
 pub mod kernels;
 pub mod leak;

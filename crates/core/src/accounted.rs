@@ -1,0 +1,103 @@
+//! [`AccountedOptimizer`]: the bridge between a training algorithm and
+//! the privacy accountant.
+//!
+//! Until DP-AdaFEST the trainer could hard-code "one subsampled Gaussian
+//! query at `σ` per step" — every algorithm released the same mechanism
+//! shape. AdaFEST releases a *composed* mechanism (a noisy partition
+//! selection plus noise on the selected partitions), so the trainer now
+//! asks the optimizer what it releases per step and charges
+//! `RdpAccountant::compose_mechanism` accordingly.
+
+use crate::optimizer::LazyDpOptimizer;
+use lazydp_dpsgd::{AdaFestOptimizer, EagerDpSgd, EanaOptimizer, Optimizer};
+use lazydp_embedding::{EmbeddingStorage, EmbeddingTable};
+use lazydp_privacy::Mechanism;
+use lazydp_rng::RowNoise;
+
+/// An [`Optimizer`] that knows the per-step privacy mechanism it
+/// releases, so [`PrivateTrainer`](crate::PrivateTrainer) can charge
+/// the accountant correctly for any algorithm.
+pub trait AccountedOptimizer<T: EmbeddingStorage = EmbeddingTable>: Optimizer<T> {
+    /// The mechanism one call to [`Optimizer::step`] releases.
+    fn mechanism(&self) -> Mechanism;
+}
+
+impl<N: RowNoise + Clone + Send + Sync, T: EmbeddingStorage> AccountedOptimizer<T>
+    for LazyDpOptimizer<N>
+{
+    fn mechanism(&self) -> Mechanism {
+        // Lazy timing defers *when* noise lands, never *what* is
+        // released: plain subsampled Gaussian accounting (paper §5).
+        Mechanism::Gaussian {
+            sigma: self.config().dp.noise_multiplier,
+        }
+    }
+}
+
+impl<N: RowNoise + Clone + Send + Sync> AccountedOptimizer for EagerDpSgd<N> {
+    fn mechanism(&self) -> Mechanism {
+        Mechanism::Gaussian {
+            sigma: self.config().noise_multiplier,
+        }
+    }
+}
+
+impl<N: RowNoise> AccountedOptimizer for EanaOptimizer<N> {
+    fn mechanism(&self) -> Mechanism {
+        // EANA's *nominal* accounting (Ning et al.): the σ it targets.
+        // Its actual guarantee is weaker and data-dependent — untouched
+        // rows never receive noise (§7.4) — which no (σ, q, T) triple
+        // captures; the accountant reports the nominal figure.
+        Mechanism::Gaussian {
+            sigma: self.config().noise_multiplier,
+        }
+    }
+}
+
+impl<N: RowNoise, T: EmbeddingStorage> AccountedOptimizer<T> for AdaFestOptimizer<N> {
+    fn mechanism(&self) -> Mechanism {
+        let cfg = self.config();
+        Mechanism::SelectThenNoise {
+            sigma: cfg.dp.noise_multiplier,
+            sigma_select: cfg.sigma_select,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::LazyDpConfig;
+    use lazydp_dpsgd::{AdaFestConfig, ClipStyle, DpConfig};
+    use lazydp_model::{Dlrm, DlrmConfig};
+    use lazydp_rng::counter::CounterNoise;
+    use lazydp_rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn every_algorithm_reports_its_mechanism() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(2);
+        let model = Dlrm::new(DlrmConfig::tiny(2, 32, 8), &mut rng);
+        let dp = DpConfig::new(1.3, 1.0, 0.05, 16);
+
+        let lazy = LazyDpOptimizer::new(LazyDpConfig::new(dp, true), &model, CounterNoise::new(1));
+        assert_eq!(
+            AccountedOptimizer::<EmbeddingTable>::mechanism(&lazy),
+            Mechanism::Gaussian { sigma: 1.3 }
+        );
+
+        let eager = EagerDpSgd::new(dp, ClipStyle::Fast, CounterNoise::new(1));
+        assert_eq!(eager.mechanism(), Mechanism::Gaussian { sigma: 1.3 });
+
+        let eana = EanaOptimizer::new(dp, CounterNoise::new(1));
+        assert_eq!(eana.mechanism(), Mechanism::Gaussian { sigma: 1.3 });
+
+        let ada = AdaFestOptimizer::new(AdaFestConfig::new(dp, 2.0, 1.0, 16), CounterNoise::new(1));
+        assert_eq!(
+            AccountedOptimizer::<EmbeddingTable>::mechanism(&ada),
+            Mechanism::SelectThenNoise {
+                sigma: 1.3,
+                sigma_select: 2.0
+            }
+        );
+    }
+}

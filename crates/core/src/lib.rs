@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accounted;
 pub mod ans;
 pub mod checkpoint;
 pub mod history;
@@ -64,6 +65,7 @@ pub mod plan;
 pub mod scale;
 pub mod wrapper;
 
+pub use accounted::AccountedOptimizer;
 pub use ans::aggregated_std;
 pub use checkpoint::Checkpoint;
 pub use history::{HistoryTable, ShardedHistory};

@@ -8,9 +8,10 @@
 //! or async [`PrefetchLoader`]), and an [`RdpAccountant`] that tracks
 //! the (ε, δ) budget as training proceeds.
 
+use crate::accounted::AccountedOptimizer;
 use crate::optimizer::{LazyDpConfig, LazyDpOptimizer};
 use lazydp_data::{BatchSource, LookaheadLoader, LookaheadSource, PrefetchLoader};
-use lazydp_dpsgd::{KernelCounters, Optimizer, StepStats};
+use lazydp_dpsgd::{AdaFestConfig, AdaFestOptimizer, KernelCounters, StepStats};
 use lazydp_embedding::{EmbeddingStorage, EmbeddingTable};
 use lazydp_model::Dlrm;
 use lazydp_privacy::RdpAccountant;
@@ -28,17 +29,24 @@ use std::io;
 /// (disk-backed embedding tables). All of them train the bitwise-same
 /// model given the same batch stream and noise seed — the backend
 /// parameter `T` changes where embedding rows live, never their values.
+///
+/// `O` is the training algorithm: the constructors above build a
+/// [`LazyDpOptimizer`]; any other [`AccountedOptimizer`] (DP-AdaFEST
+/// via [`make_private_adafest`](Self::make_private_adafest), or eager
+/// DP-SGD / EANA via
+/// [`make_private_optimizer`](Self::make_private_optimizer)) gets the
+/// same loop and per-step accounting of the mechanism it reports.
 #[derive(Debug)]
-pub struct PrivateTrainer<L, N, T: EmbeddingStorage = EmbeddingTable> {
+pub struct PrivateTrainer<L, O, T: EmbeddingStorage = EmbeddingTable> {
     model: Dlrm<T>,
-    optimizer: LazyDpOptimizer<N>,
+    optimizer: O,
     loader: L,
     accountant: RdpAccountant,
     sampling_rate: f64,
     finalized: bool,
 }
 
-impl<S, N, T> PrivateTrainer<LookaheadLoader<S>, N, T>
+impl<S, N, T> PrivateTrainer<LookaheadLoader<S>, LazyDpOptimizer<N>, T>
 where
     S: BatchSource,
     N: RowNoise + Clone + Send + Sync,
@@ -83,7 +91,7 @@ where
     }
 }
 
-impl<S, N> PrivateTrainer<LookaheadLoader<S>, N, StoredTable>
+impl<S, N> PrivateTrainer<LookaheadLoader<S>, LazyDpOptimizer<N>, StoredTable>
 where
     S: BatchSource,
     N: RowNoise + Clone + Send + Sync,
@@ -122,7 +130,9 @@ where
     }
 }
 
-impl<N: RowNoise + Clone + Send + Sync, T: EmbeddingStorage> PrivateTrainer<PrefetchLoader, N, T> {
+impl<N: RowNoise + Clone + Send + Sync, T: EmbeddingStorage>
+    PrivateTrainer<PrefetchLoader, LazyDpOptimizer<N>, T>
+{
     /// [`make_private`](PrivateTrainer::make_private) with the
     /// asynchronous double-buffered input pipeline: batches are
     /// generated on a background thread and the next batch's indices
@@ -151,7 +161,9 @@ impl<N: RowNoise + Clone + Send + Sync, T: EmbeddingStorage> PrivateTrainer<Pref
     }
 }
 
-impl<N: RowNoise + Clone + Send + Sync> PrivateTrainer<PrefetchLoader, N, StoredTable> {
+impl<N: RowNoise + Clone + Send + Sync>
+    PrivateTrainer<PrefetchLoader, LazyDpOptimizer<N>, StoredTable>
+{
     /// The full out-of-core pipeline: disk-backed embedding tables
     /// (see [`make_private_stored`](PrivateTrainer::make_private_stored))
     /// **and** the async input pipeline, whose
@@ -192,7 +204,7 @@ fn store_model(model: Dlrm, cfg: &LazyDpConfig) -> io::Result<Dlrm<StoredTable>>
 }
 
 impl<L: LookaheadSource, N: RowNoise + Clone + Send + Sync, T: EmbeddingStorage>
-    PrivateTrainer<L, N, T>
+    PrivateTrainer<L, LazyDpOptimizer<N>, T>
 {
     /// [`make_private`](PrivateTrainer::make_private) over an
     /// already-constructed lookahead pipeline (any [`LookaheadSource`]).
@@ -208,11 +220,62 @@ impl<L: LookaheadSource, N: RowNoise + Clone + Send + Sync, T: EmbeddingStorage>
         noise: N,
         sampling_rate: f64,
     ) -> Self {
+        let optimizer = LazyDpOptimizer::new(cfg, &model, noise);
+        Self::make_private_optimizer(model, optimizer, loader, sampling_rate)
+    }
+}
+
+impl<S, N, T> PrivateTrainer<LookaheadLoader<S>, AdaFestOptimizer<N>, T>
+where
+    S: BatchSource,
+    N: RowNoise,
+    T: EmbeddingStorage,
+{
+    /// [`make_private`](PrivateTrainer::make_private) for **DP-AdaFEST**
+    /// (sparsity-preserving DP training): the per-step mechanism is the
+    /// composed selection+noise pair, and the accountant charges
+    /// `Mechanism::SelectThenNoise` accordingly — the reported ε is
+    /// strictly larger than a plain Gaussian run at the same `σ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sampling_rate ∉ (0, 1]`.
+    #[must_use]
+    pub fn make_private_adafest(
+        model: Dlrm<T>,
+        cfg: AdaFestConfig,
+        source: S,
+        noise: N,
+        sampling_rate: f64,
+    ) -> Self {
+        Self::make_private_optimizer(
+            model,
+            AdaFestOptimizer::new(cfg, noise),
+            LookaheadLoader::new(source),
+            sampling_rate,
+        )
+    }
+}
+
+impl<L: LookaheadSource, O: AccountedOptimizer<T>, T: EmbeddingStorage> PrivateTrainer<L, O, T> {
+    /// Wraps an arbitrary [`AccountedOptimizer`] — eager DP-SGD, EANA,
+    /// AdaFEST, LazyDP — into a training session with per-step privacy
+    /// accounting of whatever mechanism the optimizer reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sampling_rate ∉ (0, 1]`.
+    #[must_use]
+    pub fn make_private_optimizer(
+        model: Dlrm<T>,
+        optimizer: O,
+        loader: L,
+        sampling_rate: f64,
+    ) -> Self {
         assert!(
             sampling_rate > 0.0 && sampling_rate <= 1.0,
             "sampling rate must be in (0,1], got {sampling_rate}"
         );
-        let optimizer = LazyDpOptimizer::new(cfg, &model, noise);
         Self {
             model,
             optimizer,
@@ -231,14 +294,15 @@ impl<L: LookaheadSource, N: RowNoise + Clone + Send + Sync, T: EmbeddingStorage>
     /// finalization via [`finalize`](Self::finalize).
     pub fn train_steps(&mut self, n: usize) -> Vec<StepStats> {
         assert!(!self.finalized, "trainer already finalized");
-        let sigma = self.optimizer.config().dp.noise_multiplier;
+        let mechanism = self.optimizer.mechanism();
         let mut stats = Vec::with_capacity(n);
         for _ in 0..n {
             let (cur, next) = self.loader.advance();
             let (cur, next) = (cur.clone(), next.clone());
             stats.push(self.optimizer.step(&mut self.model, &cur, Some(&next)));
             let _ = self.loader.finish_iteration();
-            self.accountant.compose(sigma, self.sampling_rate, 1);
+            self.accountant
+                .compose_mechanism(&mechanism, self.sampling_rate, 1);
         }
         stats
     }
@@ -410,6 +474,44 @@ mod tests {
         let with_ans = run(true);
         let without = run(false);
         assert_eq!(with_ans, without, "ε must not depend on ANS");
+    }
+
+    #[test]
+    fn adafest_trainer_charges_the_composed_mechanism() {
+        // Same σ, same steps: the AdaFEST session must report a
+        // strictly larger ε than LazyDP, because its per-step release
+        // includes the noisy partition-count selection.
+        let ds = dataset(256);
+        let dp = lazydp_dpsgd::DpConfig::new(1.1, 1.0, 0.05, 32);
+        let q = 32.0 / 256.0;
+        let mut lazy = PrivateTrainer::make_private(
+            model(),
+            LazyDpConfig::new(dp, true),
+            FixedBatchLoader::new(ds.clone(), 32),
+            CounterNoise::new(6),
+            q,
+        );
+        let mut ada = PrivateTrainer::make_private_adafest(
+            model(),
+            lazydp_dpsgd::AdaFestConfig::new(dp, 1.0, 8.0, 8),
+            FixedBatchLoader::new(ds, 32),
+            CounterNoise::new(6),
+            q,
+        );
+        let _ = lazy.train_steps(10);
+        let _ = ada.train_steps(10);
+        let (eps_lazy, _) = lazy.epsilon(1e-6);
+        let (eps_ada, _) = ada.epsilon(1e-6);
+        assert!(
+            eps_ada > eps_lazy,
+            "selection must cost extra: {eps_ada} vs {eps_lazy}"
+        );
+        // The AdaFEST run is sparse: far fewer table rows written than
+        // the dense-equivalent 10 steps × total rows.
+        let total_rows: u64 = ada.model().tables.iter().map(|t| t.rows() as u64).sum();
+        assert!(ada.counters().table_rows_written < 10 * total_rows);
+        let released = ada.finish();
+        assert!(released.tables[0].frob_norm().is_finite());
     }
 
     #[test]

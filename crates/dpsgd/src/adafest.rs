@@ -1,0 +1,550 @@
+//! DP-AdaFEST: sparsity-preserving DP-SGD (Ghazi et al., arXiv
+//! 2311.08357), the fourth training algorithm of the workspace.
+//!
+//! Eager DP-SGD and LazyDP both add Gaussian noise to **every** row of
+//! every embedding table each step (LazyDP merely defers when the writes
+//! land), so their noise traffic is `O(table rows)`. AdaFEST instead
+//! spends part of the privacy budget on a **private partition
+//! selection**: the rows of each table are hash-partitioned (the same
+//! `row mod S` scheme as [`ShardSpec`]), the per-partition gather counts
+//! of the current batch are perturbed with Gaussian noise at
+//! `σ_select`, and only partitions whose noisy count clears a threshold
+//! receive gradient + noise. Unselected partitions are not touched at
+//! all — their gradient contribution is *dropped*, which is what makes
+//! the release sparse and private (writing grads without noise would
+//! leak). Noise traffic becomes `O(touched partitions · partition
+//! rows)`, i.e. it scales with the batch's access locality instead of
+//! the table size.
+//!
+//! # Determinism contract
+//!
+//! Selection draws come from the deterministic dense-parameter address
+//! space of [`RowNoise::fill_unit_dense`] under [`SELECT_PARAM_BASE`],
+//! addressed by `(table, partition, iter)` — selection is a pure
+//! function of `(seed, batch)`, independent of thread count, shard
+//! count, and storage backend. The per-row update kernel is the dense
+//! noisy-update arithmetic restricted to selected partitions, executed
+//! sequentially in row order, so with the threshold forced to
+//! `-∞` (see [`AdaFestConfig::select_all`]) a training run is
+//! **bitwise identical** to eager DP-SGD(F) — a differential test pins
+//! this.
+//!
+//! # Privacy accounting
+//!
+//! Each step releases two subsampled Gaussian queries (counts at
+//! `σ_select`, selected-partition gradient at `σ`); the accounting for
+//! the pair is `lazydp_privacy`'s `Mechanism::SelectThenNoise`, charged
+//! per step by the trainer.
+
+use crate::clip::{clip_weights_into, clipped_fraction};
+use crate::config::DpConfig;
+use crate::counters::KernelCounters;
+use crate::optimizer::{Optimizer, StepStats};
+use lazydp_data::MiniBatch;
+use lazydp_embedding::{CoalesceScratch, EmbeddingStorage, ShardSpec, SparseGrad};
+use lazydp_model::{Dlrm, DlrmCache, DlrmGrads, DlrmScratch};
+use lazydp_rng::RowNoise;
+
+/// Dense-parameter namespace for the selection draws, disjoint from the
+/// MLP bases (bottom = 0, top = 64): table `t`'s partition counts are
+/// perturbed under parameter `SELECT_PARAM_BASE + t`.
+pub const SELECT_PARAM_BASE: u32 = 128;
+
+/// Hyper-parameters for [`AdaFestOptimizer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaFestConfig {
+    /// The shared DP-SGD hyper-parameters (σ, C, η, B, threads).
+    pub dp: DpConfig,
+    /// Selection noise multiplier σ_select, relative to the count
+    /// query's sensitivity.
+    pub sigma_select: f64,
+    /// Selection threshold τ: partition `p` is noised iff
+    /// `count(p) + σ_select·n_p > τ`. `f64::NEG_INFINITY` selects every
+    /// partition (the differential-test configuration).
+    pub threshold: f64,
+    /// Rows per partition. Partitions are fixed-size so the noisy-update
+    /// work grows with the number of *touched* partitions, not with the
+    /// table's row count.
+    pub partition_rows: usize,
+}
+
+impl AdaFestConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_select` is not positive and finite, if
+    /// `partition_rows == 0`, or if `threshold` is NaN
+    /// (`-∞` is allowed — it means select-all).
+    #[must_use]
+    pub fn new(dp: DpConfig, sigma_select: f64, threshold: f64, partition_rows: usize) -> Self {
+        assert!(
+            sigma_select > 0.0 && sigma_select.is_finite(),
+            "sigma_select must be positive and finite"
+        );
+        assert!(partition_rows > 0, "partition_rows must be positive");
+        assert!(!threshold.is_nan(), "threshold must not be NaN");
+        Self {
+            dp,
+            sigma_select,
+            threshold,
+            partition_rows,
+        }
+    }
+
+    /// Paper-flavored defaults on top of [`DpConfig::paper_default`]:
+    /// `σ_select = 1.0`, `τ = 1.0`, 16 rows per partition.
+    #[must_use]
+    pub fn paper_default(nominal_batch: usize) -> Self {
+        Self::new(DpConfig::paper_default(nominal_batch), 1.0, 1.0, 16)
+    }
+
+    /// Forces the threshold to `-∞` so every partition is selected —
+    /// the configuration under which AdaFEST degenerates to eager
+    /// DP-SGD bitwise (the selection noise is still drawn and charged).
+    #[must_use]
+    pub fn select_all(mut self) -> Self {
+        self.threshold = f64::NEG_INFINITY;
+        self
+    }
+
+    /// Number of partitions for a table with `rows` rows (at least 1).
+    #[must_use]
+    pub fn partitions_for(&self, rows: usize) -> usize {
+        rows.div_ceil(self.partition_rows).max(1)
+    }
+}
+
+/// Privately selects partitions:
+/// `selected[p] = count(p) + σ_select·n_p > threshold`, with `n_p`
+/// the deterministic standard-normal draw for
+/// `(SELECT_PARAM_BASE + table_id, p, iter)`. Pure function of its
+/// arguments — no entropy, no iteration-order dependence.
+pub fn select_partitions_into<N: RowNoise>(
+    table_id: u32,
+    counts: &[u64],
+    sigma_select: f64,
+    threshold: f64,
+    noise: &mut N,
+    iter: u64,
+    selected: &mut Vec<bool>,
+) {
+    selected.clear();
+    let mut draw = [0.0f32; 1];
+    for (p, &count) in counts.iter().enumerate() {
+        noise.fill_unit_dense(SELECT_PARAM_BASE + table_id, iter, p as u64, &mut draw);
+        let noisy = count as f64 + sigma_select * f64::from(draw[0]);
+        selected.push(noisy > threshold);
+    }
+}
+
+/// The AdaFEST table update: the dense noisy-update arithmetic (`θ[r] -=
+/// lr·(noise_std·n_r + g[r])`, `g[r] = 0` off the gather set) applied
+/// to rows of **selected** partitions only; rows of unselected
+/// partitions are untouched and their gradient entries are dropped.
+/// Sequential in row order so the selected-row updates are bitwise those
+/// of [`dense_noisy_update`](crate::noise_update::dense_noisy_update).
+///
+/// # Panics
+///
+/// Panics if `grad` is not coalesced, its dimension mismatches, or
+/// `selected.len() != spec.shards()`.
+#[allow(clippy::too_many_arguments)]
+pub fn partition_noisy_update_with<T: EmbeddingStorage, N: RowNoise>(
+    table_id: u32,
+    table: &mut T,
+    spec: &ShardSpec,
+    selected: &[bool],
+    grad: &SparseGrad,
+    noise: &mut N,
+    iter: u64,
+    noise_std: f32,
+    lr: f32,
+    counters: &mut KernelCounters,
+    buf: &mut Vec<f32>,
+) {
+    assert_eq!(grad.dim(), table.dim(), "grad dim mismatch");
+    assert!(
+        grad.is_coalesced(),
+        "gradient must be coalesced (sorted, duplicate-free rows)"
+    );
+    assert_eq!(
+        selected.len(),
+        spec.shards(),
+        "selection mask / partition count mismatch"
+    );
+    let dim = table.dim();
+    buf.clear();
+    buf.resize(dim, 0.0);
+    let rows = table.rows();
+    let mut touched = 0u64;
+    for r in 0..rows {
+        if !selected[spec.shard_of(r as u64)] {
+            continue;
+        }
+        noise.fill_unit(table_id, r as u64, iter, buf);
+        table.with_row_mut(r as u64, |row| {
+            if let Some(g) = grad.find(r as u64) {
+                for ((w, &n), &gv) in row.iter_mut().zip(buf.iter()).zip(g.iter()) {
+                    *w -= lr * (noise_std * n + gv);
+                }
+            } else {
+                for (w, &n) in row.iter_mut().zip(buf.iter()) {
+                    *w -= lr * noise_std * n;
+                }
+            }
+        });
+        touched += 1;
+    }
+    counters.gaussian_samples += touched * dim as u64;
+    counters.table_rows_read += touched;
+    counters.table_rows_written += touched;
+}
+
+/// Reusable per-step buffers — the whole step allocates nothing once
+/// these reach steady-state size.
+#[derive(Debug, Clone, Default)]
+struct AdaFestScratch {
+    cache: DlrmCache,
+    model_scratch: DlrmScratch,
+    grads: DlrmGrads,
+    logit_g: Vec<f32>,
+    norms: Vec<f64>,
+    dense_buf: Vec<f32>,
+    noise_buf: Vec<f32>,
+    coalesce: CoalesceScratch,
+    counts: Vec<u64>,
+    selected: Vec<bool>,
+}
+
+/// The DP-AdaFEST optimizer (see the module docs).
+#[derive(Debug, Clone)]
+pub struct AdaFestOptimizer<N> {
+    cfg: AdaFestConfig,
+    noise: N,
+    counters: KernelCounters,
+    iter: u64,
+    scratch: AdaFestScratch,
+}
+
+impl<N: RowNoise> AdaFestOptimizer<N> {
+    /// Creates an AdaFEST optimizer.
+    #[must_use]
+    pub fn new(cfg: AdaFestConfig, noise: N) -> Self {
+        Self {
+            cfg,
+            noise,
+            counters: KernelCounters::new(),
+            iter: 0,
+            scratch: AdaFestScratch::default(),
+        }
+    }
+
+    /// The hyper-parameters.
+    #[must_use]
+    pub fn config(&self) -> &AdaFestConfig {
+        &self.cfg
+    }
+
+    /// Ghost-clipped aggregate into the scratch grads (associated fn so
+    /// the borrows split); mirrors DP-SGD(F) bitwise.
+    fn clipped_aggregate<T: EmbeddingStorage>(
+        dp: &DpConfig,
+        model: &Dlrm<T>,
+        batch: &MiniBatch,
+        counters: &mut KernelCounters,
+        scratch: &mut AdaFestScratch,
+    ) -> f64 {
+        if batch.is_empty() {
+            scratch.grads.reset_for(model);
+            return 0.0;
+        }
+        model.forward_with(batch, &mut scratch.cache, &mut scratch.model_scratch);
+        counters.rows_gathered += batch.total_lookups() as u64;
+        Dlrm::logit_grads_into(&scratch.cache, &batch.labels, false, &mut scratch.logit_g);
+        let c = dp.max_grad_norm;
+        let AdaFestScratch {
+            cache,
+            model_scratch,
+            grads,
+            logit_g,
+            norms,
+            ..
+        } = scratch;
+        model.backward_clipped_with(
+            cache,
+            batch,
+            logit_g,
+            |n, w| {
+                norms.clear();
+                norms.extend_from_slice(n);
+                clip_weights_into(n, c, w);
+            },
+            grads,
+            model_scratch,
+        );
+        clipped_fraction(&scratch.norms, c)
+    }
+}
+
+impl<T: EmbeddingStorage, N: RowNoise> Optimizer<T> for AdaFestOptimizer<N> {
+    fn name(&self) -> &'static str {
+        "DP-AdaFEST"
+    }
+
+    fn step(
+        &mut self,
+        model: &mut Dlrm<T>,
+        batch: &MiniBatch,
+        _next: Option<&MiniBatch>,
+    ) -> StepStats {
+        self.iter += 1;
+        let clipped = Self::clipped_aggregate(
+            &self.cfg.dp,
+            model,
+            batch,
+            &mut self.counters,
+            &mut self.scratch,
+        );
+        let b = self.cfg.dp.nominal_batch as f32;
+        let std = self.cfg.dp.noise_std_per_coord();
+        let lr = self.cfg.dp.lr;
+        let AdaFestScratch {
+            grads,
+            dense_buf,
+            noise_buf,
+            coalesce,
+            counts,
+            selected,
+            ..
+        } = &mut self.scratch;
+        grads.scale(1.0 / b);
+        self.counters.duplicates_removed += grads.coalesce_with(coalesce) as u64;
+        model.bottom.apply(&grads.bottom, lr);
+        model.top.apply(&grads.top, lr);
+        model
+            .bottom
+            .apply_dense_noise_with(&mut self.noise, self.iter, 0, std, lr, dense_buf);
+        model
+            .top
+            .apply_dense_noise_with(&mut self.noise, self.iter, 64, std, lr, dense_buf);
+        self.counters.gaussian_samples += (model.bottom.params() + model.top.params()) as u64;
+        for (t, (table, g)) in model.tables.iter_mut().zip(grads.tables.iter()).enumerate() {
+            let spec = ShardSpec::new(self.cfg.partitions_for(table.rows()));
+            spec.partition_counts_into(g.indices(), counts);
+            select_partitions_into(
+                t as u32,
+                counts,
+                self.cfg.sigma_select,
+                self.cfg.threshold,
+                &mut self.noise,
+                self.iter,
+                selected,
+            );
+            self.counters.gaussian_samples += counts.len() as u64;
+            partition_noisy_update_with(
+                t as u32,
+                table,
+                &spec,
+                selected,
+                g,
+                &mut self.noise,
+                self.iter,
+                std,
+                lr,
+                &mut self.counters,
+                noise_buf,
+            );
+        }
+        self.counters.steps += 1;
+        StepStats {
+            realized_batch: batch.batch_size(),
+            clipped_fraction: clipped,
+        }
+    }
+
+    fn counters(&self) -> KernelCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazydp_data::{SyntheticConfig, SyntheticDataset};
+    use lazydp_model::DlrmConfig;
+    use lazydp_rng::counter::CounterNoise;
+    use lazydp_rng::Xoshiro256PlusPlus;
+
+    fn setup() -> (Dlrm, SyntheticDataset) {
+        let mut rng = Xoshiro256PlusPlus::seed_from(17);
+        let model = Dlrm::new(DlrmConfig::tiny(3, 48, 8), &mut rng);
+        let ds = SyntheticDataset::new(SyntheticConfig::small(3, 48, 96));
+        (model, ds)
+    }
+
+    #[test]
+    fn selection_is_a_pure_function_of_seed_and_counts() {
+        let counts = vec![0u64, 3, 0, 17, 1];
+        let run = || {
+            let mut noise = CounterNoise::new(5);
+            let mut sel = Vec::new();
+            select_partitions_into(2, &counts, 1.0, 1.0, &mut noise, 9, &mut sel);
+            sel
+        };
+        assert_eq!(run(), run());
+        // A different iteration gives (generically) different draws but
+        // stays deterministic.
+        let mut noise = CounterNoise::new(5);
+        let mut sel = Vec::new();
+        select_partitions_into(2, &counts, 1.0, 1.0, &mut noise, 10, &mut sel);
+        assert_eq!(sel.len(), counts.len());
+    }
+
+    #[test]
+    fn select_all_threshold_selects_everything() {
+        let counts = vec![0u64; 16];
+        let mut noise = CounterNoise::new(5);
+        let mut sel = Vec::new();
+        select_partitions_into(0, &counts, 1.0, f64::NEG_INFINITY, &mut noise, 1, &mut sel);
+        assert!(sel.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn huge_threshold_selects_nothing_on_empty_counts() {
+        let counts = vec![0u64; 8];
+        let mut noise = CounterNoise::new(5);
+        let mut sel = Vec::new();
+        select_partitions_into(0, &counts, 1.0, 1e9, &mut noise, 1, &mut sel);
+        assert!(sel.iter().all(|&s| !s));
+    }
+
+    #[test]
+    fn hot_partitions_survive_selection_cold_ones_mostly_do_not() {
+        // With σ_select = 1 and τ = 3, a count of 100 is essentially
+        // always selected and a count of 0 essentially never.
+        let mut hot = 0usize;
+        let mut cold = 0usize;
+        for iter in 1..=64u64 {
+            let mut noise = CounterNoise::new(5);
+            let mut sel = Vec::new();
+            select_partitions_into(0, &[100, 0], 1.0, 3.0, &mut noise, iter, &mut sel);
+            hot += usize::from(sel[0]);
+            cold += usize::from(sel[1]);
+        }
+        assert_eq!(hot, 64, "hot partition must always clear τ=3");
+        assert!(cold <= 3, "cold partition cleared τ=3 {cold}/64 times");
+    }
+
+    #[test]
+    fn unselected_partitions_are_never_written() {
+        let mut table = lazydp_embedding::EmbeddingTable::zeros(8, 2);
+        let spec = ShardSpec::new(4);
+        let selected = vec![true, false, true, false];
+        let mut g = SparseGrad::from_entries(2, vec![(1, vec![5.0, 5.0]), (2, vec![5.0, 5.0])]);
+        g.coalesce();
+        let mut noise = CounterNoise::new(3);
+        let mut c = KernelCounters::new();
+        let mut buf = Vec::new();
+        partition_noisy_update_with(
+            0, &mut table, &spec, &selected, &g, &mut noise, 1, 0.5, 0.1, &mut c, &mut buf,
+        );
+        for r in 0..8usize {
+            let part = spec.shard_of(r as u64);
+            if selected[part] {
+                assert_ne!(table.row(r), &[0.0, 0.0], "selected row {r} must move");
+            } else {
+                // Row 1 carries a gradient but sits in partition 1
+                // (unselected): it must be dropped, not applied.
+                assert_eq!(
+                    table.row(r),
+                    &[0.0, 0.0],
+                    "unselected row {r} must not move"
+                );
+            }
+        }
+        assert_eq!(c.table_rows_written, 4);
+        assert_eq!(c.gaussian_samples, 8);
+    }
+
+    #[test]
+    fn select_all_step_matches_eager_fast_bitwise() {
+        // The in-crate version of the differential test (the facade
+        // version lives in tests/): τ = -∞ ⇒ AdaFEST ≡ DP-SGD(F).
+        use crate::eager::{ClipStyle, EagerDpSgd};
+        let (model0, ds) = setup();
+        let dp = DpConfig::new(0.9, 0.8, 0.05, 16).with_threads(1);
+        let mut eager_model = model0.clone();
+        let mut ada_model = model0.clone();
+        let mut eager = EagerDpSgd::new(dp, ClipStyle::Fast, CounterNoise::new(21));
+        let mut ada = AdaFestOptimizer::new(
+            AdaFestConfig::new(dp, 1.0, 0.0, 16).select_all(),
+            CounterNoise::new(21),
+        );
+        for it in 0..4 {
+            let batch = ds.batch_of(&(it * 16..(it + 1) * 16).collect::<Vec<_>>());
+            eager.step(&mut eager_model, &batch, None);
+            ada.step(&mut ada_model, &batch, None);
+        }
+        for (a, b) in eager_model.tables.iter().zip(ada_model.tables.iter()) {
+            assert_eq!(a.max_abs_diff(b), 0.0, "tables diverged");
+        }
+        for (a, b) in eager_model
+            .top
+            .layers()
+            .iter()
+            .zip(ada_model.top.layers().iter())
+        {
+            assert_eq!(a.weight.max_abs_diff(&b.weight), 0.0, "MLP diverged");
+        }
+    }
+
+    #[test]
+    fn noise_work_scales_with_touched_partitions_not_table_rows() {
+        // A one-sample batch touches O(1) partitions; eager noises the
+        // whole table. This is AdaFEST's asymptotic claim in miniature.
+        let (mut model, ds) = setup();
+        let total_rows: u64 = model.tables.iter().map(|t| t.rows() as u64).sum();
+        let cfg = AdaFestConfig::new(DpConfig::paper_default(1), 1.0, 2.5, 4);
+        let mut opt = AdaFestOptimizer::new(cfg, CounterNoise::new(7));
+        let batch = ds.batch_of(&[0]);
+        opt.step(&mut model, &batch, None);
+        let written =
+            Optimizer::<lazydp_embedding::EmbeddingTable>::counters(&opt).table_rows_written;
+        assert!(
+            written < total_rows / 2,
+            "AdaFEST wrote {written} of {total_rows} rows — not sparse"
+        );
+    }
+
+    #[test]
+    fn empty_batch_still_noises_mlp_and_selected_partitions() {
+        let (mut model, _) = setup();
+        let top_before = model.top.layers()[0].weight.clone();
+        let cfg = AdaFestConfig::paper_default(8).select_all();
+        let mut opt = AdaFestOptimizer::new(cfg, CounterNoise::new(5));
+        let stats = opt.step(&mut model, &MiniBatch::default(), None);
+        assert_eq!(stats.realized_batch, 0);
+        assert!(
+            model.top.layers()[0].weight.max_abs_diff(&top_before) > 0.0,
+            "MLP noise must land on empty batches"
+        );
+        assert!(
+            model.tables[0].max_abs_diff(&lazydp_embedding::EmbeddingTable::zeros(
+                model.tables[0].rows(),
+                model.tables[0].dim()
+            )) >= 0.0
+        );
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let dp = DpConfig::paper_default(8);
+        assert!(std::panic::catch_unwind(|| AdaFestConfig::new(dp, 0.0, 1.0, 16)).is_err());
+        assert!(std::panic::catch_unwind(|| AdaFestConfig::new(dp, 1.0, f64::NAN, 16)).is_err());
+        assert!(std::panic::catch_unwind(|| AdaFestConfig::new(dp, 1.0, 1.0, 0)).is_err());
+        let c = AdaFestConfig::new(dp, 1.0, 1.0, 16);
+        assert_eq!(c.partitions_for(0), 1);
+        assert_eq!(c.partitions_for(17), 2);
+    }
+}

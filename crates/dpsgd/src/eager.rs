@@ -16,15 +16,15 @@
 //! All three then perform the identical **dense noisy update** on every
 //! embedding table — the §4 bottleneck.
 
-use crate::clip::{clip_weights, clipped_fraction};
+use crate::clip::{clip_weights, clip_weights_into, clipped_fraction};
 use crate::config::DpConfig;
 use crate::counters::KernelCounters;
-use crate::noise_update::dense_noisy_update;
+use crate::noise_update::dense_noisy_update_with;
 use crate::optimizer::{Optimizer, StepStats};
 use crate::parallel_update::par_dense_noisy_update;
 use lazydp_data::MiniBatch;
-use lazydp_embedding::SparseGrad;
-use lazydp_model::{Dlrm, DlrmGrads, MlpGrads};
+use lazydp_embedding::{CoalesceScratch, SparseGrad};
+use lazydp_model::{Dlrm, DlrmCache, DlrmGrads, DlrmScratch, MlpGrads};
 use lazydp_rng::RowNoise;
 
 /// How per-example clipping is computed (see module docs).
@@ -50,6 +50,22 @@ impl ClipStyle {
     }
 }
 
+/// Reusable per-step buffers. With [`ClipStyle::Fast`] and a single
+/// noise thread the whole step runs allocation-free once these reach
+/// steady-state size (pinned by `tests/alloc_steady_state_eager.rs`);
+/// the (B) and (R) styles still materialize per-example state.
+#[derive(Debug, Clone, Default)]
+struct EagerScratch {
+    cache: DlrmCache,
+    model_scratch: DlrmScratch,
+    grads: DlrmGrads,
+    logit_g: Vec<f32>,
+    norms: Vec<f64>,
+    dense_buf: Vec<f32>,
+    noise_buf: Vec<f32>,
+    coalesce: CoalesceScratch,
+}
+
 /// Eager (non-lazy) DP-SGD optimizer.
 #[derive(Debug, Clone)]
 pub struct EagerDpSgd<N> {
@@ -58,6 +74,7 @@ pub struct EagerDpSgd<N> {
     noise: N,
     counters: KernelCounters,
     iter: u64,
+    scratch: EagerScratch,
 }
 
 impl<N: RowNoise + Clone + Send + Sync> EagerDpSgd<N> {
@@ -70,6 +87,7 @@ impl<N: RowNoise + Clone + Send + Sync> EagerDpSgd<N> {
             noise,
             counters: KernelCounters::new(),
             iter: 0,
+            scratch: EagerScratch::default(),
         }
     }
 
@@ -86,33 +104,63 @@ impl<N: RowNoise + Clone + Send + Sync> EagerDpSgd<N> {
     }
 
     /// Derives the clipped, summed gradient `Σ_i min(1, C/‖g_i‖)·g_i`
-    /// (not yet divided by B) plus the clipped fraction.
-    fn clipped_aggregate(&mut self, model: &Dlrm, batch: &MiniBatch) -> (DlrmGrads, f64) {
-        let cache = model.forward(batch);
+    /// (not yet divided by B) into the scratch grads and returns the
+    /// clipped fraction.
+    fn clipped_aggregate(&mut self, model: &Dlrm, batch: &MiniBatch) -> f64 {
         self.counters.rows_gathered += batch.total_lookups() as u64;
-        let gl = Dlrm::logit_grads(&cache, &batch.labels, false);
         let c = self.cfg.max_grad_norm;
         match self.style {
             ClipStyle::Fast => {
                 // Fused ghost-clipping backward: one gradient chain
                 // yields the ghost norms and the clipped aggregate
-                // (bitwise-identical to norms-then-reweighted-backward).
-                let mut norms = Vec::new();
-                let grads = model.backward_clipped(&cache, batch, &gl, |n, w| {
-                    norms.extend_from_slice(n);
-                    *w = clip_weights(n, c);
-                });
-                (grads, clipped_fraction(&norms, c))
+                // (bitwise-identical to norms-then-reweighted-backward),
+                // entirely in reusable scratch buffers.
+                model.forward_with(
+                    batch,
+                    &mut self.scratch.cache,
+                    &mut self.scratch.model_scratch,
+                );
+                Dlrm::logit_grads_into(
+                    &self.scratch.cache,
+                    &batch.labels,
+                    false,
+                    &mut self.scratch.logit_g,
+                );
+                let EagerScratch {
+                    cache,
+                    model_scratch,
+                    grads,
+                    logit_g,
+                    norms,
+                    ..
+                } = &mut self.scratch;
+                model.backward_clipped_with(
+                    cache,
+                    batch,
+                    logit_g,
+                    |n, w| {
+                        norms.clear();
+                        norms.extend_from_slice(n);
+                        clip_weights_into(n, c, w);
+                    },
+                    grads,
+                    model_scratch,
+                );
+                clipped_fraction(&self.scratch.norms, c)
             }
             ClipStyle::Reweighted => {
                 // Norm pass via materialization (the recomputation cost
                 // DP-SGD(R) pays), aggregate via the reweighted pass.
+                let cache = model.forward(batch);
+                let gl = Dlrm::logit_grads(&cache, &batch.labels, false);
                 let norms = materialized_norms(model, &cache, batch, &gl);
                 let w = clip_weights(&norms, c);
-                let grads = model.backward(&cache, batch, &gl, Some(&w));
-                (grads, clipped_fraction(&norms, c))
+                self.scratch.grads = model.backward(&cache, batch, &gl, Some(&w));
+                clipped_fraction(&norms, c)
             }
             ClipStyle::PerExample => {
+                let cache = model.forward(batch);
+                let gl = Dlrm::logit_grads(&cache, &batch.labels, false);
                 let mut per_ex = model.per_example_grads(&cache, batch, &gl);
                 for g in &mut per_ex {
                     g.coalesce();
@@ -140,27 +188,35 @@ impl<N: RowNoise + Clone + Send + Sync> EagerDpSgd<N> {
                         }
                     }
                 }
-                (sum, clipped_fraction(&norms, c))
+                self.scratch.grads = sum;
+                clipped_fraction(&norms, c)
             }
         }
     }
 
-    /// Applies the noisy update: MLP grads + dense MLP noise, then the
-    /// dense noisy update on every table.
-    fn noisy_update(&mut self, model: &mut Dlrm, mut grads: DlrmGrads) {
+    /// Applies the noisy update from the scratch grads: MLP grads +
+    /// dense MLP noise, then the dense noisy update on every table.
+    fn noisy_update(&mut self, model: &mut Dlrm) {
         let b = self.cfg.nominal_batch as f32;
-        grads.scale(1.0 / b);
-        self.counters.duplicates_removed += grads.coalesce() as u64;
         let std = self.cfg.noise_std_per_coord();
         let lr = self.cfg.lr;
+        let EagerScratch {
+            grads,
+            dense_buf,
+            noise_buf,
+            coalesce,
+            ..
+        } = &mut self.scratch;
+        grads.scale(1.0 / b);
+        self.counters.duplicates_removed += grads.coalesce_with(coalesce) as u64;
         model.bottom.apply(&grads.bottom, lr);
         model.top.apply(&grads.top, lr);
         model
             .bottom
-            .apply_dense_noise(&mut self.noise, self.iter, 0, std, lr);
+            .apply_dense_noise_with(&mut self.noise, self.iter, 0, std, lr, dense_buf);
         model
             .top
-            .apply_dense_noise(&mut self.noise, self.iter, 64, std, lr);
+            .apply_dense_noise_with(&mut self.noise, self.iter, 64, std, lr, dense_buf);
         self.counters.gaussian_samples += (model.bottom.params() + model.top.params()) as u64;
         let threads = self.cfg.threads;
         let parallel = threads > 1 && self.noise.addressable();
@@ -181,7 +237,7 @@ impl<N: RowNoise + Clone + Send + Sync> EagerDpSgd<N> {
                     &mut self.counters,
                 );
             } else {
-                dense_noisy_update(
+                dense_noisy_update_with(
                     t as u32,
                     table,
                     g,
@@ -190,6 +246,7 @@ impl<N: RowNoise + Clone + Send + Sync> EagerDpSgd<N> {
                     std,
                     lr,
                     &mut self.counters,
+                    noise_buf,
                 );
             }
         }
@@ -227,23 +284,15 @@ impl<N: RowNoise + Clone + Send + Sync> Optimizer for EagerDpSgd<N> {
         _next: Option<&MiniBatch>,
     ) -> StepStats {
         self.iter += 1;
-        let (grads, clipped) = if batch.is_empty() {
+        let clipped = if batch.is_empty() {
             // Poisson sampling may deal an empty batch; DP still adds
             // noise (the mechanism releases a noisy zero gradient).
-            let zero = DlrmGrads {
-                bottom: MlpGrads::zeros_like(&model.bottom),
-                top: MlpGrads::zeros_like(&model.top),
-                tables: model
-                    .tables
-                    .iter()
-                    .map(|t| SparseGrad::new(t.dim()))
-                    .collect(),
-            };
-            (zero, 0.0)
+            self.scratch.grads.reset_for(model);
+            0.0
         } else {
             self.clipped_aggregate(model, batch)
         };
-        self.noisy_update(model, grads);
+        self.noisy_update(model);
         self.counters.steps += 1;
         StepStats {
             realized_batch: batch.batch_size(),

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adafest;
 pub mod clip;
 pub mod config;
 pub mod counters;
@@ -53,6 +54,7 @@ pub mod optimizer;
 pub mod parallel_update;
 pub mod sgd;
 
+pub use adafest::{AdaFestConfig, AdaFestOptimizer};
 pub use clip::{clip_weights, clip_weights_into};
 pub use config::DpConfig;
 pub use counters::KernelCounters;

@@ -47,6 +47,31 @@ pub fn dense_noisy_update<N: RowNoise>(
     lr: f32,
     counters: &mut KernelCounters,
 ) {
+    let mut buf = Vec::new();
+    dense_noisy_update_with(
+        table_id, table, grad, noise, iter, noise_std, lr, counters, &mut buf,
+    );
+}
+
+/// [`dense_noisy_update`] with a caller-provided scratch buffer, so a
+/// steady-state training loop allocates nothing. Bitwise-identical to
+/// the allocating wrapper.
+///
+/// # Panics
+///
+/// Panics if `grad` is not coalesced or its dimension mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn dense_noisy_update_with<N: RowNoise>(
+    table_id: u32,
+    table: &mut EmbeddingTable,
+    grad: &SparseGrad,
+    noise: &mut N,
+    iter: u64,
+    noise_std: f32,
+    lr: f32,
+    counters: &mut KernelCounters,
+    buf: &mut Vec<f32>,
+) {
     assert_eq!(grad.dim(), table.dim(), "grad dim mismatch");
     // Gathered rows are found by binary search over the coalesced
     // (sorted) gradient — no per-call map, no unordered container.
@@ -55,10 +80,11 @@ pub fn dense_noisy_update<N: RowNoise>(
         "gradient must be coalesced (sorted, duplicate-free rows)"
     );
     let dim = table.dim();
-    let mut buf = vec![0.0f32; dim];
+    buf.clear();
+    buf.resize(dim, 0.0);
     let rows = table.rows();
     for r in 0..rows {
-        noise.fill_unit(table_id, r as u64, iter, &mut buf);
+        noise.fill_unit(table_id, r as u64, iter, buf);
         let row = table.row_mut(r);
         if let Some(g) = grad.find(r as u64) {
             for ((w, &n), &gv) in row.iter_mut().zip(buf.iter()).zip(g.iter()) {
@@ -92,9 +118,35 @@ pub fn sparse_noisy_update<N: RowNoise>(
     lr: f32,
     counters: &mut KernelCounters,
 ) {
+    let mut buf = Vec::new();
+    sparse_noisy_update_with(
+        table_id, table, grad, noise, iter, noise_std, lr, counters, &mut buf,
+    );
+}
+
+/// [`sparse_noisy_update`] with a caller-provided scratch buffer, so a
+/// steady-state training loop allocates nothing. Bitwise-identical to
+/// the allocating wrapper.
+///
+/// # Panics
+///
+/// Panics if `grad` is not coalesced or its dimension mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn sparse_noisy_update_with<N: RowNoise>(
+    table_id: u32,
+    table: &mut EmbeddingTable,
+    grad: &SparseGrad,
+    noise: &mut N,
+    iter: u64,
+    noise_std: f32,
+    lr: f32,
+    counters: &mut KernelCounters,
+    buf: &mut Vec<f32>,
+) {
     assert_eq!(grad.dim(), table.dim(), "grad dim mismatch");
     let dim = table.dim();
-    let mut buf = vec![0.0f32; dim];
+    buf.clear();
+    buf.resize(dim, 0.0);
     // Coalesced gradients are sorted strictly increasing, so duplicates
     // are caught by a monotonicity check instead of a hash set.
     let mut last_idx: Option<u64> = None;
@@ -104,7 +156,7 @@ pub fn sparse_noisy_update<N: RowNoise>(
             "gradient must be coalesced (row {idx} out of order or duplicated)"
         );
         last_idx = Some(idx);
-        noise.fill_unit(table_id, idx, iter, &mut buf);
+        noise.fill_unit(table_id, idx, iter, buf);
         let row = table.row_mut(idx as usize);
         for ((w, &n), &gv) in row.iter_mut().zip(buf.iter()).zip(g.iter()) {
             *w -= lr * (noise_std * n + gv);

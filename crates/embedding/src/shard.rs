@@ -134,6 +134,30 @@ impl ShardSpec {
         }
         out
     }
+
+    /// Counts, per shard, how many of the given rows it owns — the
+    /// partition-count gather of DP-AdaFEST's private partition
+    /// selection (one count per hash partition, fed to the Gaussian
+    /// threshold test). `rows` need not be sorted or deduplicated; the
+    /// caller decides whether duplicates count once (pass a deduped
+    /// list) or per occurrence. `counts` is cleared and resized to
+    /// `shards()`, so a warm caller re-uses its allocation.
+    pub fn partition_counts_into(&self, rows: &[u64], counts: &mut Vec<u64>) {
+        counts.clear();
+        counts.resize(self.shards, 0);
+        for &row in rows {
+            counts[self.shard_of(row)] += 1;
+        }
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`partition_counts_into`](Self::partition_counts_into).
+    #[must_use]
+    pub fn partition_counts(&self, rows: &[u64]) -> Vec<u64> {
+        let mut counts = Vec::new();
+        self.partition_counts_into(rows, &mut counts);
+        counts
+    }
 }
 
 /// An embedding table hash-partitioned into `S` independent shards.
@@ -361,6 +385,30 @@ mod tests {
             }
             assert_eq!(seen, total, "partition must cover every row once");
         }
+    }
+
+    #[test]
+    fn partition_counts_match_partition_indices() {
+        let spec = ShardSpec::new(4);
+        let rows: Vec<u64> = vec![0, 1, 4, 5, 8, 9, 13, 21];
+        let counts = spec.partition_counts(&rows);
+        let parts = spec.partition_indices(&rows);
+        assert_eq!(counts.len(), 4);
+        for (c, p) in counts.iter().zip(parts.iter()) {
+            assert_eq!(*c, p.len() as u64);
+        }
+        assert_eq!(counts.iter().sum::<u64>(), rows.len() as u64);
+    }
+
+    #[test]
+    fn partition_counts_into_reuses_and_resets_the_buffer() {
+        let spec = ShardSpec::new(3);
+        let mut counts = vec![99u64; 7]; // stale, wrong-sized buffer
+        spec.partition_counts_into(&[0, 3, 6, 1], &mut counts);
+        assert_eq!(counts, vec![3, 1, 0]);
+        // Empty row list ⇒ all-zero counts, still one slot per shard.
+        spec.partition_counts_into(&[], &mut counts);
+        assert_eq!(counts, vec![0, 0, 0]);
     }
 
     #[test]

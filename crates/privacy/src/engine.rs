@@ -6,6 +6,7 @@
 //! refuses compositions that would overshoot, so the *released* model
 //! provably stays within budget.
 
+use crate::mechanism::Mechanism;
 use crate::rdp::RdpAccountant;
 use std::fmt;
 
@@ -98,8 +99,25 @@ impl PrivacyEngine {
     ///
     /// Returns [`BudgetExhausted`] when the composition would overshoot.
     pub fn try_compose(&mut self, sigma: f64, q: f64, steps: u64) -> Result<(), BudgetExhausted> {
+        self.try_compose_mechanism(&Mechanism::Gaussian { sigma }, q, steps)
+    }
+
+    /// Attempts to charge `steps` subsampled steps of `mechanism` at
+    /// sampling rate `q`; rejects (without charging) if that would
+    /// exceed the budget. This is how a DP-AdaFEST run ties its
+    /// composed selection+noise mechanism to a hard budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when the composition would overshoot.
+    pub fn try_compose_mechanism(
+        &mut self,
+        mechanism: &Mechanism,
+        q: f64,
+        steps: u64,
+    ) -> Result<(), BudgetExhausted> {
         let mut trial = self.accountant.clone();
-        trial.compose(sigma, q, steps);
+        trial.compose_mechanism(mechanism, q, steps);
         let (eps, _) = trial.epsilon(self.budget.delta);
         if eps > self.budget.epsilon {
             return Err(BudgetExhausted {
@@ -207,6 +225,28 @@ mod tests {
             assert!(now < prev);
             prev = now;
         }
+    }
+
+    #[test]
+    fn mechanism_composition_charges_more_for_selection() {
+        // At the same σ, the composed selection+noise mechanism must
+        // drain a budget strictly faster than plain Gaussian — and a
+        // rejected mechanism composition must not charge.
+        let mut plain = PrivacyEngine::new(PrivacyBudget::new(12.0, 1e-6));
+        let mut composed = PrivacyEngine::new(PrivacyBudget::new(12.0, 1e-6));
+        let m = Mechanism::SelectThenNoise {
+            sigma: 1.0,
+            sigma_select: 1.0,
+        };
+        plain.try_compose(1.0, 0.02, 300).expect("fits");
+        composed.try_compose_mechanism(&m, 0.02, 300).expect("fits");
+        assert!(composed.spent() > plain.spent());
+        let spent = composed.spent();
+        let err = composed
+            .try_compose_mechanism(&m, 0.02, 10_000_000)
+            .expect_err("overshoot");
+        assert!(err.would_reach > 12.0);
+        assert_eq!(composed.spent(), spent, "rejection must not charge");
     }
 
     #[test]

@@ -32,10 +32,12 @@
 
 pub mod convert;
 pub mod engine;
+pub mod mechanism;
 pub mod rdp;
 pub mod search;
 
 pub use convert::{rdp_to_epsilon, rdp_to_epsilon_classic};
 pub use engine::{BudgetExhausted, PrivacyBudget, PrivacyEngine};
+pub use mechanism::Mechanism;
 pub use rdp::{compute_rdp_step, default_orders, RdpAccountant};
 pub use search::find_noise_multiplier;

@@ -1,0 +1,212 @@
+//! Mechanism types the accountant can compose.
+//!
+//! Until DP-AdaFEST every optimizer in the workspace released one
+//! Poisson-subsampled **Gaussian** query per step (the clipped, noised
+//! gradient), so `(σ, q)` was the whole story. AdaFEST (Ghazi et al.,
+//! arXiv 2311.08357) releases **two** Gaussian-perturbed queries per
+//! step: the partition *counts* (perturbed at `σ_select`, thresholded to
+//! pick which partitions get noised) and the clipped *gradient* restricted
+//! to the selected partitions (perturbed at `σ`). [`Mechanism`] captures
+//! both shapes so `RdpAccountant::compose_mechanism` and
+//! `PrivacyEngine::try_compose_mechanism` can charge the right cost.
+//!
+//! # Accounting model for [`Mechanism::SelectThenNoise`]
+//!
+//! Adding or removing one example changes each partition count by at most
+//! its per-example contribution and the clipped gradient by at most `C`
+//! (both queries are normalized to unit ℓ₂-sensitivity here: `σ_select`
+//! is the noise multiplier *relative to the count query's sensitivity*,
+//! exactly as `σ` is relative to `C`). The joint release of two Gaussian
+//! views of the same example is itself a Gaussian mechanism on the
+//! concatenated query, whose RDP at order α is the **sum** of the parts:
+//!
+//! ```text
+//! RDP(α) = α/(2σ²) + α/(2σ_select²) = α/2 · (1/σ² + 1/σ_select²)
+//! ```
+//!
+//! i.e. the cost of a single Gaussian mechanism at the *effective* noise
+//! multiplier `σ_eff = (1/σ² + 1/σ_select²)^(−1/2)`. Under Poisson
+//! subsampling the pair is one subsampled Gaussian query at `σ_eff`, so
+//! the step cost is `compute_rdp_step(σ_eff, q, α)`. This is the
+//! standard, slightly conservative joint-composition bound — the
+//! data-dependent post-processing (thresholding the noisy counts) is
+//! free by the post-processing theorem.
+
+use crate::rdp::compute_rdp_step;
+
+/// A per-step privacy mechanism, composed `T` times over training.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mechanism {
+    /// The classic DP-SGD step: one subsampled Gaussian query at noise
+    /// multiplier `sigma` (eager DP-SGD, EANA's nominal accounting, and
+    /// LazyDP — lazy timing does not change what is released).
+    Gaussian {
+        /// Noise multiplier σ (relative to the clip norm `C`).
+        sigma: f64,
+    },
+    /// DP-AdaFEST's composed step: a Gaussian-perturbed partition-count
+    /// selection at `sigma_select` followed by Gaussian gradient noise
+    /// at `sigma` on the selected partitions (see the module docs for
+    /// the sensitivity normalization and the joint bound).
+    SelectThenNoise {
+        /// Gradient noise multiplier σ (relative to the clip norm `C`).
+        sigma: f64,
+        /// Selection noise multiplier σ_select (relative to the count
+        /// query's sensitivity).
+        sigma_select: f64,
+    },
+}
+
+impl Mechanism {
+    /// The single-Gaussian noise multiplier this mechanism is
+    /// accounting-equivalent to: `σ` for [`Gaussian`](Self::Gaussian),
+    /// `(1/σ² + 1/σ_select²)^(−1/2)` for
+    /// [`SelectThenNoise`](Self::SelectThenNoise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any noise multiplier is not positive and finite.
+    #[must_use]
+    pub fn effective_sigma(&self) -> f64 {
+        match *self {
+            Self::Gaussian { sigma } => {
+                assert!(
+                    sigma > 0.0 && sigma.is_finite(),
+                    "sigma must be positive and finite"
+                );
+                sigma
+            }
+            Self::SelectThenNoise {
+                sigma,
+                sigma_select,
+            } => {
+                assert!(
+                    sigma > 0.0 && sigma.is_finite(),
+                    "sigma must be positive and finite"
+                );
+                assert!(
+                    sigma_select > 0.0 && sigma_select.is_finite(),
+                    "sigma_select must be positive and finite"
+                );
+                1.0 / (1.0 / (sigma * sigma) + 1.0 / (sigma_select * sigma_select)).sqrt()
+            }
+        }
+    }
+
+    /// RDP of **one** subsampled step of this mechanism at integer order
+    /// `alpha` (delegates to [`compute_rdp_step`] at the effective σ).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid multipliers, `alpha < 2`, or `q ∉ [0, 1]`.
+    #[must_use]
+    pub fn rdp_step(&self, q: f64, alpha: u32) -> f64 {
+        compute_rdp_step(self.effective_sigma(), q, alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_effective_sigma_is_identity() {
+        for sigma in [0.3f64, 1.0, 2.7] {
+            assert_eq!(Mechanism::Gaussian { sigma }.effective_sigma(), sigma);
+        }
+    }
+
+    #[test]
+    fn select_then_noise_matches_closed_form_at_integer_orders() {
+        // q = 1 (no subsampling): the composed step must equal
+        // α/2 · (1/σ² + 1/σ_select²) exactly at every integer order.
+        for (sigma, sigma_select) in [(1.0f64, 1.0f64), (0.8, 2.0), (2.5, 0.6)] {
+            let m = Mechanism::SelectThenNoise {
+                sigma,
+                sigma_select,
+            };
+            for alpha in [2u32, 3, 8, 17, 64] {
+                let got = m.rdp_step(1.0, alpha);
+                let closed = f64::from(alpha) / 2.0
+                    * (1.0 / (sigma * sigma) + 1.0 / (sigma_select * sigma_select));
+                assert!(
+                    (got - closed).abs() < 1e-12 * closed.max(1.0),
+                    "α={alpha} σ={sigma} σ_sel={sigma_select}: {got} vs {closed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn select_then_noise_rdp_is_monotone_in_both_sigmas() {
+        // More noise on either query ⇒ strictly less RDP cost, at every
+        // tracked subsampling regime.
+        for q in [1.0f64, 0.25, 0.01] {
+            for alpha in [2u32, 8, 32] {
+                let mut prev = f64::INFINITY;
+                for sigma in [0.5f64, 0.8, 1.2, 2.0, 4.0] {
+                    let cost = Mechanism::SelectThenNoise {
+                        sigma,
+                        sigma_select: 1.0,
+                    }
+                    .rdp_step(q, alpha);
+                    assert!(cost < prev, "σ sweep not monotone at q={q} α={alpha}");
+                    prev = cost;
+                }
+                let mut prev = f64::INFINITY;
+                for sigma_select in [0.5f64, 0.8, 1.2, 2.0, 4.0] {
+                    let cost = Mechanism::SelectThenNoise {
+                        sigma: 1.0,
+                        sigma_select,
+                    }
+                    .rdp_step(q, alpha);
+                    assert!(
+                        cost < prev,
+                        "σ_select sweep not monotone at q={q} α={alpha}"
+                    );
+                    prev = cost;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selection_always_costs_extra_over_plain_gaussian() {
+        // The composed mechanism releases strictly more information
+        // than the gradient query alone: its cost must exceed the plain
+        // Gaussian at the same σ, and approach it as σ_select → ∞.
+        let plain = Mechanism::Gaussian { sigma: 1.0 }.rdp_step(0.02, 8);
+        let composed = Mechanism::SelectThenNoise {
+            sigma: 1.0,
+            sigma_select: 1.0,
+        }
+        .rdp_step(0.02, 8);
+        assert!(composed > plain);
+        let nearly_free = Mechanism::SelectThenNoise {
+            sigma: 1.0,
+            sigma_select: 1e6,
+        }
+        .rdp_step(0.02, 8);
+        assert!((nearly_free - plain).abs() < 1e-9 * plain);
+    }
+
+    #[test]
+    fn equal_sigmas_halve_the_effective_sigma_by_sqrt2() {
+        let m = Mechanism::SelectThenNoise {
+            sigma: 1.3,
+            sigma_select: 1.3,
+        };
+        let expect = 1.3 / std::f64::consts::SQRT_2;
+        assert!((m.effective_sigma() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma_select")]
+    fn rejects_nonpositive_selection_sigma() {
+        let _ = Mechanism::SelectThenNoise {
+            sigma: 1.0,
+            sigma_select: 0.0,
+        }
+        .effective_sigma();
+    }
+}

@@ -1,0 +1,101 @@
+//! ε-sweep regression: pins the accountant's (ε, order) outputs for a
+//! grid of mechanisms to 12 decimal digits.
+//!
+//! The RDP pipeline is pure floating-point math with no platform- or
+//! thread-dependent ordering, so its outputs are bitwise-stable; any
+//! drift here means the accounting changed, which is a privacy-contract
+//! event — not a refactor detail. Tolerance is 1e-12 *relative*, loose
+//! enough to survive a compiler's re-association of a commutative
+//! reduction but tight enough to catch any real change to the math.
+
+// The pins are transcribed verbatim from the accountant's own
+// `{:.17e}` output; keeping every digit (one past f64's 16) makes
+// regeneration diffs exact, so the precision is deliberate.
+#![allow(clippy::excessive_precision)]
+
+use lazydp_privacy::{Mechanism, RdpAccountant};
+
+const DELTA: f64 = 1e-6;
+const Q: f64 = 0.005;
+const STEPS: u64 = 2000;
+
+/// (mechanism, pinned ε at δ=1e-6, pinned optimal order).
+fn pinned_cases() -> Vec<(Mechanism, f64, u32)> {
+    vec![
+        (
+            Mechanism::Gaussian { sigma: 0.8 },
+            3.065_572_415_613_581_29,
+            6,
+        ),
+        (
+            Mechanism::Gaussian { sigma: 1.0 },
+            1.767_385_735_868_779_89,
+            10,
+        ),
+        (
+            Mechanism::Gaussian { sigma: 1.5 },
+            7.947_591_814_117_572_76e-1,
+            22,
+        ),
+        (
+            Mechanism::Gaussian { sigma: 2.0 },
+            5.342_078_287_995_359_89e-1,
+            37,
+        ),
+        (
+            Mechanism::SelectThenNoise {
+                sigma: 1.0,
+                sigma_select: 1.0,
+            },
+            4.688_687_809_871_280_98,
+            4,
+        ),
+        (
+            Mechanism::SelectThenNoise {
+                sigma: 1.0,
+                sigma_select: 2.0,
+            },
+            2.338_470_068_825_269_98,
+            7,
+        ),
+        (
+            Mechanism::SelectThenNoise {
+                sigma: 1.5,
+                sigma_select: 3.0,
+            },
+            9.529_613_126_442_443_29e-1,
+            18,
+        ),
+    ]
+}
+
+#[test]
+fn epsilon_sweep_matches_pinned_values_to_1e12() {
+    for (mechanism, pinned_eps, pinned_order) in pinned_cases() {
+        let mut acc = RdpAccountant::new();
+        acc.compose_mechanism(&mechanism, Q, STEPS);
+        let (eps, order) = acc.epsilon(DELTA);
+        assert!(
+            (eps - pinned_eps).abs() <= 1e-12 * pinned_eps,
+            "{mechanism:?}: ε drifted from pin: got {eps:.17e}, pinned {pinned_eps:.17e}"
+        );
+        assert_eq!(
+            order, pinned_order,
+            "{mechanism:?}: optimal RDP order changed"
+        );
+    }
+}
+
+#[test]
+fn epsilon_sweep_is_reproducible_within_a_process() {
+    // Two independent accountants over the same schedule must agree
+    // bitwise — the sweep has no hidden state.
+    for (mechanism, _, _) in pinned_cases() {
+        let run = |mech: &Mechanism| {
+            let mut acc = RdpAccountant::new();
+            acc.compose_mechanism(mech, Q, STEPS);
+            acc.epsilon(DELTA)
+        };
+        assert_eq!(run(&mechanism), run(&mechanism), "{mechanism:?}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Differential test pinning DP-AdaFEST to the eager DP-SGD baseline.
+//!
+//! With the selection threshold forced to `-∞` every partition is
+//! selected, so AdaFEST's partition-restricted noisy update degenerates
+//! to the dense noisy update — the released model must be **bitwise
+//! identical** to eager DP-SGD(F) under the same seed. This pins the
+//! whole AdaFEST step (ghost clipping, 1/B scaling, coalesce, MLP noise
+//! order, per-row noise addressing, update arithmetic) to the baseline:
+//! any drift in any of those stages shows up here as a non-zero diff.
+
+use lazydp::data::{SyntheticConfig, SyntheticDataset};
+use lazydp::dpsgd::{AdaFestConfig, AdaFestOptimizer, ClipStyle, DpConfig, EagerDpSgd, Optimizer};
+use lazydp::model::{Dlrm, DlrmConfig};
+use lazydp::rng::counter::CounterNoise;
+use lazydp::rng::Xoshiro256PlusPlus;
+
+fn setup(tables: usize, rows: u64, samples: usize) -> (Dlrm, SyntheticDataset) {
+    let mut rng = Xoshiro256PlusPlus::seed_from(41);
+    let model = Dlrm::new(DlrmConfig::tiny(tables, rows, 8), &mut rng);
+    let ds = SyntheticDataset::new(SyntheticConfig::small(tables, rows, samples));
+    (model, ds)
+}
+
+fn assert_bitwise_equal(a: &Dlrm, b: &Dlrm, what: &str) {
+    for (i, (x, y)) in a.tables.iter().zip(b.tables.iter()).enumerate() {
+        assert_eq!(x.max_abs_diff(y), 0.0, "{what}: table {i} diverged");
+    }
+    for (mlp_a, mlp_b) in [(&a.bottom, &b.bottom), (&a.top, &b.top)] {
+        for (l, (la, lb)) in mlp_a.layers().iter().zip(mlp_b.layers().iter()).enumerate() {
+            assert_eq!(
+                la.weight.max_abs_diff(&lb.weight),
+                0.0,
+                "{what}: MLP layer {l} weights diverged"
+            );
+            assert_eq!(la.bias, lb.bias, "{what}: MLP layer {l} bias diverged");
+        }
+    }
+}
+
+#[test]
+fn select_all_adafest_is_bitwise_identical_to_eager_dense_dp_sgd() {
+    let (model0, ds) = setup(3, 64, 128);
+    let dp = DpConfig::new(1.1, 1.0, 0.05, 16).with_threads(1);
+    // Sweep partition sizes: the partition geometry must not matter
+    // when every partition is selected.
+    for partition_rows in [1usize, 7, 16, 64, 1000] {
+        let mut eager_model = model0.clone();
+        let mut ada_model = model0.clone();
+        let mut eager = EagerDpSgd::new(dp, ClipStyle::Fast, CounterNoise::new(33));
+        let mut ada = AdaFestOptimizer::new(
+            AdaFestConfig::new(dp, 1.0, 1.0, partition_rows).select_all(),
+            CounterNoise::new(33),
+        );
+        for it in 0..6 {
+            let ids: Vec<usize> = (0..16).map(|k| (it * 16 + k) % 128).collect();
+            let batch = ds.batch_of(&ids);
+            let se = eager.step(&mut eager_model, &batch, None);
+            let sa = ada.step(&mut ada_model, &batch, None);
+            assert_eq!(se.realized_batch, sa.realized_batch);
+            assert_eq!(
+                se.clipped_fraction, sa.clipped_fraction,
+                "clipped fractions diverged at iter {it}"
+            );
+        }
+        // Neither algorithm defers noise, so the in-place models are
+        // already the released models.
+        eager.finalize(&mut eager_model);
+        ada.finalize(&mut ada_model);
+        assert_bitwise_equal(
+            &eager_model,
+            &ada_model,
+            &format!("partition_rows={partition_rows}"),
+        );
+    }
+}
+
+#[test]
+fn select_all_differential_holds_through_empty_batches() {
+    // Poisson sampling deals empty batches; both algorithms must stay
+    // in lockstep through them (noisy zero-gradient release).
+    let (model0, ds) = setup(2, 48, 64);
+    let dp = DpConfig::new(0.9, 0.8, 0.05, 8).with_threads(1);
+    let mut eager_model = model0.clone();
+    let mut ada_model = model0;
+    let mut eager = EagerDpSgd::new(dp, ClipStyle::Fast, CounterNoise::new(5));
+    let mut ada = AdaFestOptimizer::new(
+        AdaFestConfig::new(dp, 1.0, 1.0, 16).select_all(),
+        CounterNoise::new(5),
+    );
+    let empty = lazydp::data::MiniBatch::default();
+    for it in 0..5 {
+        if it % 2 == 0 {
+            eager.step(&mut eager_model, &empty, None);
+            ada.step(&mut ada_model, &empty, None);
+        } else {
+            let batch = ds.batch_of(&(0..8).collect::<Vec<_>>());
+            eager.step(&mut eager_model, &batch, None);
+            ada.step(&mut ada_model, &batch, None);
+        }
+    }
+    assert_bitwise_equal(&eager_model, &ada_model, "with empty batches");
+}
+
+#[test]
+fn finite_threshold_diverges_from_eager_but_only_on_unselected_partitions() {
+    // Sanity check that the differential test has teeth: with a real
+    // threshold the models must NOT be identical (some partitions are
+    // dropped), yet rows in always-selected partitions still match.
+    let (model0, ds) = setup(1, 64, 64);
+    let dp = DpConfig::new(1.1, 1.0, 0.05, 8).with_threads(1);
+    let mut eager_model = model0.clone();
+    let mut ada_model = model0;
+    let mut eager = EagerDpSgd::new(dp, ClipStyle::Fast, CounterNoise::new(13));
+    // τ high enough that cold partitions drop out.
+    let mut ada = AdaFestOptimizer::new(AdaFestConfig::new(dp, 1.0, 3.0, 8), CounterNoise::new(13));
+    // A skewed batch: only samples hitting a narrow row range.
+    let batch = ds.batch_of(&(0..8).collect::<Vec<_>>());
+    eager.step(&mut eager_model, &batch, None);
+    ada.step(&mut ada_model, &batch, None);
+    let diff: f32 = eager_model.tables[0].max_abs_diff(&ada_model.tables[0]);
+    assert!(
+        diff > 0.0,
+        "a finite threshold must drop some partitions (else the test is vacuous)"
+    );
+}

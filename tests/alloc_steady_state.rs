@@ -3,10 +3,10 @@
 //! The scratch-arena refactor's contract: once the first steps have
 //! sized every reusable buffer, `LazyDpOptimizer::step` on the
 //! sequential path (single-width executor, unsharded history, in-memory
-//! tables) performs **zero heap allocations**. This test pins that with
-//! a counting global allocator: warm-up steps size the arena, then the
-//! same batch cycle runs again with counting enabled and the test
-//! asserts not a single byte was requested.
+//! tables) performs **zero heap allocations**. The shared harness in
+//! `alloc_common` pins that with a counting global allocator; sibling
+//! files (`alloc_steady_state_eager.rs`, `_eana.rs`, `_adafest.rs`) pin
+//! the same contract for the other algorithms.
 //!
 //! Since the fused ghost-clipping backward landed,
 //! `LazyDpOptimizer::step` runs `Dlrm::backward_clipped_with` (ghost
@@ -16,12 +16,8 @@
 //! else. (The macro-tiled GEMM driver may allocate per-tile panels,
 //! but it only engages on multi-thread executors; this test pins the
 //! sequential path.)
-//!
-//! The file holds exactly one `#[test]` so no concurrent test thread
-//! can pollute the counters.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+mod alloc_common;
 
 use lazydp::data::{MiniBatch, SyntheticConfig, SyntheticDataset};
 use lazydp::dpsgd::{DpConfig, Optimizer};
@@ -30,54 +26,8 @@ use lazydp::model::{Dlrm, DlrmConfig};
 use lazydp::rng::counter::CounterNoise;
 use lazydp::rng::Xoshiro256PlusPlus;
 
-/// Forwards to the system allocator, counting every allocation (and
-/// reallocation) that happens while `ENABLED` is set.
-struct CountingAlloc;
-
-static ENABLED: AtomicBool = AtomicBool::new(false);
-static BYTES: AtomicU64 = AtomicU64::new(0);
-static CALLS: AtomicU64 = AtomicU64::new(0);
-
-fn record(size: usize) {
-    if ENABLED.load(Ordering::Relaxed) {
-        BYTES.fetch_add(size as u64, Ordering::Relaxed);
-        CALLS.fetch_add(1, Ordering::Relaxed);
-    }
-}
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        record(layout.size());
-        System.alloc(layout)
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        record(layout.size());
-        System.alloc_zeroed(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        record(new_size);
-        System.realloc(ptr, layout, new_size)
-    }
-}
-
-#[global_allocator]
-static ALLOC: CountingAlloc = CountingAlloc;
-
 #[test]
 fn steady_state_lazydp_step_allocates_zero_bytes() {
-    // Force the sequential, inline-executor path regardless of the CI
-    // matrix's LAZYDP_THREADS leg: the zero-allocation contract is for
-    // the single-width executor (scoped worker threads are born and die
-    // per parallel region, so any multi-thread run allocates thread
-    // state by construction).
-    lazydp::exec::set_global_threads(1);
-
     let mut rng = Xoshiro256PlusPlus::seed_from(17);
     let model_cfg = DlrmConfig::tiny(3, 64, 8);
     let mut model = Dlrm::new(model_cfg, &mut rng);
@@ -93,38 +43,9 @@ fn steady_state_lazydp_step_allocates_zero_bytes() {
     );
     let mut opt = LazyDpOptimizer::new(cfg, &model, CounterNoise::new(23));
 
-    // Warm-up: size every arena buffer over the full batch cycle.
-    for i in 0..8 {
+    alloc_common::assert_steady_state_zero_alloc("LazyDP", 8, 4, |i| {
         let cur = &batches[i % batches.len()];
         let next = &batches[(i + 1) % batches.len()];
         opt.step(&mut model, cur, Some(next));
-    }
-
-    // Steady state: the same cycle again, counted.
-    BYTES.store(0, Ordering::SeqCst);
-    CALLS.store(0, Ordering::SeqCst);
-    ENABLED.store(true, Ordering::SeqCst);
-    for i in 8..12 {
-        let cur = &batches[i % batches.len()];
-        let next = &batches[(i + 1) % batches.len()];
-        opt.step(&mut model, cur, Some(next));
-    }
-    ENABLED.store(false, Ordering::SeqCst);
-
-    let bytes = BYTES.load(Ordering::SeqCst);
-    let calls = CALLS.load(Ordering::SeqCst);
-    assert_eq!(
-        bytes, 0,
-        "steady-state LazyDP steps must not allocate: {bytes} bytes over {calls} allocations"
-    );
-
-    // Sanity: the counter itself works (a fresh Vec must register).
-    ENABLED.store(true, Ordering::SeqCst);
-    let probe: Vec<u8> = Vec::with_capacity(4096);
-    ENABLED.store(false, Ordering::SeqCst);
-    drop(probe);
-    assert!(
-        BYTES.load(Ordering::SeqCst) >= 4096,
-        "counting allocator must observe allocations"
-    );
+    });
 }

@@ -1,0 +1,41 @@
+//! Steady-state allocation accounting for DP-AdaFEST.
+//!
+//! The `AdaFestScratch` contract: with a single noise thread and
+//! in-memory tables, an `AdaFestOptimizer::step` — ghost clipping,
+//! partition counting, private selection, and the partition-restricted
+//! noisy update — allocates **zero** heap bytes once warm-up has sized
+//! the scratch. The per-table `ShardSpec` is a plain value and the
+//! count/selection masks live in reusable buffers. See `alloc_common`
+//! for the harness; this file holds exactly one test so no concurrent
+//! thread pollutes the counters.
+
+mod alloc_common;
+
+use lazydp::data::{MiniBatch, SyntheticConfig, SyntheticDataset};
+use lazydp::dpsgd::{AdaFestConfig, AdaFestOptimizer, DpConfig, Optimizer};
+use lazydp::model::{Dlrm, DlrmConfig};
+use lazydp::rng::counter::CounterNoise;
+use lazydp::rng::Xoshiro256PlusPlus;
+
+#[test]
+fn steady_state_adafest_step_allocates_zero_bytes() {
+    let mut rng = Xoshiro256PlusPlus::seed_from(43);
+    let mut model = Dlrm::new(DlrmConfig::tiny(3, 64, 8), &mut rng);
+    let ds = SyntheticDataset::new(SyntheticConfig::small(3, 64, 128));
+    let batch_size = 16usize;
+    let batches: Vec<MiniBatch> = (0..4)
+        .map(|i| ds.batch_of(&(i * batch_size..(i + 1) * batch_size).collect::<Vec<_>>()))
+        .collect();
+
+    let cfg = AdaFestConfig::new(
+        DpConfig::new(0.8, 1.0, 0.05, batch_size).with_threads(1),
+        1.0,
+        1.5,
+        8,
+    );
+    let mut opt = AdaFestOptimizer::new(cfg, CounterNoise::new(47));
+
+    alloc_common::assert_steady_state_zero_alloc("DP-AdaFEST", 8, 4, |i| {
+        opt.step(&mut model, &batches[i % batches.len()], None);
+    });
+}

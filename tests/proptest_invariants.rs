@@ -361,6 +361,118 @@ proptest! {
         }
     }
 
+    /// DP-AdaFEST's determinism contract: a full run — `step`s plus
+    /// `finalize` — is **bitwise** invariant across the threads knob
+    /// {1, 4}, the shards knob {1, 4}, and the storage backend
+    /// (in-memory vs paged `StoredTable`), on random Zipf-skewed access
+    /// traces. Selection and noise are addressed by (table, partition/
+    /// row, iter), never by execution order.
+    #[test]
+    fn adafest_training_is_invariant_across_threads_shards_and_backends(
+        exponent in 0.4f64..1.4,
+        seed in 0u64..1000,
+        partition_rows in 1usize..20,
+    ) {
+        use lazydp::data::AccessDistribution;
+        use lazydp::dpsgd::{AdaFestConfig, AdaFestOptimizer};
+        use lazydp::store::{StorageConfig, StoredTable};
+        let rows = 48u64;
+        let steps = 4usize;
+        let dist = AccessDistribution::zipf(rows, exponent);
+        let mut trace_rng = Xoshiro256PlusPlus::seed_from(seed ^ 0xada_fe57);
+        let script: Vec<Vec<u64>> = (0..=steps)
+            .map(|_| dist.sample_many(&mut trace_rng, 5))
+            .collect();
+        let (_, batches) = batches_from_script(2, rows, &script);
+        let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+        let model0 = Dlrm::new(DlrmConfig::tiny(2, rows, 4), &mut rng);
+        let cfg_for = |threads: usize, shards: usize| AdaFestConfig::new(
+            DpConfig::new(0.8, 1.0, 0.05, 4).with_threads(threads).with_shards(shards),
+            1.0,
+            1.5,
+            partition_rows,
+        );
+        let run_mem = |threads: usize, shards: usize| -> Dlrm {
+            let mut model = model0.clone();
+            let mut opt = AdaFestOptimizer::new(cfg_for(threads, shards), CounterNoise::new(seed));
+            for b in batches.iter().take(steps) {
+                opt.step(&mut model, b, None);
+            }
+            opt.finalize(&mut model);
+            model
+        };
+        let base = run_mem(1, 1);
+        for (threads, shards) in [(4usize, 1usize), (1, 4), (4, 4)] {
+            let m = run_mem(threads, shards);
+            for (t, (a, b)) in base.tables.iter().zip(m.tables.iter()).enumerate() {
+                prop_assert!(
+                    a.max_abs_diff(b) == 0.0,
+                    "table {t} changed at threads {threads} / shards {shards}"
+                );
+            }
+            for (a, b) in base
+                .top
+                .layers()
+                .iter()
+                .zip(m.top.layers().iter())
+                .chain(base.bottom.layers().iter().zip(m.bottom.layers().iter()))
+            {
+                prop_assert!(a.weight.max_abs_diff(&b.weight) == 0.0);
+                prop_assert!(a.bias == b.bias);
+            }
+        }
+        // Paged backend over the same trace, seed, and config.
+        let scfg = StorageConfig::new().with_page_rows(3).with_cache_pages(2);
+        let mut stored = model0
+            .try_map_tables(|_, t| StoredTable::from_dense(&t, &scfg))
+            .expect("spill dir must be writable");
+        let mut opt = AdaFestOptimizer::new(cfg_for(4, 4), CounterNoise::new(seed));
+        for b in batches.iter().take(steps) {
+            opt.step(&mut stored, b, None);
+        }
+        opt.finalize(&mut stored);
+        for (t, (a, b)) in base.tables.iter().zip(stored.tables.iter()).enumerate() {
+            prop_assert!(
+                b.max_abs_diff_dense(a) == 0.0,
+                "table {t} diverged on the paged backend"
+            );
+        }
+    }
+
+    /// AdaFEST's partition selection is a pure function of
+    /// (seed, table, iteration, counts): recomputing it — even from a
+    /// noise source that has been used for arbitrary other draws —
+    /// yields the identical mask.
+    #[test]
+    fn adafest_selection_is_a_pure_function_of_seed_and_batch(
+        counts in proptest::collection::vec(0u64..50, 1..32),
+        seed in 0u64..1000,
+        table in 0u32..8,
+        iter in 1u64..100,
+        sigma_select in 0.2f64..4.0,
+        threshold in -2.0f64..8.0,
+    ) {
+        use lazydp::dpsgd::adafest::select_partitions_into;
+        let select = |noise: &mut CounterNoise| {
+            let mut sel = Vec::new();
+            select_partitions_into(
+                table, &counts, sigma_select, threshold, noise, iter, &mut sel);
+            sel
+        };
+        let fresh = select(&mut CounterNoise::new(seed));
+        prop_assert_eq!(fresh.len(), counts.len());
+        // Same seed, fresh source ⇒ same mask.
+        prop_assert_eq!(&fresh, &select(&mut CounterNoise::new(seed)));
+        // A source that already served other draws gives the same mask:
+        // selection draws are addressed, not consumed from a stream.
+        let mut used = CounterNoise::new(seed);
+        let mut sink = vec![0.0f32; 16];
+        use lazydp::rng::RowNoise;
+        used.fill_unit(table, 7, iter, &mut sink);
+        used.fill_unit_dense(3, iter, 2, &mut sink);
+        prop_assert_eq!(&fresh, &select(&mut used));
+    }
+
     /// Dedup: sorted unique output, duplicate count consistent.
     #[test]
     fn dedup_invariants(indices in proptest::collection::vec(0u64..30, 0..60)) {
