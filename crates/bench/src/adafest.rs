@@ -31,12 +31,14 @@ const BATCH: usize = 128;
 const STEPS: usize = 8;
 // Selection operating point: `ShardSpec` partitions rows by
 // `row mod S`, so a Zipf-hot trace still spreads its unique rows
-// across shards and a touched partition's count is often just 1. The
-// threshold sits midway between 0 and 1 with σ_select small enough
-// that touched partitions pass w.p. ≈ 97.7% and untouched ones pass
-// w.p. ≈ 2.3% — a sharper (lower-ε) selection would need coarser
+// across shards and a touched partition's count is often just 1.
+// σ_select is relative to the count query's sensitivity (Δ = √2 for
+// 2 one-hot tables), so the realized per-count noise std is
+// σ_select·Δ ≈ 0.25: the threshold sits midway between 0 and 1 and
+// touched partitions pass w.p. ≈ 97.5% while untouched ones pass
+// w.p. ≈ 2.5% — a sharper (lower-ε) selection would need coarser
 // partitions or multiplicity counts.
-const SIGMA_SELECT: f64 = 0.25;
+const SIGMA_SELECT: f64 = 0.18;
 const SELECT_THRESHOLD: f64 = 0.5;
 const PARTITION_ROWS: usize = 16;
 const DELTA: f64 = 1e-6;

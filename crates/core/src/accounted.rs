@@ -56,6 +56,15 @@ impl<N: RowNoise> AccountedOptimizer for EanaOptimizer<N> {
 
 impl<N: RowNoise, T: EmbeddingStorage> AccountedOptimizer<T> for AdaFestOptimizer<N> {
     fn mechanism(&self) -> Mechanism {
+        // `SelectThenNoise` treats `sigma_select` as the multiplier
+        // relative to the count query's ℓ₂ sensitivity. The optimizer
+        // upholds that normalization itself: the noise it actually adds
+        // to each partition count is `sigma_select · Δ` with
+        // `Δ = max_lookups · √(num_tables)`
+        // (`AdaFestConfig::selection_noise_std`), and it panics on any
+        // batch whose per-example lookups exceed `max_lookups` — so
+        // forwarding the raw multiplier here is exact, never an
+        // undercharge.
         let cfg = self.config();
         Mechanism::SelectThenNoise {
             sigma: cfg.dp.noise_multiplier,
@@ -94,6 +103,20 @@ mod tests {
         let ada = AdaFestOptimizer::new(AdaFestConfig::new(dp, 2.0, 1.0, 16), CounterNoise::new(1));
         assert_eq!(
             AccountedOptimizer::<EmbeddingTable>::mechanism(&ada),
+            Mechanism::SelectThenNoise {
+                sigma: 1.3,
+                sigma_select: 2.0
+            }
+        );
+        // The lookup bound scales the *realized* count noise, not the
+        // accounted multiplier: σ_select is already relative to the
+        // sensitivity, so the mechanism must not change with it.
+        let pooled = AdaFestOptimizer::new(
+            AdaFestConfig::new(dp, 2.0, 1.0, 16).with_max_lookups(5),
+            CounterNoise::new(1),
+        );
+        assert_eq!(
+            AccountedOptimizer::<EmbeddingTable>::mechanism(&pooled),
             Mechanism::SelectThenNoise {
                 sigma: 1.3,
                 sigma_select: 2.0

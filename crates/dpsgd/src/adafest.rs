@@ -23,18 +23,31 @@
 //! addressed by `(table, partition, iter)` — selection is a pure
 //! function of `(seed, batch)`, independent of thread count, shard
 //! count, and storage backend. The per-row update kernel is the dense
-//! noisy-update arithmetic restricted to selected partitions, executed
-//! sequentially in row order, so with the threshold forced to
+//! noisy-update arithmetic restricted to selected partitions, walking
+//! only their row strides; each row's update is independent and its
+//! noise is addressed by `(table, row, iter)`, so the visit order is
+//! bitwise-immaterial and with the threshold forced to
 //! `-∞` (see [`AdaFestConfig::select_all`]) a training run is
 //! **bitwise identical** to eager DP-SGD(F) — a differential test pins
 //! this.
 //!
 //! # Privacy accounting
 //!
-//! Each step releases two subsampled Gaussian queries (counts at
-//! `σ_select`, selected-partition gradient at `σ`); the accounting for
-//! the pair is `lazydp_privacy`'s `Mechanism::SelectThenNoise`, charged
-//! per step by the trainer.
+//! Each step releases two subsampled Gaussian queries — the joint
+//! partition-count vector across all tables, and the selected-partition
+//! gradient — and the accounting for the pair is `lazydp_privacy`'s
+//! `Mechanism::SelectThenNoise`, charged per step by the trainer. That
+//! mechanism treats `σ_select` as the noise multiplier **relative to
+//! the count query's ℓ₂ sensitivity**, exactly as `σ` is relative to
+//! the clip norm `C`. Adding or removing one example changes at most
+//! [`AdaFestConfig::max_lookups`] counts per table by 1 each (worst
+//! case: all its lookups land in one partition of every table), so the
+//! joint count query's sensitivity is bounded by
+//! `Δ = max_lookups · √(num_tables)` — and the noise actually added to
+//! each count is `σ_select · Δ` ([`AdaFestConfig::selection_noise_std`]).
+//! The optimizer panics on any batch whose per-example per-table lookup
+//! count exceeds `max_lookups`, so the bound — and therefore the
+//! reported ε — is enforced, not assumed.
 
 use crate::clip::{clip_weights_into, clipped_fraction};
 use crate::config::DpConfig;
@@ -56,16 +69,25 @@ pub struct AdaFestConfig {
     /// The shared DP-SGD hyper-parameters (σ, C, η, B, threads).
     pub dp: DpConfig,
     /// Selection noise multiplier σ_select, relative to the count
-    /// query's sensitivity.
+    /// query's ℓ₂ sensitivity `Δ = max_lookups · √(num_tables)` (the
+    /// realized per-count noise std is
+    /// [`selection_noise_std`](Self::selection_noise_std)).
     pub sigma_select: f64,
     /// Selection threshold τ: partition `p` is noised iff
-    /// `count(p) + σ_select·n_p > τ`. `f64::NEG_INFINITY` selects every
-    /// partition (the differential-test configuration).
+    /// `count(p) + σ_select·Δ·n_p > τ`. `f64::NEG_INFINITY` selects
+    /// every partition (the differential-test configuration).
     pub threshold: f64,
     /// Rows per partition. Partitions are fixed-size so the noisy-update
     /// work grows with the number of *touched* partitions, not with the
     /// table's row count.
     pub partition_rows: usize,
+    /// Upper bound on the embedding lookups one example makes into one
+    /// table (the pooling factor; default 1). This is what bounds the
+    /// count query's sensitivity, so the optimizer **panics** on any
+    /// batch that exceeds it — raise it with
+    /// [`with_max_lookups`](Self::with_max_lookups) for multi-hot
+    /// workloads.
+    pub max_lookups: usize,
 }
 
 impl AdaFestConfig {
@@ -89,7 +111,40 @@ impl AdaFestConfig {
             sigma_select,
             threshold,
             partition_rows,
+            max_lookups: 1,
         }
+    }
+
+    /// Sets the per-example per-table lookup bound (pooling factor)
+    /// that the count-query sensitivity is computed from. Batches that
+    /// exceed it make [`AdaFestOptimizer`] panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_lookups == 0`.
+    #[must_use]
+    pub fn with_max_lookups(mut self, max_lookups: usize) -> Self {
+        assert!(max_lookups > 0, "max_lookups must be positive");
+        self.max_lookups = max_lookups;
+        self
+    }
+
+    /// The ℓ₂ sensitivity of the joint partition-count query over
+    /// `num_tables` tables: one example moves at most `max_lookups`
+    /// counts per table by 1 each, worst case all in a single partition
+    /// per table, so `Δ = max_lookups · √(num_tables)`.
+    #[must_use]
+    pub fn count_sensitivity(&self, num_tables: usize) -> f64 {
+        self.max_lookups as f64 * (num_tables as f64).sqrt()
+    }
+
+    /// The noise std actually added to each partition count:
+    /// `σ_select · Δ`, so that `σ_select` is the multiplier *relative
+    /// to the count query's sensitivity* — the normalization
+    /// `Mechanism::SelectThenNoise` assumes.
+    #[must_use]
+    pub fn selection_noise_std(&self, num_tables: usize) -> f64 {
+        self.sigma_select * self.count_sensitivity(num_tables)
     }
 
     /// Paper-flavored defaults on top of [`DpConfig::paper_default`]:
@@ -116,14 +171,20 @@ impl AdaFestConfig {
 }
 
 /// Privately selects partitions:
-/// `selected[p] = count(p) + σ_select·n_p > threshold`, with `n_p`
+/// `selected[p] = count(p) + noise_std·n_p > threshold`, with `n_p`
 /// the deterministic standard-normal draw for
 /// `(SELECT_PARAM_BASE + table_id, p, iter)`. Pure function of its
 /// arguments — no entropy, no iteration-order dependence.
+///
+/// `noise_std` is the **realized** per-count noise std: the caller is
+/// responsible for scaling the configured multiplier by the count
+/// query's sensitivity
+/// (`AdaFestConfig::selection_noise_std`), so the accountant's
+/// unit-sensitivity view of `σ_select` stays honest.
 pub fn select_partitions_into<N: RowNoise>(
     table_id: u32,
     counts: &[u64],
-    sigma_select: f64,
+    noise_std: f64,
     threshold: f64,
     noise: &mut N,
     iter: u64,
@@ -133,7 +194,7 @@ pub fn select_partitions_into<N: RowNoise>(
     let mut draw = [0.0f32; 1];
     for (p, &count) in counts.iter().enumerate() {
         noise.fill_unit_dense(SELECT_PARAM_BASE + table_id, iter, p as u64, &mut draw);
-        let noisy = count as f64 + sigma_select * f64::from(draw[0]);
+        let noisy = count as f64 + noise_std * f64::from(draw[0]);
         selected.push(noisy > threshold);
     }
 }
@@ -142,8 +203,16 @@ pub fn select_partitions_into<N: RowNoise>(
 /// lr·(noise_std·n_r + g[r])`, `g[r] = 0` off the gather set) applied
 /// to rows of **selected** partitions only; rows of unselected
 /// partitions are untouched and their gradient entries are dropped.
-/// Sequential in row order so the selected-row updates are bitwise those
-/// of [`dense_noisy_update`](crate::noise_update::dense_noisy_update).
+///
+/// The walk visits only selected partitions' rows (partition `p` owns
+/// the stride `p, p+S, p+2S, …` under the `row mod S` scheme), so the
+/// per-step cost is `O(selected partitions · partition rows)`, not
+/// `O(table rows)`. Each row's update is independent and its noise is
+/// addressed by `(table, row, iter)`, so for addressable sources the
+/// visit order is immaterial and every selected row's update is bitwise
+/// that of [`dense_noisy_update`](crate::noise_update::dense_noisy_update)
+/// (for stream sources like `SequentialNoise` — only distributionally
+/// equivalent by contract — the draw order is partition-major).
 ///
 /// # Panics
 ///
@@ -176,29 +245,53 @@ pub fn partition_noisy_update_with<T: EmbeddingStorage, N: RowNoise>(
     let dim = table.dim();
     buf.clear();
     buf.resize(dim, 0.0);
-    let rows = table.rows();
+    let rows = table.rows() as u64;
+    let stride = spec.shards() as u64;
     let mut touched = 0u64;
-    for r in 0..rows {
-        if !selected[spec.shard_of(r as u64)] {
+    for (p, &sel) in selected.iter().enumerate() {
+        if !sel {
             continue;
         }
-        noise.fill_unit(table_id, r as u64, iter, buf);
-        table.with_row_mut(r as u64, |row| {
-            if let Some(g) = grad.find(r as u64) {
-                for ((w, &n), &gv) in row.iter_mut().zip(buf.iter()).zip(g.iter()) {
-                    *w -= lr * (noise_std * n + gv);
+        let mut r = p as u64;
+        while r < rows {
+            noise.fill_unit(table_id, r, iter, buf);
+            table.with_row_mut(r, |row| {
+                if let Some(g) = grad.find(r) {
+                    for ((w, &n), &gv) in row.iter_mut().zip(buf.iter()).zip(g.iter()) {
+                        *w -= lr * (noise_std * n + gv);
+                    }
+                } else {
+                    for (w, &n) in row.iter_mut().zip(buf.iter()) {
+                        *w -= lr * noise_std * n;
+                    }
                 }
-            } else {
-                for (w, &n) in row.iter_mut().zip(buf.iter()) {
-                    *w -= lr * noise_std * n;
-                }
-            }
-        });
-        touched += 1;
+            });
+            touched += 1;
+            r += stride;
+        }
     }
     counters.gaussian_samples += touched * dim as u64;
     counters.table_rows_read += touched;
     counters.table_rows_written += touched;
+}
+
+/// Enforces the sensitivity bound the selection accounting rests on: no
+/// example may make more than `max_lookups` lookups into any one table.
+/// A batch that violates it would make the realized selection noise
+/// smaller than the count query's true sensitivity warrants, silently
+/// voiding the reported ε — so this panics instead.
+fn assert_lookup_bound(batch: &MiniBatch, max_lookups: usize) {
+    for (t, bag) in batch.sparse.iter().enumerate() {
+        for i in 0..bag.batch_size() {
+            let got = bag.sample(i).len();
+            assert!(
+                got <= max_lookups,
+                "sample {i} makes {got} lookups into table {t}, above the configured \
+                 per-example bound of {max_lookups}; raise `AdaFestConfig::with_max_lookups` \
+                 so the selection noise covers the count query's true sensitivity"
+            );
+        }
+    }
 }
 
 /// Reusable per-step buffers — the whole step allocates nothing once
@@ -299,6 +392,11 @@ impl<T: EmbeddingStorage, N: RowNoise> Optimizer<T> for AdaFestOptimizer<N> {
         _next: Option<&MiniBatch>,
     ) -> StepStats {
         self.iter += 1;
+        assert_lookup_bound(batch, self.cfg.max_lookups);
+        // σ_select is relative to the count query's sensitivity; the
+        // realized per-count noise std carries the Δ = max_lookups·√T
+        // factor so the accountant's unit-sensitivity view is honest.
+        let select_std = self.cfg.selection_noise_std(model.tables.len());
         let clipped = Self::clipped_aggregate(
             &self.cfg.dp,
             model,
@@ -335,7 +433,7 @@ impl<T: EmbeddingStorage, N: RowNoise> Optimizer<T> for AdaFestOptimizer<N> {
             select_partitions_into(
                 t as u32,
                 counts,
-                self.cfg.sigma_select,
+                select_std,
                 self.cfg.threshold,
                 &mut self.noise,
                 self.iter,
@@ -521,6 +619,7 @@ mod tests {
     fn empty_batch_still_noises_mlp_and_selected_partitions() {
         let (mut model, _) = setup();
         let top_before = model.top.layers()[0].weight.clone();
+        let tables_before = model.tables.clone();
         let cfg = AdaFestConfig::paper_default(8).select_all();
         let mut opt = AdaFestOptimizer::new(cfg, CounterNoise::new(5));
         let stats = opt.step(&mut model, &MiniBatch::default(), None);
@@ -529,12 +628,93 @@ mod tests {
             model.top.layers()[0].weight.max_abs_diff(&top_before) > 0.0,
             "MLP noise must land on empty batches"
         );
+        // Select-all: every partition of every table is selected, so
+        // table noise must land even with no gradient.
+        for (t, (after, before)) in model.tables.iter().zip(tables_before.iter()).enumerate() {
+            assert!(
+                after.max_abs_diff(before) > 0.0,
+                "table {t} noise must land on empty batches"
+            );
+        }
+    }
+
+    #[test]
+    fn count_sensitivity_is_max_lookups_times_sqrt_tables() {
+        let dp = DpConfig::paper_default(8);
+        let c = AdaFestConfig::new(dp, 0.5, 1.0, 16).with_max_lookups(3);
+        assert_eq!(c.count_sensitivity(4), 6.0);
+        assert_eq!(c.selection_noise_std(4), 3.0);
+        // The single-table, one-hot case keeps the historical unit
+        // sensitivity: nothing is scaled.
+        let unit = AdaFestConfig::new(dp, 0.7, 1.0, 16);
+        assert_eq!(unit.count_sensitivity(1), 1.0);
+        assert_eq!(unit.selection_noise_std(1), 0.7);
+        assert!(std::panic::catch_unwind(|| unit.with_max_lookups(0)).is_err());
+    }
+
+    #[test]
+    fn realized_selection_noise_is_scaled_by_the_count_sensitivity() {
+        // Multi-table + pooling > 1 accounting check: T = 3 tables and
+        // max_lookups = 2 give Δ = 2√3, so table t's partition p must
+        // be selected iff σ_select·Δ·n_{t,p} > τ on an empty batch
+        // (all counts are 0). Recompute the mask from the raw draws and
+        // check exactly the selected partitions moved.
+        let (mut model, _) = setup();
+        let before = model.tables.clone();
+        let cfg = AdaFestConfig::new(DpConfig::paper_default(8), 0.7, 0.4, 8).with_max_lookups(2);
+        let mut opt = AdaFestOptimizer::new(cfg, CounterNoise::new(11));
+        opt.step(&mut model, &MiniBatch::default(), None);
+        let delta = cfg.count_sensitivity(model.tables.len());
+        assert_eq!(delta, 2.0 * 3f64.sqrt());
+        let (mut any_selected, mut any_unselected) = (false, false);
+        for (t, (table, before)) in model.tables.iter().zip(before.iter()).enumerate() {
+            let spec = ShardSpec::new(cfg.partitions_for(table.rows()));
+            let mut noise = CounterNoise::new(11);
+            let mut draw = [0.0f32; 1];
+            for p in 0..spec.shards() {
+                noise.fill_unit_dense(SELECT_PARAM_BASE + t as u32, 1, p as u64, &mut draw);
+                let expect = cfg.sigma_select * delta * f64::from(draw[0]) > cfg.threshold;
+                let moved = (0..table.rows())
+                    .filter(|&r| spec.shard_of(r as u64) == p)
+                    .any(|r| table.row(r) != before.row(r));
+                assert_eq!(
+                    moved, expect,
+                    "table {t} partition {p}: selection must use std = σ_select·Δ"
+                );
+                any_selected |= expect;
+                any_unselected |= !expect;
+            }
+        }
         assert!(
-            model.tables[0].max_abs_diff(&lazydp_embedding::EmbeddingTable::zeros(
-                model.tables[0].rows(),
-                model.tables[0].dim()
-            )) >= 0.0
+            any_selected && any_unselected,
+            "operating point must split partitions for the test to have teeth"
         );
+    }
+
+    #[test]
+    fn step_enforces_the_per_example_lookup_bound() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(3);
+        let mut model = Dlrm::new(DlrmConfig::tiny(2, 32, 8), &mut rng);
+        let ds = SyntheticDataset::new(SyntheticConfig::small(2, 32, 16).with_pooling(3));
+        let batch = ds.batch_of(&(0..8).collect::<Vec<_>>());
+        let dp = DpConfig::paper_default(8);
+        // The default bound is 1 lookup/table/example: a pooling-3
+        // batch would undercut the accounted sensitivity, so it panics.
+        let mut opt =
+            AdaFestOptimizer::new(AdaFestConfig::new(dp, 1.0, 1.0, 8), CounterNoise::new(2));
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            opt.step(&mut model, &batch, None);
+        }));
+        assert!(
+            res.is_err(),
+            "pooling 3 must violate the default bound of 1"
+        );
+        // With the bound raised the same batch trains.
+        let mut opt = AdaFestOptimizer::new(
+            AdaFestConfig::new(dp, 1.0, 1.0, 8).with_max_lookups(3),
+            CounterNoise::new(2),
+        );
+        opt.step(&mut model, &batch, None);
     }
 
     #[test]

@@ -16,7 +16,12 @@
 //! its per-example contribution and the clipped gradient by at most `C`
 //! (both queries are normalized to unit ℓ₂-sensitivity here: `σ_select`
 //! is the noise multiplier *relative to the count query's sensitivity*,
-//! exactly as `σ` is relative to `C`). The joint release of two Gaussian
+//! exactly as `σ` is relative to `C`). The optimizer is responsible for
+//! realizing that normalization — `AdaFestOptimizer` scales the noise it
+//! actually adds to each count by the joint query's sensitivity bound
+//! `Δ = max_lookups · √(num_tables)` and rejects batches that exceed the
+//! per-example lookup bound, so the `σ_select` it reports here never
+//! undercharges. The joint release of two Gaussian
 //! views of the same example is itself a Gaussian mechanism on the
 //! concatenated query, whose RDP at order α is the **sum** of the parts:
 //!

@@ -56,7 +56,10 @@ fn main() {
     // --- 1+2: sparse noise traffic under honest accounting --------------
     // Partition counts on this mod-S sharding are small, so the
     // selection needs a sharp σ_select; the trainer charges for it.
-    let cfg = AdaFestConfig::new(dp, 0.25, 0.5, 16);
+    // σ_select is relative to the count query's sensitivity — Δ = √3
+    // for three one-hot tables — so the realized per-count noise std is
+    // 0.15·√3 ≈ 0.26.
+    let cfg = AdaFestConfig::new(dp, 0.15, 0.5, 16);
     let mut trainer = PrivateTrainer::make_private_adafest(
         fresh_model(),
         cfg,

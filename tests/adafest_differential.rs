@@ -75,6 +75,34 @@ fn select_all_adafest_is_bitwise_identical_to_eager_dense_dp_sgd() {
 }
 
 #[test]
+fn select_all_differential_holds_with_multiple_tables_and_pooling() {
+    // >1 table and pooling > 1: the count query's ℓ₂ sensitivity is
+    // Δ = 2·√3 > 1, so the realized selection noise is scaled up by Δ —
+    // which must not disturb the select-all degenerate case (selection
+    // draws live on their own parameter base and the mask is all-true
+    // at τ = −∞ regardless of the noise scale).
+    let mut rng = Xoshiro256PlusPlus::seed_from(41);
+    let model0 = Dlrm::new(DlrmConfig::tiny(3, 64, 8), &mut rng);
+    let ds = SyntheticDataset::new(SyntheticConfig::small(3, 64, 96).with_pooling(2));
+    let dp = DpConfig::new(1.1, 1.0, 0.05, 16).with_threads(1);
+    let mut eager_model = model0.clone();
+    let mut ada_model = model0;
+    let mut eager = EagerDpSgd::new(dp, ClipStyle::Fast, CounterNoise::new(9));
+    let mut ada = AdaFestOptimizer::new(
+        AdaFestConfig::new(dp, 1.0, 1.0, 16)
+            .with_max_lookups(2)
+            .select_all(),
+        CounterNoise::new(9),
+    );
+    for it in 0..5 {
+        let batch = ds.batch_of(&(it * 16..(it + 1) * 16).collect::<Vec<_>>());
+        eager.step(&mut eager_model, &batch, None);
+        ada.step(&mut ada_model, &batch, None);
+    }
+    assert_bitwise_equal(&eager_model, &ada_model, "tables=3, pooling=2");
+}
+
+#[test]
 fn select_all_differential_holds_through_empty_batches() {
     // Poisson sampling deals empty batches; both algorithms must stay
     // in lockstep through them (noisy zero-gradient release).
