@@ -640,6 +640,10 @@ pub fn experiment_ids() -> Vec<(&'static str, &'static str)> {
             "kernel layer: blocked-GEMM GFLOP/s, single-pass Gaussian samples/s, step before/after",
         ),
         (
+            "obs",
+            "observability rollup: lazydp_obs registry delta across a LazyDP + DP-AdaFEST run",
+        ),
+        (
             "roofline",
             "roofline: forward/backward/fused-clipped GFLOP/s vs measured FMA peak",
         ),
@@ -675,6 +679,7 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "sharding" => crate::sharding::shard_scaling(),
         "storage" => crate::storage::storage_sweep(),
         "kernels" => crate::kernels::kernel_throughput(),
+        "obs" => crate::obs::obs_rollup(),
         "roofline" => crate::roofline::roofline(),
         _ => return None,
     })

@@ -39,6 +39,7 @@ pub mod adafest;
 pub mod experiments;
 pub mod kernels;
 pub mod leak;
+pub mod obs;
 pub mod roofline;
 pub mod scaling;
 pub mod sharding;

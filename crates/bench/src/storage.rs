@@ -17,10 +17,19 @@ use lazydp_core::{LazyDpConfig, PrivateTrainer};
 use lazydp_data::{AccessDistribution, FixedBatchLoader, SyntheticConfig, SyntheticDataset};
 use lazydp_dpsgd::DpConfig;
 use lazydp_model::{Dlrm, DlrmConfig};
+use lazydp_obs::MetricsSnapshot;
 use lazydp_rng::counter::CounterNoise;
 use lazydp_rng::Xoshiro256PlusPlus;
-use lazydp_store::{CacheStats, StorageConfig, StoredTable};
+use lazydp_store::{StorageConfig, StoredTable};
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// Serializes storage-backed runs process-wide so the `store.*`
+/// registry deltas measured around each run are attributable to that
+/// run alone (the registry is global; concurrent tests would otherwise
+/// bleed into each other's counters). Only this module creates
+/// `StoredTable`s inside the bench process.
+static RUN_LOCK: Mutex<()> = Mutex::new(());
 
 /// Cache capacities measured, as a fraction of the table's total pages
 /// (the {100%, 50%, 25%, 10%} sweep of the issue's acceptance
@@ -48,17 +57,24 @@ fn setup(cfg: &DlrmConfig, batch: usize, steps: usize) -> (Dlrm, SyntheticDatase
     (model, SyntheticDataset::new(scfg))
 }
 
-/// One storage-backed training run: returns (mean step seconds,
-/// aggregated cache stats, released model).
+/// One storage-backed training run: returns (mean step seconds, the
+/// run's `store.*` registry delta, released model). The cache's own
+/// counters are not read (rule O1 keeps hot-path state write-only);
+/// instead the run is bracketed by two `lazydp_obs` snapshots under
+/// [`RUN_LOCK`], so the delta is exactly this run's traffic.
 fn stored_run(
     model0: &Dlrm,
     ds: &SyntheticDataset,
     batch: usize,
     steps: usize,
     storage: StorageConfig,
-) -> (f64, CacheStats, Dlrm) {
+) -> (f64, MetricsSnapshot, Dlrm) {
+    let _serial = RUN_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let cfg = LazyDpConfig::new(DpConfig::paper_default(batch), true).with_storage(storage);
     let loader = FixedBatchLoader::new(ds.clone(), batch);
+    let before = lazydp_obs::snapshot::capture_metrics();
     let mut trainer = PrivateTrainer::make_private_stored_prefetch(
         model0.clone(),
         cfg,
@@ -71,18 +87,21 @@ fn stored_run(
     let _ = trainer.train_steps(steps);
     let secs = t0.elapsed().as_secs_f64() / steps as f64;
     let released = trainer.finish();
-    let mut stats = CacheStats::default();
-    for t in &released.tables {
-        let s = t.stats();
-        stats.hits += s.hits;
-        stats.misses += s.misses;
-        stats.evictions += s.evictions;
-        stats.write_backs += s.write_backs;
-        stats.bytes_spilled += s.bytes_spilled;
-        stats.bytes_loaded += s.bytes_loaded;
-    }
     let dense = released.map_tables(|_, t: StoredTable| t.to_dense());
-    (secs, stats, dense)
+    let delta = lazydp_obs::snapshot::capture_metrics().delta_since(&before);
+    (secs, delta, dense)
+}
+
+/// Hit rate out of a registry delta (0.0 when no faults were counted,
+/// e.g. under `LAZYDP_OBS=off`).
+fn delta_hit_rate(delta: &MetricsSnapshot) -> f64 {
+    let hits = delta.counter("store.hits");
+    let faults = hits + delta.counter("store.misses");
+    if faults == 0 {
+        0.0
+    } else {
+        hits as f64 / faults as f64
+    }
 }
 
 /// The in-memory reference run (released model only).
@@ -145,7 +164,7 @@ pub fn storage_sweep_with(cfg: &DlrmConfig, batch: usize, timed_steps: usize) ->
         let storage = StorageConfig::new()
             .with_page_rows(page_rows)
             .with_cache_pages(cache_pages);
-        let (secs, stats, released) = stored_run(&model0, &ds, batch, timed_steps, storage);
+        let (secs, delta, released) = stored_run(&model0, &ds, batch, timed_steps, storage);
         let mut diff = 0.0f32;
         for (a, b) in reference.tables.iter().zip(released.tables.iter()) {
             diff = diff.max(a.max_abs_diff(b));
@@ -158,9 +177,9 @@ pub fn storage_sweep_with(cfg: &DlrmConfig, batch: usize, timed_steps: usize) ->
             format!("{:.0}%", frac * 100.0),
             cache_pages.to_string(),
             format!("{:.2}", secs * 1e3),
-            format!("{:.3}", stats.hit_rate()),
-            stats.bytes_spilled.to_string(),
-            stats.bytes_loaded.to_string(),
+            format!("{:.3}", delta_hit_rate(&delta)),
+            delta.counter("store.bytes_spilled").to_string(),
+            delta.counter("store.bytes_loaded").to_string(),
             format!("{diff}"),
         ]);
     }
@@ -200,8 +219,9 @@ mod tests {
         // 100% row never evicts, so its load count (distinct pages
         // touched) is the structural minimum. Skipped when
         // LAZYDP_STORE_PAGES pins every row to the same capacity —
-        // concurrent-prefetch jitter then makes the rows incomparable.
-        if std::env::var(lazydp_store::CACHE_PAGES_ENV).is_err() {
+        // concurrent-prefetch jitter then makes the rows incomparable —
+        // and under LAZYDP_OBS=off, where the counter columns are zero.
+        if std::env::var(lazydp_store::CACHE_PAGES_ENV).is_err() && lazydp_obs::counters_enabled() {
             let loads: Vec<u64> = t.rows.iter().map(|r| r[5].parse().unwrap()).collect();
             assert!(
                 loads[0] <= *loads.last().unwrap(),

@@ -1,44 +1,14 @@
 //! Wall-clock measurement, quarantined.
 //!
-//! The workspace lint pass (rule **D2**) bans `std::time::Instant` and
-//! `SystemTime` everywhere outside `crates/bench`: wall-clock reads are
-//! inherently non-deterministic, so a timing call sitting next to
-//! training logic is a standing invitation to let "how long did it
-//! take" leak into "what did it compute". Examples and demos that want
-//! to report timings use this [`Stopwatch`] instead — the clock read
-//! stays inside the bench crate, and the call site advertises that it
-//! is measurement, not computation.
+//! The clock itself now lives in `lazydp_obs::clock` — the single
+//! sanctioned home of `std::time::Instant` alongside this crate (lint
+//! rule **D2**) — so the span machinery and the bench harness share
+//! one timing implementation. This module re-exports [`Stopwatch`] for
+//! the existing bench call sites; either path advertises the same
+//! thing: measurement, never computation. A `Stopwatch` reading must
+//! not feed back into training state (DESIGN.md invariant #1).
 
-use std::time::{Duration, Instant};
-
-/// A started wall clock. Measurement only — a `Stopwatch` reading must
-/// never feed back into training state (DESIGN.md invariant #1).
-#[derive(Debug, Clone, Copy)]
-pub struct Stopwatch {
-    start: Instant,
-}
-
-impl Stopwatch {
-    /// Starts the clock.
-    #[must_use]
-    pub fn start() -> Self {
-        Self {
-            start: Instant::now(),
-        }
-    }
-
-    /// Time since [`Stopwatch::start`].
-    #[must_use]
-    pub fn elapsed(&self) -> Duration {
-        self.start.elapsed()
-    }
-
-    /// Elapsed seconds as a float, convenient for rate arithmetic.
-    #[must_use]
-    pub fn elapsed_secs(&self) -> f64 {
-        self.elapsed().as_secs_f64()
-    }
-}
+pub use lazydp_obs::clock::Stopwatch;
 
 #[cfg(test)]
 mod tests {

@@ -291,7 +291,10 @@ impl<N: RowNoise + Clone + Send + Sync> LazyDpOptimizer<N> {
             scratch.grads.reset_for(model);
             return 0.0;
         }
-        model.forward_with(batch, &mut scratch.cache, &mut scratch.model_scratch);
+        {
+            lazydp_obs::span!("step.forward");
+            model.forward_with(batch, &mut scratch.cache, &mut scratch.model_scratch);
+        }
         counters.rows_gathered += batch.total_lookups() as u64;
         Dlrm::logit_grads_into(&scratch.cache, &batch.labels, false, &mut scratch.logit_g);
         let c = dp.max_grad_norm;
@@ -308,18 +311,21 @@ impl<N: RowNoise + Clone + Send + Sync> LazyDpOptimizer<N> {
         // identical to the old norms-then-reweighted-backward pair. The
         // norms are copied out of the closure so the clipped fraction
         // can be reported without re-deriving them.
-        model.backward_clipped_with(
-            cache,
-            batch,
-            logit_g,
-            |n, w| {
-                norms.clear();
-                norms.extend_from_slice(n);
-                clip_weights_into(n, c, w);
-            },
-            grads,
-            model_scratch,
-        );
+        {
+            lazydp_obs::span!("step.backward_clip");
+            model.backward_clipped_with(
+                cache,
+                batch,
+                logit_g,
+                |n, w| {
+                    norms.clear();
+                    norms.extend_from_slice(n);
+                    clip_weights_into(n, c, w);
+                },
+                grads,
+                model_scratch,
+            );
+        }
         clipped_fraction(&scratch.norms, c)
     }
 
@@ -338,6 +344,7 @@ impl<N: RowNoise + Clone + Send + Sync> LazyDpOptimizer<N> {
     /// table each bounded segment touches its rows through the page
     /// cache, so release never needs the whole table resident.
     pub fn finalize_model<T: EmbeddingStorage>(&mut self, model: &mut Dlrm<T>) {
+        lazydp_obs::span!("finalize.flush_all");
         let lr = self.cfg.dp.lr;
         let per_step_std = self.cfg.dp.noise_std_per_coord();
         let exec = Executor::new(self.cfg.dp.threads);
@@ -353,6 +360,10 @@ impl<N: RowNoise + Clone + Send + Sync> LazyDpOptimizer<N> {
                     &mut self.history[t].shards_mut()[s],
                     &mut self.counters,
                 );
+                lazydp_obs::metrics()
+                    .trainer
+                    .finalize_rows
+                    .add(plan.entries().len() as u64);
                 for seg in plan.entries().chunks(FINALIZE_SEGMENT_ENTRIES) {
                     let noise_buf = NoisePlan::sample_entries(
                         t as u32,
@@ -439,6 +450,8 @@ where
         let overlap = has_next && self.noise.addressable() && (dp.threads > 1 || !single_shard);
         let mut flushes: Vec<ShardedFlush> = Vec::new();
         let clipped = if overlap {
+            lazydp_obs::span!("step.flush_overlap");
+            lazydp_obs::metrics().trainer.flush_overlaps.incr();
             let targets = std::mem::take(&mut self.scratch.targets);
             let dims: Vec<usize> = model.tables.iter().map(|t| t.dim()).collect();
             let noise = &self.noise;
@@ -492,24 +505,27 @@ where
         // dense noise every iteration) — Algorithm 1 omits them because
         // "both DP-SGD(F) and LazyDP apply the identical DP protection
         // for MLP layers".
-        model.bottom.apply(&self.scratch.grads.bottom, lr);
-        model.top.apply(&self.scratch.grads.top, lr);
-        model.bottom.apply_dense_noise_with(
-            &mut self.noise,
-            iter,
-            0,
-            std,
-            lr,
-            &mut self.scratch.dense_buf,
-        );
-        model.top.apply_dense_noise_with(
-            &mut self.noise,
-            iter,
-            64,
-            std,
-            lr,
-            &mut self.scratch.dense_buf,
-        );
+        {
+            lazydp_obs::span!("step.dense_update");
+            model.bottom.apply(&self.scratch.grads.bottom, lr);
+            model.top.apply(&self.scratch.grads.top, lr);
+            model.bottom.apply_dense_noise_with(
+                &mut self.noise,
+                iter,
+                0,
+                std,
+                lr,
+                &mut self.scratch.dense_buf,
+            );
+            model.top.apply_dense_noise_with(
+                &mut self.noise,
+                iter,
+                64,
+                std,
+                lr,
+                &mut self.scratch.dense_buf,
+            );
+        }
         self.counters.gaussian_samples += (model.bottom.params() + model.top.params()) as u64;
 
         // Embedding tables: merge the (sparse) gradient with the lazy
@@ -534,6 +550,7 @@ where
                 // through the live stream, or a single-width executor
                 // over an unsharded history): phase 1 bookkeeping,
                 // phase 2 sampling, both through step-scoped scratch.
+                lazydp_obs::span!("step.flush_seq");
                 let tg: &[u64] = &targets[t];
                 table.prefetch_rows(tg);
                 NoisePlan::plan_next_rows(
@@ -565,11 +582,15 @@ where
                     }
                 }
             }
-            table.sparse_update(update, lr);
+            {
+                lazydp_obs::span!("step.sparse_update");
+                table.sparse_update(update, lr);
+            }
             self.counters.table_rows_read += update.len() as u64;
             self.counters.table_rows_written += update.len() as u64;
         }
         self.counters.steps += 1;
+        lazydp_obs::metrics().trainer.steps.incr();
         StepStats {
             realized_batch: batch.batch_size(),
             clipped_fraction: clipped,

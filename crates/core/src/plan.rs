@@ -116,6 +116,8 @@ impl NoisePlan {
                 }
             };
             entries.push(NoisePlanEntry { row, delays, slot });
+            lazydp_obs::metrics().trainer.noise_plan_rows.incr();
+            lazydp_obs::metrics().trainer.pending_depth.record(delays);
         }
     }
 
@@ -538,7 +540,12 @@ where
     }
     for (i, e) in entries.iter_mut().enumerate() {
         e.slot = i;
+        lazydp_obs::metrics().trainer.pending_depth.record(e.delays);
     }
+    lazydp_obs::metrics()
+        .trainer
+        .noise_plan_rows
+        .add(entries.len() as u64);
     ShardedFlush {
         entries,
         noise: noise_buf,

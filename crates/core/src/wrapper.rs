@@ -303,14 +303,20 @@ impl<L: LookaheadSource, O: AccountedOptimizer<T>, T: EmbeddingStorage> PrivateT
             let _ = self.loader.finish_iteration();
             self.accountant
                 .compose_mechanism(&mechanism, self.sampling_rate, 1);
+            lazydp_obs::metrics().privacy.compositions.incr();
         }
         stats
     }
 
     /// The (ε, best-order) privacy guarantee spent so far at `delta`.
+    /// The ε is mirrored into the `privacy.spent_epsilon` gauge — it is
+    /// a public quantity (the privacy statement itself), so surfacing it
+    /// leaks nothing per-example.
     #[must_use]
     pub fn epsilon(&self, delta: f64) -> (f64, u32) {
-        self.accountant.epsilon(delta)
+        let (eps, order) = self.accountant.epsilon(delta);
+        lazydp_obs::metrics().privacy.spent_epsilon.set_f64(eps);
+        (eps, order)
     }
 
     /// The model as currently trained (pending noise **not** yet

@@ -90,6 +90,7 @@ impl PrefetchLoader {
                         if buffer.push(batch).is_err() {
                             break;
                         }
+                        lazydp_obs::metrics().data.batches_produced.incr();
                     }
                 })
                 .expect("spawn prefetch worker")

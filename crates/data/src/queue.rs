@@ -154,6 +154,12 @@ impl<T> BoundedQueue<T> {
     /// Panics if the queue mutex is poisoned.
     pub fn push(&self, item: T) -> Result<(), T> {
         let mut state = self.state.lock().expect("queue poisoned");
+        if state.items.len() >= self.capacity && !state.closed {
+            // The producer is about to block on a full queue: the
+            // consumer is the bottleneck (or the pipeline is healthily
+            // saturated). Counted once per blocking push.
+            lazydp_obs::metrics().data.producer_stalls.incr();
+        }
         while state.items.len() >= self.capacity && !state.closed {
             state = self.not_full.wait(state).expect("queue poisoned");
         }
@@ -178,6 +184,12 @@ impl<T> BoundedQueue<T> {
             state = self.not_empty.wait(state).expect("queue poisoned");
         }
         let item = state.items.pop_front();
+        // Depth as the consumer sees it after taking its item — the
+        // producer's headroom.
+        lazydp_obs::metrics()
+            .data
+            .queue_depth
+            .set(state.items.len() as u64);
         drop(state);
         if item.is_some() {
             self.not_full.notify_one();

@@ -440,6 +440,19 @@ impl<T: EmbeddingStorage, N: RowNoise> Optimizer<T> for AdaFestOptimizer<N> {
                 selected,
             );
             self.counters.gaussian_samples += counts.len() as u64;
+            // The selection outcome is itself a differentially private
+            // release (that is the point of private partition
+            // selection), so aggregate selected/dropped tallies are
+            // safe to surface.
+            let n_selected = selected.iter().filter(|&&s| s).count() as u64;
+            lazydp_obs::metrics()
+                .adafest
+                .partitions_selected
+                .add(n_selected);
+            lazydp_obs::metrics()
+                .adafest
+                .partitions_dropped
+                .add(selected.len() as u64 - n_selected);
             partition_noisy_update_with(
                 t as u32,
                 table,

@@ -180,6 +180,15 @@ impl Executor {
             return;
         }
         let n_chunks = data.len().div_ceil(chunk_len);
+        // Occupancy metrics: one region, `n_chunks` chunks. Recorded
+        // before the inline/parallel fork so single-threaded runs show
+        // the same region shape (write-only; see lazydp_obs rule O1).
+        lazydp_obs::metrics().exec.par_regions.incr();
+        lazydp_obs::metrics().exec.par_chunks.add(n_chunks as u64);
+        lazydp_obs::metrics()
+            .exec
+            .chunks_per_region
+            .record(n_chunks as u64);
         if self.threads == 1 || n_chunks == 1 {
             for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
                 f(i, chunk);

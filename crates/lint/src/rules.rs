@@ -1,4 +1,4 @@
-//! The rule engine: seven lexical rules that machine-check the
+//! The rule engine: eight lexical rules that machine-check the
 //! determinism & privacy contract documented in `ARCHITECTURE.md`.
 //!
 //! Every rule reports [`Violation`]s with a `file:line` span and a rule
@@ -8,12 +8,13 @@
 //! | ID | Invariant protected |
 //! |----|---------------------|
 //! | D1 | Bitwise replay: no `HashMap`/`HashSet` in non-test code (unordered iteration) |
-//! | D2 | Replayability: no `Instant`/`SystemTime` outside `crates/bench` |
+//! | D2 | Replayability: no `Instant`/`SystemTime` outside `crates/bench` and `crates/obs` |
 //! | D3 | Deterministic parallelism: no `std::thread::{spawn,scope}` outside `lazydp_exec` |
 //! | D4 | Fixed accumulation order: no float `.sum()`/`.fold(…)` outside `lazydp_tensor` |
 //! | D5 | Memory safety: every crate root carries `#![forbid(unsafe_code)]` |
-//! | P1 | DP hygiene: no debug-printing of gradient-bearing values in non-test code |
+//! | P1 | DP hygiene: no printing or metric-recording of gradient-bearing values in non-test code |
 //! | P2 | Owned noise: no `rand::`/entropy-seeded sampling outside `lazydp_rng` |
+//! | O1 | Write-only observability: `lazydp_obs` read APIs only in `crates/obs`, `crates/bench`, tests |
 
 use crate::lexer::{lex, Token, TokenKind};
 
@@ -38,9 +39,9 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "D2",
-        summary: "no Instant::now/SystemTime outside crates/bench",
-        invariant: "wall-clock reads make runs unreplayable; timing belongs in \
-                    lazydp_bench helpers (e.g. Stopwatch)",
+        summary: "no Instant::now/SystemTime outside crates/bench and crates/obs",
+        invariant: "wall-clock reads make runs unreplayable; the clock lives in \
+                    lazydp_obs::clock (Stopwatch, span timing) and lazydp_bench",
     },
     Rule {
         id: "D3",
@@ -62,16 +63,26 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "P1",
-        summary: "no println!/eprintln!/dbg! of gradient-bearing values in \
-                  non-test code",
+        summary: "no println!/eprintln!/dbg!/metric-record/span-name of \
+                  gradient-bearing values in non-test code",
         invariant: "raw per-example gradients and norms must only leave the \
-                    process through the clip->noise release path, never logs",
+                    process through the clip->noise release path — never logs, \
+                    never lazydp_obs metrics or span names",
     },
     Rule {
         id: "P2",
         summary: "no rand::-direct or entropy-seeded sampling outside lazydp_rng",
         invariant: "noise must come from the owned, replayable GaussianSampler \
                     / CounterRng streams",
+    },
+    Rule {
+        id: "O1",
+        summary: "no lazydp_obs read APIs (capture_metrics/take_trace_events/\
+                  obs_read) outside crates/obs, crates/bench, and tests",
+        invariant: "observability is write-only from hot paths: a recorded \
+                    value may reach a report or an exporter, never a training \
+                    decision — reads stay in bench, tests, and the obs \
+                    exporters",
     },
 ];
 
@@ -211,6 +222,7 @@ pub fn check_source(rel_path: &str, source: &str) -> Vec<Violation> {
     let in_exec = rel_path.starts_with("crates/exec/");
     let in_tensor = rel_path.starts_with("crates/tensor/");
     let in_rng = rel_path.starts_with("crates/rng/");
+    let in_obs = rel_path.starts_with("crates/obs/");
 
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokenKind::Ident || in_test(i) {
@@ -233,14 +245,15 @@ pub fn check_source(rel_path: &str, source: &str) -> Vec<Violation> {
         }
 
         // D2: wall clock.
-        if !in_bench && (name == "Instant" || name == "SystemTime") {
+        if !(in_bench || in_obs) && (name == "Instant" || name == "SystemTime") {
             push(
                 "D2",
                 t,
                 format!(
-                    "wall-clock type `{name}` outside crates/bench: timing \
-                     belongs in lazydp_bench (e.g. `Stopwatch`), or \
-                     allowlist a measurement-only span"
+                    "wall-clock type `{name}` outside crates/bench and \
+                     crates/obs: timing belongs in lazydp_obs::clock (e.g. \
+                     `Stopwatch`, `span!`) or lazydp_bench, or allowlist a \
+                     measurement-only span"
                 ),
             );
         }
@@ -266,8 +279,20 @@ pub fn check_source(rel_path: &str, source: &str) -> Vec<Violation> {
             );
         }
 
-        // D4: float reductions.
-        if !in_tensor && (name == "sum" || name == "fold") && i >= 1 && toks[i - 1].is_punct('.') {
+        // D4: float reductions. Only calls count — `.sum(` or a
+        // `.sum::<…>` turbofish — so a field named `sum` (e.g. a
+        // histogram's running total) is not a reduction.
+        let is_call = toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            || (i + 3 < toks.len()
+                && toks[i + 1].is_punct(':')
+                && toks[i + 2].is_punct(':')
+                && toks[i + 3].is_punct('<'));
+        if !in_tensor
+            && (name == "sum" || name == "fold")
+            && is_call
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+        {
             if let Some(ev) = float_reduction_evidence(&toks, i) {
                 push(
                     "D4",
@@ -308,6 +333,70 @@ pub fn check_source(rel_path: &str, source: &str) -> Vec<Violation> {
                     );
                 }
             }
+        }
+
+        // P1 (obs extension): gradient-bearing values at metric-recording
+        // call sites. Instrumentation is written fully qualified
+        // (`lazydp_obs::metrics().trainer.steps.add(n)`), so the
+        // `lazydp_obs` ident anchors the statement; any grad/norm ident
+        // inside the recorded argument list is flagged exactly like a
+        // format-macro argument.
+        if (name == "add" || name == "record" || name == "set" || name == "set_f64")
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && statement_mentions(&toks, i, "lazydp_obs")
+        {
+            if let Some(arg) = sensitive_macro_arg(&toks, i + 1) {
+                push(
+                    "P1",
+                    t,
+                    format!(
+                        "metric `.{name}(…)` records gradient-bearing value \
+                         `{arg}` in non-test code: lazydp_obs metrics carry \
+                         counts, bytes, durations, and ε only — never raw \
+                         gradients or norms"
+                    ),
+                );
+            }
+        }
+
+        // P1 (obs extension): span names. The lexer drops string-literal
+        // contents, so the raw source line is scanned for gradient
+        // vocabulary alongside the ident scan of the macro arguments.
+        if name == "span" && i + 1 < toks.len() && toks[i + 1].is_punct('!') {
+            let line_text = lines
+                .get(t.line as usize - 1)
+                .map_or(String::new(), |l| l.to_lowercase());
+            let bad_name = line_text.contains("grad") || line_text.contains("norm");
+            if bad_name || sensitive_macro_arg(&toks, i + 2).is_some() {
+                push(
+                    "P1",
+                    t,
+                    "`span!` name or argument mentions a gradient-bearing \
+                     value in non-test code: span names are exported to trace \
+                     files and must carry phase labels only"
+                        .to_string(),
+                );
+            }
+        }
+
+        // O1: obs read APIs outside the sanctioned readers. The loop
+        // already skips test regions, so only library/binary/example hot
+        // paths reach this check.
+        if !(in_obs || in_bench)
+            && (name == "capture_metrics" || name == "take_trace_events" || name == "obs_read")
+        {
+            push(
+                "O1",
+                t,
+                format!(
+                    "obs read API `{name}` outside crates/obs and \
+                     crates/bench: observability is write-only from hot \
+                     paths — recorded values may reach reports via \
+                     lazydp_obs::export, never training code; move the read \
+                     into bench or a test"
+                ),
+            );
         }
 
         // P2: foreign randomness.
@@ -456,6 +545,20 @@ fn float_reduction_evidence(toks: &[Token], i: usize) -> Option<&'static str> {
         }
     }
     None
+}
+
+/// Whether the statement containing token `i` mentions identifier
+/// `ident` (backward scan to the statement start — `;`/`{`/`}` — with
+/// the same bounded window as the D4 heuristic). Used to anchor the
+/// P1 metric-site checks on fully-qualified `lazydp_obs` call sites.
+fn statement_mentions(toks: &[Token], i: usize, ident: &str) -> bool {
+    const WINDOW: usize = 64;
+    let start = (0..i)
+        .rev()
+        .take(WINDOW)
+        .find(|&j| matches!(toks[j].kind, TokenKind::Punct(';' | '{' | '}')))
+        .map_or(i.saturating_sub(WINDOW), |j| j + 1);
+    toks[start..i].iter().any(|t| t.is_ident(ident))
 }
 
 /// If the macro argument list opening at token `open_paren_idx` mentions

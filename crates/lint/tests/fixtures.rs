@@ -49,6 +49,14 @@ fn d2_permits_wall_clock_in_bench_crate() {
     assert!(flags("crates/bench/src/timing.rs", src, "D2").is_empty());
 }
 
+#[test]
+fn d2_permits_wall_clock_in_obs_crate() {
+    let src = "fn f() { let t = std::time::Instant::now(); let _ = t.elapsed(); }\n";
+    assert!(flags("crates/obs/src/clock.rs", src, "D2").is_empty());
+    // The sanctioned set is exactly bench + obs; everything else flags.
+    assert_eq!(flags("crates/store/src/cache.rs", src, "D2").len(), 1);
+}
+
 // ---------------------------------------------------------------- D3 --
 
 #[test]
@@ -136,6 +144,62 @@ fn p2_flags_foreign_rng_outside_rng_crate() {
 fn p2_permits_rng_crate_internals() {
     let src = "fn f() { let x = rand::random::<u64>(); let _ = x; }\n";
     assert!(flags("crates/rng/src/compat.rs", src, "P2").is_empty());
+}
+
+// ---------------------------------------------------------- P1 (obs) --
+
+#[test]
+fn p1_flags_gradient_values_at_metric_call_sites() {
+    let src = "fn f(grad_rows: u64) { lazydp_obs::metrics().trainer.steps.add(grad_rows); }\n";
+    let v = flags("crates/core/src/x.rs", src, "P1");
+    assert_eq!(v.len(), 1, "{v:?}");
+    let hist =
+        "fn f(norms: &[u64]) { lazydp_obs::metrics().trainer.pending_depth.record(norms[0]); }\n";
+    assert_eq!(flags("crates/core/src/x.rs", hist, "P1").len(), 1);
+}
+
+#[test]
+fn p1_permits_benign_metric_call_sites() {
+    let benign = "fn f(rows: u64) { lazydp_obs::metrics().trainer.noise_plan_rows.add(rows); }\n";
+    assert!(flags("crates/core/src/x.rs", benign, "P1").is_empty());
+    // `.add`/`.set` with no lazydp_obs anchor in the statement is not a
+    // metric site (e.g. a wrapping-add or a setter) and must not flag.
+    let unrelated = "fn f(grad: u64) -> u64 { acc.add(grad) }\n";
+    assert!(flags("crates/core/src/x.rs", unrelated, "P1").is_empty());
+}
+
+#[test]
+fn p1_flags_gradient_bearing_span_names() {
+    let src = "fn f() { lazydp_obs::span!(\"step.grad_dump\"); }\n";
+    assert_eq!(flags("crates/core/src/x.rs", src, "P1").len(), 1);
+    let benign = "fn f() { lazydp_obs::span!(\"step.forward\"); }\n";
+    assert!(flags("crates/core/src/x.rs", benign, "P1").is_empty());
+}
+
+// ---------------------------------------------------------------- O1 --
+
+#[test]
+fn o1_flags_obs_reads_in_hot_paths() {
+    let snap = "fn f() -> u64 { lazydp_obs::snapshot::capture_metrics().counter(\"x\") }\n";
+    let v = flags("crates/core/src/x.rs", snap, "O1");
+    assert_eq!(v.len(), 1, "{v:?}");
+    let trace = "fn f() { let _ = lazydp_obs::trace::take_trace_events(); }\n";
+    assert_eq!(flags("crates/store/src/x.rs", trace, "O1").len(), 1);
+    let view = "fn f(c: &CacheCounters) { let _ = c.obs_read(); }\n";
+    assert_eq!(flags("crates/store/src/x.rs", view, "O1").len(), 1);
+}
+
+#[test]
+fn o1_permits_reads_in_bench_obs_and_tests() {
+    let snap = "fn f() -> u64 { lazydp_obs::snapshot::capture_metrics().counter(\"x\") }\n";
+    assert!(flags("crates/bench/src/obs.rs", snap, "O1").is_empty());
+    assert!(flags("crates/obs/src/export.rs", snap, "O1").is_empty());
+    let test_only = "#[cfg(test)]\nmod tests {\n    fn f() { let _ = \
+                     lazydp_obs::snapshot::capture_metrics(); }\n}\n";
+    assert!(flags("crates/core/src/x.rs", test_only, "O1").is_empty());
+    // Writing is always fine: the exporter entry points are not reads.
+    let write = "fn f() { lazydp_obs::metrics().store.hits.incr(); }\n";
+    assert!(flags("crates/core/src/x.rs", write, "O1").is_empty());
 }
 
 // --------------------------------------------------- allowlist loop --

@@ -1,0 +1,367 @@
+//! The static metrics registry: relaxed-atomic counters, gauges, and
+//! fixed-bucket log2 histograms.
+//!
+//! Everything here is `const`-constructible and lives in one `static`
+//! [`Metrics`] value, so recording never locks and never allocates.
+//! Recording is gated on [`crate::counters_enabled`] — with
+//! `LAZYDP_OBS=off` each call is one relaxed load plus a predictable
+//! branch. The write APIs are public; the read side is deliberately
+//! `pub(crate)` so recorded values can only leave through
+//! [`crate::snapshot::capture_metrics`] (lint rule **O1**).
+//!
+//! Call sites spell the registry access fully qualified —
+//! `lazydp_obs::metrics().store.hits.incr()` — which is also what
+//! anchors lint rule **P1**'s scan of metric-recording statements.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+#[derive(Debug)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter (const — usable in `static` registries).
+    #[must_use]
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds `n` (relaxed; no-op unless counters are enabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::counters_enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub(crate) fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A last-value-wins integer gauge (e.g. a queue depth).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Stores `v` (relaxed; no-op unless counters are enabled).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if crate::counters_enabled() {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A last-value-wins float gauge (e.g. spent ε), stored as `f64` bits
+/// in an atomic word.
+#[derive(Debug)]
+pub struct GaugeF64(AtomicU64);
+
+impl GaugeF64 {
+    /// A gauge holding `0.0`.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Stores `v` (relaxed; no-op unless counters are enabled).
+    #[inline]
+    pub fn set_f64(&self, v: f64) {
+        if crate::counters_enabled() {
+            self.0.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for GaugeF64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Number of log2 buckets: bucket `i` counts values `v` with
+/// `bit_length(v) == i`, i.e. bucket 0 holds `v == 0`, bucket 1 holds
+/// `v == 1`, bucket 2 holds 2–3, …, bucket 64 holds the top half of
+/// the `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-bucket log2 histogram of `u64` samples. Storage is a flat
+/// array of relaxed atomics — preallocated, lock-free, alloc-free.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram (const — usable in `static` registries).
+    #[must_use]
+    pub const fn new() -> Self {
+        // `AtomicU64` is not `Copy`, so the array comes from an inline
+        // const expression rather than `[AtomicU64::new(0); N]`.
+        Self {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (relaxed; no-op unless counters are enabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if crate::counters_enabled() {
+            let idx = (u64::BITS - v.leading_zeros()) as usize;
+            self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i].load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Trainer-step phases and noise-plan shape (`crates/core`).
+#[derive(Debug)]
+pub struct TrainerMetrics {
+    /// Optimizer steps completed.
+    pub steps: Counter,
+    /// Steps whose noise flush ran overlapped with dense compute.
+    pub flush_overlaps: Counter,
+    /// Rows planned for lazy noise flushes (across all tables).
+    pub noise_plan_rows: Counter,
+    /// Pending-history depth (delayed iterations) per flushed row.
+    pub pending_depth: Histogram,
+    /// Rows flushed by `finalize_model`'s segmented sweep.
+    pub finalize_rows: Counter,
+}
+
+/// DP-AdaFEST private partition selection (`crates/dpsgd`).
+#[derive(Debug)]
+pub struct AdafestMetrics {
+    /// Partitions whose noisy count cleared the threshold.
+    pub partitions_selected: Counter,
+    /// Partitions dropped (gradient contribution discarded).
+    pub partitions_dropped: Counter,
+}
+
+/// Paged out-of-core store (`crates/store`).
+#[derive(Debug)]
+pub struct StoreMetrics {
+    /// Page faults satisfied by a resident frame.
+    pub hits: Counter,
+    /// Page faults that had to load from the spill file.
+    pub misses: Counter,
+    /// Frames evicted by the clock hand.
+    pub evictions: Counter,
+    /// Dirty frames written back to the spill file.
+    pub write_backs: Counter,
+    /// Bytes written to the spill file.
+    pub bytes_spilled: Counter,
+    /// Bytes read from the spill file.
+    pub bytes_loaded: Counter,
+}
+
+/// Input pipeline (`crates/data`).
+#[derive(Debug)]
+pub struct DataMetrics {
+    /// Batches produced by prefetch/lookahead producers.
+    pub batches_produced: Counter,
+    /// Producer blocks on a full bounded queue.
+    pub producer_stalls: Counter,
+    /// Most recent bounded-queue depth observed by the consumer.
+    pub queue_depth: Gauge,
+}
+
+/// Deterministic executor (`crates/exec`).
+#[derive(Debug)]
+pub struct ExecMetrics {
+    /// Parallel regions entered (`par_for` / `par_map_chunks`).
+    pub par_regions: Counter,
+    /// Chunks dispatched across all regions.
+    pub par_chunks: Counter,
+    /// Chunks per region — occupancy of the worker pool.
+    pub chunks_per_region: Histogram,
+}
+
+/// Privacy accounting (`crates/privacy`).
+#[derive(Debug)]
+pub struct PrivacyMetrics {
+    /// Successful budget compositions.
+    pub compositions: Counter,
+    /// ε spent so far at the engine's δ (updated on each composition).
+    pub spent_epsilon: GaugeF64,
+}
+
+/// The whole registry. One static instance exists; get it with
+/// [`metrics()`].
+#[derive(Debug)]
+pub struct Metrics {
+    /// Trainer-step phases and noise-plan shape.
+    pub trainer: TrainerMetrics,
+    /// DP-AdaFEST partition selection.
+    pub adafest: AdafestMetrics,
+    /// Paged out-of-core store.
+    pub store: StoreMetrics,
+    /// Input pipeline.
+    pub data: DataMetrics,
+    /// Deterministic executor.
+    pub exec: ExecMetrics,
+    /// Privacy accounting.
+    pub privacy: PrivacyMetrics,
+}
+
+impl Metrics {
+    const fn new() -> Self {
+        Self {
+            trainer: TrainerMetrics {
+                steps: Counter::new(),
+                flush_overlaps: Counter::new(),
+                noise_plan_rows: Counter::new(),
+                pending_depth: Histogram::new(),
+                finalize_rows: Counter::new(),
+            },
+            adafest: AdafestMetrics {
+                partitions_selected: Counter::new(),
+                partitions_dropped: Counter::new(),
+            },
+            store: StoreMetrics {
+                hits: Counter::new(),
+                misses: Counter::new(),
+                evictions: Counter::new(),
+                write_backs: Counter::new(),
+                bytes_spilled: Counter::new(),
+                bytes_loaded: Counter::new(),
+            },
+            data: DataMetrics {
+                batches_produced: Counter::new(),
+                producer_stalls: Counter::new(),
+                queue_depth: Gauge::new(),
+            },
+            exec: ExecMetrics {
+                par_regions: Counter::new(),
+                par_chunks: Counter::new(),
+                chunks_per_region: Histogram::new(),
+            },
+            privacy: PrivacyMetrics {
+                compositions: Counter::new(),
+                spent_epsilon: GaugeF64::new(),
+            },
+        }
+    }
+}
+
+static METRICS: Metrics = Metrics::new();
+
+/// The process-wide registry. Write-only from hot paths (rule **O1**);
+/// read it through [`crate::snapshot::capture_metrics`].
+#[inline]
+#[must_use]
+pub fn metrics() -> &'static Metrics {
+    &METRICS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObsMode;
+
+    #[test]
+    fn counters_gauges_histograms_record_when_enabled() {
+        let _g = crate::test_mode_lock();
+        crate::set_mode(ObsMode::Counters);
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.set(17);
+        assert_eq!(g.get(), 17);
+
+        let f = GaugeF64::new();
+        f.set_f64(1.25);
+        assert!((f.get() - 1.25).abs() < 1e-12);
+
+        let h = Histogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(3); // bucket 2
+        h.record(6); // bucket 3
+        assert_eq!(
+            (h.bucket(0), h.bucket(1), h.bucket(2), h.bucket(3)),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(h.sum(), 10);
+    }
+
+    #[test]
+    fn off_mode_drops_everything() {
+        let _g = crate::test_mode_lock();
+        crate::set_mode(ObsMode::Off);
+        let c = Counter::new();
+        let g = Gauge::new();
+        let f = GaugeF64::new();
+        let h = Histogram::new();
+        c.incr();
+        g.set(9);
+        f.set_f64(9.0);
+        h.record(9);
+        assert_eq!((c.get(), g.get(), h.sum()), (0, 0, 0));
+        assert_eq!(f.get(), 0.0);
+        crate::set_mode(ObsMode::Counters);
+    }
+
+    #[test]
+    fn histogram_extremes_land_in_end_buckets() {
+        let _g = crate::test_mode_lock();
+        crate::set_mode(ObsMode::Counters);
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(HISTOGRAM_BUCKETS - 1), 1);
+    }
+}

@@ -1,0 +1,248 @@
+//! Phase spans: scoped wall-clock intervals feeding a preallocated
+//! per-thread ring buffer.
+//!
+//! A span is opened with the [`crate::span!`] macro and closed when the guard
+//! drops at the end of the enclosing scope:
+//!
+//! ```
+//! fn flush_phase() {
+//!     lazydp_obs::span!("flush.noise_sample");
+//!     // ... work ...
+//! } // span recorded here (only when LAZYDP_OBS=trace)
+//! ```
+//!
+//! Unless the mode is [`crate::ObsMode::Trace`], opening a span does
+//! not even read the clock. When tracing, each completed span is
+//! appended to a fixed-capacity thread-local ring ([`RING_CAPACITY`]
+//! events, const-initialized — no lazy allocation on first use); full
+//! rings drain into a global sink, as does each thread's ring when the
+//! thread exits. [`take_trace_events`] is the **read API** — lint rule
+//! **O1** restricts it to `crates/bench`, `crates/obs`, and tests; hot
+//! paths only ever append.
+//!
+//! Span names are `&'static str` literals in dotted `phase.subphase`
+//! form (`step.forward`, `flush.noise_sample`). Names are part of the
+//! privacy surface: lint rule **P1** scans them like format-macro
+//! arguments, so a name can never smuggle a gradient-bearing value.
+
+use crate::clock::now_ns;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One completed span on one thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Dotted span name, e.g. `step.forward`.
+    pub name: &'static str,
+    /// Start, in ns since the process epoch ([`crate::clock::now_ns`]).
+    pub start_ns: u64,
+    /// Duration in ns.
+    pub dur_ns: u64,
+    /// Small dense thread id (assigned per thread on first span).
+    pub tid: u64,
+}
+
+const EMPTY_EVENT: TraceEvent = TraceEvent {
+    name: "",
+    start_ns: 0,
+    dur_ns: 0,
+    tid: 0,
+};
+
+/// Capacity of each thread's ring; a full ring drains to the global
+/// sink in one batch.
+pub const RING_CAPACITY: usize = 1024;
+
+struct Ring {
+    events: [TraceEvent; RING_CAPACITY],
+    len: usize,
+    /// Dense thread id, assigned lazily (0 = unassigned).
+    tid: u64,
+}
+
+impl Ring {
+    const fn new() -> Self {
+        Self {
+            events: [EMPTY_EVENT; RING_CAPACITY],
+            len: 0,
+            tid: 0,
+        }
+    }
+
+    fn push(&mut self, name: &'static str, start_ns: u64, dur_ns: u64) {
+        if self.tid == 0 {
+            self.tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.len == RING_CAPACITY {
+            drain_into_sink(&mut self.events[..], &mut self.len);
+        }
+        self.events[self.len] = TraceEvent {
+            name,
+            start_ns,
+            dur_ns,
+            tid: self.tid,
+        };
+        self.len += 1;
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        drain_into_sink(&mut self.events[..], &mut self.len);
+    }
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// Completed spans drained from per-thread rings. Appending here may
+/// allocate — acceptable, because it only happens in `Trace` mode.
+static SINK: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+
+fn drain_into_sink(events: &mut [TraceEvent], len: &mut usize) {
+    if *len == 0 {
+        return;
+    }
+    let mut sink = SINK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    sink.extend_from_slice(&events[..*len]);
+    *len = 0;
+}
+
+thread_local! {
+    static RING: RefCell<Ring> = const { RefCell::new(Ring::new()) };
+}
+
+/// An open span; records a [`TraceEvent`] when dropped. Construct via
+/// [`crate::span!`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start_ns: u64,
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Opens a span. Inert (no clock read) unless tracing is on.
+    #[inline]
+    #[must_use]
+    pub fn begin(name: &'static str) -> Self {
+        if crate::trace_enabled() {
+            Self {
+                name,
+                start_ns: now_ns(),
+                active: true,
+            }
+        } else {
+            Self {
+                name,
+                start_ns: 0,
+                active: false,
+            }
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.active {
+            let end = now_ns();
+            let dur = end.saturating_sub(self.start_ns);
+            RING.with(|r| r.borrow_mut().push(self.name, self.start_ns, dur));
+        }
+    }
+}
+
+/// Opens a phase span for the rest of the enclosing scope.
+///
+/// The name must be a `&'static str` literal in dotted
+/// `phase.subphase` form. Lint rule **P1** checks it.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        let _lazydp_obs_span = $crate::trace::SpanGuard::begin($name);
+    };
+}
+
+/// Flushes the calling thread's ring and drains every completed span
+/// collected so far, in sink order. **Read API** — callable only from
+/// `crates/bench`, `crates/obs`, and tests (lint rule **O1**);
+/// exporters in [`crate::export`] wrap it.
+#[must_use]
+pub fn take_trace_events() -> Vec<TraceEvent> {
+    RING.with(|r| {
+        let mut ring = r.borrow_mut();
+        let Ring {
+            ref mut events,
+            ref mut len,
+            ..
+        } = *ring;
+        drain_into_sink(&mut events[..], len);
+    });
+    let mut sink = SINK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    std::mem::take(&mut *sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObsMode;
+
+    #[test]
+    fn spans_record_only_in_trace_mode() {
+        let _g = crate::test_mode_lock();
+        crate::set_mode(ObsMode::Counters);
+        let _ = take_trace_events();
+        {
+            crate::span!("test.counters_mode");
+        }
+        assert!(take_trace_events().is_empty());
+
+        crate::set_mode(ObsMode::Trace);
+        {
+            crate::span!("test.trace_mode");
+        }
+        let events = take_trace_events();
+        crate::set_mode(ObsMode::Counters);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "test.trace_mode");
+        assert!(events[0].tid >= 1);
+    }
+
+    #[test]
+    fn nested_spans_close_inner_first() {
+        let _g = crate::test_mode_lock();
+        crate::set_mode(ObsMode::Trace);
+        let _ = take_trace_events();
+        {
+            crate::span!("test.outer");
+            {
+                crate::span!("test.inner");
+            }
+        }
+        let events = take_trace_events();
+        crate::set_mode(ObsMode::Counters);
+        let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["test.inner", "test.outer"]);
+        let outer = events[1];
+        let inner = events[0];
+        assert!(outer.start_ns <= inner.start_ns);
+        assert!(outer.dur_ns >= inner.dur_ns);
+    }
+
+    #[test]
+    fn ring_overflow_drains_to_the_sink() {
+        let _g = crate::test_mode_lock();
+        crate::set_mode(ObsMode::Trace);
+        let _ = take_trace_events();
+        for _ in 0..(RING_CAPACITY + 10) {
+            crate::span!("test.flood");
+        }
+        let events = take_trace_events();
+        crate::set_mode(ObsMode::Counters);
+        assert_eq!(events.len(), RING_CAPACITY + 10);
+    }
+}

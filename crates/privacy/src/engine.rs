@@ -126,6 +126,10 @@ impl PrivacyEngine {
             });
         }
         self.accountant = trial;
+        // ε is a *public* quantity (it is the privacy statement itself),
+        // so mirroring it into the registry leaks nothing per-example.
+        lazydp_obs::metrics().privacy.compositions.incr();
+        lazydp_obs::metrics().privacy.spent_epsilon.set_f64(eps);
         Ok(())
     }
 

@@ -15,39 +15,9 @@
 //! are exact regardless. See `StoredTable`'s docs.)
 
 use crate::pagefile::PageFile;
+use lazydp_obs::CacheCounters;
 use std::collections::HashMap;
 use std::io;
-
-/// Hit/miss/eviction counters of one [`PageCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct CacheStats {
-    /// Faults served from a resident frame.
-    pub hits: u64,
-    /// Faults that had to load the page from disk.
-    pub misses: u64,
-    /// Frames evicted to make room.
-    pub evictions: u64,
-    /// Evicted frames that were dirty and had to be written back.
-    pub write_backs: u64,
-    /// Bytes written back to the spill file (the "spill traffic").
-    pub bytes_spilled: u64,
-    /// Bytes loaded from the spill file.
-    pub bytes_loaded: u64,
-}
-
-impl CacheStats {
-    /// Fraction of faults served from memory (1.0 when nothing ever
-    /// missed; 0 accesses counts as 0.0).
-    #[must_use]
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
-    }
-}
 
 /// One resident page.
 #[derive(Debug)]
@@ -69,7 +39,9 @@ pub struct PageCache {
     /// page id → frame slot.
     map: HashMap<usize, usize>,
     hand: usize,
-    stats: CacheStats,
+    /// Per-instance counters, mirrored into the `lazydp_obs` registry
+    /// (`store.*` metrics) on every record.
+    counters: CacheCounters,
 }
 
 impl PageCache {
@@ -89,7 +61,7 @@ impl PageCache {
             frames: Vec::new(),
             map: HashMap::new(),
             hand: 0,
-            stats: CacheStats::default(),
+            counters: CacheCounters::new(),
         }
     }
 
@@ -105,10 +77,12 @@ impl PageCache {
         self.frames.len()
     }
 
-    /// The counters so far.
+    /// The per-instance counters so far (test-only: production readers
+    /// go through the `lazydp_obs` registry snapshot — rule O1).
+    #[cfg(test)]
     #[must_use]
-    pub fn stats(&self) -> CacheStats {
-        self.stats
+    pub fn stats(&self) -> lazydp_obs::CacheView {
+        self.counters.obs_read()
     }
 
     /// Faults `page` in (loading from `file` on a miss, evicting via the
@@ -120,12 +94,11 @@ impl PageCache {
     /// Propagates I/O errors from the load or an eviction write-back.
     fn fault(&mut self, page: usize, file: &mut PageFile) -> io::Result<usize> {
         if let Some(&slot) = self.map.get(&page) {
-            self.stats.hits += 1;
+            self.counters.record_hit();
             self.frames[slot].referenced = true;
             return Ok(slot);
         }
-        self.stats.misses += 1;
-        self.stats.bytes_loaded += file.page_bytes();
+        self.counters.record_miss(file.page_bytes());
         let slot = if self.frames.len() < self.capacity {
             let mut data = vec![0.0f32; self.page_elems];
             file.read_page(page, &mut data)?;
@@ -139,8 +112,7 @@ impl PageCache {
         } else {
             let slot = self.evict_slot();
             if self.frames[slot].dirty {
-                self.stats.write_backs += 1;
-                self.stats.bytes_spilled += file.page_bytes();
+                self.counters.record_write_back(file.page_bytes());
                 file.write_page(self.frames[slot].page, &self.frames[slot].data)?;
                 // Mark clean *before* the fallible load below: if the
                 // load errors, the frame is an unmapped clean orphan
@@ -149,7 +121,7 @@ impl PageCache {
                 // newer copy of the evicted page.
                 self.frames[slot].dirty = false;
             }
-            self.stats.evictions += 1;
+            self.counters.record_eviction();
             let evicted = self.frames[slot].page;
             self.map.remove(&evicted);
             file.read_page(page, &mut self.frames[slot].data)?;
@@ -220,8 +192,7 @@ impl PageCache {
     }
 
     /// Writes every dirty frame back to `file` (frames stay resident and
-    /// become clean). Write-back traffic is counted in
-    /// [`CacheStats::bytes_spilled`].
+    /// become clean). Write-back traffic is counted as spill bytes.
     ///
     /// # Errors
     ///
@@ -229,8 +200,7 @@ impl PageCache {
     pub fn flush(&mut self, file: &mut PageFile) -> io::Result<()> {
         for slot in 0..self.frames.len() {
             if self.frames[slot].dirty {
-                self.stats.write_backs += 1;
-                self.stats.bytes_spilled += file.page_bytes();
+                self.counters.record_write_back(file.page_bytes());
                 file.write_page(self.frames[slot].page, &self.frames[slot].data)?;
                 self.frames[slot].dirty = false;
             }

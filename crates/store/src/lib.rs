@@ -58,7 +58,7 @@ pub mod config;
 pub mod pagefile;
 pub mod stored;
 
-pub use cache::{CacheStats, PageCache};
+pub use cache::PageCache;
 pub use config::{StorageConfig, CACHE_PAGES_ENV};
 pub use pagefile::PageFile;
 pub use stored::StoredTable;

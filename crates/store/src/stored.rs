@@ -1,6 +1,6 @@
 //! The disk-backed embedding table.
 
-use crate::cache::{CacheStats, PageCache};
+use crate::cache::PageCache;
 use crate::config::StorageConfig;
 use crate::pagefile::PageFile;
 use lazydp_embedding::{EmbeddingStorage, EmbeddingTable, SparseGrad};
@@ -180,9 +180,11 @@ impl StoredTable {
         engine.cache.resident() as u64 * engine.file.page_bytes()
     }
 
-    /// The cache counters so far.
+    /// The cache counters so far (test-only: production readers go
+    /// through the `lazydp_obs` registry snapshot — rule O1).
+    #[cfg(test)]
     #[must_use]
-    pub fn stats(&self) -> CacheStats {
+    pub fn stats(&self) -> lazydp_obs::CacheView {
         self.lock().cache.stats()
     }
 

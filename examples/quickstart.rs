@@ -51,4 +51,14 @@ fn main() {
         128 * (released.params()),
         128 * released.params() / counters.gaussian_samples.max(1),
     );
+
+    // Under `LAZYDP_OBS=trace` the step-phase spans recorded above are
+    // dumped in chrome://tracing format; in the default counters mode
+    // (or off) this writes nothing and reports `false`.
+    let trace_path = std::path::Path::new("quickstart_trace.json");
+    match lazydp::obs::export::write_chrome_trace_if_tracing(trace_path) {
+        Ok(true) => println!("phase trace written to quickstart_trace.json"),
+        Ok(false) => {}
+        Err(e) => eprintln!("trace export failed: {e}"),
+    }
 }

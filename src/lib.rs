@@ -37,6 +37,7 @@ pub use lazydp_dpsgd as dpsgd;
 pub use lazydp_embedding as embedding;
 pub use lazydp_exec as exec;
 pub use lazydp_model as model;
+pub use lazydp_obs as obs;
 pub use lazydp_privacy as privacy;
 pub use lazydp_rng as rng;
 pub use lazydp_store as store;

@@ -61,6 +61,10 @@ static ALLOC: CountingAlloc = CountingAlloc;
 /// the single-width executor (scoped worker threads are born and die
 /// per parallel region, so any multi-thread run allocates thread state
 /// by construction).
+/// Also pins `lazydp::obs` to counters mode regardless of the CI
+/// matrix's `LAZYDP_OBS` leg: the zero-allocation contract explicitly
+/// *includes* live metric counters (they are plain atomics), while
+/// trace mode buffers span events and is exempt by design.
 pub fn assert_steady_state_zero_alloc(
     algo: &str,
     warmup: usize,
@@ -68,6 +72,7 @@ pub fn assert_steady_state_zero_alloc(
     mut step: impl FnMut(usize),
 ) {
     lazydp::exec::set_global_threads(1);
+    lazydp::obs::set_mode(lazydp::obs::ObsMode::Counters);
 
     for i in 0..warmup {
         step(i);
