@@ -644,6 +644,10 @@ pub fn experiment_ids() -> Vec<(&'static str, &'static str)> {
             "observability rollup: lazydp_obs registry delta across a LazyDP + DP-AdaFEST run",
         ),
         (
+            "faults",
+            "fault-injection resilience: transient storm, dead spill device, kill+resume replay cost",
+        ),
+        (
             "roofline",
             "roofline: forward/backward/fused-clipped GFLOP/s vs measured FMA peak",
         ),
@@ -680,6 +684,7 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "storage" => crate::storage::storage_sweep(),
         "kernels" => crate::kernels::kernel_throughput(),
         "obs" => crate::obs::obs_rollup(),
+        "faults" => crate::faults::fault_resilience(),
         "roofline" => crate::roofline::roofline(),
         _ => return None,
     })

@@ -37,6 +37,7 @@
 pub mod ablation;
 pub mod adafest;
 pub mod experiments;
+pub mod faults;
 pub mod kernels;
 pub mod leak;
 pub mod obs;

@@ -13,18 +13,28 @@
 //! below demonstrate both the correct round-trip and that failure mode.
 //!
 //! The format is a simple little-endian binary stream (no external
-//! serialization dependency), versioned and magic-tagged.
+//! serialization dependency), versioned and magic-tagged. Version 2
+//! appends an FNV-1a-64 checksum over the whole payload: any flipped or
+//! truncated byte surfaces as a typed `InvalidData` error at load —
+//! never a panic, never a silent load of torn state. Crash-consistent
+//! *placement* of these bytes (temp file + `sync_all` + atomic rename +
+//! versioned manifest) lives in [`crate::recovery`].
 
 use crate::history::ShardedHistory;
 use crate::optimizer::{LazyDpConfig, LazyDpOptimizer};
 use lazydp_embedding::EmbeddingStorage;
+use lazydp_fault::checksum::fnv1a64;
 use lazydp_model::{Dlrm, DlrmConfig, InteractionKind};
 use lazydp_rng::RowNoise;
 use lazydp_store::{StorageConfig, StoredTable};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"LAZYDP\x01\x00";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Bytes before the checksummed payload: magic + version word.
+const HEADER_LEN: usize = 12;
+/// The FNV-1a-64 payload checksum trailing the stream.
+const TRAILER_LEN: usize = 8;
 
 // ---------- primitive IO helpers ----------------------------------------
 
@@ -261,26 +271,39 @@ impl Checkpoint {
         LazyDpOptimizer::from_state(cfg, noise, history, self.iteration)
     }
 
-    /// Serializes to a writer.
+    /// Serializes to a writer (the version-2 stream: header, payload,
+    /// FNV-1a-64 payload checksum trailer).
     ///
     /// # Errors
     ///
     /// Propagates IO errors from `w`.
     pub fn save<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        w.write_all(MAGIC)?;
-        w_u32(w, VERSION)?;
+        w.write_all(&self.to_bytes())
+    }
+
+    /// The complete serialized stream as one byte buffer — what
+    /// [`crate::recovery::CheckpointStore`] writes atomically.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        // Payload (writes into a Vec cannot fail).
+        let w = &mut out;
+        let ok = "write to Vec cannot fail";
         // Config.
-        w_u64(w, self.config.num_dense as u64)?;
-        w_u64(w, self.config.embedding_dim as u64)?;
-        w_u64(w, self.config.pooling as u64)?;
+        w_u64(w, self.config.num_dense as u64).expect(ok);
+        w_u64(w, self.config.embedding_dim as u64).expect(ok);
+        w_u64(w, self.config.pooling as u64).expect(ok);
         w_u32(
             w,
             match self.config.interaction {
                 InteractionKind::Dot => 0,
                 InteractionKind::Concat => 1,
             },
-        )?;
-        w_u64s(w, &self.config.table_rows)?;
+        )
+        .expect(ok);
+        w_u64s(w, &self.config.table_rows).expect(ok);
         w_u64s(
             w,
             &self
@@ -289,7 +312,8 @@ impl Checkpoint {
                 .iter()
                 .map(|&x| x as u64)
                 .collect::<Vec<_>>(),
-        )?;
+        )
+        .expect(ok);
         w_u64s(
             w,
             &self
@@ -298,35 +322,65 @@ impl Checkpoint {
                 .iter()
                 .map(|&x| x as u64)
                 .collect::<Vec<_>>(),
-        )?;
-        // Payload.
-        w_u64(w, self.iteration)?;
-        w_u64(w, self.weights.len() as u64)?;
+        )
+        .expect(ok);
+        // Tensors.
+        w_u64(w, self.iteration).expect(ok);
+        w_u64(w, self.weights.len() as u64).expect(ok);
         for t in &self.weights {
-            w_f32s(w, t)?;
+            w_f32s(w, t).expect(ok);
         }
-        w_u64(w, self.history.len() as u64)?;
+        w_u64(w, self.history.len() as u64).expect(ok);
         for h in &self.history {
-            w_u32s(w, h)?;
+            w_u32s(w, h).expect(ok);
         }
-        Ok(())
+        // Trailer: checksum over everything after the header.
+        let sum = fnv1a64(&out[HEADER_LEN..]);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
     }
 
-    /// Deserializes from a reader.
+    /// Deserializes from a reader (reads to end — the stream is
+    /// checksum-verified as a whole before any of it is parsed).
     ///
     /// # Errors
     ///
-    /// Returns `InvalidData` on magic/version mismatch or malformed
-    /// payload, and propagates IO errors.
+    /// Returns `InvalidData` on magic/version/checksum mismatch or
+    /// malformed payload, and propagates IO errors. Any flipped or
+    /// truncated byte of a saved checkpoint lands here as a typed
+    /// error — never a panic, never a silent load.
     pub fn load<R: Read>(r: &mut R) -> io::Result<Self> {
-        let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Parses a complete serialized stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`Checkpoint::load`].
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<Self> {
+        if bytes.len() < HEADER_LEN + TRAILER_LEN {
+            return Err(bad("checkpoint truncated"));
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
             return Err(bad("not a LazyDP checkpoint"));
         }
-        if r_u32(r)? != VERSION {
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != VERSION {
             return Err(bad("unsupported checkpoint version"));
         }
+        // Verify the payload checksum BEFORE parsing: corrupted length
+        // fields must never drive allocation or shape decisions.
+        let (payload, trailer) =
+            bytes[HEADER_LEN..].split_at(bytes.len() - HEADER_LEN - TRAILER_LEN);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+        let computed = fnv1a64(payload);
+        if stored != computed {
+            return Err(bad("checkpoint payload checksum mismatch"));
+        }
+        let r = &mut &payload[..];
         let num_dense = r_u64(r)? as usize;
         let embedding_dim = r_u64(r)? as usize;
         let pooling = r_u64(r)? as usize;
@@ -357,12 +411,43 @@ impl Checkpoint {
         let history = (0..n_hist)
             .map(|_| r_u32s(r))
             .collect::<io::Result<Vec<_>>>()?;
-        Ok(Self {
+        if !r.is_empty() {
+            return Err(bad("trailing bytes after checkpoint payload"));
+        }
+        let ck = Self {
             config,
             weights,
             history,
             iteration,
-        })
+        };
+        ck.validate_shapes()?;
+        Ok(ck)
+    }
+
+    /// Load-time shape validation: the tensor inventory must be
+    /// internally consistent with the config, so a (checksum-valid but
+    /// hand-crafted) stream fails here with a typed error instead of
+    /// panicking later inside `restore`'s shape asserts.
+    fn validate_shapes(&self) -> io::Result<()> {
+        let tables = self.config.table_rows.len();
+        if self.history.len() != tables {
+            return Err(bad("history table count mismatch"));
+        }
+        for (h, &rows) in self.history.iter().zip(&self.config.table_rows) {
+            if h.len() != rows as usize {
+                return Err(bad("history row count mismatch"));
+            }
+        }
+        if self.weights.len() < tables {
+            return Err(bad("missing embedding table tensors"));
+        }
+        let table_tensors = &self.weights[self.weights.len() - tables..];
+        for (t, &rows) in table_tensors.iter().zip(&self.config.table_rows) {
+            if t.len() != rows as usize * self.config.embedding_dim {
+                return Err(bad("embedding table tensor shape mismatch"));
+            }
+        }
+        Ok(())
     }
 }
 

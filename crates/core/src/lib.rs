@@ -62,6 +62,7 @@ pub mod history;
 pub mod optimizer;
 pub mod overhead;
 pub mod plan;
+pub mod recovery;
 pub mod scale;
 pub mod wrapper;
 
@@ -72,5 +73,6 @@ pub use history::{HistoryTable, ShardedHistory};
 pub use optimizer::{LazyDpConfig, LazyDpOptimizer};
 pub use overhead::{history_table_bytes, input_queue_bytes, OverheadReport};
 pub use plan::{flush_next_rows_sharded, NoisePlan, NoisePlanEntry, ShardedFlush};
+pub use recovery::{open_and_sweep, CheckpointError, CheckpointStore};
 pub use scale::TerabyteLazyEmbedding;
 pub use wrapper::PrivateTrainer;

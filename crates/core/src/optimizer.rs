@@ -528,6 +528,12 @@ where
         }
         self.counters.gaussian_samples += (model.bottom.params() + model.top.params()) as u64;
 
+        // Kill point `step`: the dense half of the step has landed, the
+        // sparse updates have not — the most state-torn instant of a
+        // step. The recovery harness proves a crash here resumes
+        // bitwise from the last checkpoint.
+        lazydp_fault::point(lazydp_fault::Site::MidStep, iter);
+
         // Embedding tables: merge the (sparse) gradient with the lazy
         // noise of the rows the *next* iteration will gather, then apply
         // one sparse update (Algorithm 1 lines 11–25).

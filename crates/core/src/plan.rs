@@ -479,6 +479,12 @@ where
         noise.addressable(),
         "sharded flush requires an addressable noise source"
     );
+    // Kill point `flush`: a crash mid-flush leaves the history's
+    // last-touched iterations partially advanced. Only table 0 hosts
+    // the point so one kill fires per step, not per table.
+    if table_id == 0 {
+        lazydp_fault::point(lazydp_fault::Site::MidFlush, iter);
+    }
     let spec = history.spec();
     let shard_targets = spec.partition_indices(targets);
     // Split the executor budget between the shard fan-out and the

@@ -200,7 +200,7 @@ impl<N: RowNoise + Clone + Send + Sync>
 /// by `cfg.storage` (engine defaults when unset).
 fn store_model(model: Dlrm, cfg: &LazyDpConfig) -> io::Result<Dlrm<StoredTable>> {
     let storage = cfg.storage.clone().unwrap_or_default();
-    model.try_map_tables(|_, t| StoredTable::from_dense(&t, &storage))
+    Ok(model.try_map_tables(|_, t| StoredTable::from_dense(&t, &storage))?)
 }
 
 impl<L: LookaheadSource, N: RowNoise + Clone + Send + Sync, T: EmbeddingStorage>

@@ -112,11 +112,32 @@ impl PrefetchLoader {
     ///
     /// Panics if the worker died (its batch source panicked): the
     /// worker's drop guard closes the queue, so the pop drains and
-    /// returns `None` instead of blocking forever.
-    fn pull(&self) -> MiniBatch {
-        self.buffer
-            .pop()
-            .expect("prefetch worker terminated (its batch source panicked?)")
+    /// returns `None` instead of blocking forever. The panic carries the
+    /// *worker's own* payload — the source's panic message, not a
+    /// generic "worker terminated" — so the root cause survives into
+    /// the training thread's report.
+    fn pull(&mut self) -> MiniBatch {
+        if let Some(batch) = self.buffer.pop() {
+            return batch;
+        }
+        // Queue closed without a batch: the worker is gone. Join it and
+        // re-raise its actual panic payload.
+        let joined = self.worker.take().map(JoinHandle::join);
+        match joined {
+            Some(Err(payload)) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned());
+                match msg {
+                    Some(msg) => panic!("prefetch worker panicked: {msg}"),
+                    // Non-string payload (e.g. an injected-kill marker):
+                    // preserve it verbatim for downcasting upstream.
+                    None => std::panic::resume_unwind(payload),
+                }
+            }
+            _ => panic!("prefetch worker terminated: queue closed while the loader is live"),
+        }
     }
 
     /// Advances one iteration: takes one prefetched batch off the queue
@@ -275,11 +296,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "prefetch worker terminated")]
-    fn worker_panic_propagates_instead_of_hanging() {
+    #[should_panic(expected = "prefetch worker panicked: source exploded")]
+    fn worker_panic_carries_the_source_message() {
         // A panicking source kills the worker; its drop guard closes
         // the queue, so the consumer panics promptly rather than
-        // blocking on the empty queue forever.
+        // blocking on the empty queue forever — and the panic names
+        // the source's own message, not a generic "terminated".
         struct PanickySource;
         impl BatchSource for PanickySource {
             fn next_batch(&mut self) -> MiniBatch {

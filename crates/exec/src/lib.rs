@@ -272,7 +272,13 @@ where
     std::thread::scope(|s| {
         let worker = s.spawn(a);
         let rb = b();
-        let ra = worker.join().expect("overlap worker panicked");
+        // Re-raise the worker's own payload instead of replacing it with
+        // a generic message: callers (the crash-recovery harness in
+        // particular) downcast the payload to identify injected kills.
+        let ra = match worker.join() {
+            Ok(ra) => ra,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
         (ra, rb)
     })
 }
@@ -289,8 +295,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "overlap worker panicked")]
-    fn overlap_propagates_worker_panic() {
+    #[should_panic(expected = "boom")]
+    fn overlap_propagates_worker_panic_payload() {
         let _ = overlap(|| panic!("boom"), || 1u32);
     }
 

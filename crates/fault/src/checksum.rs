@@ -1,0 +1,85 @@
+//! FNV-1a 64-bit checksums — the integrity primitive shared by the
+//! spill file's per-page trailers (`lazydp_store`) and the checkpoint
+//! payload/manifest (`lazydp_core`).
+//!
+//! FNV-1a is not cryptographic; the threat model here is torn writes
+//! and bit rot, not an adversary forging pages. It is byte-order
+//! independent (defined over the little-endian byte stream both users
+//! already emit), dependency-free, and fast enough to disappear next
+//! to the I/O it guards.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over `bytes` in one call.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Incremental FNV-1a, for hashing a stream while it is written/read.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a64(u64);
+
+impl Fnv1a64 {
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Absorbs `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// The digest so far (the hasher remains usable).
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv1a64::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+
+    #[test]
+    fn single_byte_flips_change_the_digest() {
+        let base = fnv1a64(&[0u8; 64]);
+        for i in 0..64 {
+            let mut buf = [0u8; 64];
+            buf[i] = 1;
+            assert_ne!(fnv1a64(&buf), base, "flip at {i} must be detected");
+        }
+    }
+}

@@ -67,7 +67,9 @@ pub const RULES: &[Rule] = &[
                   gradient-bearing values in non-test code",
         invariant: "raw per-example gradients and norms must only leave the \
                     process through the clip->noise release path — never logs, \
-                    never lazydp_obs metrics or span names",
+                    never lazydp_obs metrics or span names, never \
+                    lazydp_fault injection ordinals (a data-dependent failure \
+                    schedule leaks through fault counters)",
     },
     Rule {
         id: "P2",
@@ -355,6 +357,32 @@ pub fn check_source(rel_path: &str, source: &str) -> Vec<Violation> {
                          `{arg}` in non-test code: lazydp_obs metrics carry \
                          counts, bytes, durations, and ε only — never raw \
                          gradients or norms"
+                    ),
+                );
+            }
+        }
+
+        // P1 (fault extension): fault-injection decisions. `point`,
+        // `decide`, and `injected_io_error` take a (site, ordinal) pair
+        // that must derive from operation counts only — an ordinal (or
+        // plan rule) computed from a gradient-bearing value would make
+        // the failure schedule data-dependent, leaking per-example
+        // information through fault counters, retry timing, and which
+        // operations fail. The `lazydp_fault` ident anchors the
+        // statement, mirroring the obs extension above.
+        if (name == "point" || name == "decide" || name == "injected_io_error")
+            && statement_mentions(&toks, i, "lazydp_fault")
+        {
+            if let Some(arg) = sensitive_macro_arg(&toks, i + 1) {
+                push(
+                    "P1",
+                    t,
+                    format!(
+                        "fault-injection `{name}(…)` takes gradient-bearing \
+                         value `{arg}` in non-test code: fault sites are keyed \
+                         by (site, operation ordinal) only — a data-dependent \
+                         failure schedule leaks per-example information \
+                         through the fault counters"
                     ),
                 );
             }

@@ -130,6 +130,35 @@ fn p1_permits_benign_prints_and_test_prints() {
     assert!(flags("crates/model/src/x.rs", test_only, "P1").is_empty());
 }
 
+#[test]
+fn p1_flags_gradient_derived_fault_ordinals() {
+    // A fault-injection ordinal computed from a gradient-bearing value
+    // makes the failure schedule data-dependent — flagged like a
+    // gradient-printing format macro.
+    let src = "fn f(grad_count: u64) { \
+               lazydp_fault::point(lazydp_fault::Site::MidStep, grad_count); }\n";
+    let v = flags("crates/core/src/x.rs", src, "P1");
+    assert_eq!(v.len(), 1, "{v:?}");
+    let decide = "fn f(norm_bucket: u64) -> bool { \
+                  lazydp_fault::decide(lazydp_fault::Site::PageRead, norm_bucket).is_some() }\n";
+    assert_eq!(flags("crates/store/src/x.rs", decide, "P1").len(), 1);
+}
+
+#[test]
+fn p1_permits_counter_keyed_fault_sites_and_tests() {
+    // Operation-count ordinals are the sanctioned shape.
+    let benign = "fn f(iter: u64) { \
+                  lazydp_fault::point(lazydp_fault::Site::MidStep, iter); }\n";
+    assert!(flags("crates/core/src/x.rs", benign, "P1").is_empty());
+    // `point(…)` not anchored by lazydp_fault (another crate's method)
+    // is not this rule's business.
+    let foreign = "fn f(grad: u64) { geometry.point(grad); }\n";
+    assert!(flags("crates/model/src/x.rs", foreign, "P1").is_empty());
+    let test_only = "#[cfg(test)]\nmod tests {\n    fn f(grad_ord: u64) { \
+                     lazydp_fault::point(lazydp_fault::Site::MidFlush, grad_ord); }\n}\n";
+    assert!(flags("crates/core/src/x.rs", test_only, "P1").is_empty());
+}
+
 // ---------------------------------------------------------------- P2 --
 
 #[test]

@@ -235,6 +235,23 @@ pub struct PrivacyMetrics {
     pub spent_epsilon: GaugeF64,
 }
 
+/// Fault injection and recovery (`crates/fault`, `crates/store`,
+/// `crates/core`).
+#[derive(Debug)]
+pub struct FaultMetrics {
+    /// Faults fired by the active `FaultPlan` (all kinds).
+    pub injected: Counter,
+    /// Retries of an operation after a transient failure.
+    pub retries: Counter,
+    /// Operations abandoned after exhausting their retry budget.
+    pub giveups: Counter,
+    /// Pages whose checksum did not match at fault-in (torn/corrupt).
+    pub checksum_failures: Counter,
+    /// Tables promoted from the paged to the resident backend after a
+    /// persistently failing spill device.
+    pub degradations: Counter,
+}
+
 /// The whole registry. One static instance exists; get it with
 /// [`metrics()`].
 #[derive(Debug)]
@@ -251,6 +268,8 @@ pub struct Metrics {
     pub exec: ExecMetrics,
     /// Privacy accounting.
     pub privacy: PrivacyMetrics,
+    /// Fault injection and recovery.
+    pub fault: FaultMetrics,
 }
 
 impl Metrics {
@@ -288,6 +307,13 @@ impl Metrics {
             privacy: PrivacyMetrics {
                 compositions: Counter::new(),
                 spent_epsilon: GaugeF64::new(),
+            },
+            fault: FaultMetrics {
+                injected: Counter::new(),
+                retries: Counter::new(),
+                giveups: Counter::new(),
+                checksum_failures: Counter::new(),
+                degradations: Counter::new(),
             },
         }
     }

@@ -93,6 +93,11 @@ pub fn capture_metrics() -> MetricsSnapshot {
         ("exec.par_regions", m.exec.par_regions.get()),
         ("exec.par_chunks", m.exec.par_chunks.get()),
         ("privacy.compositions", m.privacy.compositions.get()),
+        ("fault.injected", m.fault.injected.get()),
+        ("fault.retries", m.fault.retries.get()),
+        ("fault.giveups", m.fault.giveups.get()),
+        ("fault.checksum_failures", m.fault.checksum_failures.get()),
+        ("fault.degradations", m.fault.degradations.get()),
     ]
     .into_iter()
     .map(|(n, v)| (n.to_string(), v))

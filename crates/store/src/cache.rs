@@ -14,10 +14,15 @@
 //! but every access goes through this one coherent cache, so row values
 //! are exact regardless. See `StoredTable`'s docs.)
 
+use crate::error::StorageError;
 use crate::pagefile::PageFile;
 use lazydp_obs::CacheCounters;
 use std::collections::HashMap;
-use std::io;
+
+/// Frame page id meaning "belongs to no page": set when an eviction's
+/// replacement load fails after the old mapping was already removed.
+/// Can never collide with a real id — tables address pages `0..pages`.
+const ORPHAN_PAGE: usize = usize::MAX;
 
 /// One resident page.
 #[derive(Debug)]
@@ -92,7 +97,7 @@ impl PageCache {
     /// # Errors
     ///
     /// Propagates I/O errors from the load or an eviction write-back.
-    fn fault(&mut self, page: usize, file: &mut PageFile) -> io::Result<usize> {
+    fn fault(&mut self, page: usize, file: &mut PageFile) -> Result<usize, StorageError> {
         if let Some(&slot) = self.map.get(&page) {
             self.counters.record_hit();
             self.frames[slot].referenced = true;
@@ -124,7 +129,18 @@ impl PageCache {
             self.counters.record_eviction();
             let evicted = self.frames[slot].page;
             self.map.remove(&evicted);
-            file.read_page(page, &mut self.frames[slot].data)?;
+            if let Err(e) = file.read_page(page, &mut self.frames[slot].data) {
+                // The old mapping is already gone, so on a failed load
+                // the frame's bytes belong to no page. Poison its id:
+                // if it kept `evicted` and that page were later faulted
+                // into another frame, evicting this orphan would unmap
+                // the *live* frame — stranding its dirty updates and
+                // silently resurrecting the stale file copy.
+                let frame = &mut self.frames[slot];
+                frame.page = ORPHAN_PAGE;
+                frame.referenced = false;
+                return Err(e);
+            }
             let frame = &mut self.frames[slot];
             frame.page = page;
             frame.referenced = true;
@@ -159,7 +175,7 @@ impl PageCache {
         page: usize,
         file: &mut PageFile,
         f: impl FnOnce(&[f32]) -> R,
-    ) -> io::Result<R> {
+    ) -> Result<R, StorageError> {
         let slot = self.fault(page, file)?;
         Ok(f(&self.frames[slot].data))
     }
@@ -175,10 +191,28 @@ impl PageCache {
         page: usize,
         file: &mut PageFile,
         f: impl FnOnce(&mut [f32]) -> R,
-    ) -> io::Result<R> {
+    ) -> Result<R, StorageError> {
         let slot = self.fault(page, file)?;
         self.frames[slot].dirty = true;
         Ok(f(&mut self.frames[slot].data))
+    }
+
+    /// The resident copy of `page`, if any, setting its reference bit.
+    /// No hit is recorded — this is for callers that already faulted
+    /// the page in (and accounted the access) via [`PageCache::touch`].
+    pub fn peek(&mut self, page: usize) -> Option<&[f32]> {
+        let &slot = self.map.get(&page)?;
+        self.frames[slot].referenced = true;
+        Some(&self.frames[slot].data)
+    }
+
+    /// Like [`PageCache::peek`], mutably; marks the frame dirty.
+    pub fn peek_mut(&mut self, page: usize) -> Option<&mut [f32]> {
+        let &slot = self.map.get(&page)?;
+        let frame = &mut self.frames[slot];
+        frame.referenced = true;
+        frame.dirty = true;
+        Some(&mut frame.data)
     }
 
     /// Faults `page` in without exposing it (the prefetch primitive).
@@ -186,7 +220,7 @@ impl PageCache {
     /// # Errors
     ///
     /// Propagates fault I/O errors.
-    pub fn touch(&mut self, page: usize, file: &mut PageFile) -> io::Result<()> {
+    pub fn touch(&mut self, page: usize, file: &mut PageFile) -> Result<(), StorageError> {
         let _ = self.fault(page, file)?;
         Ok(())
     }
@@ -197,7 +231,7 @@ impl PageCache {
     /// # Errors
     ///
     /// Propagates write I/O errors.
-    pub fn flush(&mut self, file: &mut PageFile) -> io::Result<()> {
+    pub fn flush(&mut self, file: &mut PageFile) -> Result<(), StorageError> {
         for slot in 0..self.frames.len() {
             if self.frames[slot].dirty {
                 self.counters.record_write_back(file.page_bytes());
@@ -206,6 +240,18 @@ impl PageCache {
             }
         }
         Ok(())
+    }
+
+    /// The resident frames as `(page, data)` pairs, in an unspecified
+    /// order. Frame data is authoritative — it is at least as new as
+    /// the file's copy — which is what the degradation path needs to
+    /// rebuild a bitwise-identical resident table when the spill device
+    /// dies.
+    pub fn resident_pages(&self) -> impl Iterator<Item = (usize, &[f32])> {
+        self.frames
+            .iter()
+            .filter(|fr| fr.page != ORPHAN_PAGE)
+            .map(|fr| (fr.page, fr.data.as_slice()))
     }
 }
 
@@ -265,6 +311,36 @@ mod tests {
         let before = c.stats().misses;
         c.touch(1, &mut f).unwrap();
         assert_eq!(c.stats().misses, before, "page 1 kept its frame");
+    }
+
+    #[test]
+    fn failed_replacement_load_orphans_the_frame_without_aliasing() {
+        use lazydp_fault::{FaultKind, FaultPlan, Site};
+        let _serial = lazydp_fault::exclusive();
+        let mut f = file(4, 1);
+        let mut c = PageCache::new(2, 1);
+        c.with_page_mut(0, &mut f, |p| p[0] = 10.0).unwrap(); // read #0
+        c.touch(1, &mut f).unwrap(); // read #1, cache full
+                                     // Fail the next load (read #2): page 0 is evicted (written
+                                     // back) and its map entry removed before the replacement read
+                                     // errors — the frame must become a true orphan, not keep id 0.
+        lazydp_fault::install(FaultPlan::new(1).rule(Site::PageRead, 2, FaultKind::Transient));
+        assert!(c.touch(2, &mut f).is_err(), "injected load must surface");
+        lazydp_fault::clear();
+        let live: Vec<usize> = c.resident_pages().map(|(p, _)| p).collect();
+        assert_eq!(live, vec![1], "the orphan frame must not be reported");
+        // Page 0 comes back into the *other* frame and is updated...
+        c.with_page_mut(0, &mut f, |p| p[0] = 20.0).unwrap();
+        // ...then the orphan slot is recycled. Before the orphan id was
+        // poisoned, this eviction did `map.remove(&0)` — unmapping the
+        // LIVE page-0 frame and stranding its dirty update, so later
+        // reads resurrected the stale file copy.
+        c.touch(3, &mut f).unwrap();
+        assert_eq!(
+            c.peek(0).map(<[f32]>::to_vec),
+            Some(vec![20.0]),
+            "recycling the orphan must not unmap the live remapping"
+        );
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Typed storage errors.
+//!
+//! Before PR 10 every I/O failure inside [`StoredTable`] aborted the
+//! process through an `expect()`. Now the engine distinguishes the two
+//! things that can actually go wrong — the spill device failing
+//! (retryable, and survivable by degrading to the resident backend)
+//! and a page coming back with the wrong checksum (not retryable:
+//! re-reading corrupt bytes yields the same corrupt bytes) — and every
+//! fallible public API returns this type.
+//!
+//! [`StoredTable`]: crate::StoredTable
+
+use std::io;
+use std::path::PathBuf;
+
+/// Why a storage-engine operation failed.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The spill device failed. `site` names the operation
+    /// (`page.read`, `page.write`, …), `page` the page involved when
+    /// one is.
+    Io {
+        /// The failing operation.
+        site: &'static str,
+        /// The page being accessed, if the operation was page-scoped.
+        page: Option<usize>,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// A page's stored checksum did not match its data at fault-in —
+    /// a torn or corrupted page that must never be trained on.
+    Corrupt {
+        /// The corrupt page.
+        page: usize,
+        /// The spill file holding it.
+        path: PathBuf,
+        /// The checksum recorded in the page trailer.
+        stored: u64,
+        /// The checksum computed over the page data just read.
+        computed: u64,
+    },
+}
+
+impl StorageError {
+    /// True when re-executing the failed operation could succeed.
+    /// Device errors are worth retrying (and, exhausted, worth
+    /// degrading over); corruption is final.
+    #[must_use]
+    pub fn retryable(&self) -> bool {
+        matches!(self, StorageError::Io { .. })
+    }
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io { site, page, source } => match page {
+                Some(p) => write!(f, "spill {site} failed on page {p}: {source}"),
+                None => write!(f, "spill {site} failed: {source}"),
+            },
+            StorageError::Corrupt {
+                page,
+                path,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "page {page} of {} failed checksum verification \
+                 (checksum mismatch: trailer {stored:#018x}, data {computed:#018x})",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io { source, .. } => Some(source),
+            StorageError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<StorageError> for io::Error {
+    fn from(e: StorageError) -> Self {
+        match e {
+            StorageError::Io { source, .. } => source,
+            corrupt => io::Error::new(io::ErrorKind::InvalidData, corrupt.to_string()),
+        }
+    }
+}
+
+impl lazydp_fault::Retryable for StorageError {
+    fn retryable(&self) -> bool {
+        StorageError::retryable(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corruption_is_not_retryable_and_names_the_checksum() {
+        let e = StorageError::Corrupt {
+            page: 3,
+            path: PathBuf::from("/tmp/x.pages"),
+            stored: 1,
+            computed: 2,
+        };
+        assert!(!e.retryable());
+        let msg = e.to_string();
+        assert!(msg.contains("checksum mismatch"), "{msg}");
+        assert!(msg.contains("page 3"), "{msg}");
+        let io_e: io::Error = e.into();
+        assert_eq!(io_e.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn io_errors_are_retryable_and_keep_their_source() {
+        let e = StorageError::Io {
+            site: "page.read",
+            page: Some(7),
+            source: io::Error::new(io::ErrorKind::Interrupted, "blip"),
+        };
+        assert!(e.retryable());
+        assert!(e.to_string().contains("page 7"));
+        assert!(std::error::Error::source(&e).is_some());
+        let io_e: io::Error = e.into();
+        assert_eq!(io_e.kind(), io::ErrorKind::Interrupted);
+    }
+}

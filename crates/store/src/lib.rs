@@ -26,6 +26,16 @@
 //! ([`CACHE_PAGES_ENV`]) force-overrides the cache capacity so CI can
 //! exercise the eviction paths under the whole test suite.
 //!
+//! # Fault model
+//!
+//! Every page carries an FNV-1a-64 checksum trailer, verified at
+//! fault-in; device failures surface as typed [`StorageError`]s,
+//! transient ones absorbed by bounded retry, persistent ones by
+//! degrading the table to a bitwise-identical in-memory backend.
+//! Deterministic fault injection (the `LAZYDP_FAULTS` plan in
+//! `lazydp_fault`) drives all of these paths in tests and CI; see
+//! `ARCHITECTURE.md` § "Fault model & recovery contract".
+//!
 //! # Example: a table bigger than its cache
 //!
 //! ```
@@ -55,10 +65,12 @@
 
 pub mod cache;
 pub mod config;
+pub mod error;
 pub mod pagefile;
 pub mod stored;
 
 pub use cache::PageCache;
 pub use config::{StorageConfig, CACHE_PAGES_ENV};
-pub use pagefile::PageFile;
+pub use error::StorageError;
+pub use pagefile::{sweep_stale_spill_files, PageFile};
 pub use stored::StoredTable;

@@ -1,31 +1,97 @@
-//! Fixed-size row pages persisted to a plain file.
+//! Fixed-size row pages persisted to a plain file, with per-page
+//! checksums and deterministic fault injection.
 //!
-//! A [`PageFile`] is the disk half of the storage engine: `pages` slots
-//! of `page_elems` little-endian `f32`s each, accessed with explicit
+//! A [`PageFile`] is the disk half of the storage engine: `pages` slots,
+//! each holding `page_elems` little-endian `f32`s followed by an 8-byte
+//! FNV-1a-64 trailer over those data bytes, accessed with explicit
 //! positioned reads/writes (`read_exact_at`/`write_all_at` on Unix, a
 //! seek-based fallback elsewhere). No mmap, no external dependencies —
 //! the file is created sparse (zero pages cost no disk until written),
 //! uniquely named, and deleted on drop, so `cargo test` leaves no stray
 //! spill files behind.
+//!
+//! The trailer is verified on every fault-in: a torn or bit-rotted page
+//! surfaces as [`StorageError::Corrupt`] instead of silently training on
+//! garbage. A trailer of zero is the never-written sentinel (sparse
+//! pages read back all-zero) and is accepted only when the data bytes
+//! are themselves all zero.
+//!
+//! Every read and write consults the active [`lazydp_fault`] plan under
+//! this file's **own** operation ordinals, so a fixed plan reproduces
+//! the identical failure sequence on every run regardless of what other
+//! tables are doing.
 
+use std::collections::BTreeSet;
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use lazydp_fault::checksum::fnv1a64;
+use lazydp_fault::{FaultKind, InjectedKill, Site};
+
+use crate::error::StorageError;
 
 /// Process-wide counter making spill-file names unique even when many
 /// tables share one spill directory.
 static NEXT_FILE_ID: AtomicU64 = AtomicU64::new(0);
 
-/// A file of fixed-size `f32` pages with positioned I/O.
+/// Spill files currently owned by a live [`PageFile`] in this process.
+/// [`sweep_stale_spill_files`] removes lazydp spill files *not* in this
+/// set — leftovers of an earlier crashed run.
+static LIVE: Mutex<BTreeSet<PathBuf>> = Mutex::new(BTreeSet::new());
+
+fn live_lock() -> std::sync::MutexGuard<'static, BTreeSet<PathBuf>> {
+    // The guarded value is only ever inserted into / removed from, so a
+    // panicking holder cannot leave it torn.
+    LIVE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Removes lazydp spill files in `dir` that no live [`PageFile`] of this
+/// process owns — the debris an earlier crashed run left behind (the
+/// normal path removes them on drop). Returns how many were removed.
+///
+/// Call this at recovery time, before training restarts, and only when
+/// no *other* training process shares the spill directory (stale files
+/// are recognised by name pattern, not by owner).
+///
+/// # Errors
+///
+/// Propagates the directory-listing error; per-file removal failures are
+/// skipped (another sweeper may have won the race).
+pub fn sweep_stale_spill_files(dir: &Path) -> io::Result<usize> {
+    let live = live_lock().clone();
+    let mut removed = 0usize;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("lazydp-store-")
+            && name.ends_with(".pages")
+            && !live.contains(&path)
+            && std::fs::remove_file(&path).is_ok()
+        {
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+/// A file of fixed-size, checksummed `f32` pages with positioned I/O.
 #[derive(Debug)]
 pub struct PageFile {
     file: File,
     path: PathBuf,
     page_elems: usize,
     pages: usize,
-    /// Scratch byte buffer reused across reads/writes (one page).
+    /// Scratch byte buffer reused across reads/writes (one slot:
+    /// data bytes plus the checksum trailer).
     scratch: Vec<u8>,
+    /// This file's own operation ordinals for fault-plan decisions.
+    read_ops: u64,
+    write_ops: u64,
 }
 
 impl PageFile {
@@ -38,7 +104,7 @@ impl PageFile {
     /// # Panics
     ///
     /// Panics if `pages == 0` or `page_elems == 0`.
-    pub fn create(dir: &Path, pages: usize, page_elems: usize) -> io::Result<Self> {
+    pub fn create(dir: &Path, pages: usize, page_elems: usize) -> Result<Self, StorageError> {
         assert!(pages > 0 && page_elems > 0, "empty page file");
         let name = format!(
             "lazydp-store-{}-{}.pages",
@@ -46,20 +112,32 @@ impl PageFile {
             NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed)
         );
         let path = dir.join(name);
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create_new(true)
-            .open(&path)?;
-        // A sparse zero file: unwritten pages read back as 0.0, which is
-        // exactly the zero-initialized table the callers expect.
-        file.set_len((pages as u64) * (page_elems as u64) * 4)?;
+        let create = || -> io::Result<File> {
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create_new(true)
+                .open(&path)?;
+            // A sparse zero file: unwritten slots read back as zero data
+            // plus a zero trailer — the never-written sentinel — which
+            // is exactly the zero-initialized table the callers expect.
+            file.set_len((pages as u64) * slot_bytes(page_elems))?;
+            Ok(file)
+        };
+        let file = create().map_err(|source| StorageError::Io {
+            site: "create",
+            page: None,
+            source,
+        })?;
+        live_lock().insert(path.clone());
         Ok(Self {
             file,
             path,
             page_elems,
             pages,
-            scratch: vec![0u8; page_elems * 4],
+            scratch: vec![0u8; slot_bytes(page_elems) as usize],
+            read_ops: 0,
+            write_ops: 0,
         })
     }
 
@@ -75,7 +153,8 @@ impl PageFile {
         self.page_elems
     }
 
-    /// Bytes per page.
+    /// Data bytes per page (excluding the checksum trailer — the
+    /// training-relevant payload the cache counters account in).
     #[must_use]
     pub fn page_bytes(&self) -> u64 {
         (self.page_elems * 4) as u64
@@ -89,49 +168,128 @@ impl PageFile {
 
     fn offset(&self, page: usize) -> u64 {
         assert!(page < self.pages, "page {page} out of {}", self.pages);
-        (page as u64) * self.page_bytes()
+        (page as u64) * slot_bytes(self.page_elems)
     }
 
-    /// Reads page `page` into `out` (`page_elems` long).
+    /// Consults the fault plan for this operation; returns the injected
+    /// I/O failure if one fires, panics on an injected kill.
+    fn injection(
+        &self,
+        site: Site,
+        ordinal: u64,
+        page: usize,
+    ) -> Result<Option<FaultKind>, StorageError> {
+        match lazydp_fault::decide(site, ordinal) {
+            None => Ok(None),
+            Some(FaultKind::Kill) => {
+                std::panic::panic_any(InjectedKill { site, ordinal });
+            }
+            // Corrupt on a write is handled by the caller (flip a byte
+            // after checksumming); anywhere else it degenerates to an
+            // I/O failure.
+            Some(FaultKind::Corrupt) if site == Site::PageWrite => Ok(Some(FaultKind::Corrupt)),
+            Some(kind) => Err(StorageError::Io {
+                site: site.name(),
+                page: Some(page),
+                source: lazydp_fault::injected_io_error(kind, site, ordinal),
+            }),
+        }
+    }
+
+    /// Reads page `page` into `out` (`page_elems` long), verifying its
+    /// checksum trailer.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors.
+    /// [`StorageError::Io`] on device failure (retryable);
+    /// [`StorageError::Corrupt`] when the trailer does not match the
+    /// data just read (not retryable — the bytes on disk are wrong).
     ///
     /// # Panics
     ///
-    /// Panics if `page` is out of range or `out` has the wrong length.
-    pub fn read_page(&mut self, page: usize, out: &mut [f32]) -> io::Result<()> {
+    /// Panics if `page` is out of range or `out` has the wrong length,
+    /// or when the fault plan fires an injected kill here.
+    pub fn read_page(&mut self, page: usize, out: &mut [f32]) -> Result<(), StorageError> {
         assert_eq!(out.len(), self.page_elems, "page buffer length mismatch");
+        let ord = self.read_ops;
+        self.read_ops += 1;
+        self.injection(Site::PageRead, ord, page)?;
         let off = self.offset(page);
-        read_exact_at(&mut self.file, &mut self.scratch, off)?;
-        for (v, b) in out.iter_mut().zip(self.scratch.chunks_exact(4)) {
+        read_exact_at(&mut self.file, &mut self.scratch, off).map_err(|source| {
+            StorageError::Io {
+                site: Site::PageRead.name(),
+                page: Some(page),
+                source,
+            }
+        })?;
+        let (data, trailer) = self.scratch.split_at(self.page_elems * 4);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+        // Trailer 0 + all-zero data = a never-written sparse slot.
+        if stored != 0 || data.iter().any(|&b| b != 0) {
+            let computed = fnv1a64(data);
+            if computed != stored {
+                lazydp_obs::metrics().fault.checksum_failures.incr();
+                return Err(StorageError::Corrupt {
+                    page,
+                    path: self.path.clone(),
+                    stored,
+                    computed,
+                });
+            }
+        }
+        for (v, b) in out.iter_mut().zip(data.chunks_exact(4)) {
             *v = f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
         }
         Ok(())
     }
 
-    /// Writes `data` (`page_elems` long) as page `page`.
+    /// Writes `data` (`page_elems` long) as page `page`, appending its
+    /// checksum trailer.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors.
+    /// [`StorageError::Io`] on device failure (retryable).
     ///
     /// # Panics
     ///
-    /// Panics if `page` is out of range or `data` has the wrong length.
-    pub fn write_page(&mut self, page: usize, data: &[f32]) -> io::Result<()> {
+    /// Panics if `page` is out of range or `data` has the wrong length,
+    /// or when the fault plan fires an injected kill here.
+    pub fn write_page(&mut self, page: usize, data: &[f32]) -> Result<(), StorageError> {
         assert_eq!(data.len(), self.page_elems, "page buffer length mismatch");
+        let ord = self.write_ops;
+        self.write_ops += 1;
+        let injected = self.injection(Site::PageWrite, ord, page)?;
         let off = self.offset(page);
-        for (b, &v) in self.scratch.chunks_exact_mut(4).zip(data.iter()) {
+        let data_bytes = self.page_elems * 4;
+        for (b, &v) in self.scratch[..data_bytes]
+            .chunks_exact_mut(4)
+            .zip(data.iter())
+        {
             b.copy_from_slice(&v.to_le_bytes());
         }
-        write_all_at(&mut self.file, &self.scratch, off)
+        let sum = fnv1a64(&self.scratch[..data_bytes]);
+        self.scratch[data_bytes..].copy_from_slice(&sum.to_le_bytes());
+        if injected == Some(FaultKind::Corrupt) {
+            // A torn page: one data byte flips *after* the checksum was
+            // computed, so the next fault-in must detect the mismatch.
+            self.scratch[ord as usize % data_bytes] ^= 0x80;
+        }
+        write_all_at(&mut self.file, &self.scratch, off).map_err(|source| StorageError::Io {
+            site: Site::PageWrite.name(),
+            page: Some(page),
+            source,
+        })
     }
+}
+
+/// Bytes per on-disk slot: page data plus the 8-byte checksum trailer.
+fn slot_bytes(page_elems: usize) -> u64 {
+    (page_elems * 4 + 8) as u64
 }
 
 impl Drop for PageFile {
     fn drop(&mut self) {
+        live_lock().remove(&self.path);
         // Best-effort cleanup: the spill file is scratch state, never a
         // durability surface (checkpoints are), so a failed unlink only
         // leaks temp-dir space.
@@ -168,6 +326,7 @@ fn write_all_at(file: &mut File, buf: &[u8], offset: u64) -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lazydp_fault::FaultPlan;
 
     fn temp_dir() -> PathBuf {
         std::env::temp_dir()
@@ -184,6 +343,19 @@ mod tests {
         assert_eq!(buf, [1.5, -2.0, 0.25, 1e-30], "bitwise round trip");
         f.read_page(0, &mut buf).expect("read");
         assert_eq!(buf, [0.0; 4], "neighbour pages untouched");
+    }
+
+    #[test]
+    fn all_zero_written_pages_still_verify() {
+        // An explicitly written zero page carries a real (nonzero)
+        // checksum; it must read back fine alongside sparse zeros.
+        let mut f = PageFile::create(&temp_dir(), 2, 4).expect("create");
+        f.write_page(0, &[0.0; 4]).expect("write");
+        let mut buf = [9.0f32; 4];
+        f.read_page(0, &mut buf).expect("read written zeros");
+        assert_eq!(buf, [0.0; 4]);
+        f.read_page(1, &mut buf).expect("read sparse zeros");
+        assert_eq!(buf, [0.0; 4]);
     }
 
     #[test]
@@ -214,5 +386,97 @@ mod tests {
     fn create_fails_in_a_missing_directory() {
         let missing = temp_dir().join("lazydp-definitely-missing-dir");
         assert!(PageFile::create(&missing, 1, 1).is_err());
+    }
+
+    #[test]
+    fn torn_pages_are_detected_by_checksum() {
+        let mut f = PageFile::create(&temp_dir(), 2, 4).expect("create");
+        f.write_page(0, &[1.0, 2.0, 3.0, 4.0]).expect("write");
+        // Tear the page behind the engine's back: flip one data byte.
+        {
+            use std::os::unix::fs::FileExt;
+            let raw = OpenOptions::new()
+                .write(true)
+                .open(f.path())
+                .expect("reopen");
+            raw.write_all_at(&[0xFF], 2).expect("corrupt");
+        }
+        let mut buf = [0.0f32; 4];
+        let err = f.read_page(0, &mut buf).expect_err("must detect");
+        assert!(
+            matches!(err, StorageError::Corrupt { page: 0, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        assert!(!err.retryable());
+    }
+
+    #[test]
+    fn a_corrupted_trailer_is_detected_too() {
+        let mut f = PageFile::create(&temp_dir(), 1, 2).expect("create");
+        f.write_page(0, &[5.0, 6.0]).expect("write");
+        {
+            use std::os::unix::fs::FileExt;
+            let raw = OpenOptions::new()
+                .write(true)
+                .open(f.path())
+                .expect("reopen");
+            // Trailer starts after the 8 data bytes of a 2-elem page.
+            raw.write_all_at(&[0xAA], 8).expect("corrupt trailer");
+        }
+        let mut buf = [0.0f32; 2];
+        assert!(matches!(
+            f.read_page(0, &mut buf),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn injected_transient_faults_fail_that_ordinal_only() {
+        let _g = lazydp_fault::exclusive();
+        lazydp_fault::install(FaultPlan::new(0).rule(Site::PageRead, 1, FaultKind::Transient));
+        let mut f = PageFile::create(&temp_dir(), 1, 2).expect("create");
+        let mut buf = [0.0f32; 2];
+        f.read_page(0, &mut buf).expect("ordinal 0 clean");
+        let err = f.read_page(0, &mut buf).expect_err("ordinal 1 fails");
+        assert!(err.retryable());
+        f.read_page(0, &mut buf).expect("ordinal 2 clean again");
+        lazydp_fault::clear();
+    }
+
+    #[test]
+    fn injected_write_corruption_is_caught_at_fault_in() {
+        let _g = lazydp_fault::exclusive();
+        lazydp_fault::install(FaultPlan::new(0).rule(Site::PageWrite, 0, FaultKind::Corrupt));
+        let mut f = PageFile::create(&temp_dir(), 1, 4).expect("create");
+        f.write_page(0, &[1.0, 2.0, 3.0, 4.0])
+            .expect("the write itself succeeds (torn silently)");
+        lazydp_fault::clear();
+        let mut buf = [0.0f32; 4];
+        assert!(
+            matches!(f.read_page(0, &mut buf), Err(StorageError::Corrupt { .. })),
+            "torn write must not be silently trained on"
+        );
+    }
+
+    #[test]
+    fn sweep_removes_only_stale_spill_files() {
+        // A private directory so parallel tests' live files don't race
+        // the assertion.
+        let dir = temp_dir().join(format!("lazydp-sweep-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let live = PageFile::create(&dir, 1, 2).expect("live");
+        let stale = dir.join("lazydp-store-999999-7.pages");
+        std::fs::write(&stale, b"debris").expect("stale");
+        let unrelated = dir.join("keep.txt");
+        std::fs::write(&unrelated, b"keep").expect("unrelated");
+        let removed = sweep_stale_spill_files(&dir).expect("sweep");
+        assert_eq!(removed, 1);
+        assert!(!stale.exists(), "stale spill file swept");
+        assert!(live.path().exists(), "live spill file kept");
+        assert!(unrelated.exists(), "unrelated file kept");
+        drop(live);
+        let _ = std::fs::remove_file(&unrelated);
+        let _ = std::fs::remove_dir(&dir);
     }
 }

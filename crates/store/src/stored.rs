@@ -2,12 +2,13 @@
 
 use crate::cache::PageCache;
 use crate::config::StorageConfig;
+use crate::error::StorageError;
 use crate::pagefile::PageFile;
 use lazydp_embedding::{EmbeddingStorage, EmbeddingTable, SparseGrad};
 use lazydp_rng::Prng;
 use lazydp_tensor::Matrix;
-use std::io;
-use std::sync::Mutex;
+use std::collections::BTreeSet;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// The paged engine state: the spill file and the page cache that fronts
 /// it. One lock guards both — every access is a (cache op, possible file
@@ -18,9 +19,33 @@ struct Engine {
     cache: PageCache,
 }
 
-/// An out-of-core embedding table: rows live in fixed-size pages in a
-/// spill file; a bounded [`PageCache`] keeps the hot set resident with
-/// clock eviction and dirty write-back.
+/// Where the rows actually live right now.
+///
+/// A table starts [`Backend::Paged`]. If the spill device fails
+/// persistently — bounded retries exhausted on an I/O error — the table
+/// *degrades*: every page is drained into memory (resident cache frames
+/// are authoritative over the file's copies) and the backend becomes
+/// [`Backend::Resident`], a plain page-major `Vec<f32>`. Row values are
+/// bitwise unaffected; only the capacity benefit is lost. Corruption
+/// (checksum mismatch) is **not** degradable — the bytes are wrong, and
+/// training on them would silently poison the model, so it panics with a
+/// typed message instead.
+// One Backend lives per table (behind its engine mutex) — boxing the
+// paged variant would buy nothing and cost an indirection on every
+// row access.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum Backend {
+    Paged(Engine),
+    /// Page-major rows (`pages * page_rows * dim` elements, tail page
+    /// zero-padded) — indexable with the same [`StoredTable::locate`]
+    /// arithmetic as the paged path.
+    Resident(Vec<f32>),
+}
+
+/// An out-of-core embedding table: rows live in fixed-size checksummed
+/// pages in a spill file; a bounded [`PageCache`] keeps the hot set
+/// resident with clock eviction and dirty write-back.
 ///
 /// `StoredTable` implements [`EmbeddingStorage`], so the whole LazyDP
 /// training stack — `LazyDpOptimizer::step`, the sharded pending-noise
@@ -42,6 +67,17 @@ struct Engine {
 /// `lazydp-core`), the two schedules interleave nondeterministically and
 /// counters may shift between runs; values never do.
 ///
+/// # Fault model
+///
+/// Transient spill-device errors are absorbed by bounded retry
+/// ([`lazydp_fault::with_retry`]); a persistently failing device
+/// promotes the table to an in-memory resident backend, bitwise
+/// identical (`fault.degradations` counts these). A page whose checksum
+/// does not match at fault-in is *unrecoverable*: the engine panics with
+/// a message naming the checksum mismatch rather than training on torn
+/// bytes. Deterministic fault injection for all of this is driven by
+/// the `LAZYDP_FAULTS` plan (see `lazydp_fault`).
+///
 /// # Concurrency
 ///
 /// The engine sits behind a [`Mutex`], making shared-reference access
@@ -54,7 +90,7 @@ pub struct StoredTable {
     dim: usize,
     page_rows: usize,
     pages: usize,
-    engine: Mutex<Engine>,
+    engine: Mutex<Backend>,
 }
 
 impl StoredTable {
@@ -68,7 +104,7 @@ impl StoredTable {
     /// # Panics
     ///
     /// Panics if `rows == 0` or `dim == 0`.
-    pub fn zeros(rows: usize, dim: usize, cfg: &StorageConfig) -> io::Result<Self> {
+    pub fn zeros(rows: usize, dim: usize, cfg: &StorageConfig) -> Result<Self, StorageError> {
         assert!(
             rows > 0 && dim > 0,
             "table must be non-empty ({rows}x{dim})"
@@ -83,20 +119,22 @@ impl StoredTable {
             dim,
             page_rows,
             pages,
-            engine: Mutex::new(Engine { file, cache }),
+            engine: Mutex::new(Backend::Paged(Engine { file, cache })),
         })
     }
 
     /// Spills a dense in-memory table to disk (bitwise copy of every
-    /// row, written page-sequentially, bypassing the cache).
+    /// row, written page-sequentially, bypassing the cache). Transient
+    /// write faults are retried.
     ///
     /// # Errors
     ///
-    /// Propagates spill-file I/O errors.
-    pub fn from_dense(table: &EmbeddingTable, cfg: &StorageConfig) -> io::Result<Self> {
+    /// Propagates spill-file I/O errors once retries are exhausted.
+    pub fn from_dense(table: &EmbeddingTable, cfg: &StorageConfig) -> Result<Self, StorageError> {
         let out = Self::zeros(table.rows(), table.dim(), cfg)?;
         {
-            let mut engine = out.lock();
+            let mut guard = out.lock();
+            let engine = paged(&mut guard);
             let mut buf = vec![0.0f32; out.page_rows * out.dim];
             for page in 0..out.pages {
                 buf.fill(0.0);
@@ -105,7 +143,7 @@ impl StoredTable {
                 for (k, r) in (first..last).enumerate() {
                     buf[k * out.dim..(k + 1) * out.dim].copy_from_slice(table.row(r));
                 }
-                engine.file.write_page(page, &buf)?;
+                lazydp_fault::with_retry(|| engine.file.write_page(page, &buf))?;
             }
         }
         Ok(out)
@@ -118,17 +156,18 @@ impl StoredTable {
     ///
     /// # Errors
     ///
-    /// Propagates spill-file I/O errors.
+    /// Propagates spill-file I/O errors once retries are exhausted.
     pub fn init_uniform<R: Prng>(
         rows: usize,
         dim: usize,
         rng: &mut R,
         cfg: &StorageConfig,
-    ) -> io::Result<Self> {
+    ) -> Result<Self, StorageError> {
         let out = Self::zeros(rows, dim, cfg)?;
         let a = 1.0 / (rows as f32).sqrt();
         {
-            let mut engine = out.lock();
+            let mut guard = out.lock();
+            let engine = paged(&mut guard);
             let mut buf = vec![0.0f32; out.page_rows * out.dim];
             for page in 0..out.pages {
                 buf.fill(0.0);
@@ -137,14 +176,23 @@ impl StoredTable {
                 for w in &mut buf[..valid] {
                     *w = (rng.next_f32() * 2.0 - 1.0) * a;
                 }
-                engine.file.write_page(page, &buf)?;
+                lazydp_fault::with_retry(|| engine.file.write_page(page, &buf))?;
             }
         }
         Ok(out)
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Engine> {
-        self.engine.lock().expect("storage engine lock poisoned")
+    fn lock(&self) -> MutexGuard<'_, Backend> {
+        // Explicit poison recovery, not a second panic: the engine's
+        // structural invariants (cache map ↔ frames, file bookkeeping)
+        // hold at every point user code can unwind — closures run only
+        // after frame bookkeeping is complete — so the state behind a
+        // poisoned lock is coherent. What *can* be torn is the row a
+        // panicking closure was mid-writing; the crash-recovery
+        // protocol discards exactly that by resuming from the last-good
+        // checkpoint, and cascading the poison into every later access
+        // would turn one injected kill into a process-wide outage.
+        self.engine.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// `(page, first element within the page)` of a row.
@@ -152,6 +200,70 @@ impl StoredTable {
         let r = usize::try_from(r).expect("row fits usize");
         assert!(r < self.rows, "row {r} out of {}", self.rows);
         (r / self.page_rows, (r % self.page_rows) * self.dim)
+    }
+
+    /// Elements per page.
+    fn page_elems(&self) -> usize {
+        self.page_rows * self.dim
+    }
+
+    /// Makes `page` accessible: on the paged backend, faults it into the
+    /// cache (retrying transient device errors); if retries exhaust on
+    /// an I/O error, degrades the table to the resident backend. The
+    /// lock is held by the caller throughout, so the page cannot be
+    /// evicted between this and the caller's access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unrecoverable corruption (checksum mismatch), or when
+    /// the device died *and* draining the surviving pages failed too.
+    fn ensure_page(&self, backend: &mut Backend, page: usize) {
+        let Backend::Paged(engine) = &mut *backend else {
+            return;
+        };
+        let res = {
+            let eng = &mut *engine;
+            lazydp_fault::with_retry(|| eng.cache.touch(page, &mut eng.file))
+        };
+        match res {
+            Ok(()) => {}
+            Err(e) if e.retryable() => {
+                // The spill device is gone for good. Graceful
+                // degradation: pull every row into memory (bitwise) and
+                // stop using the device.
+                match self.drain_to_resident(engine) {
+                    Ok(data) => *backend = Backend::Resident(data),
+                    Err(drain_err) => panic!(
+                        "spill device failed persistently ({e}) and draining \
+                         the table to memory failed too: {drain_err}"
+                    ),
+                }
+            }
+            Err(corrupt) => panic!("unrecoverable storage corruption: {corrupt}"),
+        }
+    }
+
+    /// Reads the whole table into a page-major buffer: file pages for
+    /// everything not resident, then the resident cache frames on top
+    /// (they are authoritative — at least as new as the file's copy, and
+    /// a dirty frame may be the *only* copy after a failed write-back).
+    fn drain_to_resident(&self, engine: &mut Engine) -> Result<Vec<f32>, StorageError> {
+        let page_elems = self.page_elems();
+        let mut data = vec![0.0f32; self.pages * page_elems];
+        let resident: BTreeSet<usize> = engine.cache.resident_pages().map(|(p, _)| p).collect();
+        let mut buf = vec![0.0f32; page_elems];
+        for page in 0..self.pages {
+            if resident.contains(&page) {
+                continue;
+            }
+            lazydp_fault::with_retry(|| engine.file.read_page(page, &mut buf))?;
+            data[page * page_elems..(page + 1) * page_elems].copy_from_slice(&buf);
+        }
+        for (page, frame) in engine.cache.resident_pages() {
+            data[page * page_elems..(page + 1) * page_elems].copy_from_slice(frame);
+        }
+        lazydp_obs::metrics().fault.degradations.incr();
+        Ok(data)
     }
 
     /// Rows per page.
@@ -166,18 +278,31 @@ impl StoredTable {
         self.pages
     }
 
-    /// Page-cache capacity in pages.
+    /// Page-cache capacity in pages. After degradation everything is
+    /// resident, reported as the full page count.
     #[must_use]
     pub fn cache_pages(&self) -> usize {
-        self.lock().cache.capacity()
+        match &*self.lock() {
+            Backend::Paged(engine) => engine.cache.capacity(),
+            Backend::Resident(_) => self.pages,
+        }
     }
 
-    /// Bytes of weights resident in the cache right now (upper bound:
-    /// capacity × page bytes).
+    /// True when the spill device failed persistently and the table fell
+    /// back to the in-memory resident backend.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        matches!(&*self.lock(), Backend::Resident(_))
+    }
+
+    /// Bytes of weights resident in memory right now (paged: up to
+    /// capacity × page bytes; degraded: the whole table).
     #[must_use]
     pub fn resident_bytes(&self) -> u64 {
-        let engine = self.lock();
-        engine.cache.resident() as u64 * engine.file.page_bytes()
+        match &*self.lock() {
+            Backend::Paged(engine) => engine.cache.resident() as u64 * engine.file.page_bytes(),
+            Backend::Resident(data) => (data.len() * 4) as u64,
+        }
     }
 
     /// The cache counters so far (test-only: production readers go
@@ -185,20 +310,51 @@ impl StoredTable {
     #[cfg(test)]
     #[must_use]
     pub fn stats(&self) -> lazydp_obs::CacheView {
-        self.lock().cache.stats()
+        match &*self.lock() {
+            Backend::Paged(engine) => engine.cache.stats(),
+            Backend::Resident(_) => lazydp_obs::CacheView::default(),
+        }
     }
 
     /// Writes every dirty cached page back to the spill file (pages stay
     /// resident). Useful for bounding the data at risk; not required for
-    /// correctness — reads are always served through the cache.
+    /// correctness — reads are always served through the cache. A no-op
+    /// on a degraded table.
     ///
     /// # Errors
     ///
-    /// Propagates write I/O errors.
-    pub fn sync(&self) -> io::Result<()> {
+    /// Propagates write I/O errors once retries are exhausted.
+    pub fn sync(&self) -> Result<(), StorageError> {
         let mut guard = self.lock();
-        let engine = &mut *guard;
-        engine.cache.flush(&mut engine.file)
+        match &mut *guard {
+            Backend::Paged(engine) => {
+                let eng = &mut *engine;
+                lazydp_fault::with_retry(|| eng.cache.flush(&mut eng.file))
+            }
+            Backend::Resident(_) => Ok(()),
+        }
+    }
+
+    /// Re-reads every page from the spill file, verifying each checksum
+    /// trailer (dirty resident frames are flushed first so the scan sees
+    /// current data). A no-op on a degraded table.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Corrupt`] for the first page whose trailer does
+    /// not match; [`StorageError::Io`] on device failure.
+    pub fn verify_pages(&self) -> Result<(), StorageError> {
+        let mut guard = self.lock();
+        let Backend::Paged(engine) = &mut *guard else {
+            return Ok(());
+        };
+        let eng = &mut *engine;
+        lazydp_fault::with_retry(|| eng.cache.flush(&mut eng.file))?;
+        let mut buf = vec![0.0f32; self.page_elems()];
+        for page in 0..self.pages {
+            lazydp_fault::with_retry(|| eng.file.read_page(page, &mut buf))?;
+        }
+        Ok(())
     }
 
     /// Materializes the table in memory (page-sequential scan through
@@ -233,6 +389,15 @@ impl StoredTable {
     }
 }
 
+/// The paged engine of a freshly constructed table (constructors only —
+/// nothing can have degraded it yet).
+fn paged(guard: &mut Backend) -> &mut Engine {
+    match guard {
+        Backend::Paged(engine) => engine,
+        Backend::Resident(_) => unreachable!("fresh table is paged"),
+    }
+}
+
 impl EmbeddingStorage for StoredTable {
     fn rows(&self) -> usize {
         self.rows
@@ -250,58 +415,86 @@ impl EmbeddingStorage for StoredTable {
         let (page, start) = self.locate(r);
         let dim = self.dim;
         let mut guard = self.lock();
-        let engine = &mut *guard;
-        engine
-            .cache
-            .with_page(page, &mut engine.file, |data| f(&data[start..start + dim]))
-            .expect("storage engine read failed")
+        self.ensure_page(&mut guard, page);
+        match &mut *guard {
+            Backend::Paged(engine) => {
+                let data = engine.cache.peek(page).expect("page pinned by ensure_page");
+                f(&data[start..start + dim])
+            }
+            Backend::Resident(data) => {
+                let base = page * self.page_elems() + start;
+                f(&data[base..base + dim])
+            }
+        }
     }
 
     fn with_row_mut<R>(&mut self, r: u64, f: impl FnOnce(&mut [f32]) -> R) -> R {
         let (page, start) = self.locate(r);
         let dim = self.dim;
+        let page_elems = self.page_elems();
         let mut guard = self.lock();
-        let engine = &mut *guard;
-        engine
-            .cache
-            .with_page_mut(page, &mut engine.file, |data| {
+        self.ensure_page(&mut guard, page);
+        match &mut *guard {
+            Backend::Paged(engine) => {
+                let data = engine
+                    .cache
+                    .peek_mut(page)
+                    .expect("page pinned by ensure_page");
                 f(&mut data[start..start + dim])
-            })
-            .expect("storage engine write failed")
+            }
+            Backend::Resident(data) => {
+                let base = page * page_elems + start;
+                f(&mut data[base..base + dim])
+            }
+        }
     }
 
     fn gather(&self, indices: &[u64]) -> Matrix {
         // One lock for the whole batch rather than per row.
         let mut out = Matrix::zeros(indices.len(), self.dim);
         let mut guard = self.lock();
-        let engine = &mut *guard;
         for (i, &idx) in indices.iter().enumerate() {
             let (page, start) = self.locate(idx);
-            engine
-                .cache
-                .with_page(page, &mut engine.file, |data| {
+            self.ensure_page(&mut guard, page);
+            match &mut *guard {
+                Backend::Paged(engine) => {
+                    let data = engine.cache.peek(page).expect("page pinned by ensure_page");
                     out.row_mut(i)
                         .copy_from_slice(&data[start..start + self.dim]);
-                })
-                .expect("storage engine read failed");
+                }
+                Backend::Resident(data) => {
+                    let base = page * self.page_elems() + start;
+                    out.row_mut(i).copy_from_slice(&data[base..base + self.dim]);
+                }
+            }
         }
         out
     }
 
     fn sparse_update(&mut self, grad: &SparseGrad, lr: f32) {
         assert_eq!(grad.dim(), self.dim, "sparse grad dim mismatch");
+        let page_elems = self.page_elems();
         let mut guard = self.lock();
-        let engine = &mut *guard;
         for (idx, values) in grad.iter() {
             let (page, start) = self.locate(idx);
-            engine
-                .cache
-                .with_page_mut(page, &mut engine.file, |data| {
+            self.ensure_page(&mut guard, page);
+            match &mut *guard {
+                Backend::Paged(engine) => {
+                    let data = engine
+                        .cache
+                        .peek_mut(page)
+                        .expect("page pinned by ensure_page");
                     for (w, &g) in data[start..start + self.dim].iter_mut().zip(values.iter()) {
                         *w -= lr * g;
                     }
-                })
-                .expect("storage engine write failed");
+                }
+                Backend::Resident(data) => {
+                    let base = page * page_elems + start;
+                    for (w, &g) in data[base..base + self.dim].iter_mut().zip(values.iter()) {
+                        *w -= lr * g;
+                    }
+                }
+            }
         }
     }
 
@@ -315,6 +508,11 @@ impl EmbeddingStorage for StoredTable {
     /// engine lock for the full multi-page I/O burst would stall those
     /// reads — serializing exactly the overlap prefetch exists to
     /// create.
+    ///
+    /// Prefetch is best-effort: a failing prefetch is swallowed (after
+    /// its own retries) rather than degrading or panicking — the demand
+    /// access that actually needs the row will retry, degrade, or report
+    /// the corruption with the right context.
     fn prefetch_rows(&self, sorted_rows: &[u64]) {
         let mut last_page = usize::MAX;
         for &r in sorted_rows {
@@ -324,11 +522,14 @@ impl EmbeddingStorage for StoredTable {
             }
             last_page = page;
             let mut guard = self.lock();
-            let engine = &mut *guard;
-            engine
-                .cache
-                .touch(page, &mut engine.file)
-                .expect("storage engine prefetch failed");
+            match &mut *guard {
+                Backend::Paged(engine) => {
+                    let eng = &mut *engine;
+                    let _ = lazydp_fault::with_retry(|| eng.cache.touch(page, &mut eng.file));
+                }
+                // Everything is already resident; nothing to warm.
+                Backend::Resident(_) => return,
+            }
         }
     }
 }
@@ -336,7 +537,9 @@ impl EmbeddingStorage for StoredTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lazydp_fault::{FaultKind, FaultPlan, Site};
     use lazydp_rng::Xoshiro256PlusPlus;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     fn cfg(page_rows: usize, cache_pages: usize) -> StorageConfig {
         // Explicit cache size; the LAZYDP_STORE_PAGES CI override is
@@ -373,6 +576,32 @@ mod tests {
         assert_eq!(stored.to_dense(), mem);
         // Both RNGs drew the same number of values.
         assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+
+    #[test]
+    fn transient_read_storm_is_value_neutral_single_threaded() {
+        let _serial = lazydp_fault::exclusive();
+        let d = dense(64, 4);
+        let mut want = d.clone();
+        let mut s = StoredTable::from_dense(&d, &cfg(4, 3)).expect("spill");
+        lazydp_fault::install(
+            FaultPlan::new(7)
+                .rate_rule(Site::PageRead, 0.10, FaultKind::Transient)
+                .rate_rule(Site::PageWrite, 0.10, FaultKind::Transient),
+        );
+        let mut rng = Xoshiro256PlusPlus::seed_from(11);
+        for step in 0..200u64 {
+            let row = rng.next_u64() % 64;
+            let delta = (step as f32).sin();
+            want.with_row_mut(row, |r| r[0] += delta);
+            s.with_row_mut(row, |r| r[0] += delta);
+            let probe: Vec<u64> = (0..8).map(|_| rng.next_u64() % 64).collect();
+            let gs = EmbeddingStorage::gather(&s, &probe);
+            let gw = EmbeddingStorage::gather(&want, &probe);
+            assert_eq!(gs, gw, "step {step}: storm must not change a value");
+        }
+        lazydp_fault::clear();
+        assert_eq!(s.max_abs_diff_dense(&want), 0.0);
     }
 
     #[test]
@@ -465,5 +694,95 @@ mod tests {
         s.sync().expect("sync");
         assert!(s.stats().write_backs >= 1);
         s.with_row(3, |row| assert_eq!(row, &[7.0, 8.0]));
+        s.verify_pages().expect("all checksums valid");
+    }
+
+    #[test]
+    fn lock_poisoning_is_recovered_not_cascaded() {
+        let s = StoredTable::zeros(4, 2, &cfg(2, 2)).expect("spill");
+        // A user closure panicking while the engine lock is held poisons
+        // the mutex; later accesses must recover, not panic again.
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
+            s.with_row(0, |_| panic!("user closure exploded"))
+        }));
+        assert!(unwound.is_err());
+        s.with_row(0, |row| assert_eq!(row, &[0.0, 0.0]));
+    }
+
+    #[test]
+    fn transient_faults_are_absorbed_bitwise() {
+        let _g = lazydp_fault::exclusive();
+        let d = dense(20, 3);
+        let want = {
+            // Reference run with no plan installed.
+            let s = StoredTable::from_dense(&d, &cfg(2, 1)).expect("spill");
+            s.to_dense()
+        };
+        lazydp_fault::install(
+            FaultPlan::new(11)
+                .rate_rule(Site::PageRead, 0.2, FaultKind::Transient)
+                .rate_rule(Site::PageWrite, 0.2, FaultKind::Transient),
+        );
+        let s = StoredTable::from_dense(&d, &cfg(2, 1)).expect("spill");
+        let got = s.to_dense();
+        lazydp_fault::clear();
+        assert_eq!(got, want, "retried I/O must be value-invisible");
+        assert_eq!(got, d);
+    }
+
+    #[test]
+    fn persistent_write_failure_degrades_bitwise() {
+        let _g = lazydp_fault::exclusive();
+        let d = dense(20, 3);
+        // from_dense writes pages 0..10 (write ordinals 0..9); fail every
+        // write from ordinal 10 on — the first eviction write-back dies,
+        // retries exhaust, and the table must fall back to memory.
+        let mut s = StoredTable::from_dense(&d, &cfg(2, 1)).expect("spill");
+        lazydp_fault::install(FaultPlan::new(0).rule(Site::PageWrite, 10, FaultKind::Persistent));
+        let mut want = d.clone();
+        let mut grad = SparseGrad::from_entries(
+            3,
+            vec![(0, vec![1.0; 3]), (9, vec![-2.0; 3]), (19, vec![0.5; 3])],
+        );
+        let _ = grad.coalesce();
+        want.sparse_update(&grad, 0.1);
+        s.sparse_update(&grad, 0.1);
+        let got = s.to_dense();
+        lazydp_fault::clear();
+        assert!(s.degraded(), "persistent write failure must degrade");
+        assert_eq!(s.cache_pages(), s.total_pages());
+        assert_eq!(got, want, "degradation must be bitwise-invisible");
+        // The degraded table keeps working.
+        s.sparse_update(&grad, 0.1);
+        want.sparse_update(&grad, 0.1);
+        assert_eq!(s.to_dense(), want);
+        s.sync().expect("sync is a no-op when degraded");
+    }
+
+    #[test]
+    fn corrupt_pages_panic_rather_than_train() {
+        let _g = lazydp_fault::exclusive();
+        lazydp_fault::install(FaultPlan::new(0).rule(Site::PageWrite, 2, FaultKind::Corrupt));
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
+            // 2 pages, 1-frame cache. Write ordinals: zeros writes none;
+            // ordinal 0-1 don't happen here (no from_dense) — force an
+            // eviction write-back at ordinal 2 via enough traffic.
+            let mut s = StoredTable::zeros(4, 2, &cfg(2, 1)).expect("spill");
+            s.with_row_mut(0, |row| row.copy_from_slice(&[1.0, 2.0])); // page 0 dirty
+            s.sync().expect("write ordinal 0: clean");
+            s.with_row_mut(0, |row| row[0] += 1.0);
+            s.sync().expect("write ordinal 1: clean");
+            s.with_row_mut(0, |row| row[0] += 1.0);
+            s.sync().expect("write ordinal 2: torn silently");
+            s.with_row_mut(2, |_| ()); // evict page 0 (clean now)
+            s.with_row(0, |_| ()); // fault torn page back in: must panic
+        }));
+        lazydp_fault::clear();
+        let payload = unwound.expect_err("torn page must not be trained on");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("checksum mismatch"), "payload: {msg}");
     }
 }

@@ -12,11 +12,19 @@
 //!    *before* it happens, and tells you how many steps you can still
 //!    afford.
 //!
+//! The restart below goes through the crash-consistent
+//! [`CheckpointStore`] (temp file + `sync_all` + atomic rename + a
+//! versioned last-good manifest): `resume_latest` verifies length and
+//! checksum against the manifest and falls back to the previous entry
+//! if the newest checkpoint is torn — see ARCHITECTURE.md "Fault model
+//! & recovery contract" and `tests/crash_recovery.rs` for the
+//! kill-and-resume proof.
+//!
 //! Run with: `cargo run --release --example checkpoint_resume`
 
 use lazydp::data::{SyntheticConfig, SyntheticDataset};
 use lazydp::dpsgd::{DpConfig, Optimizer};
-use lazydp::lazy::{Checkpoint, LazyDpConfig, LazyDpOptimizer};
+use lazydp::lazy::{Checkpoint, CheckpointStore, LazyDpConfig, LazyDpOptimizer};
 use lazydp::model::{Dlrm, DlrmConfig};
 use lazydp::privacy::{PrivacyBudget, PrivacyEngine};
 use lazydp::rng::counter::CounterNoise;
@@ -44,23 +52,29 @@ fn main() {
     }
     o_ref.finalize_model(&mut m_ref);
 
-    // --- interrupted run: train, checkpoint to bytes, resume ------------
+    // --- interrupted run: train, checkpoint every step, resume ----------
+    let ckpt_dir = std::env::temp_dir().join(format!("lazydp-example-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let mut store = CheckpointStore::open(&ckpt_dir).expect("open checkpoint dir");
     let mut engine = PrivacyEngine::new(PrivacyBudget::new(4.0, 1e-6));
     let mut m = model0;
     let mut o = LazyDpOptimizer::new(cfg.clone(), &m, CounterNoise::new(31));
+    let mut last_len = 0u64;
     for i in 0..INTERRUPT_AT {
         engine
             .try_compose(cfg.dp.noise_multiplier, q, 1)
             .expect("within budget");
         o.step(&mut m, &batches[i], Some(&batches[i + 1]));
+        // Crash-consistent publish: tmp file -> sync_all -> atomic
+        // rename -> manifest append. A crash at any instant leaves the
+        // previous checkpoint intact and resumable.
+        let path = store.save(&Checkpoint::capture(&m, &o)).expect("publish");
+        last_len = std::fs::metadata(&path).map(|md| md.len()).unwrap_or(0);
     }
-    let mut bytes = Vec::new();
-    Checkpoint::capture(&m, &o)
-        .save(&mut bytes)
-        .expect("serialize");
     println!(
-        "checkpoint at step {INTERRUPT_AT}: {} KB (weights + HistoryTables + iteration)",
-        bytes.len() / 1000
+        "published {} checkpoints ({} KB each: weights + HistoryTables + iteration)",
+        store.iterations().len(),
+        last_len / 1000
     );
     println!(
         "privacy so far: ε = {:.3} of budget {:.1}  (headroom {:.3})",
@@ -69,8 +83,13 @@ fn main() {
         engine.remaining()
     );
 
-    // …process restarts…
-    let loaded = Checkpoint::load(&mut bytes.as_slice()).expect("deserialize");
+    // …process dies and restarts…
+    let store = CheckpointStore::open(&ckpt_dir).expect("reopen checkpoint dir");
+    store.sweep_stale().expect("collect crash orphans");
+    let loaded = store
+        .resume_latest() // checksum-verified; falls back past torn files
+        .expect("manifest walk")
+        .expect("a last-good checkpoint exists");
     let (mut m2, mut o2) = loaded.restore(cfg.clone(), CounterNoise::new(31));
     println!("resumed at iteration {}", o2.iteration());
     for i in INTERRUPT_AT..TOTAL_STEPS {
@@ -96,5 +115,6 @@ fn main() {
         engine.spent(),
         engine.budget().epsilon
     );
-    println!("\n✔ exact resume through a byte-serialized checkpoint, budget enforced.");
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    println!("\n✔ exact resume through the crash-consistent checkpoint store, budget enforced.");
 }

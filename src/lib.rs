@@ -36,6 +36,7 @@ pub use lazydp_data as data;
 pub use lazydp_dpsgd as dpsgd;
 pub use lazydp_embedding as embedding;
 pub use lazydp_exec as exec;
+pub use lazydp_fault as fault;
 pub use lazydp_model as model;
 pub use lazydp_obs as obs;
 pub use lazydp_privacy as privacy;

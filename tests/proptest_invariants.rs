@@ -536,3 +536,93 @@ proptest! {
         prop_assert!(distinct.len() > buf.len() / 2, "values must not repeat");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// V2 checkpoint robustness: flipping any single bit or truncating
+    /// the byte stream at any point yields a typed error from
+    /// [`Checkpoint::from_bytes`] — never a panic, never a silent load
+    /// of torn state. (The payload checksum is verified *before* any
+    /// length field is trusted, so corrupted lengths cannot drive
+    /// allocation either.)
+    #[test]
+    fn checkpoint_rejects_any_bit_flip_or_truncation(
+        pos_sel in 0.0f64..1.0,
+        bit in 0u32..8,
+        seed in 0u64..100,
+    ) {
+        use lazydp::lazy::Checkpoint;
+        let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+        let model = Dlrm::new(DlrmConfig::tiny(1, 8, 4), &mut rng);
+        let opt = LazyDpOptimizer::new(
+            LazyDpConfig::new(DpConfig::new(0.8, 1.0, 0.05, 4), false),
+            &model,
+            CounterNoise::new(seed),
+        );
+        let bytes = Checkpoint::capture(&model, &opt).to_bytes();
+        prop_assert!(Checkpoint::from_bytes(&bytes).is_ok(), "intact bytes must load");
+
+        let pos = ((pos_sel * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        let mut flipped = bytes.clone();
+        flipped[pos] ^= 1u8 << bit;
+        prop_assert!(
+            Checkpoint::from_bytes(&flipped).is_err(),
+            "bit {bit} of byte {pos} flipped: load must fail typed"
+        );
+        prop_assert!(
+            Checkpoint::from_bytes(&bytes[..pos]).is_err(),
+            "truncation to {pos} bytes: load must fail typed"
+        );
+    }
+
+    /// Corrupting the newest on-disk checkpoint at any byte makes
+    /// `resume_latest` fall back to the previous last-good manifest
+    /// entry instead of erroring or loading torn state.
+    #[test]
+    fn resume_latest_falls_back_when_the_newest_checkpoint_is_corrupted(
+        pos_sel in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        use lazydp::lazy::{Checkpoint, CheckpointStore};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "lazydp-prop-fallback-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut rng = Xoshiro256PlusPlus::seed_from(5);
+        let mut model = Dlrm::new(DlrmConfig::tiny(1, 8, 4), &mut rng);
+        let mut opt = LazyDpOptimizer::new(
+            LazyDpConfig::new(DpConfig::new(0.8, 1.0, 0.05, 4), false),
+            &model,
+            CounterNoise::new(5),
+        );
+        let mut store = CheckpointStore::open(&dir).expect("open");
+        let empty = MiniBatch::default();
+        let mut newest = std::path::PathBuf::new();
+        for _ in 0..2 {
+            opt.step(&mut model, &empty, Some(&empty));
+            newest = store
+                .save(&Checkpoint::capture(&model, &opt))
+                .expect("save");
+        }
+
+        // Flip one bit of the newest published checkpoint on disk.
+        let mut bytes = std::fs::read(&newest).expect("read newest");
+        let pos = ((pos_sel * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        bytes[pos] ^= 1u8 << bit;
+        std::fs::write(&newest, &bytes).expect("write corruption");
+
+        let reopened = CheckpointStore::open(&dir).expect("reopen");
+        let resumed = reopened
+            .resume_latest()
+            .expect("fallback, not error")
+            .expect("the previous entry is still good");
+        prop_assert_eq!(resumed.iteration, 1, "must fall back to iteration 1");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
